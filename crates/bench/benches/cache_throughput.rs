@@ -1,0 +1,65 @@
+//! Criterion bench: raw access throughput of the cache model — the
+//! hot path of every simulation (each instruction triggers at least an
+//! I-fetch access).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simtune_cache::{
+    AccessKind, Cache, CacheConfig, CacheHierarchy, HierarchyConfig, ReplacementPolicy,
+};
+
+fn single_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_single");
+    group.throughput(Throughput::Elements(1024));
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru] {
+        group.bench_function(format!("l1d_{policy}_sequential"), |b| {
+            let cfg = CacheConfig::new("L1D", 32 * 1024, 64, 8, 64, policy).expect("valid");
+            let mut cache = Cache::new(cfg);
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    black_box(cache.access(i * 64, AccessKind::Read));
+                }
+            });
+        });
+    }
+    group.bench_function("l1d_lru_hit_loop", |b| {
+        let cfg =
+            CacheConfig::new("L1D", 32 * 1024, 64, 8, 64, ReplacementPolicy::Lru).expect("valid");
+        let mut cache = Cache::new(cfg);
+        // Warm: a 4 KiB working set, all hits afterwards.
+        for i in 0..64u64 {
+            cache.access(i * 64, AccessKind::Read);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access((i % 64) * 64, AccessKind::Read));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.throughput(Throughput::Elements(1024));
+    for preset in ["x86", "arm", "riscv"] {
+        group.bench_function(format!("{preset}_streaming_reads"), |b| {
+            let cfg = match preset {
+                "x86" => HierarchyConfig::x86_ryzen_5800x(),
+                "arm" => HierarchyConfig::arm_cortex_a72(),
+                _ => HierarchyConfig::riscv_u74(),
+            };
+            let mut h = CacheHierarchy::new(cfg);
+            let mut addr = 0u64;
+            b.iter(|| {
+                for _ in 0..1024 {
+                    black_box(h.data_read(addr));
+                    addr = addr.wrapping_add(64);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_cache, hierarchy);
+criterion_main!(benches);

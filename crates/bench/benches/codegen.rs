@@ -1,0 +1,64 @@
+//! Criterion bench: the builder path — schedule application, lowering
+//! and code generation. This bounds how fast candidate batches can be
+//! prepared for the simulator pool.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simtune_tensor::{
+    build_executable, conv2d_bias_relu, lower, Conv2dShape, Schedule, SketchGenerator, TargetIsa,
+};
+
+fn conv_def() -> simtune_tensor::ComputeDef {
+    conv2d_bias_relu(&Conv2dShape {
+        n: 1,
+        h: 28,
+        w: 28,
+        co: 16,
+        ci: 8,
+        kh: 3,
+        kw: 3,
+        stride: (1, 1),
+        pad: (1, 1),
+    })
+}
+
+fn lowering(c: &mut Criterion) {
+    let def = conv_def();
+    let target = TargetIsa::x86_ryzen_5800x();
+    let schedule = Schedule::default_for(&def);
+    c.bench_function("lower_conv2d_default", |b| {
+        b.iter(|| black_box(lower(&def, &schedule, &target).expect("lowers")));
+    });
+}
+
+fn full_build(c: &mut Criterion) {
+    let def = conv_def();
+    let target = TargetIsa::x86_ryzen_5800x();
+    let generator = SketchGenerator::new(&def, target.clone());
+    let mut rng = StdRng::seed_from_u64(1);
+    let schedules: Vec<Schedule> = (0..16)
+        .map(|_| generator.schedule(&generator.random(&mut rng)))
+        .filter(|s| s.apply(&def, &target).is_ok())
+        .collect();
+    c.bench_function("build_conv2d_sketch_batch", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &schedules[i % schedules.len()];
+            i += 1;
+            black_box(build_executable(&def, s, &target, 1, "bench").expect("builds"))
+        });
+    });
+}
+
+fn sketch_sampling(c: &mut Criterion) {
+    let def = conv_def();
+    let generator = SketchGenerator::new(&def, TargetIsa::arm_cortex_a72());
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("sketch_random_sample", |b| {
+        b.iter(|| black_box(generator.random(&mut rng)));
+    });
+}
+
+criterion_group!(benches, lowering, full_build, sketch_sampling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: fit and predict cost of the four predictor
+//! families on feature matrices shaped like the paper's (hundreds of
+//! samples, ~50 features).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simtune_linalg::Matrix;
+use simtune_predict::{DnnConfig, DnnRegressor, PredictorKind, Regressor};
+
+fn synthetic(n: usize, d: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, d, |i, j| {
+        (((i * 31 + j * 17) % 101) as f64 / 101.0) - 0.5
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let r = x.row(i);
+            r[0] * 2.0 - r[1] + r[2] * r[3] * 3.0 + (r[4] * 5.0).sin() * 0.2
+        })
+        .collect();
+    (x, y)
+}
+
+fn fit_benchmarks(c: &mut Criterion) {
+    let (x, y) = synthetic(300, 45);
+    let mut group = c.benchmark_group("predictor_fit_300x45");
+    group.sample_size(10);
+    for kind in [PredictorKind::LinReg, PredictorKind::Bayes, PredictorKind::Xgboost] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut m = kind.build(1);
+                m.fit(&x, &y).expect("fits");
+                black_box(m.predict(&x).expect("predicts"))
+            });
+        });
+    }
+    // The paper DNN at full depth is too slow for a tight bench loop;
+    // use a shortened schedule that still exercises the same code.
+    group.bench_function("DNN(10 epochs)", |b| {
+        b.iter(|| {
+            let mut m = DnnRegressor::new(DnnConfig {
+                epochs: 10,
+                ..DnnConfig::default()
+            });
+            m.fit(&x, &y).expect("fits");
+            black_box(m.predict(&x).expect("predicts"))
+        });
+    });
+    group.finish();
+}
+
+fn predict_benchmarks(c: &mut Criterion) {
+    let (x, y) = synthetic(300, 45);
+    let mut group = c.benchmark_group("predictor_predict_300x45");
+    for kind in [PredictorKind::LinReg, PredictorKind::Bayes, PredictorKind::Xgboost] {
+        let mut m = kind.build(1);
+        m.fit(&x, &y).expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(m.predict(&x).expect("predicts")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fit_benchmarks, predict_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: end-to-end instruction throughput of the
+//! instruction-accurate simulator (instructions per second determine
+//! `t_simulator` in Equation 4) and of the timing model on top of it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simtune_hw::{measure_base_seconds, TargetSpec};
+use simtune_isa::{simulate, RunLimits, TargetIsa};
+use simtune_tensor::{build_executable, matmul, Schedule};
+
+fn kernel_exe(target: &TargetIsa) -> simtune_isa::Executable {
+    let def = matmul(16, 16, 16);
+    build_executable(&def, &Schedule::default_for(&def), target, 1, "bench").expect("builds")
+}
+
+fn atomic_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_atomic");
+    for spec in TargetSpec::paper_targets() {
+        let exe = kernel_exe(&spec.isa);
+        // Instruction count of one run, for ns/inst readouts.
+        let insts = simulate(&exe, &spec.hierarchy, RunLimits::default())
+            .expect("runs")
+            .stats
+            .inst_mix
+            .total();
+        group.throughput(Throughput::Elements(insts));
+        group.bench_function(format!("matmul16_{}", spec.isa.name), |b| {
+            b.iter(|| {
+                black_box(
+                    simulate(&exe, &spec.hierarchy, RunLimits::default())
+                        .expect("runs")
+                        .stats
+                        .inst_mix
+                        .total(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn timing_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_timing");
+    for spec in TargetSpec::paper_targets() {
+        let exe = kernel_exe(&spec.isa);
+        group.bench_function(format!("matmul16_{}", spec.isa.name), |b| {
+            b.iter(|| black_box(measure_base_seconds(&exe, &spec).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, atomic_simulation, timing_simulation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: cost of one execution-phase tuning step — generate
+//! a candidate, build it, simulate it, extract features and score it —
+//! the unit of work the paper parallelizes over simulator instances.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simtune_core::{
+    collect_group_data, raw_sample, CollectOptions, FeatureConfig, KernelBuilder, ScorePredictor,
+    SimulatorRunner, WindowKind, WindowNormalizer,
+};
+use simtune_hw::TargetSpec;
+use simtune_isa::{simulate, RunLimits};
+use simtune_predict::PredictorKind;
+use simtune_tensor::{matmul, SketchGenerator};
+
+fn tuning_step(c: &mut Criterion) {
+    let def = matmul(16, 16, 16);
+    let spec = TargetSpec::riscv_u74();
+    // A small trained predictor to score with.
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 24,
+            n_parallel: 4,
+            seed: 3,
+            max_attempts_factor: 40,
+        },
+    )
+    .expect("collects");
+    let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "matmul", 1);
+    predictor.train(std::slice::from_ref(&data)).expect("trains");
+
+    let generator = SketchGenerator::new(&def, spec.isa.clone());
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("tuning");
+    group.sample_size(20);
+    group.bench_function("one_candidate_end_to_end", |b| {
+        let mut normalizer = WindowNormalizer::new(WindowKind::Dynamic);
+        b.iter(|| {
+            let params = generator.random(&mut rng);
+            let schedule = generator.schedule(&params);
+            let Ok(exe) = builder.build(&schedule, "bench") else {
+                return;
+            };
+            let stats = simulate(&exe, &spec.hierarchy, RunLimits::default())
+                .expect("runs")
+                .stats;
+            let score = predictor
+                .score_streaming(&stats, &mut normalizer)
+                .expect("scores");
+            black_box(score);
+        });
+    });
+    group.bench_function("feature_extraction_only", |b| {
+        let stats = &data.stats[0];
+        b.iter(|| black_box(raw_sample(stats, &FeatureConfig::default())));
+    });
+    group.bench_function("parallel_batch_of_8", |b| {
+        let schedules: Vec<_> = (0..8)
+            .map(|_| generator.schedule(&generator.random(&mut rng)))
+            .collect();
+        let exes: Vec<_> = builder
+            .build_batch(&schedules)
+            .into_iter()
+            .flatten()
+            .collect();
+        let runner = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(8);
+        b.iter(|| black_box(runner.run(&exes)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tuning_step);
+criterion_main!(benches);

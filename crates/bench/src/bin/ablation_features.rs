@@ -1,0 +1,90 @@
+//! Feature-set ablation (DESIGN.md experiment index): how much of the
+//! prediction quality comes from each feature family? The paper feeds
+//! instruction-mix ratios, cache ratios, and both in raw + group-
+//! normalized form; this binary removes one family at a time.
+
+use simtune_bench::{collect_arch_datasets, Args, ExperimentConfig};
+use simtune_core::{evaluate_predictor, FeatureConfig};
+use simtune_predict::PredictorKind;
+
+fn main() {
+    let args = Args::from_env();
+    let variants: Vec<(&str, FeatureConfig)> = vec![
+        ("full (paper)", FeatureConfig::default()),
+        (
+            "no inst mix",
+            FeatureConfig {
+                inst_mix: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "no cache",
+            FeatureConfig {
+                cache: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "raw only",
+            FeatureConfig {
+                normalized: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "no total insts",
+            FeatureConfig {
+                total_insts: false,
+                ..FeatureConfig::default()
+            },
+        ),
+    ];
+    for cfg in ExperimentConfig::from_args(&args) {
+        let groups = match collect_arch_datasets(&cfg, args.refresh) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        println!(
+            "\nFeature ablation [{}] (XGBoost, rounds={}, test={}/group):",
+            cfg.arch, args.rounds, args.test_count
+        );
+        println!(
+            "{:>16} | {:>11} | {:>10} | {:>10}",
+            "features", "mean Etop1", "max Rtop1", "mean Qlow"
+        );
+        println!("{}", "-".repeat(58));
+        for (label, feature_config) in &variants {
+            match evaluate_predictor(
+                PredictorKind::Xgboost,
+                &groups,
+                &cfg.arch,
+                "conv2d_bias_relu",
+                args.test_count,
+                args.rounds,
+                args.seed,
+                *feature_config,
+            ) {
+                Ok(report) => {
+                    let mean_qlow = report
+                        .per_group
+                        .iter()
+                        .map(|m| m.q_low)
+                        .sum::<f64>()
+                        / report.per_group.len() as f64;
+                    println!(
+                        "{:>16} | {:>10.2}% | {:>9.1}% | {:>9.2}%",
+                        label,
+                        report.mean_e_top1(),
+                        report.max_r_top1(),
+                        mean_qlow
+                    );
+                }
+                Err(e) => println!("{label:>16} | failed: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Replacement-policy ablation (DESIGN.md experiment index): the target
+//! hardware's caches behave like LRU, but what happens when the
+//! *instruction-accurate simulator* models a different policy? The
+//! statistics drift away from the target's true behavior and prediction
+//! quality should degrade gracefully — quantifying how sensitive the
+//! approach is to cache-model fidelity.
+//!
+//! Reference times come from the unmodified target model; only the
+//! simulator's replacement policy varies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simtune_bench::{Args, ExperimentConfig};
+use simtune_cache::ReplacementPolicy;
+use simtune_core::{
+    evaluate_predictor, FeatureConfig, GroupData, HardwareRunner, KernelBuilder, SimulatorRunner,
+};
+use simtune_hw::TargetSpec;
+use simtune_predict::PredictorKind;
+use simtune_tensor::{conv2d_bias_relu, SketchGenerator};
+use std::collections::HashSet;
+
+fn main() {
+    let args = Args::from_env();
+    for cfg in ExperimentConfig::from_args(&args) {
+        let Some(spec) = TargetSpec::by_name(&cfg.arch) else {
+            eprintln!("unknown arch {}", cfg.arch);
+            continue;
+        };
+        // Use a subset of groups to keep the 4x collection affordable.
+        let shapes = cfg.scale.conv_groups();
+        let selected = [1usize, 3usize];
+
+        println!(
+            "\nReplacement-policy ablation [{}] (XGBoost, groups {:?}, {} impls):",
+            cfg.arch, selected, cfg.impls
+        );
+        println!(
+            "{:>8} | {:>11} | {:>10}",
+            "policy", "mean Etop1", "max Rtop1"
+        );
+        println!("{}", "-".repeat(37));
+
+        for policy in ReplacementPolicy::all() {
+            let mut groups: Vec<GroupData> = Vec::new();
+            for &gid in &selected {
+                let def = conv2d_bias_relu(&shapes[gid]);
+                let generator = SketchGenerator::new(&def, spec.isa.clone());
+                let mut rng = StdRng::seed_from_u64(cfg.seed + gid as u64 * 7919);
+                let mut seen = HashSet::new();
+                let mut schedules = Vec::new();
+                let mut attempts = 0;
+                while schedules.len() < cfg.impls && attempts < cfg.impls * 30 {
+                    attempts += 1;
+                    let p = generator.random(&mut rng);
+                    if !seen.insert(format!("{p:?}")) {
+                        continue;
+                    }
+                    let s = generator.schedule(&p);
+                    if s.apply(&def, &spec.isa).is_ok() {
+                        schedules.push(s);
+                    }
+                }
+                let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+                let exes: Vec<_> = builder
+                    .build_batch(&schedules)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                // Simulator with the ablated policy; target stays LRU.
+                let sim = SimulatorRunner::new(spec.hierarchy.with_policy(policy))
+                    .with_n_parallel(cfg.n_parallel);
+                let stats = sim.run(&exes);
+                let hw = HardwareRunner::new(spec.clone());
+                let measurements = hw.run(&exes);
+                let mut data = GroupData {
+                    group_id: gid,
+                    ..GroupData::default()
+                };
+                for (s, m) in stats.into_iter().zip(measurements) {
+                    let (Ok(s), Ok(m)) = (s, m) else { continue };
+                    data.stats.push(s);
+                    data.t_ref.push(m.t_ref);
+                }
+                groups.push(data);
+            }
+            match evaluate_predictor(
+                PredictorKind::Xgboost,
+                &groups,
+                &cfg.arch,
+                "conv2d_bias_relu",
+                args.test_count,
+                args.rounds.min(5),
+                args.seed,
+                FeatureConfig::default(),
+            ) {
+                Ok(report) => println!(
+                    "{:>8} | {:>10.2}% | {:>9.1}%",
+                    policy.label(),
+                    report.mean_e_top1(),
+                    report.max_r_top1()
+                ),
+                Err(e) => println!("{:>8} | failed: {e}", policy.label()),
+            }
+        }
+    }
+}

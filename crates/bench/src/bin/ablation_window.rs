@@ -1,0 +1,86 @@
+//! Ablation for Section III-E: exact group means vs static windows of
+//! several sizes vs the dynamic window, measured as the rank agreement
+//! (Spearman) between window-normalized scores and exact-mean scores,
+//! plus the resulting R_top1.
+//!
+//! The paper states that "the batch size, and thus the window size w, is
+//! typically large enough that no accuracy loss ... was observed"; this
+//! binary quantifies that claim on the reproduction.
+
+use simtune_bench::{collect_arch_datasets, Args, ExperimentConfig};
+use simtune_core::{
+    prediction_metrics, split_train_test, FeatureConfig, GroupData, ScorePredictor, WindowKind,
+};
+use simtune_linalg::stats::spearman;
+use simtune_predict::PredictorKind;
+
+fn main() {
+    let args = Args::from_env();
+    for cfg in ExperimentConfig::from_args(&args) {
+        let groups = match collect_arch_datasets(&cfg, args.refresh) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        // Train once on the training parts of all groups.
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = groups
+            .iter()
+            .map(|g| split_train_test(g.len(), args.test_count.min(g.len() - 1), args.seed))
+            .collect();
+        let train: Vec<GroupData> = groups
+            .iter()
+            .zip(&splits)
+            .map(|(g, (tr, _))| g.subset(tr))
+            .collect();
+        let mut predictor =
+            ScorePredictor::new(PredictorKind::Xgboost, &cfg.arch, "conv2d_bias_relu", args.seed)
+                .with_feature_config(FeatureConfig::default());
+        if let Err(e) = predictor.train(&train) {
+            eprintln!("[{}] training failed: {e}", cfg.arch);
+            continue;
+        }
+
+        println!(
+            "\nWindow ablation [{}] (XGBoost, scale={}, test={}/group):",
+            cfg.arch, cfg.scale, args.test_count
+        );
+        println!(
+            "{:>14} | {:>10} | {:>10} | {:>10}",
+            "window", "rho(exact)", "mean Rtop1", "mean Etop1"
+        );
+        println!("{}", "-".repeat(55));
+        let windows: Vec<(String, WindowKind)> = vec![
+            ("exact".into(), WindowKind::Exact),
+            ("static(8)".into(), WindowKind::Static(8)),
+            ("static(16)".into(), WindowKind::Static(16)),
+            ("static(32)".into(), WindowKind::Static(32)),
+            ("dynamic".into(), WindowKind::Dynamic),
+        ];
+        for (label, window) in windows {
+            let mut rhos = Vec::new();
+            let mut r1 = Vec::new();
+            let mut e1 = Vec::new();
+            for (g, (_, test_idx)) in groups.iter().zip(&splits) {
+                let test = g.subset(test_idx);
+                let exact = predictor.score_group(&test.stats).expect("trained");
+                let windowed = predictor
+                    .score_with_window(&test.stats, window)
+                    .expect("trained");
+                rhos.push(spearman(&exact, &windowed));
+                let m = prediction_metrics(&test.t_ref, &windowed);
+                r1.push(m.r_top1);
+                e1.push(m.e_top1);
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            println!(
+                "{:>14} | {:>10.4} | {:>9.1}% | {:>9.2}%",
+                label,
+                mean(&rhos),
+                mean(&r1),
+                mean(&e1)
+            );
+        }
+    }
+}

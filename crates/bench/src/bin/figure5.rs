@@ -1,0 +1,113 @@
+//! Regenerates the paper's Figure 5: sorted run-time predictions for the
+//! test set of group 3, with the Bayesian predictor trained (a)–(c)
+//! *including* group 3 vs (d)–(f) *excluding* group 3, for each CPU
+//! architecture.
+//!
+//! Outputs ASCII plots to stdout and, with `--out DIR`, one CSV per
+//! (architecture, variant) containing the `t_ref` and `t_pred` series.
+//!
+//! ```text
+//! cargo run --release -p simtune-bench --bin figure5 -- \
+//!     --arch all --scale quarter --impls 120 --test 30 --out results/
+//! ```
+
+use simtune_bench::{ascii_plot, collect_arch_datasets, write_csv, Args, ExperimentConfig};
+use simtune_core::{holdout_group_curves, split_train_test, GroupData};
+use simtune_predict::PredictorKind;
+use std::path::Path;
+
+const EVAL_GROUP: usize = 3;
+
+fn main() {
+    let args = Args::from_env();
+    for cfg in ExperimentConfig::from_args(&args) {
+        let groups = match collect_arch_datasets(&cfg, args.refresh) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        if groups.len() <= EVAL_GROUP {
+            eprintln!("[{}] need at least {} groups", cfg.arch, EVAL_GROUP + 1);
+            continue;
+        }
+        let eval_group = &groups[EVAL_GROUP];
+        let (_, test_idx) = split_train_test(
+            eval_group.len(),
+            args.test_count.min(eval_group.len() - 1),
+            args.seed,
+        );
+
+        // (a)-(c): group 3 included in training (its training part).
+        let included: Vec<GroupData> = groups
+            .iter()
+            .map(|g| {
+                if g.group_id == EVAL_GROUP {
+                    let train: Vec<usize> = (0..g.len())
+                        .filter(|i| !test_idx.contains(i))
+                        .collect();
+                    g.subset(&train)
+                } else {
+                    g.clone()
+                }
+            })
+            .collect();
+        // (d)-(f): group 3 not included at all.
+        let excluded: Vec<GroupData> = groups
+            .iter()
+            .filter(|g| g.group_id != EVAL_GROUP)
+            .cloned()
+            .collect();
+
+        for (variant, training) in [("included", &included), ("excluded", &excluded)] {
+            match holdout_group_curves(
+                PredictorKind::Bayes,
+                training,
+                eval_group,
+                &test_idx,
+                &cfg.arch,
+                "conv2d_bias_relu",
+                args.seed,
+            ) {
+                Ok(curves) => {
+                    let title = format!(
+                        "Figure 5 [{}, group {EVAL_GROUP} {variant} in training] \
+                         sorted t_ref (*) vs prediction-ordered t_ref (+)",
+                        cfg.arch
+                    );
+                    println!(
+                        "{}",
+                        ascii_plot(
+                            &title,
+                            &[
+                                ("t_ref (sorted)", &curves.sorted_ref),
+                                ("t_pred (prediction-ordered)", &curves.prediction_ordered),
+                            ],
+                            16,
+                            72,
+                        )
+                    );
+                    if let Some(dir) = &args.out_dir {
+                        let rows: Vec<Vec<String>> = curves
+                            .sorted_ref
+                            .iter()
+                            .zip(&curves.prediction_ordered)
+                            .enumerate()
+                            .map(|(i, (r, p))| {
+                                vec![i.to_string(), format!("{r:.6e}"), format!("{p:.6e}")]
+                            })
+                            .collect();
+                        let path = Path::new(dir)
+                            .join(format!("figure5_{}_{}.csv", cfg.arch, variant));
+                        match write_csv(&path, &["sample", "t_ref", "t_pred"], &rows) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => eprintln!("csv write failed: {e}"),
+                        }
+                    }
+                }
+                Err(e) => eprintln!("[{}] {variant} failed: {e}", cfg.arch),
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Regenerates the paper's Tables III, IV and V: prediction results per
+//! CPU architecture, per predictor, per Conv2D group.
+//!
+//! Protocol (paper Section IV-C): implementations per group are split
+//! into train/test `--rounds` times with random selections; one
+//! predictor per architecture is trained on the training parts of all
+//! groups; metrics are medians over the rounds.
+//!
+//! ```text
+//! cargo run --release -p simtune-bench --bin predictor_tables -- \
+//!     --arch all --scale quarter --impls 120 --test 30 --rounds 10
+//! ```
+
+use simtune_bench::{collect_arch_datasets, format_metric_table, write_csv, Args, ExperimentConfig};
+use simtune_core::{evaluate_predictor, FeatureConfig};
+use simtune_predict::PredictorKind;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let table_names = [("x86", "III"), ("arm", "IV"), ("riscv", "V")];
+    for cfg in ExperimentConfig::from_args(&args) {
+        let started = Instant::now();
+        let groups = match collect_arch_datasets(&cfg, args.refresh) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        let mut blocks = Vec::new();
+        let mut names = Vec::new();
+        for kind in PredictorKind::all() {
+            let t0 = Instant::now();
+            match evaluate_predictor(
+                kind,
+                &groups,
+                &cfg.arch,
+                "conv2d_bias_relu",
+                args.test_count,
+                args.rounds,
+                args.seed,
+                FeatureConfig::default(),
+            ) {
+                Ok(report) => {
+                    eprintln!(
+                        "[{}] {kind}: mean E_top1 {:.2}%, max R_top1 {:.1}% ({:.1}s)",
+                        cfg.arch,
+                        report.mean_e_top1(),
+                        report.max_r_top1(),
+                        t0.elapsed().as_secs_f64()
+                    );
+                    names.push(kind.label());
+                    blocks.push(report.per_group);
+                }
+                Err(e) => eprintln!("[{}] {kind} failed: {e}", cfg.arch),
+            }
+        }
+        let table_no = table_names
+            .iter()
+            .find(|(a, _)| *a == cfg.arch)
+            .map(|(_, t)| *t)
+            .unwrap_or("?");
+        let title = format!(
+            "TABLE {table_no}: Prediction results for {}-based CPU \
+             (scale={}, impls={}, test={}, rounds={})",
+            cfg.arch, cfg.scale, cfg.impls, args.test_count, args.rounds
+        );
+        println!("{}", format_metric_table(&title, &names, &blocks));
+        println!("total wall time: {:.1}s\n", started.elapsed().as_secs_f64());
+
+        if let Some(dir) = &args.out_dir {
+            let mut rows = Vec::new();
+            for (name, block) in names.iter().zip(&blocks) {
+                for (gid, m) in block.iter().enumerate() {
+                    rows.push(vec![
+                        cfg.arch.clone(),
+                        name.to_string(),
+                        gid.to_string(),
+                        format!("{:.4}", m.e_top1),
+                        format!("{:.4}", m.q_low),
+                        format!("{:.4}", m.q_high),
+                        format!("{:.4}", m.r_top1),
+                    ]);
+                }
+            }
+            let path = Path::new(dir).join(format!("table_{}.csv", cfg.arch));
+            if let Err(e) = write_csv(
+                &path,
+                &["arch", "predictor", "group", "e_top1", "q_low", "q_high", "r_top1"],
+                &rows,
+            ) {
+                eprintln!("csv write failed: {e}");
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}

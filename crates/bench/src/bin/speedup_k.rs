@@ -1,0 +1,97 @@
+//! Reproduces the paper's Equation 4 analysis (Section IV): the number
+//! `K` of parallel simulator instances needed to match native
+//! benchmarking throughput per architecture. The paper reports
+//! `K_x86 ∈ [7, 97]`, `K_ARM ∈ [4, 31]`, `K_RISC-V ∈ [3, 21]` —
+//! meaning in the best case 3 parallel simulators replace one RISC-V
+//! board.
+//!
+//! `t_simulator` is the measured host wall-clock of each simulation;
+//! the native benchmarking time is `(t_cooldown + t_ref) · N_exe` with
+//! the paper's protocol (`N_exe = 15`, `t_cooldown = 1 s`).
+
+use simtune_bench::{collect_arch_datasets, Args, ExperimentConfig};
+use simtune_core::parallel_speedup_k;
+
+/// gem5 atomic-mode simulation speed assumed for the normalized K
+/// column, in million instructions per second. gem5's atomic SimpleCPU
+/// typically reaches a few MIPS; the paper's K ranges arise at that
+/// speed, while this repo's Rust simulator is orders of magnitude
+/// faster, which pushes the *measured* K toward 1.
+const GEM5_MIPS: f64 = 1.0;
+
+fn main() {
+    let args = Args::from_env();
+    println!(
+        "Equation 4: K = ceil(t_sim / ((t_cooldown + t_ref) * N_exe)), \
+         N_exe = 15, t_cooldown = 1 s, scale = {}",
+        args.scale
+    );
+    println!(
+        "{:>6} | {:>10} {:>10} | {:>12} {:>12} | {:>11} | {:>17}",
+        "arch",
+        "t_ref min",
+        "t_ref max",
+        "t_sim min",
+        "t_sim max",
+        "K measured",
+        "K @gem5+paper scale".to_string()
+    );
+    println!("{}", "-".repeat(100));
+    for cfg in ExperimentConfig::from_args(&args) {
+        let groups = match collect_arch_datasets(&cfg, args.refresh) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        let mut k = (u64::MAX, 0u64);
+        let mut k_gem5 = (u64::MAX, 0u64);
+        let mut tref = (f64::INFINITY, 0.0f64);
+        let mut tsim = (f64::INFINITY, 0.0f64);
+        // Work-scale factor back to the paper's full-size groups, used
+        // for the extrapolated column.
+        let paper = simtune_tensor::Conv2dShape::paper_groups();
+        let scaled = cfg.scale.conv_groups();
+        for g in &groups {
+            let factor = paper[g.group_id].macs() as f64 / scaled[g.group_id].macs() as f64;
+            for ((t_ref, t_sim), stats) in g.t_ref.iter().zip(&g.sim_seconds).zip(&g.stats) {
+                let k_now = parallel_speedup_k(*t_sim, *t_ref, 1.0, 15);
+                k = (k.0.min(k_now), k.1.max(k_now));
+                // Paper setting: the same implementation at full workload
+                // scale, executed by a gem5-speed simulator. Instruction
+                // count and target runtime both scale with the MAC count.
+                let t_gem5 = stats.inst_mix.total() as f64 * factor / (GEM5_MIPS * 1e6);
+                let k_g = parallel_speedup_k(t_gem5, *t_ref * factor, 1.0, 15);
+                k_gem5 = (k_gem5.0.min(k_g), k_gem5.1.max(k_g));
+                tref = (tref.0.min(*t_ref), tref.1.max(*t_ref));
+                tsim = (tsim.0.min(*t_sim), tsim.1.max(*t_sim));
+            }
+        }
+        println!(
+            "{:>6} | {:>9.3}ms {:>9.3}ms | {:>11.3}ms {:>11.3}ms | {:>4} ..{:>4} | {:>7} ..{:>7}",
+            cfg.arch,
+            tref.0 * 1e3,
+            tref.1 * 1e3,
+            tsim.0 * 1e3,
+            tsim.1 * 1e3,
+            k.0,
+            k.1,
+            k_gem5.0,
+            k_gem5.1
+        );
+    }
+    println!(
+        "\nInterpretation: K parallel simulator instances on the host match the\n\
+         benchmarking throughput of one physical board; smaller K favors the\n\
+         simulator interface.\n\
+         * 'K measured' uses this repo's Rust simulator (tens-to-hundreds of\n\
+           MIPS): K collapses to ~1, i.e. a single instance already beats\n\
+           native benchmarking — stronger than the paper's result.\n\
+         * 'K @gem5+paper scale' extrapolates both t_sim and t_ref to the\n\
+           paper's full-size kernels and a gem5 atomic-mode simulator\n\
+           ({GEM5_MIPS} MIPS); the paper reports K_x86 ∈ [7,97], K_ARM ∈ [4,31],\n\
+           K_RISCV ∈ [3,21] in that setting. The fastest target (x86) has the\n\
+           largest K because its native runs finish soonest."
+    );
+}

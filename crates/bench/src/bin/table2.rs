@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table II: shapes of the Conv2D+Bias+ReLU
+//! groups, plus the scaled variants used by the default experiment
+//! scale (DESIGN.md §7).
+
+use simtune_bench::Scale;
+
+fn print_groups(title: &str, scale: Scale) {
+    println!("{title}");
+    println!(
+        "{:>5} {:>3} {:>5} {:>5} {:>5} {:>5} {:>3} {:>3} {:>7} {:>7} {:>9}",
+        "group", "N", "H", "W", "CO", "CI", "KH", "KW", "stride", "pad", "MMACs"
+    );
+    for (i, g) in scale.conv_groups().iter().enumerate() {
+        println!(
+            "{:>5} {:>3} {:>5} {:>5} {:>5} {:>5} {:>3} {:>3} {:>7} {:>7} {:>9.2}",
+            i,
+            g.n,
+            g.h,
+            g.w,
+            g.co,
+            g.ci,
+            g.kh,
+            g.kw,
+            format!("({},{})", g.stride.0, g.stride.1),
+            format!("({},{})", g.pad.0, g.pad.1),
+            g.macs() as f64 / 1e6
+        );
+    }
+    println!();
+}
+
+fn main() {
+    print_groups(
+        "TABLE II: Shapes of the used Conv2D+Bias+ReLU kernels (paper scale)",
+        Scale::Paper,
+    );
+    for scale in [Scale::Half, Scale::Quarter, Scale::Smoke] {
+        print_groups(
+            &format!("Scaled variant: --scale {scale}"),
+            scale,
+        );
+    }
+}

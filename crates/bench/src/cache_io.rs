@@ -1,0 +1,232 @@
+//! On-disk persistence of collected datasets.
+//!
+//! Dataset collection (simulate + measure every implementation) is the
+//! expensive half of each experiment; the binaries cache it as JSON so
+//! that table generation, Figure 5 and the ablations can share one
+//! collection run.
+
+use serde::{Deserialize, Serialize};
+use simtune_cache::{CacheStats, HierarchyStats};
+use simtune_core::GroupData;
+use simtune_isa::{InstMix, SimStats};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedCacheStats {
+    counters: [u64; 6],
+}
+
+impl From<CacheStats> for PersistedCacheStats {
+    fn from(s: CacheStats) -> Self {
+        PersistedCacheStats {
+            counters: [
+                s.read_hits,
+                s.read_misses,
+                s.read_replacements,
+                s.write_hits,
+                s.write_misses,
+                s.write_replacements,
+            ],
+        }
+    }
+}
+
+impl From<PersistedCacheStats> for CacheStats {
+    fn from(p: PersistedCacheStats) -> Self {
+        let [rh, rm, rr, wh, wm, wr] = p.counters;
+        CacheStats {
+            read_hits: rh,
+            read_misses: rm,
+            read_replacements: rr,
+            write_hits: wh,
+            write_misses: wm,
+            write_replacements: wr,
+        }
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedStats {
+    mix: [u64; 8],
+    l1d: PersistedCacheStats,
+    l1i: PersistedCacheStats,
+    l2: PersistedCacheStats,
+    l3: Option<PersistedCacheStats>,
+    dram: [u64; 2],
+    host_nanos: u64,
+}
+
+impl From<&SimStats> for PersistedStats {
+    fn from(s: &SimStats) -> Self {
+        let m = s.inst_mix;
+        PersistedStats {
+            mix: [
+                m.int_alu,
+                m.fp_alu,
+                m.vec_alu,
+                m.loads,
+                m.stores,
+                m.branches,
+                m.branches_taken,
+                m.other,
+            ],
+            l1d: s.cache.l1d.into(),
+            l1i: s.cache.l1i.into(),
+            l2: s.cache.l2.into(),
+            l3: s.cache.l3.map(Into::into),
+            dram: [s.cache.dram_reads, s.cache.dram_writes],
+            host_nanos: s.host_nanos,
+        }
+    }
+}
+
+impl From<PersistedStats> for SimStats {
+    fn from(p: PersistedStats) -> Self {
+        let [int_alu, fp_alu, vec_alu, loads, stores, branches, branches_taken, other] = p.mix;
+        SimStats {
+            inst_mix: InstMix {
+                int_alu,
+                fp_alu,
+                vec_alu,
+                loads,
+                stores,
+                branches,
+                branches_taken,
+                other,
+            },
+            cache: HierarchyStats {
+                l1d: p.l1d.into(),
+                l1i: p.l1i.into(),
+                l2: p.l2.into(),
+                l3: p.l3.map(Into::into),
+                dram_reads: p.dram[0],
+                dram_writes: p.dram[1],
+            },
+            host_nanos: p.host_nanos,
+        }
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedGroup {
+    group_id: usize,
+    stats: Vec<PersistedStats>,
+    t_ref: Vec<f64>,
+    base_seconds: Vec<f64>,
+    sim_seconds: Vec<f64>,
+    descriptions: Vec<String>,
+}
+
+/// Serializes collected groups to a JSON file.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn store_groups(path: &Path, groups: &[GroupData]) -> io::Result<()> {
+    let persisted: Vec<PersistedGroup> = groups
+        .iter()
+        .map(|g| PersistedGroup {
+            group_id: g.group_id,
+            stats: g.stats.iter().map(PersistedStats::from).collect(),
+            t_ref: g.t_ref.clone(),
+            base_seconds: g.base_seconds.clone(),
+            sim_seconds: g.sim_seconds.clone(),
+            descriptions: g.descriptions.clone(),
+        })
+        .collect();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string(&persisted)?;
+    fs::write(path, json)
+}
+
+/// Loads groups previously written by [`store_groups`]; `Ok(None)` when
+/// the file does not exist.
+///
+/// # Errors
+///
+/// Propagates filesystem and deserialization errors.
+pub fn load_groups(path: &Path) -> io::Result<Option<Vec<GroupData>>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let json = fs::read_to_string(path)?;
+    let persisted: Vec<PersistedGroup> = serde_json::from_str(&json)?;
+    Ok(Some(
+        persisted
+            .into_iter()
+            .map(|p| GroupData {
+                group_id: p.group_id,
+                stats: p.stats.into_iter().map(Into::into).collect(),
+                t_ref: p.t_ref,
+                base_seconds: p.base_seconds,
+                sim_seconds: p.sim_seconds,
+                descriptions: p.descriptions,
+            })
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_group() -> GroupData {
+        GroupData {
+            group_id: 3,
+            stats: vec![SimStats {
+                inst_mix: InstMix {
+                    loads: 10,
+                    int_alu: 20,
+                    branches_taken: 4,
+                    ..Default::default()
+                },
+                cache: HierarchyStats {
+                    l1d: CacheStats {
+                        read_hits: 7,
+                        write_misses: 2,
+                        ..Default::default()
+                    },
+                    l3: Some(CacheStats {
+                        read_misses: 1,
+                        ..Default::default()
+                    }),
+                    dram_reads: 5,
+                    ..Default::default()
+                },
+                host_nanos: 999,
+            }],
+            t_ref: vec![0.5],
+            base_seconds: vec![0.45],
+            sim_seconds: vec![0.001],
+            descriptions: vec!["demo".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = std::env::temp_dir().join("simtune_cache_io_test");
+        let path = dir.join("g.json");
+        let groups = vec![sample_group()];
+        store_groups(&path, &groups).unwrap();
+        let loaded = load_groups(&path).unwrap().unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (a, b) = (&groups[0], &loaded[0]);
+        assert_eq!(a.group_id, b.group_id);
+        assert_eq!(a.t_ref, b.t_ref);
+        assert_eq!(a.stats[0].inst_mix, b.stats[0].inst_mix);
+        assert_eq!(a.stats[0].cache, b.stats[0].cache);
+        assert_eq!(a.stats[0].host_nanos, b.stats[0].host_nanos);
+        assert_eq!(a.descriptions, b.descriptions);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let path = std::env::temp_dir().join("simtune_no_such_file.json");
+        assert!(load_groups(&path).unwrap().is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal flag parsing shared by the experiment binaries (no external
+//! CLI dependency).
+
+use crate::Scale;
+
+/// Parsed command-line arguments with the defaults used throughout the
+/// experiment suite.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Target architectures to run ("x86", "arm", "riscv").
+    pub archs: Vec<String>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Implementations per group.
+    pub impls: usize,
+    /// Test-set size per group.
+    pub test_count: usize,
+    /// Random train/test split repetitions.
+    pub rounds: usize,
+    /// Parallel simulator instances.
+    pub n_parallel: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Ignore cached datasets and recollect.
+    pub refresh: bool,
+    /// Optional output directory for CSV artifacts.
+    pub out_dir: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            archs: vec!["x86".into(), "arm".into(), "riscv".into()],
+            scale: Scale::Quarter,
+            impls: 120,
+            test_count: 30,
+            rounds: 10,
+            n_parallel: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
+            seed: 42,
+            refresh: false,
+            out_dir: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`-style flags:
+    /// `--arch x86 --scale quarter --impls 120 --test 30 --rounds 10
+    ///  --parallel 8 --seed 42 --refresh --out results/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or bad values (these
+    /// binaries are developer tools; failing loudly is the feature).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--arch" => {
+                    let v = need(&mut it, "--arch");
+                    out.archs = if v == "all" {
+                        Args::default().archs
+                    } else {
+                        v.split(',').map(|s| s.trim().to_string()).collect()
+                    };
+                }
+                "--scale" => {
+                    let v = need(&mut it, "--scale");
+                    out.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale {v} (paper|half|quarter|smoke)"));
+                }
+                "--impls" => out.impls = need(&mut it, "--impls").parse().expect("--impls number"),
+                "--test" => {
+                    out.test_count = need(&mut it, "--test").parse().expect("--test number")
+                }
+                "--rounds" => {
+                    out.rounds = need(&mut it, "--rounds").parse().expect("--rounds number")
+                }
+                "--parallel" => {
+                    out.n_parallel = need(&mut it, "--parallel")
+                        .parse()
+                        .expect("--parallel number")
+                }
+                "--seed" => out.seed = need(&mut it, "--seed").parse().expect("--seed number"),
+                "--refresh" => out.refresh = true,
+                "--out" => out.out_dir = Some(need(&mut it, "--out")),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(out.test_count < out.impls, "--test must be below --impls");
+        out
+    }
+
+    /// Parses the process's real arguments (skipping argv[0]).
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = Args::default();
+        assert_eq!(a.archs.len(), 3);
+        assert!(a.test_count < a.impls);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse("--arch riscv --scale smoke --impls 40 --test 10 --rounds 3 --seed 7 --refresh");
+        assert_eq!(a.archs, vec!["riscv"]);
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.impls, 40);
+        assert_eq!(a.test_count, 10);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.seed, 7);
+        assert!(a.refresh);
+    }
+
+    #[test]
+    fn arch_list_and_all() {
+        assert_eq!(parse("--arch x86,arm").archs, vec!["x86", "arm"]);
+        assert_eq!(parse("--arch all").archs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse("--bogus");
+    }
+
+    #[test]
+    #[should_panic(expected = "--test must be below")]
+    fn test_count_validated() {
+        parse("--impls 10 --test 10");
+    }
+}

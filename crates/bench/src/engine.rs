@@ -1,0 +1,119 @@
+//! Dataset collection shared by the experiment binaries.
+
+use crate::{load_groups, store_groups, Args, Scale};
+use simtune_core::{collect_group_data, CollectOptions, CoreError, GroupData};
+use simtune_hw::TargetSpec;
+use simtune_tensor::conv2d_bias_relu;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Fully resolved configuration of one collection run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Target label ("x86", "arm", "riscv").
+    pub arch: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Implementations per group.
+    pub impls: usize,
+    /// Parallel simulator instances.
+    pub n_parallel: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Builds one per requested architecture from parsed CLI args.
+    pub fn from_args(args: &Args) -> Vec<ExperimentConfig> {
+        args.archs
+            .iter()
+            .map(|arch| ExperimentConfig {
+                arch: arch.clone(),
+                scale: args.scale,
+                impls: args.impls,
+                n_parallel: args.n_parallel,
+                seed: args.seed,
+            })
+            .collect()
+    }
+}
+
+/// Cache-file location for one configuration.
+pub fn dataset_cache_path(cfg: &ExperimentConfig) -> PathBuf {
+    PathBuf::from("target/simtune-datasets").join(format!(
+        "conv2d_{}_{}_{}impls_seed{}.json",
+        cfg.arch,
+        cfg.scale.label(),
+        cfg.impls,
+        cfg.seed
+    ))
+}
+
+/// Collects (or loads from cache) the five Conv2D group datasets for one
+/// architecture: the training-phase data of the paper's Fig. 4.
+///
+/// # Errors
+///
+/// Propagates collection failures; cache I/O problems fall back to
+/// recollection.
+pub fn collect_arch_datasets(
+    cfg: &ExperimentConfig,
+    refresh: bool,
+) -> Result<Vec<GroupData>, CoreError> {
+    let path = dataset_cache_path(cfg);
+    if !refresh {
+        if let Ok(Some(groups)) = load_groups(&path) {
+            eprintln!("[{}] loaded cached datasets from {}", cfg.arch, path.display());
+            return Ok(groups);
+        }
+    }
+    let spec = TargetSpec::by_name(&cfg.arch)
+        .ok_or_else(|| CoreError::Pipeline(format!("unknown arch {}", cfg.arch)))?;
+    let shapes = cfg.scale.conv_groups();
+    let mut groups = Vec::with_capacity(shapes.len());
+    for (gid, shape) in shapes.iter().enumerate() {
+        let def = conv2d_bias_relu(shape);
+        let started = Instant::now();
+        let data = collect_group_data(
+            &def,
+            &spec,
+            gid,
+            &CollectOptions {
+                n_impls: cfg.impls,
+                n_parallel: cfg.n_parallel,
+                seed: cfg.seed,
+                max_attempts_factor: 30,
+            },
+        )?;
+        eprintln!(
+            "[{}] group {gid}: {} impls collected in {:.1}s \
+             (t_ref {:.3}ms..{:.3}ms, {:.0}M MACs)",
+            cfg.arch,
+            data.len(),
+            started.elapsed().as_secs_f64(),
+            data.t_ref.iter().cloned().fold(f64::INFINITY, f64::min) * 1e3,
+            data.t_ref.iter().cloned().fold(0.0, f64::max) * 1e3,
+            shape.macs() as f64 / 1e6,
+        );
+        groups.push(data);
+    }
+    if let Err(e) = store_groups(&path, &groups) {
+        eprintln!("[{}] warning: could not cache datasets: {e}", cfg.arch);
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_expansion_and_cache_path() {
+        let args = Args::default();
+        let cfgs = ExperimentConfig::from_args(&args);
+        assert_eq!(cfgs.len(), 3);
+        let p = dataset_cache_path(&cfgs[0]);
+        assert!(p.to_string_lossy().contains("x86"));
+        assert!(p.to_string_lossy().contains("quarter"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Table, CSV and ASCII-plot formatting for experiment reports.
+
+use simtune_core::PredictionMetrics;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Formats one architecture's result table in the layout of the paper's
+/// Tables III–V: one row per group, one four-metric column block per
+/// predictor.
+///
+/// # Panics
+///
+/// Panics if the blocks have inconsistent group counts.
+pub fn format_metric_table(
+    title: &str,
+    predictor_names: &[&str],
+    per_predictor: &[Vec<PredictionMetrics>],
+) -> String {
+    assert_eq!(predictor_names.len(), per_predictor.len());
+    let groups = per_predictor.first().map(|v| v.len()).unwrap_or(0);
+    assert!(per_predictor.iter().all(|v| v.len() == groups));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:>3} ", "ID");
+    for name in predictor_names {
+        let _ = write!(out, "| {:^31} ", name);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:>3} ", "");
+    for _ in predictor_names {
+        let _ = write!(out, "| {:>7}{:>8}{:>8}{:>8} ", "Etop1", "Qlow", "Qhigh", "Rtop1");
+    }
+    let _ = writeln!(out);
+    let width = 4 + predictor_names.len() * 34;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for g in 0..groups {
+        let _ = write!(out, "{g:>3} ");
+        for block in per_predictor {
+            let m = &block[g];
+            let _ = write!(
+                out,
+                "| {:>6.1} {:>7.1} {:>7.1} {:>7.1} ",
+                m.e_top1, m.q_low, m.q_high, m.r_top1
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes rows as CSV with a header line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    fs::write(path, out)
+}
+
+/// Renders one or two series as a rough ASCII plot (used for the
+/// Figure 5 curves in terminal output). Series are scaled together.
+pub fn ascii_plot(title: &str, series: &[(&str, &[f64])], height: usize, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return out;
+    }
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let marks = ['*', '+', 'o', 'x'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let n = values.len();
+        for (i, &v) in values.iter().enumerate() {
+            let x = if n <= 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let yf = (v - lo) / span;
+            let y = ((1.0 - yf) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[y.min(height - 1)][x];
+            let mark = marks[si % marks.len()];
+            // Overlap shows the later series' mark.
+            *cell = if *cell == ' ' { mark } else { mark };
+        }
+    }
+    for row in grid {
+        let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", marks[si % marks.len()], name);
+    }
+    let _ = writeln!(out, "  y: [{lo:.3e}, {hi:.3e}]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(v: f64) -> PredictionMetrics {
+        PredictionMetrics {
+            e_top1: v,
+            q_low: v + 1.0,
+            q_high: v + 2.0,
+            r_top1: v + 3.0,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = format_metric_table(
+            "TABLE TEST",
+            &["LinReg", "DNN"],
+            &[vec![metric(1.0), metric(2.0)], vec![metric(3.0), metric(4.0)]],
+        );
+        assert!(t.contains("TABLE TEST"));
+        assert!(t.contains("LinReg"));
+        assert!(t.contains("Rtop1"));
+        // Group rows 0 and 1 exist.
+        assert!(t.lines().any(|l| l.trim_start().starts_with("0 ")));
+        assert!(t.lines().any(|l| l.trim_start().starts_with("1 ")));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("simtune_fmt_test");
+        let path = dir.join("x.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        assert!(content.starts_with("a,b"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_plot_renders_series() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let p = ascii_plot("demo", &[("up", &a), ("down", &b)], 8, 20);
+        assert!(p.contains("demo"));
+        assert!(p.contains('*'));
+        assert!(p.contains('+'));
+        assert!(p.contains("y: ["));
+    }
+}

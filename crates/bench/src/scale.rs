@@ -1,0 +1,104 @@
+//! Workload scaling (DESIGN.md §7): the paper's Table II shapes and
+//! proportionally reduced variants that preserve the memory-access
+//! structure while fitting a laptop compute budget.
+
+use simtune_tensor::Conv2dShape;
+
+/// Experiment scale selecting the Conv2D group shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Table II shapes, unmodified (the published experiment).
+    Paper,
+    /// Spatial dims / 2, channels / 2.
+    Half,
+    /// Spatial dims / 4, channels / 4 (default; minutes on a laptop).
+    #[default]
+    Quarter,
+    /// Spatial dims / 8, channels / 8 (CI-sized smoke runs).
+    Smoke,
+}
+
+impl Scale {
+    /// Parses a scale label.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" => Some(Scale::Paper),
+            "half" => Some(Scale::Half),
+            "quarter" => Some(Scale::Quarter),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Half => "half",
+            Scale::Quarter => "quarter",
+            Scale::Smoke => "smoke",
+        }
+    }
+
+    /// `(spatial divisor, channel divisor)`.
+    pub fn divisors(self) -> (usize, usize) {
+        match self {
+            Scale::Paper => (1, 1),
+            Scale::Half => (2, 2),
+            Scale::Quarter => (4, 4),
+            Scale::Smoke => (8, 8),
+        }
+    }
+
+    /// The five Conv2D+Bias+ReLU groups at this scale.
+    pub fn conv_groups(self) -> Vec<Conv2dShape> {
+        let (sd, cd) = self.divisors();
+        Conv2dShape::paper_groups()
+            .into_iter()
+            .map(|g| if sd == 1 && cd == 1 { g } else { g.scaled(sd, cd) })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_identity() {
+        assert_eq!(Scale::Paper.conv_groups(), Conv2dShape::paper_groups());
+    }
+
+    #[test]
+    fn scaled_groups_shrink_monotonically() {
+        let paper: u64 = Scale::Paper.conv_groups().iter().map(|g| g.macs()).sum();
+        let quarter: u64 = Scale::Quarter.conv_groups().iter().map(|g| g.macs()).sum();
+        let smoke: u64 = Scale::Smoke.conv_groups().iter().map(|g| g.macs()).sum();
+        assert!(paper > quarter && quarter > smoke);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [Scale::Paper, Scale::Half, Scale::Quarter, Scale::Smoke] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn all_scaled_groups_stay_valid() {
+        for scale in [Scale::Half, Scale::Quarter, Scale::Smoke] {
+            for g in scale.conv_groups() {
+                simtune_tensor::conv2d_bias_relu(&g)
+                    .validate()
+                    .expect("scaled group validates");
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+use crate::replacement::SetState;
+use crate::{CacheConfig, CacheStats};
+
+/// Kind of a cache access, as seen by one cache level.
+///
+/// Instruction fetches are issued to the L1I as [`AccessKind::Read`] by the
+/// hierarchy; write-backs arriving from an upper level are
+/// [`AccessKind::Write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load or instruction fetch.
+    Read,
+    /// Store or write-back from an upper level.
+    Write,
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Base address of a dirty line evicted by the fill, if any. The
+    /// hierarchy forwards it to the next level as a write (write-back).
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// One N-way set-associative, write-back, write-allocate cache.
+///
+/// Addresses are byte addresses; the cache operates on aligned lines.
+/// Misses allocate (fill) the line immediately — the atomic-mode
+/// abstraction of gem5, where an access completes in a single transaction.
+///
+/// # Example
+///
+/// ```
+/// use simtune_cache::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
+///
+/// # fn main() -> Result<(), simtune_cache::ConfigError> {
+/// let cfg = CacheConfig::new("L1D", 1024, 4, 4, 64, ReplacementPolicy::Lru)?;
+/// let mut c = Cache::new(cfg);
+/// assert!(!c.access(0x40, AccessKind::Read).hit);
+/// assert!(c.access(0x40, AccessKind::Read).hit);
+/// assert_eq!(c.stats().read_hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    states: Vec<SetState>,
+    stats: CacheStats,
+    tick: u64,
+    rng_state: u64,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let ways = config.associativity as usize;
+        let nsets = config.num_sets as usize;
+        let sets = vec![vec![Line::default(); ways]; nsets];
+        let states = vec![SetState::new(config.policy, ways); nsets];
+        let line_shift = config.line_bytes.trailing_zeros();
+        let set_mask = config.num_sets - 1;
+        Cache {
+            config,
+            sets,
+            states,
+            stats: CacheStats::default(),
+            tick: 0,
+            // Arbitrary non-zero seed; deterministic across runs.
+            rng_state: 0x2545F4914F6CDD1D,
+            line_shift,
+            set_mask,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every line (the paper flushes caches before each
+    /// benchmark repetition). Dirty data is dropped, not written back,
+    /// because the model carries no payload bytes.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+
+    /// True if the line containing `addr` is currently resident (test and
+    /// debugging aid; does not touch statistics or replacement state).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs one access. On a miss the line is allocated immediately;
+    /// if the victim was valid, the replacement is counted and, if the
+    /// victim was dirty, its base address is returned for write-back.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> CacheOutcome {
+        self.tick += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let set_bits = self.set_mask.count_ones();
+        let line_shift = self.line_shift;
+        let set = &mut self.sets[set_idx];
+        let state = &mut self.states[set_idx];
+
+        // Hit path.
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            state.on_access(way, self.tick, false);
+            if kind == AccessKind::Write {
+                set[way].dirty = true;
+                self.stats.write_hits += 1;
+            } else {
+                self.stats.read_hits += 1;
+            }
+            return CacheOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        // Miss: pick a way (an invalid one if available, otherwise the
+        // policy's victim), fill it, and report any dirty eviction.
+        let way = match set.iter().position(|l| !l.valid) {
+            Some(w) => w,
+            None => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                state.victim(self.rng_state)
+            }
+        };
+        let victim = set[way];
+        let replaced = victim.valid;
+        let writeback = if victim.valid && victim.dirty {
+            Some(((victim.tag << set_bits) | set_idx as u64) << line_shift)
+        } else {
+            None
+        };
+        set[way] = Line {
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            tag,
+        };
+        state.on_access(way, self.tick, true);
+        match kind {
+            AccessKind::Read => {
+                self.stats.read_misses += 1;
+                if replaced {
+                    self.stats.read_replacements += 1;
+                }
+            }
+            AccessKind::Write => {
+                self.stats.write_misses += 1;
+                if replaced {
+                    self.stats.write_replacements += 1;
+                }
+            }
+        }
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        (set, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplacementPolicy;
+
+    fn small(policy: ReplacementPolicy) -> Cache {
+        // 2 sets x 2 ways x 64 B lines = 256 B.
+        Cache::new(CacheConfig::new("t", 256, 2, 2, 64, policy).expect("valid"))
+    }
+
+    #[test]
+    fn miss_then_hit_same_line() {
+        let mut c = small(ReplacementPolicy::Lru);
+        assert!(!c.access(0, AccessKind::Read).hit);
+        assert!(c.access(63, AccessKind::Read).hit, "same line must hit");
+        assert!(!c.access(64, AccessKind::Read).hit, "next line is a miss");
+    }
+
+    #[test]
+    fn conflict_eviction_in_one_set() {
+        let mut c = small(ReplacementPolicy::Lru);
+        // Set 0 holds lines with addresses 0, 128, 256, ... (2 sets, 64 B).
+        c.access(0, AccessKind::Read);
+        c.access(128, AccessKind::Read);
+        // Third distinct line in set 0 evicts the LRU (address 0).
+        let out = c.access(256, AccessKind::Read);
+        assert!(!out.hit);
+        assert!(!c.contains(0), "LRU line must be gone");
+        assert!(c.contains(128));
+        assert!(c.contains(256));
+        assert_eq!(c.stats().read_replacements, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Write); // dirty line at 0
+        c.access(128, AccessKind::Read);
+        let out = c.access(256, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0), "dirty victim must be written back");
+        // Clean eviction produces no write-back.
+        let out2 = c.access(384, AccessKind::Read); // evicts 128 (clean)
+        assert_eq!(out2.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Read); // clean fill
+        c.access(0, AccessKind::Write); // dirty it via a hit
+        c.access(128, AccessKind::Read);
+        let out = c.access(256, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn stats_split_by_kind() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write);
+        c.access(64, AccessKind::Write);
+        let s = *c.stats();
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.accesses(), 3);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Write);
+        assert!(c.contains(0));
+        c.flush();
+        assert!(!c.contains(0));
+        assert!(!c.access(0, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.access(0, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_associativity() {
+        let mut c = small(ReplacementPolicy::Random);
+        for i in 0..100u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        // 2 sets x 2 ways: at most 4 lines resident.
+        let resident = (0..100u64).filter(|i| c.contains(i * 64)).count();
+        assert!(resident <= 4, "resident {resident} > capacity");
+    }
+
+    #[test]
+    fn address_reconstruction_roundtrip() {
+        let mut c = Cache::new(
+            CacheConfig::new("t", 4096, 16, 4, 64, ReplacementPolicy::Lru).expect("valid"),
+        );
+        // Fill one set with dirty lines, then overflow and verify the
+        // write-back address is a line the set actually held.
+        let base = 7 * 64; // set 7
+        let stride = 16 * 64;
+        for w in 0..4u64 {
+            c.access(base + w * stride, AccessKind::Write);
+        }
+        let out = c.access(base + 4 * stride, AccessKind::Write);
+        let wb = out.writeback.expect("victim was dirty");
+        assert_eq!(wb, base, "LRU victim is the first line filled");
+    }
+}

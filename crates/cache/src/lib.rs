@@ -1,0 +1,80 @@
+//! Parameterizable N-way set-associative cache hierarchy model.
+//!
+//! This crate is the stand-in for gem5's classic cache system in the paper:
+//! the instruction-accurate simulator replicates the *geometry* of the
+//! target CPU's caches (Table I of the paper) and reports, per cache, the
+//! read/write hit, miss and replacement counts that feed the score
+//! predictor (Section III-D).
+//!
+//! The model is deliberately functional rather than timed: an access either
+//! hits or walks down the hierarchy, and the only outputs are statistics.
+//! Timing is layered on top by `simtune-hw`.
+//!
+//! # Example
+//!
+//! ```
+//! use simtune_cache::{CacheHierarchy, HierarchyConfig, ServicedBy};
+//!
+//! let mut h = CacheHierarchy::new(HierarchyConfig::x86_ryzen_5800x());
+//! // First touch misses all the way to memory...
+//! assert_eq!(h.data_read(0x1000), ServicedBy::Memory);
+//! // ...the second touch of the same line hits in L1D.
+//! assert_eq!(h.data_read(0x1008), ServicedBy::L1d);
+//! assert_eq!(h.stats().l1d.read_hits, 1);
+//! ```
+
+mod cache;
+mod config;
+mod hierarchy;
+mod replacement;
+mod stats;
+
+pub use cache::{AccessKind, Cache, CacheOutcome};
+pub use config::{CacheConfig, ConfigError, HierarchyConfig};
+pub use hierarchy::{CacheHierarchy, ServicedBy};
+pub use replacement::ReplacementPolicy;
+pub use stats::{CacheStats, HierarchyStats};
+
+/// Iterator over the cache-line base addresses touched by an access of
+/// `size` bytes at `addr` for a given line size.
+///
+/// Scalar accesses touch one line; vector loads/stores may straddle a line
+/// boundary and touch two.
+///
+/// # Example
+///
+/// ```
+/// let lines: Vec<u64> = simtune_cache::lines_touched(60, 8, 64).collect();
+/// assert_eq!(lines, vec![0, 64]);
+/// ```
+pub fn lines_touched(addr: u64, size: u64, line_bytes: u64) -> impl Iterator<Item = u64> {
+    debug_assert!(line_bytes.is_power_of_two());
+    let first = addr & !(line_bytes - 1);
+    let last = (addr + size.max(1) - 1) & !(line_bytes - 1);
+    (0..)
+        .map(move |i| first + i * line_bytes)
+        .take_while(move |&l| l <= last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_touched_single_line() {
+        let v: Vec<u64> = lines_touched(64, 4, 64).collect();
+        assert_eq!(v, vec![64]);
+    }
+
+    #[test]
+    fn lines_touched_straddles_boundary() {
+        let v: Vec<u64> = lines_touched(126, 8, 64).collect();
+        assert_eq!(v, vec![64, 128]);
+    }
+
+    #[test]
+    fn lines_touched_zero_size_counts_one_line() {
+        let v: Vec<u64> = lines_touched(10, 0, 64).collect();
+        assert_eq!(v, vec![0]);
+    }
+}

@@ -1,0 +1,214 @@
+/// Replacement policy for a set-associative cache.
+///
+/// The paper's gem5 setup uses the classic cache's default LRU; the other
+/// policies exist for the replacement-policy ablation experiment and to
+/// model targets whose L1 uses pseudo-random replacement (as some ARM
+/// cores do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way (gem5 classic default).
+    #[default]
+    Lru,
+    /// Evict the way filled the longest ago regardless of later touches.
+    Fifo,
+    /// Evict a pseudo-randomly chosen way (deterministic xorshift stream).
+    Random,
+    /// Tree pseudo-LRU for power-of-two associativities; falls back to
+    /// true LRU otherwise (e.g. the 3-way ARM L1I).
+    TreePlru,
+}
+
+impl ReplacementPolicy {
+    /// All policies, for ablation sweeps.
+    pub fn all() -> [ReplacementPolicy; 4] {
+        [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::TreePlru,
+        ]
+    }
+
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::Random => "random",
+            ReplacementPolicy::TreePlru => "plru",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-set replacement bookkeeping.
+///
+/// One `SetState` instance lives alongside each set's way array. The cache
+/// calls [`SetState::on_access`] on every hit or fill and asks
+/// [`SetState::victim`] for the way to evict when the set is full.
+#[derive(Debug, Clone)]
+pub(crate) struct SetState {
+    policy: ReplacementPolicy,
+    /// LRU: last-touch tick per way. FIFO: fill tick per way.
+    ticks: Vec<u64>,
+    /// Tree-PLRU node bits (only used when associativity is a power of two
+    /// greater than one).
+    plru_bits: u64,
+}
+
+impl SetState {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        SetState {
+            policy,
+            ticks: vec![0; ways],
+            plru_bits: 0,
+        }
+    }
+
+    /// Records a touch of `way` at logical time `tick`. `fill` is true when
+    /// the touch is a line fill rather than a hit (FIFO only advances on
+    /// fills).
+    pub(crate) fn on_access(&mut self, way: usize, tick: u64, fill: bool) {
+        match self.policy {
+            ReplacementPolicy::Lru => self.ticks[way] = tick,
+            ReplacementPolicy::Fifo => {
+                if fill {
+                    self.ticks[way] = tick;
+                }
+            }
+            ReplacementPolicy::Random => {}
+            ReplacementPolicy::TreePlru => {
+                let n = self.ticks.len();
+                if n.is_power_of_two() && n > 1 {
+                    self.plru_touch(way);
+                } else {
+                    self.ticks[way] = tick; // LRU fallback
+                }
+            }
+        }
+    }
+
+    /// Chooses the victim way for a full set. `rng_draw` is a fresh
+    /// pseudo-random value supplied by the cache (used only by `Random`).
+    pub(crate) fn victim(&self, rng_draw: u64) -> usize {
+        let n = self.ticks.len();
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.oldest(),
+            ReplacementPolicy::Random => (rng_draw % n as u64) as usize,
+            ReplacementPolicy::TreePlru => {
+                if n.is_power_of_two() && n > 1 {
+                    self.plru_victim()
+                } else {
+                    self.oldest()
+                }
+            }
+        }
+    }
+
+    fn oldest(&self) -> usize {
+        self.ticks
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Walk the PLRU tree from the root towards `way`, flipping each node
+    /// to point *away* from the path taken.
+    fn plru_touch(&mut self, way: usize) {
+        let n = self.ticks.len();
+        let levels = n.trailing_zeros();
+        let mut node = 0usize; // root of the implicit binary tree
+        for level in 0..levels {
+            let bit_of_way = (way >> (levels - 1 - level)) & 1;
+            if bit_of_way == 0 {
+                self.plru_bits |= 1 << node; // point at right subtree
+            } else {
+                self.plru_bits &= !(1 << node); // point at left subtree
+            }
+            node = 2 * node + 1 + bit_of_way;
+        }
+    }
+
+    /// Follow the PLRU pointers from the root to a leaf.
+    fn plru_victim(&self) -> usize {
+        let n = self.ticks.len();
+        let levels = n.trailing_zeros();
+        let mut node = 0usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let bit = ((self.plru_bits >> node) & 1) as usize;
+            way = (way << 1) | bit;
+            node = 2 * node + 1 + bit;
+        }
+        way
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4);
+        for (tick, way) in [(1, 0), (2, 1), (3, 2), (4, 3), (5, 0)] {
+            s.on_access(way, tick, false);
+        }
+        // Way 1 was touched at tick 2, the oldest.
+        assert_eq!(s.victim(0), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut s = SetState::new(ReplacementPolicy::Fifo, 2);
+        s.on_access(0, 1, true); // fill way 0 first
+        s.on_access(1, 2, true); // fill way 1 second
+        s.on_access(0, 3, false); // hit on way 0 must not refresh it
+        assert_eq!(s.victim(0), 0);
+    }
+
+    #[test]
+    fn random_uses_the_draw() {
+        let s = SetState::new(ReplacementPolicy::Random, 4);
+        assert_eq!(s.victim(0), 0);
+        assert_eq!(s.victim(5), 1);
+        assert_eq!(s.victim(7), 3);
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        // Touch each chosen victim: over `n` evictions every way must be
+        // chosen exactly once (standard tree-PLRU property starting from a
+        // cold state).
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8);
+        let mut seen = std::collections::HashSet::new();
+        for tick in 0..8 {
+            let v = s.victim(0);
+            assert!(seen.insert(v), "way {v} evicted twice");
+            s.on_access(v, tick, true);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn plru_with_non_power_of_two_falls_back_to_lru() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 3);
+        s.on_access(0, 10, false);
+        s.on_access(1, 11, false);
+        s.on_access(2, 12, false);
+        assert_eq!(s.victim(0), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "lru");
+        assert_eq!(ReplacementPolicy::all().len(), 4);
+    }
+}

@@ -1,0 +1,182 @@
+/// Hit/miss/replacement counters for one cache, split by access kind.
+///
+/// These are exactly the quantities the paper's predictor consumes
+/// (Section III-D): "cache read/write replacements/hits/misses divided by
+/// read/write accesses of each cache". The ratios are provided as methods
+/// with a zero-access guard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Read misses that evicted a valid line.
+    pub read_replacements: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Write misses that evicted a valid line.
+    pub write_replacements: u64,
+}
+
+impl CacheStats {
+    /// Total read accesses.
+    pub fn read_accesses(&self) -> u64 {
+        self.read_hits + self.read_misses
+    }
+
+    /// Total write accesses.
+    pub fn write_accesses(&self) -> u64 {
+        self.write_hits + self.write_misses
+    }
+
+    /// Total accesses of both kinds.
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses() + self.write_accesses()
+    }
+
+    /// Read hits / read accesses (0 when there were no reads).
+    pub fn read_hit_ratio(&self) -> f64 {
+        ratio(self.read_hits, self.read_accesses())
+    }
+
+    /// Read misses / read accesses (0 when there were no reads).
+    pub fn read_miss_ratio(&self) -> f64 {
+        ratio(self.read_misses, self.read_accesses())
+    }
+
+    /// Read replacements / read accesses (0 when there were no reads).
+    pub fn read_replacement_ratio(&self) -> f64 {
+        ratio(self.read_replacements, self.read_accesses())
+    }
+
+    /// Write hits / write accesses (0 when there were no writes).
+    pub fn write_hit_ratio(&self) -> f64 {
+        ratio(self.write_hits, self.write_accesses())
+    }
+
+    /// Write misses / write accesses (0 when there were no writes).
+    pub fn write_miss_ratio(&self) -> f64 {
+        ratio(self.write_misses, self.write_accesses())
+    }
+
+    /// Write replacements / write accesses (0 when there were no writes).
+    pub fn write_replacement_ratio(&self) -> f64 {
+        ratio(self.write_replacements, self.write_accesses())
+    }
+
+    /// The six predictor input ratios in a fixed order:
+    /// `[rd_hit, rd_miss, rd_repl, wr_hit, wr_miss, wr_repl]`.
+    pub fn ratio_vector(&self) -> [f64; 6] {
+        [
+            self.read_hit_ratio(),
+            self.read_miss_ratio(),
+            self.read_replacement_ratio(),
+            self.write_hit_ratio(),
+            self.write_miss_ratio(),
+            self.write_replacement_ratio(),
+        ]
+    }
+
+    /// Element-wise sum, used when aggregating per-thread statistics.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits + other.read_hits,
+            read_misses: self.read_misses + other.read_misses,
+            read_replacements: self.read_replacements + other.read_replacements,
+            write_hits: self.write_hits + other.write_hits,
+            write_misses: self.write_misses + other.write_misses,
+            write_replacements: self.write_replacements + other.write_replacements,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Statistics for a whole hierarchy plus the memory interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Optional L3 counters (x86 target only).
+    pub l3: Option<CacheStats>,
+    /// Line fills served by DRAM.
+    pub dram_reads: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writes: u64,
+}
+
+impl HierarchyStats {
+    /// Named (label, stats) pairs for all present levels, in order.
+    pub fn levels(&self) -> Vec<(&'static str, CacheStats)> {
+        let mut v = vec![("L1D", self.l1d), ("L1I", self.l1i), ("L2", self.l2)];
+        if let Some(l3) = self.l3 {
+            v.push(("L3", l3));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.read_hit_ratio(), 0.0);
+        assert_eq!(s.write_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_sum_to_one_when_active() {
+        let s = CacheStats {
+            read_hits: 30,
+            read_misses: 10,
+            read_replacements: 5,
+            write_hits: 6,
+            write_misses: 2,
+            write_replacements: 1,
+        };
+        assert!((s.read_hit_ratio() + s.read_miss_ratio() - 1.0).abs() < 1e-15);
+        assert!((s.write_hit_ratio() + s.write_miss_ratio() - 1.0).abs() < 1e-15);
+        assert_eq!(s.accesses(), 48);
+        assert_eq!(s.ratio_vector()[2], 5.0 / 40.0);
+    }
+
+    #[test]
+    fn merged_adds_counters() {
+        let a = CacheStats {
+            read_hits: 1,
+            write_misses: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            read_hits: 3,
+            write_misses: 4,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.read_hits, 4);
+        assert_eq!(m.write_misses, 6);
+    }
+
+    #[test]
+    fn levels_include_l3_only_when_present() {
+        let mut h = HierarchyStats::default();
+        assert_eq!(h.levels().len(), 3);
+        h.l3 = Some(CacheStats::default());
+        assert_eq!(h.levels().len(), 4);
+    }
+}

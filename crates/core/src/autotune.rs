@@ -1,0 +1,473 @@
+//! Tuners and the execution-phase tuning loop.
+//!
+//! Mirrors the search side of the paper's Fig. 2: the Auto-Scheduler
+//! substitute generates candidate implementations batch-wise; candidates
+//! are built, executed on `n_parallel` simulators, scored (by a trained
+//! score predictor or by hardware measurement), and the tuner evolves
+//! the next batch from the scores.
+
+use crate::features::WindowKind;
+use crate::runner::{HardwareRunner, KernelBuilder, SimulatorRunner};
+use crate::score::ScorePredictor;
+use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtune_hw::TargetSpec;
+use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
+use std::collections::HashSet;
+
+/// A search strategy over sketch genotypes.
+pub trait Tuner {
+    /// Proposes up to `n` candidates for the next batch.
+    fn next_batch(&mut self, n: usize) -> Vec<SketchParams>;
+
+    /// Feeds back scores (lower = better) for a previous batch.
+    fn update(&mut self, batch: &[SketchParams], scores: &[f64]);
+
+    /// Strategy label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform random search over sketches.
+#[derive(Debug)]
+pub struct RandomTuner {
+    generator: SketchGenerator,
+    rng: StdRng,
+    seen: HashSet<String>,
+}
+
+impl RandomTuner {
+    /// Creates a random tuner.
+    pub fn new(generator: SketchGenerator, seed: u64) -> Self {
+        RandomTuner {
+            generator,
+            rng: StdRng::seed_from_u64(seed),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl Tuner for RandomTuner {
+    fn next_batch(&mut self, n: usize) -> Vec<SketchParams> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 50 {
+            attempts += 1;
+            let p = self.generator.random(&mut self.rng);
+            if self.seen.insert(format!("{p:?}")) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn update(&mut self, _batch: &[SketchParams], _scores: &[f64]) {}
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Evolutionary search (the Auto-Scheduler's strategy): keeps a
+/// population of the best genotypes and produces new batches by
+/// crossover + mutation, with a random-immigrant fraction for
+/// exploration.
+#[derive(Debug)]
+pub struct EvolutionaryTuner {
+    generator: SketchGenerator,
+    rng: StdRng,
+    population: Vec<(SketchParams, f64)>,
+    /// Maximum retained population.
+    pub population_size: usize,
+    /// Fraction of each batch drawn uniformly at random.
+    pub immigrant_fraction: f64,
+    seen: HashSet<String>,
+}
+
+impl EvolutionaryTuner {
+    /// Creates an evolutionary tuner with a population of 32 and a 25 %
+    /// immigrant fraction.
+    pub fn new(generator: SketchGenerator, seed: u64) -> Self {
+        EvolutionaryTuner {
+            generator,
+            rng: StdRng::seed_from_u64(seed),
+            population: Vec::new(),
+            population_size: 32,
+            immigrant_fraction: 0.25,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn tournament(&mut self) -> SketchParams {
+        // Binary tournament over the current population.
+        let n = self.population.len();
+        let a = self.rng.gen_range(0..n);
+        let b = self.rng.gen_range(0..n);
+        let winner = if self.population[a].1 <= self.population[b].1 {
+            a
+        } else {
+            b
+        };
+        self.population[winner].0.clone()
+    }
+}
+
+impl Tuner for EvolutionaryTuner {
+    fn next_batch(&mut self, n: usize) -> Vec<SketchParams> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 60 {
+            attempts += 1;
+            let candidate = if self.population.len() < 2
+                || self.rng.gen_bool(self.immigrant_fraction)
+            {
+                self.generator.random(&mut self.rng)
+            } else {
+                let a = self.tournament();
+                let b = self.tournament();
+                let child = self.generator.crossover(&a, &b, &mut self.rng);
+                self.generator.mutate(&child, &mut self.rng)
+            };
+            if self.seen.insert(format!("{candidate:?}")) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    fn update(&mut self, batch: &[SketchParams], scores: &[f64]) {
+        for (p, &s) in batch.iter().zip(scores) {
+            if s.is_finite() {
+                self.population.push((p.clone(), s));
+            }
+        }
+        self.population
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        self.population.truncate(self.population_size);
+    }
+
+    fn name(&self) -> &'static str {
+        "evolutionary"
+    }
+}
+
+/// Options of one tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Total candidates to evaluate.
+    pub n_trials: usize,
+    /// Candidates per batch (the Auto-Scheduler generates batch-wise).
+    pub batch_size: usize,
+    /// Parallel simulator instances.
+    pub n_parallel: usize,
+    /// Window policy for score normalization during inference.
+    pub window: WindowKind,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            n_trials: 64,
+            batch_size: 16,
+            n_parallel: 8,
+            window: WindowKind::Dynamic,
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated candidate in a tuning history.
+#[derive(Debug, Clone)]
+pub struct TuneRecord {
+    /// Genotype description.
+    pub description: String,
+    /// The applied schedule.
+    pub schedule: Schedule,
+    /// Score assigned during tuning (lower = better; predictor score or
+    /// measured seconds depending on the flow).
+    pub score: f64,
+}
+
+/// Result of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Every evaluated candidate, in evaluation order.
+    pub history: Vec<TuneRecord>,
+    /// Index of the best candidate in `history`.
+    pub best_index: usize,
+}
+
+impl TuneResult {
+    /// The best candidate's record.
+    pub fn best(&self) -> &TuneRecord {
+        &self.history[self.best_index]
+    }
+}
+
+/// Execution-phase tuning (Fig. 4-II): candidates run **only on the
+/// simulator**; a trained [`ScorePredictor`] turns statistics into
+/// scores. The target hardware is not needed — the scenario that enables
+/// pre-silicon tuning and cross-ISA tuning on x86 hosts.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; individual failed candidates are
+/// penalized, not fatal.
+pub fn tune_with_predictor(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    tuner: &mut dyn Tuner,
+    opts: &TuneOptions,
+) -> Result<TuneResult, CoreError> {
+    if !predictor.is_trained() {
+        return Err(CoreError::Pipeline("predictor is not trained".into()));
+    }
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let sim = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(opts.n_parallel);
+
+    let mut history: Vec<TuneRecord> = Vec::new();
+    // One normalizer for the whole session: the window means evolve over
+    // the full candidate stream, not per batch.
+    let mut normalizer = crate::features::WindowNormalizer::new(opts.window);
+    while history.len() < opts.n_trials {
+        let want = opts.batch_size.min(opts.n_trials - history.len());
+        let batch = tuner.next_batch(want);
+        if batch.is_empty() {
+            break; // search space exhausted
+        }
+        // Build; drop failures with a penalty score.
+        let mut exes = Vec::new();
+        let mut kept: Vec<SketchParams> = Vec::new();
+        let mut failed: Vec<SketchParams> = Vec::new();
+        for p in batch {
+            let schedule = generator.schedule(&p);
+            match builder.build(&schedule, &format!("{}t{}", def.name, history.len())) {
+                Ok(e) => {
+                    exes.push(e);
+                    kept.push(p);
+                }
+                Err(_) => failed.push(p),
+            }
+        }
+        let stats = sim.run(&exes);
+        let mut batch_scores: Vec<(SketchParams, f64)> = Vec::new();
+        for (p, s) in kept.into_iter().zip(stats) {
+            match s {
+                Ok(st) => {
+                    let score = predictor.score_streaming(&st, &mut normalizer)?;
+                    batch_scores.push((p, score));
+                }
+                Err(_) => batch_scores.push((p, f64::INFINITY)),
+            }
+        }
+        for p in failed {
+            batch_scores.push((p, f64::INFINITY));
+        }
+        let params: Vec<SketchParams> = batch_scores.iter().map(|(p, _)| p.clone()).collect();
+        let scores: Vec<f64> = batch_scores.iter().map(|(_, s)| *s).collect();
+        tuner.update(&params, &scores);
+        for (p, s) in batch_scores {
+            history.push(TuneRecord {
+                schedule: generator.schedule(&p),
+                description: format!("{p:?}"),
+                score: s,
+            });
+        }
+    }
+    finish(history)
+}
+
+/// Baseline flow: candidates are benchmarked on the (emulated) target
+/// hardware; the score is the measured `t_ref` in seconds.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn tune_on_hardware(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    tuner: &mut dyn Tuner,
+    opts: &TuneOptions,
+) -> Result<TuneResult, CoreError> {
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let hw = HardwareRunner {
+        noise_seed: opts.seed ^ 0x7A11,
+        ..HardwareRunner::new(spec.clone())
+    };
+    let mut history: Vec<TuneRecord> = Vec::new();
+    while history.len() < opts.n_trials {
+        let want = opts.batch_size.min(opts.n_trials - history.len());
+        let batch = tuner.next_batch(want);
+        if batch.is_empty() {
+            break;
+        }
+        let mut scored: Vec<(SketchParams, f64)> = Vec::new();
+        for p in batch {
+            let schedule = generator.schedule(&p);
+            let score = builder
+                .build(&schedule, &format!("{}h{}", def.name, history.len()))
+                .and_then(|exe| hw.run_one(&exe, history.len() + scored.len()))
+                .map(|m| m.t_ref)
+                .unwrap_or(f64::INFINITY);
+            scored.push((p, score));
+        }
+        let params: Vec<SketchParams> = scored.iter().map(|(p, _)| p.clone()).collect();
+        let scores: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
+        tuner.update(&params, &scores);
+        for (p, s) in scored {
+            history.push(TuneRecord {
+                description: format!("{p:?}"),
+                schedule: generator.schedule(&p),
+                score: s,
+            });
+        }
+    }
+    finish(history)
+}
+
+fn finish(history: Vec<TuneRecord>) -> Result<TuneResult, CoreError> {
+    if history.is_empty() {
+        return Err(CoreError::Pipeline("tuning produced no candidates".into()));
+    }
+    let best_index = history
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite or inf"))
+        .map(|(i, _)| i)
+        .expect("non-empty history");
+    Ok(TuneResult {
+        history,
+        best_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{collect_group_data, CollectOptions};
+    use simtune_predict::PredictorKind;
+    use simtune_tensor::matmul;
+
+    fn setup() -> (ComputeDef, TargetSpec) {
+        (matmul(8, 8, 8), TargetSpec::riscv_u74())
+    }
+
+    #[test]
+    fn random_tuner_produces_unique_candidates() {
+        let (def, spec) = setup();
+        let mut t = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 1);
+        let a = t.next_batch(10);
+        let b = t.next_batch(10);
+        let mut seen = HashSet::new();
+        for p in a.iter().chain(&b) {
+            assert!(seen.insert(format!("{p:?}")), "duplicate candidate");
+        }
+    }
+
+    #[test]
+    fn evolutionary_tuner_improves_over_random_scores() {
+        // Feed a synthetic score function favoring vectorize+unroll and
+        // check the population converges toward low scores.
+        let (def, spec) = setup();
+        let score_fn = |p: &SketchParams| {
+            let mut s = 10.0;
+            if p.unroll_reduce {
+                s -= 3.0;
+            }
+            s + p.spatial_tiles.iter().sum::<usize>() as f64 * 0.1
+        };
+        let mut t = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 2);
+        let mut best_first = f64::INFINITY;
+        let mut best_last = f64::INFINITY;
+        for round in 0..8 {
+            let batch = t.next_batch(12);
+            if batch.is_empty() {
+                break;
+            }
+            let scores: Vec<f64> = batch.iter().map(score_fn).collect();
+            if round == 0 {
+                best_first = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+            }
+            best_last = best_last.min(scores.iter().cloned().fold(f64::INFINITY, f64::min));
+            t.update(&batch, &scores);
+        }
+        assert!(best_last <= best_first, "{best_last} vs {best_first}");
+    }
+
+    #[test]
+    fn hardware_tuning_finds_a_good_schedule() {
+        let (def, spec) = setup();
+        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 3);
+        let result = tune_on_hardware(
+            &def,
+            &spec,
+            &mut tuner,
+            &TuneOptions {
+                n_trials: 12,
+                batch_size: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.history.len(), 12);
+        assert!(result.best().score.is_finite());
+        // The best is at most the median candidate.
+        let mut scores: Vec<f64> = result.history.iter().map(|r| r.score).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(result.best().score <= scores[scores.len() / 2]);
+    }
+
+    #[test]
+    fn predictor_tuning_runs_without_hardware() {
+        let (def, spec) = setup();
+        let data = collect_group_data(
+            &def,
+            &spec,
+            0,
+            &CollectOptions {
+                n_impls: 16,
+                n_parallel: 4,
+                seed: 5,
+                max_attempts_factor: 40,
+            },
+        )
+        .unwrap();
+        let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+        predictor.train(std::slice::from_ref(&data)).unwrap();
+        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
+        let result = tune_with_predictor(
+            &def,
+            &spec,
+            &predictor,
+            &mut tuner,
+            &TuneOptions {
+                n_trials: 10,
+                batch_size: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.history.len(), 10);
+        assert!(result.best().score.is_finite());
+    }
+
+    #[test]
+    fn untrained_predictor_is_rejected() {
+        let (def, spec) = setup();
+        let predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
+        let err = tune_with_predictor(
+            &def,
+            &spec,
+            &predictor,
+            &mut tuner,
+            &TuneOptions::default(),
+        );
+        assert!(matches!(err, Err(CoreError::Pipeline(_))));
+    }
+}

@@ -1,0 +1,127 @@
+//! The function-registry override mechanism (paper Listings 3 and 4).
+//!
+//! TVM's Auto-Scheduler resolves its runner through a global function
+//! registry; the paper overrides `auto_scheduler.local_runner.run` to
+//! redirect execution onto simulators. This module mirrors that
+//! integration style: named run functions can be registered (with or
+//! without permission to override) and a [`crate::SimulatorRunner`] can
+//! be wired to whatever the registry currently resolves.
+
+use crate::runner::{SimulatorRunFn, SimulatorRunner};
+use crate::CoreError;
+use simtune_cache::HierarchyConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The registry key the simulator interface looks up, named after the
+/// TVM function the paper overrides.
+pub const LOCAL_RUNNER_RUN: &str = "auto_scheduler.local_runner.run";
+
+/// A registry of named simulator run functions.
+#[derive(Default)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, Arc<SimulatorRunFn>>,
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("registered", &self.funcs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `func` under `name` (the `@tvm._ffi.register_func`
+    /// equivalent). With `override_existing == false`, re-registration
+    /// of an existing name is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Pipeline`] when the name exists and
+    /// overriding was not requested.
+    pub fn register_func(
+        &mut self,
+        name: &str,
+        func: Arc<SimulatorRunFn>,
+        override_existing: bool,
+    ) -> Result<(), CoreError> {
+        if self.funcs.contains_key(name) && !override_existing {
+            return Err(CoreError::Pipeline(format!(
+                "function {name} already registered (pass override)"
+            )));
+        }
+        self.funcs.insert(name.to_string(), func);
+        Ok(())
+    }
+
+    /// Resolves a registered function.
+    pub fn get(&self, name: &str) -> Option<Arc<SimulatorRunFn>> {
+        self.funcs.get(name).cloned()
+    }
+
+    /// Builds a [`SimulatorRunner`] that uses the registered
+    /// [`LOCAL_RUNNER_RUN`] override when present, and the built-in
+    /// instruction-accurate simulator otherwise.
+    pub fn runner(&self, hierarchy: HierarchyConfig) -> SimulatorRunner {
+        match self.get(LOCAL_RUNNER_RUN) {
+            Some(f) => SimulatorRunner::new(hierarchy).with_run_override(f),
+            None => SimulatorRunner::new(hierarchy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtune_isa::SimStats;
+
+    fn stub() -> Arc<SimulatorRunFn> {
+        Arc::new(|_| {
+            Ok(SimStats {
+                host_nanos: 7,
+                ..SimStats::default()
+            })
+        })
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut reg = FunctionRegistry::new();
+        reg.register_func(LOCAL_RUNNER_RUN, stub(), false).unwrap();
+        assert!(reg.get(LOCAL_RUNNER_RUN).is_some());
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn double_registration_needs_override_flag() {
+        let mut reg = FunctionRegistry::new();
+        reg.register_func("f", stub(), false).unwrap();
+        assert!(reg.register_func("f", stub(), false).is_err());
+        reg.register_func("f", stub(), true).unwrap();
+    }
+
+    #[test]
+    fn runner_uses_registered_override() {
+        use simtune_isa::{Gpr, Inst, ProgramBuilder, TargetIsa};
+
+        let mut reg = FunctionRegistry::new();
+        reg.register_func(LOCAL_RUNNER_RUN, stub(), true).unwrap();
+        let runner = reg.runner(HierarchyConfig::tiny_for_tests());
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(0), imm: 0 });
+        b.push(Inst::Halt);
+        let exe = simtune_isa::Executable::new(
+            "t",
+            b.build().unwrap(),
+            TargetIsa::riscv_u74(),
+        );
+        let out = runner.run(&[exe]);
+        assert_eq!(out[0].as_ref().unwrap().host_nanos, 7);
+    }
+}

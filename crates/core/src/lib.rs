@@ -1,0 +1,70 @@
+//! The paper's contribution: a simulator interface for autotuning
+//! workloads (Contribution I) and score predictors that make
+//! instruction-accurate simulators usable for performance estimation
+//! (Contribution II).
+//!
+//! The pieces map onto the paper as follows:
+//!
+//! | paper artifact | module |
+//! |---|---|
+//! | `SimulatorRunner` / `local_run` override (Listings 3–4, Fig. 1-I) | [`SimulatorRunner`], [`FunctionRegistry`] |
+//! | simulator statistics → predictor inputs (Eqs. 1–2) | [`raw_sample`], [`GroupMeans`] |
+//! | static/dynamic window mean approximation (Section III-E) | [`WindowNormalizer`] |
+//! | predictor training / execution workflow (Fig. 4) | [`ScorePredictor`], [`collect_group_data`] |
+//! | evaluation metrics `E_top1`, `R_top1`, `Q` and Eq. 4 | [`prediction_metrics`], [`parallel_speedup_k`] |
+//! | batch-wise candidate search (Fig. 2) | [`tune_with_predictor`], [`tune_template_space`] |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use simtune_core::{collect_group_data, evaluate_predictor, CollectOptions, FeatureConfig};
+//! use simtune_hw::TargetSpec;
+//! use simtune_predict::PredictorKind;
+//! use simtune_tensor::{conv2d_bias_relu, Conv2dShape};
+//!
+//! # fn main() -> Result<(), simtune_core::CoreError> {
+//! let spec = TargetSpec::riscv_u74();
+//! let shape = Conv2dShape { n: 1, h: 14, w: 14, co: 8, ci: 4, kh: 3, kw: 3,
+//!                           stride: (1, 1), pad: (1, 1) };
+//! let def = conv2d_bias_relu(&shape);
+//! let data = collect_group_data(&def, &spec, 0, &CollectOptions::default())?;
+//! let report = evaluate_predictor(
+//!     PredictorKind::Xgboost, &[data], "riscv", "conv2d_bias_relu",
+//!     25, 10, 42, FeatureConfig::default())?;
+//! println!("E_top1 = {:.1} %", report.per_group[0].e_top1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod autotune;
+mod error;
+mod features;
+mod interface;
+mod metrics;
+mod runner;
+mod score;
+mod template_tune;
+mod workflow;
+
+pub use autotune::{
+    tune_on_hardware, tune_with_predictor, EvolutionaryTuner, RandomTuner, TuneOptions,
+    TuneRecord, TuneResult, Tuner,
+};
+pub use error::CoreError;
+pub use features::{
+    feature_names, group_training_data, raw_sample, FeatureConfig, GroupMeans, RawSample,
+    WindowKind, WindowNormalizer,
+};
+pub use interface::{FunctionRegistry, LOCAL_RUNNER_RUN};
+pub use metrics::{
+    e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, PredictionMetrics,
+};
+pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
+pub use score::{GroupData, ScorePredictor};
+pub use template_tune::{
+    tune_template_space, GridTemplateTuner, RandomTemplateTuner, SaTemplateTuner, TemplateTuner,
+};
+pub use workflow::{
+    collect_group_data, evaluate_predictor, holdout_group_curves, split_train_test,
+    CollectOptions, EvalReport, SortedPrediction,
+};

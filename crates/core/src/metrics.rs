@@ -1,0 +1,189 @@
+//! Evaluation metrics of the paper (Section IV-B) and the parallel-
+//! simulation speedup bound (Equation 4).
+//!
+//! All metrics operate on a set of implementations of one group with
+//! measured reference run times `t_ref` and predicted scores; lower is
+//! better for every metric.
+
+use simtune_linalg::stats::argsort;
+
+/// The four per-group prediction metrics of Tables III–V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionMetrics {
+    /// Eq. 5: relative error (%) between the truly fastest measured time
+    /// and the measured time of the top-ranked prediction.
+    pub e_top1: f64,
+    /// Eq. 7 over the faster half of the prediction-ordered sequence (%).
+    pub q_low: f64,
+    /// Eq. 7 over the slower half (%).
+    pub q_high: f64,
+    /// Eq. 6: relative rank (%) the predictor assigned to the truly
+    /// fastest implementation.
+    pub r_top1: f64,
+}
+
+/// Computes all Table III–V metrics from measured times and predicted
+/// scores (parallel arrays over the same implementations).
+///
+/// # Panics
+///
+/// Panics if the slices are empty or differ in length.
+pub fn prediction_metrics(t_ref: &[f64], scores: &[f64]) -> PredictionMetrics {
+    assert_eq!(t_ref.len(), scores.len(), "metrics: length mismatch");
+    assert!(!t_ref.is_empty(), "metrics of empty set");
+    let order = argsort(scores); // predictor's ranking, best first
+    let ordered_times: Vec<f64> = order.iter().map(|&i| t_ref[i]).collect();
+    PredictionMetrics {
+        e_top1: e_top1(t_ref, &ordered_times),
+        q_low: quality_score(&ordered_times[..ordered_times.len() / 2 + 1]),
+        q_high: quality_score(&ordered_times[ordered_times.len() / 2..]),
+        r_top1: r_top1(t_ref, &order),
+    }
+}
+
+/// Eq. 5: `E_top1 = |1 − t_ref[0] / t_pred[0]| · 100 %` where `t_ref[0]`
+/// is the fastest measured time and `t_pred[0]` the measured time of the
+/// implementation the predictor ranked first.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+pub fn e_top1(t_ref: &[f64], prediction_ordered_times: &[f64]) -> f64 {
+    let best_measured = t_ref
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let top_predicted = prediction_ordered_times[0];
+    (1.0 - best_measured / top_predicted).abs() * 100.0
+}
+
+/// Eq. 6: `R_top1 = 100 % / |t_ref| · (argmin_x(t_pred[x] == t_ref[0]) + 1)`
+/// — the 1-based position of the truly fastest implementation within the
+/// predictor's ranking, as a percentage of the set size.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the indices of `t_ref`.
+pub fn r_top1(t_ref: &[f64], order: &[usize]) -> f64 {
+    assert_eq!(t_ref.len(), order.len(), "order must cover t_ref");
+    let best = simtune_linalg::stats::argmin(t_ref);
+    let pos = order
+        .iter()
+        .position(|&i| i == best)
+        .expect("order must contain the best index");
+    100.0 * (pos + 1) as f64 / t_ref.len() as f64
+}
+
+/// Eq. 7: the sorting-quality score
+/// `Q = 100 % / |t| · Σ_i (t[i] − min(t[i], t[i+1])) / t[i]`
+/// over a prediction-ordered sequence of measured times. Zero for a
+/// perfectly monotone ordering; each inversion contributes its relative
+/// magnitude.
+///
+/// # Panics
+///
+/// Panics if `prediction_ordered_times` is empty.
+pub fn quality_score(prediction_ordered_times: &[f64]) -> f64 {
+    let t = prediction_ordered_times;
+    assert!(!t.is_empty(), "quality score of empty sequence");
+    let mut sum = 0.0;
+    for i in 0..t.len() - 1 {
+        sum += (t[i] - t[i].min(t[i + 1])) / t[i];
+    }
+    100.0 * sum / t.len() as f64
+}
+
+/// Eq. 4: the number of parallel simulators needed to match native
+/// benchmarking throughput,
+/// `K = ⌈t_simulator / ((t_cooldown + t_ref) · N_exe)⌉`.
+///
+/// # Panics
+///
+/// Panics on non-positive native benchmarking time.
+pub fn parallel_speedup_k(
+    t_simulator: f64,
+    t_ref: f64,
+    t_cooldown: f64,
+    n_exe: usize,
+) -> u64 {
+    let native = (t_cooldown + t_ref) * n_exe as f64;
+    assert!(native > 0.0, "native benchmark time must be positive");
+    (t_simulator / native).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_zero_error() {
+        let t = vec![1.0, 2.0, 3.0, 4.0];
+        let scores = vec![0.1, 0.2, 0.3, 0.4]; // same order
+        let m = prediction_metrics(&t, &scores);
+        assert_eq!(m.e_top1, 0.0);
+        assert_eq!(m.q_low, 0.0);
+        assert_eq!(m.q_high, 0.0);
+        assert_eq!(m.r_top1, 25.0, "best ranked first out of 4 = 25 %");
+    }
+
+    #[test]
+    fn e_top1_measures_relative_miss() {
+        // Predictor ranks the 1.2 s sample first; the true best is 1.0 s.
+        let t = vec![1.0, 1.2, 2.0];
+        let scores = vec![0.5, 0.1, 0.9];
+        let m = prediction_metrics(&t, &scores);
+        assert!((m.e_top1 - (1.0 - 1.0 / 1.2f64).abs() * 100.0).abs() < 1e-9);
+        // True best sits at position 2 of 3.
+        assert!((m.r_top1 - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_score_counts_inversions_proportionally() {
+        // Ordered: zero.
+        assert_eq!(quality_score(&[1.0, 2.0, 3.0]), 0.0);
+        // One inversion of relative size 0.5 among 2 entries.
+        let q = quality_score(&[2.0, 1.0]);
+        assert!((q - 100.0 * 0.5 / 2.0).abs() < 1e-9);
+        // Reversed order scores worse than a single swap.
+        let rev = quality_score(&[4.0, 3.0, 2.0, 1.0]);
+        let swap = quality_score(&[1.0, 2.0, 4.0, 3.0]);
+        assert!(rev > swap);
+    }
+
+    #[test]
+    fn q_low_high_split_is_half_and_half() {
+        // First half perfectly ordered, second half reversed.
+        let t = vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0];
+        let scores: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let m = prediction_metrics(&t, &scores);
+        assert_eq!(m.q_low, 0.0);
+        assert!(m.q_high > 0.0);
+    }
+
+    #[test]
+    fn r_top1_bounds() {
+        let t = vec![5.0, 1.0, 3.0];
+        // Worst case: true best ranked last.
+        let m = prediction_metrics(&t, &[0.0, 2.0, 1.0]);
+        assert_eq!(m.r_top1, 100.0);
+        // Best case: ranked first.
+        let m = prediction_metrics(&t, &[2.0, 0.0, 1.0]);
+        assert!((m.r_top1 - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_4_reproduces_paper_arithmetic() {
+        // t_sim = 97 * (1 + t_ref) * 15 exactly -> K = 97.
+        let t_ref = 0.02;
+        let native = (1.0 + t_ref) * 15.0;
+        assert_eq!(parallel_speedup_k(97.0 * native, t_ref, 1.0, 15), 97);
+        assert_eq!(parallel_speedup_k(96.5 * native, t_ref, 1.0, 15), 97);
+        assert_eq!(parallel_speedup_k(0.0001, t_ref, 1.0, 15), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        prediction_metrics(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Builders and runners: the paper's Contribution I.
+//!
+//! TVM autotuning needs a *builder* (compiles a candidate into an object
+//! file) and a *runner* (executes it and reports a cost). The paper adds
+//! a `SimulatorRunner` (its Listing 3) that launches `n_parallel`
+//! simulator instances instead of touching target hardware, plus an
+//! overridable `simulator_run` hook so any simulator can be plugged in.
+//! This module mirrors that API surface:
+//!
+//! * [`KernelBuilder`] — schedule → standalone [`Executable`];
+//! * [`SimulatorRunner`] — parallel instruction-accurate simulations with
+//!   an overridable run function;
+//! * [`HardwareRunner`] — sequential noisy measurements on the emulated
+//!   target board (native execution is never parallel, Section IV).
+
+use crate::CoreError;
+use simtune_cache::HierarchyConfig;
+use simtune_hw::{measure, MeasureConfig, Measurement, TargetSpec};
+use simtune_isa::{simulate, Executable, RunLimits, SimError, SimStats};
+use simtune_tensor::{build_executable, ComputeDef, Schedule, TargetIsa};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Compiles kernel schedules into standalone executables (the "builder"
+/// box of the paper's Fig. 2).
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    def: ComputeDef,
+    target: TargetIsa,
+    /// Seed for input-tensor preparation; fixed per builder so every
+    /// candidate computes on identical data.
+    pub data_seed: u64,
+}
+
+impl KernelBuilder {
+    /// Creates a builder for one kernel on one target.
+    pub fn new(def: ComputeDef, target: TargetIsa) -> Self {
+        KernelBuilder {
+            def,
+            target,
+            data_seed: 0x5EED,
+        }
+    }
+
+    /// The kernel being built.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The target ISA.
+    pub fn target(&self) -> &TargetIsa {
+        &self.target
+    }
+
+    /// Builds one candidate.
+    ///
+    /// # Errors
+    ///
+    /// Invalid schedules return [`CoreError::Codegen`] — the autotuner
+    /// treats these as failed builds and penalizes the configuration.
+    pub fn build(&self, schedule: &Schedule, name: &str) -> Result<Executable, CoreError> {
+        Ok(build_executable(
+            &self.def,
+            schedule,
+            &self.target,
+            self.data_seed,
+            name,
+        )?)
+    }
+
+    /// Builds a batch, keeping per-candidate results.
+    pub fn build_batch(&self, schedules: &[Schedule]) -> Vec<Result<Executable, CoreError>> {
+        schedules
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.build(s, &format!("{}#{i}", self.def.name)))
+            .collect()
+    }
+}
+
+/// The run function a [`SimulatorRunner`] invokes per executable — the
+/// paper's overridable `simulator_run` hook. The default runs the
+/// bundled instruction-accurate simulator; tests and integrations may
+/// substitute anything that returns [`SimStats`].
+pub type SimulatorRunFn = dyn Fn(&Executable) -> Result<SimStats, SimError> + Send + Sync;
+
+/// Runs candidates on `n_parallel` instruction-accurate simulator
+/// instances (paper Listing 3 / Fig. 1-I).
+///
+/// # Example
+///
+/// ```
+/// use simtune_cache::HierarchyConfig;
+/// use simtune_core::{KernelBuilder, SimulatorRunner};
+/// use simtune_tensor::{matmul, Schedule, TargetIsa};
+///
+/// # fn main() -> Result<(), simtune_core::CoreError> {
+/// let def = matmul(8, 8, 8);
+/// let builder = KernelBuilder::new(def.clone(), TargetIsa::riscv_u74());
+/// let exe = builder.build(&Schedule::default_for(&def), "mm")?;
+/// let runner = SimulatorRunner::new(HierarchyConfig::riscv_u74()).with_n_parallel(2);
+/// let stats = runner.run(&[exe]);
+/// assert!(stats[0].as_ref().unwrap().inst_mix.total() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SimulatorRunner {
+    /// Simulator instances run concurrently.
+    pub n_parallel: usize,
+    /// Cache geometry each instance replicates.
+    pub hierarchy: HierarchyConfig,
+    /// Per-run instruction budget.
+    pub limits: RunLimits,
+    run_fn: Option<Arc<SimulatorRunFn>>,
+}
+
+impl std::fmt::Debug for SimulatorRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatorRunner")
+            .field("n_parallel", &self.n_parallel)
+            .field("hierarchy", &self.hierarchy.name)
+            .field("overridden", &self.run_fn.is_some())
+            .finish()
+    }
+}
+
+impl SimulatorRunner {
+    /// Runner with the default parallelism of 16 (the paper's
+    /// `n_parallel` default in Listing 3).
+    pub fn new(hierarchy: HierarchyConfig) -> Self {
+        SimulatorRunner {
+            n_parallel: 16,
+            hierarchy,
+            limits: RunLimits::default(),
+            run_fn: None,
+        }
+    }
+
+    /// Sets the number of parallel simulator instances.
+    pub fn with_n_parallel(mut self, n: usize) -> Self {
+        self.n_parallel = n.max(1);
+        self
+    }
+
+    /// Overrides the `simulator_run` hook (paper Listing 3: "this
+    /// function serves as a simulator interface and can be overwritten").
+    pub fn with_run_override(mut self, f: Arc<SimulatorRunFn>) -> Self {
+        self.run_fn = Some(f);
+        self
+    }
+
+    /// Runs every executable, `n_parallel` at a time, preserving order.
+    pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimStats, CoreError>> {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<SimStats, CoreError>>>> =
+            Mutex::new((0..exes.len()).map(|_| None).collect());
+        let workers = self.n_parallel.min(exes.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= exes.len() {
+                        break;
+                    }
+                    let r = match &self.run_fn {
+                        Some(f) => f(&exes[i]).map_err(CoreError::from),
+                        None => simulate(&exes[i], &self.hierarchy, self.limits)
+                            .map(|o| o.stats)
+                            .map_err(CoreError::from),
+                    };
+                    results.lock().expect("poisoned results")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("poisoned results")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Benchmarks candidates sequentially on the emulated target hardware —
+/// the flow the simulator interface replaces, and the source of training
+/// labels (`t_ref`).
+#[derive(Debug, Clone)]
+pub struct HardwareRunner {
+    /// The emulated board.
+    pub spec: TargetSpec,
+    /// Benchmarking protocol (repetitions, cooldown).
+    pub config: MeasureConfig,
+    /// Base seed for measurement noise; each candidate derives its own.
+    pub noise_seed: u64,
+}
+
+impl HardwareRunner {
+    /// Runner with the paper's measurement protocol.
+    pub fn new(spec: TargetSpec) -> Self {
+        HardwareRunner {
+            spec,
+            config: MeasureConfig::default(),
+            noise_seed: 0x11AD,
+        }
+    }
+
+    /// Measures one executable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation faults as [`CoreError::Sim`].
+    pub fn run_one(&self, exe: &Executable, index: usize) -> Result<Measurement, CoreError> {
+        Ok(measure(
+            exe,
+            &self.spec,
+            &self.config,
+            self.noise_seed.wrapping_add(index as u64 * 0x9E37),
+        )?)
+    }
+
+    /// Measures every executable in order (never in parallel: parallel
+    /// native execution would disturb the measurements, Section IV).
+    pub fn run(&self, exes: &[Executable]) -> Vec<Result<Measurement, CoreError>> {
+        exes.iter()
+            .enumerate()
+            .map(|(i, e)| self.run_one(e, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtune_tensor::matmul;
+
+    fn builder() -> KernelBuilder {
+        KernelBuilder::new(matmul(6, 6, 6), TargetIsa::riscv_u74())
+    }
+
+    fn exes(n: usize) -> Vec<Executable> {
+        let b = builder();
+        let s = Schedule::default_for(b.def());
+        (0..n).map(|i| b.build(&s, &format!("m{i}")).unwrap()).collect()
+    }
+
+    #[test]
+    fn parallel_results_preserve_order_and_match_sequential() {
+        let exes = exes(8);
+        let seq = SimulatorRunner::new(HierarchyConfig::riscv_u74()).with_n_parallel(1);
+        let par = SimulatorRunner::new(HierarchyConfig::riscv_u74()).with_n_parallel(4);
+        let a: Vec<SimStats> = seq.run(&exes).into_iter().map(|r| r.unwrap()).collect();
+        let b: Vec<SimStats> = par.run(&exes).into_iter().map(|r| r.unwrap()).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.inst_mix, y.inst_mix);
+            assert_eq!(x.cache, y.cache);
+        }
+    }
+
+    #[test]
+    fn run_override_is_used() {
+        let exes = exes(3);
+        let runner = SimulatorRunner::new(HierarchyConfig::riscv_u74()).with_run_override(
+            Arc::new(|_exe| {
+                Ok(SimStats {
+                    host_nanos: 123,
+                    ..SimStats::default()
+                })
+            }),
+        );
+        for r in runner.run(&exes) {
+            assert_eq!(r.unwrap().host_nanos, 123);
+        }
+    }
+
+    #[test]
+    fn hardware_runner_measures_with_distinct_noise() {
+        let exes = exes(2);
+        let hw = HardwareRunner::new(TargetSpec::riscv_u74());
+        let ms = hw.run(&exes);
+        let a = ms[0].as_ref().unwrap();
+        let b = ms[1].as_ref().unwrap();
+        // Identical programs, identical base time, different noise draws.
+        assert_eq!(a.base_seconds, b.base_seconds);
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_schedule() {
+        let b = builder();
+        let mut s = Schedule::default_for(b.def());
+        s.order.pop();
+        assert!(matches!(
+            b.build(&s, "bad"),
+            Err(CoreError::Codegen(_))
+        ));
+    }
+
+    #[test]
+    fn build_batch_keeps_per_candidate_results() {
+        let b = builder();
+        let good = Schedule::default_for(b.def());
+        let mut bad = good.clone();
+        bad.order.pop();
+        let rs = b.build_batch(&[good, bad]);
+        assert!(rs[0].is_ok());
+        assert!(rs[1].is_err());
+    }
+}

@@ -1,0 +1,110 @@
+/// A table of 2-bit saturating counters indexed by branch PC — the
+/// classic bimodal direction predictor used by the timing models.
+///
+/// Loop back-edges predict "taken" after one iteration and mispredict
+/// once at loop exit, so deeply nested short loops pay proportionally
+/// more mispredict cycles — a real effect the schedule's loop structure
+/// controls and the instruction-accurate statistics only partially
+/// expose (through the branch-instruction ratio).
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    mispredicts: u64,
+    predictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` counters (rounded up to a power
+    /// of two), initialized to weakly-not-taken.
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(16);
+        BranchPredictor {
+            counters: vec![1; n], // weakly not-taken
+            mispredicts: 0,
+            predictions: 0,
+        }
+    }
+
+    /// Records the outcome of a branch at `pc`; returns true when the
+    /// prediction was wrong.
+    pub fn observe(&mut self, pc: usize, taken: bool) -> bool {
+        let idx = pc & (self.counters.len() - 1);
+        let c = &mut self.counters[idx];
+        let predicted_taken = *c >= 2;
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.predictions += 1;
+        let wrong = predicted_taken != taken;
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// Total mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Total predictions so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredicts / predictions (0 when nothing predicted).
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_branch_mispredicts_at_entry_and_exit_only() {
+        let mut p = BranchPredictor::new(64);
+        // A 100-iteration loop back-edge: taken 99 times, then not taken.
+        let mut wrong = 0;
+        for _ in 0..99 {
+            if p.observe(7, true) {
+                wrong += 1;
+            }
+        }
+        if p.observe(7, false) {
+            wrong += 1;
+        }
+        // Warm-up (1-2) + exit (1).
+        assert!(wrong <= 3, "bimodal should track a loop: {wrong} wrong");
+        assert!(p.mispredict_ratio() < 0.05);
+    }
+
+    #[test]
+    fn alternating_pattern_defeats_bimodal() {
+        let mut p = BranchPredictor::new(64);
+        for i in 0..100 {
+            p.observe(3, i % 2 == 0);
+        }
+        // Bimodal mispredicts roughly half of an alternating stream.
+        assert!(p.mispredict_ratio() > 0.3);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = BranchPredictor::new(64);
+        for _ in 0..50 {
+            p.observe(1, true);
+            p.observe(2, false);
+        }
+        // Both stabilize: very few mispredicts after warm-up.
+        assert!(p.mispredicts() <= 4);
+        assert_eq!(p.predictions(), 100);
+    }
+}

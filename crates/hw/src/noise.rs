@@ -1,0 +1,255 @@
+use rand::Rng;
+
+/// Parameters of one target's measurement-noise model.
+///
+/// The paper lists the classic sources of benchmarking non-determinism —
+/// system load, cache collisions, thermal throttling, frequency scaling —
+/// as the reason each implementation is executed `N_exe` times with
+/// cooldowns (Sections I and IV). This model reproduces their aggregate
+/// statistical effect:
+///
+/// * multiplicative *load jitter* (OS scheduling, SMIs),
+/// * an additive *timer floor* (fixed-cost perturbations that loom large
+///   for short runtimes — the reason the paper's x86 references are the
+///   noisiest),
+/// * occasional *outlier spikes* (the samples benchmark harnesses drop),
+/// * a *thermal state* that heats while running and cools during
+///   cooldown, slowing subsequent repetitions when cooldowns are skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseParams {
+    /// Standard deviation of the multiplicative jitter (relative).
+    pub jitter_rel: f64,
+    /// Standard deviation of the additive jitter in seconds.
+    pub floor_s: f64,
+    /// Probability that a repetition catches an outlier spike.
+    pub outlier_prob: f64,
+    /// Maximum relative magnitude of an outlier spike.
+    pub outlier_max: f64,
+    /// Thermal heating rate (state units per second of execution).
+    pub heat_per_s: f64,
+    /// Thermal cooling rate (state units per second of cooldown).
+    pub cool_per_s: f64,
+    /// Relative slowdown at full thermal saturation.
+    pub max_thermal_slowdown: f64,
+}
+
+impl NoiseParams {
+    /// Desktop Ryzen: tiny relative jitter but a timer floor that
+    /// dominates sub-millisecond kernels; good cooling.
+    pub fn x86_desktop() -> Self {
+        NoiseParams {
+            jitter_rel: 0.008,
+            floor_s: 60e-6,
+            outlier_prob: 0.06,
+            outlier_max: 0.30,
+            heat_per_s: 0.02,
+            cool_per_s: 0.5,
+            max_thermal_slowdown: 0.02,
+        }
+    }
+
+    /// Raspberry Pi 4: moderate jitter and pronounced thermal throttling
+    /// (passively cooled SBC).
+    pub fn arm_sbc() -> Self {
+        NoiseParams {
+            jitter_rel: 0.012,
+            floor_s: 30e-6,
+            outlier_prob: 0.04,
+            outlier_max: 0.20,
+            heat_per_s: 0.25,
+            cool_per_s: 0.35,
+            max_thermal_slowdown: 0.12,
+        }
+    }
+
+    /// SiFive board: modest jitter, mild thermals, slow clock.
+    pub fn riscv_board() -> Self {
+        NoiseParams {
+            jitter_rel: 0.010,
+            floor_s: 30e-6,
+            outlier_prob: 0.04,
+            outlier_max: 0.20,
+            heat_per_s: 0.12,
+            cool_per_s: 0.40,
+            max_thermal_slowdown: 0.06,
+        }
+    }
+
+    /// A noiseless configuration for deterministic tests.
+    pub fn none() -> Self {
+        NoiseParams {
+            jitter_rel: 0.0,
+            floor_s: 0.0,
+            outlier_prob: 0.0,
+            outlier_max: 0.0,
+            heat_per_s: 0.0,
+            cool_per_s: 1.0,
+            max_thermal_slowdown: 0.0,
+        }
+    }
+}
+
+/// Thermal state of the emulated board in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThermalState(f64);
+
+impl ThermalState {
+    /// Cold board.
+    pub fn cold() -> Self {
+        ThermalState(0.0)
+    }
+
+    /// Current state in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        self.0
+    }
+
+    /// Heats by `seconds` of execution under `params`.
+    pub fn heat(&mut self, seconds: f64, params: &NoiseParams) {
+        self.0 = (self.0 + seconds * params.heat_per_s).min(1.0);
+    }
+
+    /// Cools by `seconds` of idle time under `params`.
+    pub fn cool(&mut self, seconds: f64, params: &NoiseParams) {
+        self.0 = (self.0 - seconds * params.cool_per_s).max(0.0);
+    }
+}
+
+/// Stateful noise generator for one measurement session.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    params: NoiseParams,
+    thermal: ThermalState,
+}
+
+impl NoiseModel {
+    /// Creates a model starting from a cold board.
+    pub fn new(params: NoiseParams) -> Self {
+        NoiseModel {
+            params,
+            thermal: ThermalState::cold(),
+        }
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &NoiseParams {
+        &self.params
+    }
+
+    /// Current thermal state.
+    pub fn thermal(&self) -> ThermalState {
+        self.thermal
+    }
+
+    /// Produces one noisy sample of a run whose true duration is
+    /// `base_seconds`, advancing the thermal state.
+    pub fn sample<R: Rng>(&mut self, base_seconds: f64, rng: &mut R) -> f64 {
+        let p = &self.params;
+        let thermal_factor = 1.0 + self.thermal.level() * p.max_thermal_slowdown;
+        let jitter = 1.0 + p.jitter_rel * gaussian(rng);
+        let floor = p.floor_s * gaussian(rng).abs();
+        let mut t = base_seconds * thermal_factor * jitter.max(0.5) + floor;
+        if p.outlier_prob > 0.0 && rng.gen_bool(p.outlier_prob) {
+            t *= 1.0 + rng.gen_range(0.0..p.outlier_max);
+        }
+        self.thermal.heat(base_seconds, p);
+        t.max(0.0)
+    }
+
+    /// Advances the thermal state through an idle cooldown.
+    pub fn cooldown(&mut self, seconds: f64) {
+        let params = self.params.clone();
+        self.thermal.cool(seconds, &params);
+    }
+}
+
+/// Standard normal draw via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_model_is_identity() {
+        let mut m = NoiseModel::new(NoiseParams::none());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let s = m.sample(0.5, &mut rng);
+            assert!((s - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_are_centered_near_base() {
+        let mut m = NoiseModel::new(NoiseParams::x86_desktop());
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = 0.01;
+        let samples: Vec<f64> = (0..500).map(|_| m.sample(base, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - base).abs() / base < 0.1, "mean {mean} vs base {base}");
+        // All samples positive and none absurdly large.
+        assert!(samples.iter().all(|&s| s > 0.0 && s < base * 2.0));
+    }
+
+    #[test]
+    fn floor_noise_dominates_short_runs() {
+        let p = NoiseParams::x86_desktop();
+        let mut m = NoiseModel::new(p);
+        let mut rng = StdRng::seed_from_u64(3);
+        let short = 100e-6;
+        let long = 0.1;
+        let rel_spread = |base: f64, m: &mut NoiseModel, rng: &mut StdRng| {
+            let s: Vec<f64> = (0..300).map(|_| m.sample(base, rng)).collect();
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+            var.sqrt() / mean
+        };
+        let short_spread = rel_spread(short, &mut m, &mut rng);
+        let mut m2 = NoiseModel::new(NoiseParams::x86_desktop());
+        let long_spread = rel_spread(long, &mut m2, &mut rng);
+        assert!(
+            short_spread > long_spread * 2.0,
+            "short runs must be relatively noisier: {short_spread} vs {long_spread}"
+        );
+    }
+
+    #[test]
+    fn thermal_state_heats_and_cools() {
+        let p = NoiseParams::arm_sbc();
+        let mut t = ThermalState::cold();
+        t.heat(2.0, &p);
+        assert!(t.level() > 0.0);
+        let peak = t.level();
+        t.cool(1.0, &p);
+        assert!(t.level() < peak);
+        t.cool(100.0, &p);
+        assert_eq!(t.level(), 0.0);
+        t.heat(1e9, &p);
+        assert_eq!(t.level(), 1.0);
+    }
+
+    #[test]
+    fn sustained_load_without_cooldown_slows_samples() {
+        let p = NoiseParams {
+            jitter_rel: 0.0,
+            floor_s: 0.0,
+            outlier_prob: 0.0,
+            ..NoiseParams::arm_sbc()
+        };
+        let mut m = NoiseModel::new(p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let first = m.sample(1.0, &mut rng);
+        for _ in 0..20 {
+            m.sample(1.0, &mut rng);
+        }
+        let later = m.sample(1.0, &mut rng);
+        assert!(later > first, "throttling must slow later samples");
+    }
+}

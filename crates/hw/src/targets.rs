@@ -1,0 +1,195 @@
+use crate::NoiseParams;
+use simtune_cache::HierarchyConfig;
+use simtune_isa::TargetIsa;
+
+/// Microarchitectural cost parameters of one timing model.
+///
+/// These numbers are calibrated to the published characteristics of the
+/// paper's three platforms (issue widths, load-to-use and DRAM latencies,
+/// pipeline depths), not fitted to its results; the reproduction only
+/// needs the relative cost structure to be faithful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingParams {
+    /// Sustained issue width (micro-ops per cycle the pipeline retires).
+    pub issue_width: f64,
+    /// Issue slots consumed by one integer ALU op.
+    pub int_cost: f64,
+    /// Issue slots per scalar FP op (FMA counts once).
+    pub fp_cost: f64,
+    /// Issue slots per vector op.
+    pub vec_cost: f64,
+    /// Issue slots per load.
+    pub load_cost: f64,
+    /// Issue slots per store.
+    pub store_cost: f64,
+    /// Issue slots per branch.
+    pub branch_cost: f64,
+    /// Extra cycles for an L2 hit (L1 hits are pipelined away).
+    pub l2_cycles: f64,
+    /// Extra cycles for an L3 hit (x86 only).
+    pub l3_cycles: f64,
+    /// Extra cycles for a DRAM access.
+    pub mem_cycles: f64,
+    /// Fraction of miss latency hidden by out-of-order overlap / MLP.
+    pub miss_overlap: f64,
+    /// Cycles lost per mispredicted branch.
+    pub mispredict_penalty: f64,
+    /// Stride-prefetcher table entries (0 disables prefetching).
+    pub prefetch_streams: usize,
+    /// Lines fetched ahead once a stream is confirmed.
+    pub prefetch_degree: usize,
+}
+
+/// Full description of one emulated target machine: ISA resources, cache
+/// geometry (Table I), clock frequency (Section IV) and the timing/noise
+/// models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSpec {
+    /// ISA-visible resources (register counts, vector lanes).
+    pub isa: TargetIsa,
+    /// Cache hierarchy, identical to the geometry the instruction-accurate
+    /// simulator replicates.
+    pub hierarchy: HierarchyConfig,
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+    /// Pipeline/memory cost model.
+    pub timing: TimingParams,
+    /// Measurement noise model.
+    pub noise: NoiseParams,
+}
+
+impl TargetSpec {
+    /// AMD Ryzen 7 5800X @ 2.2 GHz (the paper's x86 platform): wide
+    /// out-of-order core, aggressive prefetching, large L3 — and the
+    /// noisiest measurements because runtimes are shortest.
+    pub fn x86_ryzen_5800x() -> Self {
+        TargetSpec {
+            isa: TargetIsa::x86_ryzen_5800x(),
+            hierarchy: HierarchyConfig::x86_ryzen_5800x(),
+            freq_hz: 2.2e9,
+            timing: TimingParams {
+                issue_width: 4.0,
+                int_cost: 0.6,
+                fp_cost: 0.7,
+                vec_cost: 1.0,
+                load_cost: 0.7,
+                store_cost: 1.0,
+                branch_cost: 0.6,
+                l2_cycles: 12.0,
+                l3_cycles: 42.0,
+                mem_cycles: 190.0,
+                miss_overlap: 0.65,
+                mispredict_penalty: 13.0,
+                prefetch_streams: 16,
+                prefetch_degree: 2,
+            },
+            noise: NoiseParams::x86_desktop(),
+        }
+    }
+
+    /// Raspberry Pi 4 / Cortex-A72 @ 1.5 GHz: moderately wide out-of-order
+    /// core, modest prefetcher, thermally constrained board.
+    pub fn arm_cortex_a72() -> Self {
+        TargetSpec {
+            isa: TargetIsa::arm_cortex_a72(),
+            hierarchy: HierarchyConfig::arm_cortex_a72(),
+            freq_hz: 1.5e9,
+            timing: TimingParams {
+                issue_width: 2.2,
+                int_cost: 1.0,
+                fp_cost: 1.0,
+                vec_cost: 1.2,
+                load_cost: 1.0,
+                store_cost: 1.0,
+                branch_cost: 0.8,
+                l2_cycles: 19.0,
+                l3_cycles: 0.0,
+                mem_cycles: 200.0,
+                miss_overlap: 0.35,
+                mispredict_penalty: 12.0,
+                prefetch_streams: 8,
+                prefetch_degree: 1,
+            },
+            noise: NoiseParams::arm_sbc(),
+        }
+    }
+
+    /// SiFive U74-MC @ 1.2 GHz: dual-issue in-order core, no vector unit,
+    /// minimal prefetching, misses barely overlapped.
+    pub fn riscv_u74() -> Self {
+        TargetSpec {
+            isa: TargetIsa::riscv_u74(),
+            hierarchy: HierarchyConfig::riscv_u74(),
+            freq_hz: 1.2e9,
+            timing: TimingParams {
+                issue_width: 1.7,
+                int_cost: 1.0,
+                fp_cost: 1.3,
+                vec_cost: 1.3,
+                load_cost: 1.0,
+                store_cost: 1.0,
+                branch_cost: 1.0,
+                l2_cycles: 21.0,
+                l3_cycles: 0.0,
+                mem_cycles: 168.0,
+                miss_overlap: 0.05,
+                mispredict_penalty: 5.0,
+                prefetch_streams: 4,
+                prefetch_degree: 1,
+            },
+            noise: NoiseParams::riscv_board(),
+        }
+    }
+
+    /// The three paper targets in table order.
+    pub fn paper_targets() -> Vec<TargetSpec> {
+        vec![
+            Self::x86_ryzen_5800x(),
+            Self::arm_cortex_a72(),
+            Self::riscv_u74(),
+        ]
+    }
+
+    /// Looks a target up by its short label ("x86", "arm", "riscv").
+    pub fn by_name(name: &str) -> Option<TargetSpec> {
+        match name {
+            "x86" => Some(Self::x86_ryzen_5800x()),
+            "arm" => Some(Self::arm_cortex_a72()),
+            "riscv" => Some(Self::riscv_u74()),
+            _ => None,
+        }
+    }
+
+    /// Short label of the target ("x86", "arm", "riscv").
+    pub fn name(&self) -> &'static str {
+        self.isa.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_frequencies() {
+        assert_eq!(TargetSpec::x86_ryzen_5800x().freq_hz, 2.2e9);
+        assert_eq!(TargetSpec::arm_cortex_a72().freq_hz, 1.5e9);
+        assert_eq!(TargetSpec::riscv_u74().freq_hz, 1.2e9);
+    }
+
+    #[test]
+    fn hierarchy_matches_isa_name() {
+        for spec in TargetSpec::paper_targets() {
+            assert_eq!(spec.isa.name, spec.hierarchy.name);
+            assert_eq!(TargetSpec::by_name(spec.name()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn ooo_targets_overlap_more_than_in_order() {
+        let x86 = TargetSpec::x86_ryzen_5800x();
+        let riscv = TargetSpec::riscv_u74();
+        assert!(x86.timing.miss_overlap > riscv.timing.miss_overlap);
+        assert!(x86.timing.issue_width > riscv.timing.issue_width);
+    }
+}

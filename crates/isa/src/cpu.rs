@@ -1,0 +1,730 @@
+use crate::inst::MAX_LANES;
+use crate::program::{FPR_FILE, GPR_FILE, VR_FILE};
+use crate::{Fpr, Gpr, Inst, InstMix, Memory, Program, SimError, SimStats, TargetIsa, Vr};
+use crate::CODE_BASE;
+use simtune_cache::{lines_touched, CacheHierarchy, ServicedBy};
+
+/// Execution budget for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Abort with [`SimError::InstLimitExceeded`] after this many retired
+    /// instructions (guards against mis-generated infinite loops).
+    pub max_insts: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        // Generous enough for the paper-scale Conv2D groups.
+        RunLimits {
+            max_insts: 20_000_000_000,
+        }
+    }
+}
+
+/// Observer invoked by [`AtomicCpu::run_with_hook`] on every architectural
+/// event.
+///
+/// The instruction-accurate path uses the no-op default implementation;
+/// the timing models in `simtune-hw` implement this trait to accumulate
+/// cycles and drive prefetchers (which is why [`ExecHook::on_data_access`]
+/// receives the hierarchy mutably).
+pub trait ExecHook {
+    /// Called after the fetch of each instruction.
+    fn on_fetch(&mut self, pc: usize, serviced: ServicedBy) {
+        let _ = (pc, serviced);
+    }
+
+    /// Called after an instruction retires.
+    fn on_retire(&mut self, inst: &Inst) {
+        let _ = inst;
+    }
+
+    /// Called once per cache line touched by a data access.
+    fn on_data_access(
+        &mut self,
+        line_addr: u64,
+        is_store: bool,
+        serviced: ServicedBy,
+        hier: &mut CacheHierarchy,
+    ) {
+        let _ = (line_addr, is_store, serviced, hier);
+    }
+
+    /// Called when a control-flow instruction resolves.
+    fn on_branch(&mut self, pc: usize, target: usize, taken: bool) {
+        let _ = (pc, target, taken);
+    }
+}
+
+/// Hook that observes nothing (the plain instruction-accurate mode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl ExecHook for NoopHook {}
+
+/// Instruction-accurate CPU: the gem5 "atomic SimpleCPU" stand-in.
+///
+/// Executes one instruction per step; every memory access completes within
+/// the step (atomic mode); no pipeline or timing state exists. All fetches
+/// and data accesses are routed through the supplied
+/// [`CacheHierarchy`] so that hit/miss/replacement statistics accumulate.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct AtomicCpu {
+    gpr: [i64; GPR_FILE],
+    fpr: [f32; FPR_FILE],
+    vr: [[f32; MAX_LANES]; VR_FILE],
+    lanes: usize,
+    inst_bytes: u64,
+}
+
+impl AtomicCpu {
+    /// Creates a CPU with all registers zeroed for the given target.
+    pub fn new(target: &TargetIsa) -> Self {
+        AtomicCpu {
+            gpr: [0; GPR_FILE],
+            fpr: [0.0; FPR_FILE],
+            vr: [[0.0; MAX_LANES]; VR_FILE],
+            lanes: target.vector_lanes.clamp(1, MAX_LANES),
+            inst_bytes: target.inst_bytes,
+        }
+    }
+
+    /// Reads a general-purpose register (test/debug aid).
+    pub fn gpr(&self, r: Gpr) -> i64 {
+        self.gpr[r.0 as usize]
+    }
+
+    /// Reads a float register (test/debug aid).
+    pub fn fpr(&self, r: Fpr) -> f32 {
+        self.fpr[r.0 as usize]
+    }
+
+    /// Reads a vector register's active lanes (test/debug aid).
+    pub fn vr(&self, r: Vr) -> &[f32] {
+        &self.vr[r.0 as usize][..self.lanes]
+    }
+
+    /// Runs `prog` to completion in plain instruction-accurate mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`AtomicCpu::run_with_hook`].
+    pub fn run(
+        &mut self,
+        prog: &Program,
+        mem: &mut Memory,
+        hier: &mut CacheHierarchy,
+        limits: RunLimits,
+    ) -> Result<SimStats, SimError> {
+        self.run_with_hook(prog, mem, hier, limits, &mut NoopHook)
+    }
+
+    /// Runs `prog` to completion, reporting every event to `hook`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::PcOutOfRange`] — fell off the end of the program.
+    /// * [`SimError::InstLimitExceeded`] — `limits.max_insts` exhausted.
+    /// * [`SimError::MemoryFault`] — access outside the address space.
+    /// * [`SimError::UnknownSyscall`] — unimplemented `Ecall` code.
+    pub fn run_with_hook<H: ExecHook>(
+        &mut self,
+        prog: &Program,
+        mem: &mut Memory,
+        hier: &mut CacheHierarchy,
+        limits: RunLimits,
+        hook: &mut H,
+    ) -> Result<SimStats, SimError> {
+        let insts = prog.insts();
+        let mut mix = InstMix::default();
+        let mut pc = 0usize;
+        let line_bytes = hier.line_bytes();
+        loop {
+            if mix.total() >= limits.max_insts {
+                return Err(SimError::InstLimitExceeded {
+                    limit: limits.max_insts,
+                });
+            }
+            let inst = *insts.get(pc).ok_or(SimError::PcOutOfRange { pc })?;
+
+            // Instruction fetch through the L1I.
+            let fetch_addr = CODE_BASE + pc as u64 * self.inst_bytes;
+            let serviced = hier.fetch(fetch_addr);
+            hook.on_fetch(pc, serviced);
+
+            let mut next_pc = pc + 1;
+            match inst {
+                // ----- integer -----
+                Inst::Li { rd, imm } => {
+                    self.gpr[rd.0 as usize] = imm;
+                    mix.int_alu += 1;
+                }
+                Inst::Addi { rd, rs, imm } => {
+                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_add(imm);
+                    mix.int_alu += 1;
+                }
+                Inst::Add { rd, rs1, rs2 } => {
+                    self.gpr[rd.0 as usize] =
+                        self.gpr[rs1.0 as usize].wrapping_add(self.gpr[rs2.0 as usize]);
+                    mix.int_alu += 1;
+                }
+                Inst::Sub { rd, rs1, rs2 } => {
+                    self.gpr[rd.0 as usize] =
+                        self.gpr[rs1.0 as usize].wrapping_sub(self.gpr[rs2.0 as usize]);
+                    mix.int_alu += 1;
+                }
+                Inst::Mul { rd, rs1, rs2 } => {
+                    self.gpr[rd.0 as usize] =
+                        self.gpr[rs1.0 as usize].wrapping_mul(self.gpr[rs2.0 as usize]);
+                    mix.int_alu += 1;
+                }
+                Inst::Muli { rd, rs, imm } => {
+                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_mul(imm);
+                    mix.int_alu += 1;
+                }
+                Inst::Slli { rd, rs, shamt } => {
+                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_shl(shamt as u32);
+                    mix.int_alu += 1;
+                }
+                Inst::Mv { rd, rs } => {
+                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize];
+                    mix.other += 1;
+                }
+                Inst::Ld { rd, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    self.data_access(addr, 8, false, hier, hook, line_bytes);
+                    self.gpr[rd.0 as usize] = mem.read_i64(addr)?;
+                    mix.loads += 1;
+                }
+                Inst::Sd { rval, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    self.data_access(addr, 8, true, hier, hook, line_bytes);
+                    mem.write_i64(addr, self.gpr[rval.0 as usize])?;
+                    mix.stores += 1;
+                }
+
+                // ----- scalar float -----
+                Inst::Fli { fd, imm } => {
+                    self.fpr[fd.0 as usize] = imm;
+                    mix.fp_alu += 1;
+                }
+                Inst::Flw { fd, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    self.data_access(addr, 4, false, hier, hook, line_bytes);
+                    self.fpr[fd.0 as usize] = mem.read_f32(addr)?;
+                    mix.loads += 1;
+                }
+                Inst::Fsw { fval, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    self.data_access(addr, 4, true, hier, hook, line_bytes);
+                    mem.write_f32(addr, self.fpr[fval.0 as usize])?;
+                    mix.stores += 1;
+                }
+                Inst::Fadd { fd, fs1, fs2 } => {
+                    self.fpr[fd.0 as usize] =
+                        self.fpr[fs1.0 as usize] + self.fpr[fs2.0 as usize];
+                    mix.fp_alu += 1;
+                }
+                Inst::Fsub { fd, fs1, fs2 } => {
+                    self.fpr[fd.0 as usize] =
+                        self.fpr[fs1.0 as usize] - self.fpr[fs2.0 as usize];
+                    mix.fp_alu += 1;
+                }
+                Inst::Fmul { fd, fs1, fs2 } => {
+                    self.fpr[fd.0 as usize] =
+                        self.fpr[fs1.0 as usize] * self.fpr[fs2.0 as usize];
+                    mix.fp_alu += 1;
+                }
+                Inst::Fdiv { fd, fs1, fs2 } => {
+                    self.fpr[fd.0 as usize] =
+                        self.fpr[fs1.0 as usize] / self.fpr[fs2.0 as usize];
+                    mix.fp_alu += 1;
+                }
+                Inst::Fmadd { fd, fs1, fs2, fs3 } => {
+                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize]
+                        .mul_add(self.fpr[fs2.0 as usize], self.fpr[fs3.0 as usize]);
+                    mix.fp_alu += 1;
+                }
+                Inst::Fmax { fd, fs1, fs2 } => {
+                    self.fpr[fd.0 as usize] =
+                        self.fpr[fs1.0 as usize].max(self.fpr[fs2.0 as usize]);
+                    mix.fp_alu += 1;
+                }
+                Inst::Fcvt { fd, rs } => {
+                    self.fpr[fd.0 as usize] = self.gpr[rs.0 as usize] as f32;
+                    mix.other += 1;
+                }
+
+                // ----- vector -----
+                Inst::Vload { vd, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    let bytes = 4 * self.lanes as u64;
+                    self.data_access(addr, bytes, false, hier, hook, line_bytes);
+                    for l in 0..self.lanes {
+                        self.vr[vd.0 as usize][l] = mem.read_f32(addr + 4 * l as u64)?;
+                    }
+                    mix.loads += 1;
+                }
+                Inst::Vstore { vval, rs, imm } => {
+                    let addr = self.ea(rs, imm);
+                    let bytes = 4 * self.lanes as u64;
+                    self.data_access(addr, bytes, true, hier, hook, line_bytes);
+                    for l in 0..self.lanes {
+                        mem.write_f32(addr + 4 * l as u64, self.vr[vval.0 as usize][l])?;
+                    }
+                    mix.stores += 1;
+                }
+                Inst::Vbcast { vd, fs } => {
+                    let v = self.fpr[fs.0 as usize];
+                    self.vr[vd.0 as usize][..self.lanes].fill(v);
+                    mix.vec_alu += 1;
+                }
+                Inst::Vsplat { vd, imm } => {
+                    self.vr[vd.0 as usize][..self.lanes].fill(imm);
+                    mix.vec_alu += 1;
+                }
+                Inst::Vfadd { vd, vs1, vs2 } => {
+                    for l in 0..self.lanes {
+                        self.vr[vd.0 as usize][l] =
+                            self.vr[vs1.0 as usize][l] + self.vr[vs2.0 as usize][l];
+                    }
+                    mix.vec_alu += 1;
+                }
+                Inst::Vfmul { vd, vs1, vs2 } => {
+                    for l in 0..self.lanes {
+                        self.vr[vd.0 as usize][l] =
+                            self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
+                    }
+                    mix.vec_alu += 1;
+                }
+                Inst::Vfma { vd, vs1, vs2 } => {
+                    for l in 0..self.lanes {
+                        let prod = self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
+                        self.vr[vd.0 as usize][l] += prod;
+                    }
+                    mix.vec_alu += 1;
+                }
+                Inst::Vfmax { vd, vs1, vs2 } => {
+                    for l in 0..self.lanes {
+                        self.vr[vd.0 as usize][l] =
+                            self.vr[vs1.0 as usize][l].max(self.vr[vs2.0 as usize][l]);
+                    }
+                    mix.vec_alu += 1;
+                }
+                Inst::Vredsum { fd, vs } => {
+                    self.fpr[fd.0 as usize] =
+                        self.vr[vs.0 as usize][..self.lanes].iter().sum();
+                    mix.vec_alu += 1;
+                }
+                Inst::Vinsert { vd, fs, lane } => {
+                    self.vr[vd.0 as usize][lane as usize] = self.fpr[fs.0 as usize];
+                    mix.vec_alu += 1;
+                }
+                Inst::Vextract { fd, vs, lane } => {
+                    self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][lane as usize];
+                    mix.vec_alu += 1;
+                }
+
+                // ----- control -----
+                Inst::Blt { rs1, rs2, target } => {
+                    let taken = self.gpr[rs1.0 as usize] < self.gpr[rs2.0 as usize];
+                    if taken {
+                        next_pc = target;
+                        mix.branches_taken += 1;
+                    }
+                    hook.on_branch(pc, target, taken);
+                    mix.branches += 1;
+                }
+                Inst::Bge { rs1, rs2, target } => {
+                    let taken = self.gpr[rs1.0 as usize] >= self.gpr[rs2.0 as usize];
+                    if taken {
+                        next_pc = target;
+                        mix.branches_taken += 1;
+                    }
+                    hook.on_branch(pc, target, taken);
+                    mix.branches += 1;
+                }
+                Inst::Bne { rs1, rs2, target } => {
+                    let taken = self.gpr[rs1.0 as usize] != self.gpr[rs2.0 as usize];
+                    if taken {
+                        next_pc = target;
+                        mix.branches_taken += 1;
+                    }
+                    hook.on_branch(pc, target, taken);
+                    mix.branches += 1;
+                }
+                Inst::Jmp { target } => {
+                    next_pc = target;
+                    hook.on_branch(pc, target, true);
+                    mix.branches += 1;
+                    mix.branches_taken += 1;
+                }
+
+                // ----- system -----
+                Inst::Ecall { code } => {
+                    mix.other += 1;
+                    if code == 0 {
+                        hook.on_retire(&inst);
+                        break;
+                    }
+                    return Err(SimError::UnknownSyscall { code });
+                }
+                Inst::Halt => {
+                    mix.other += 1;
+                    hook.on_retire(&inst);
+                    break;
+                }
+            }
+            hook.on_retire(&inst);
+            pc = next_pc;
+        }
+        Ok(SimStats {
+            inst_mix: mix,
+            cache: hier.stats(),
+            host_nanos: 0,
+        })
+    }
+
+    #[inline]
+    fn ea(&self, base: Gpr, imm: i64) -> u64 {
+        (self.gpr[base.0 as usize].wrapping_add(imm)) as u64
+    }
+
+    #[inline]
+    fn data_access<H: ExecHook>(
+        &self,
+        addr: u64,
+        bytes: u64,
+        is_store: bool,
+        hier: &mut CacheHierarchy,
+        hook: &mut H,
+        line_bytes: u64,
+    ) {
+        for line in lines_touched(addr, bytes, line_bytes) {
+            let serviced = if is_store {
+                hier.data_write(line)
+            } else {
+                hier.data_read(line)
+            };
+            hook.on_data_access(line, is_store, serviced, hier);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use simtune_cache::HierarchyConfig;
+
+    fn setup() -> (Memory, CacheHierarchy) {
+        (
+            Memory::new(),
+            CacheHierarchy::new(HierarchyConfig::tiny_for_tests()),
+        )
+    }
+
+    fn run_prog(b: ProgramBuilder) -> (AtomicCpu, SimStats) {
+        let prog = b.build().expect("valid program");
+        let target = TargetIsa::arm_cortex_a72();
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let stats = cpu
+            .run(&prog, &mut mem, &mut hier, RunLimits::default())
+            .expect("run succeeds");
+        (cpu, stats)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 6 });
+        b.push(Inst::Li { rd: Gpr(2), imm: 7 });
+        b.push(Inst::Mul {
+            rd: Gpr(3),
+            rs1: Gpr(1),
+            rs2: Gpr(2),
+        });
+        b.push(Inst::Slli {
+            rd: Gpr(4),
+            rs: Gpr(3),
+            shamt: 1,
+        });
+        b.push(Inst::Addi {
+            rd: Gpr(5),
+            rs: Gpr(4),
+            imm: -4,
+        });
+        b.push(Inst::Halt);
+        let (cpu, stats) = run_prog(b);
+        assert_eq!(cpu.gpr(Gpr(3)), 42);
+        assert_eq!(cpu.gpr(Gpr(4)), 84);
+        assert_eq!(cpu.gpr(Gpr(5)), 80);
+        assert_eq!(stats.inst_mix.int_alu, 5);
+    }
+
+    #[test]
+    fn loop_executes_correct_iteration_count() {
+        // sum = 0; for i in 0..10 { sum += i }
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 0 }); // i
+        b.push(Inst::Li { rd: Gpr(2), imm: 0 }); // sum
+        b.push(Inst::Li { rd: Gpr(3), imm: 10 });
+        let top = b.bind_new_label();
+        b.push(Inst::Add {
+            rd: Gpr(2),
+            rs1: Gpr(2),
+            rs2: Gpr(1),
+        });
+        b.push(Inst::Addi {
+            rd: Gpr(1),
+            rs: Gpr(1),
+            imm: 1,
+        });
+        b.branch_lt(Gpr(1), Gpr(3), top);
+        b.push(Inst::Halt);
+        let (cpu, stats) = run_prog(b);
+        assert_eq!(cpu.gpr(Gpr(2)), 45);
+        assert_eq!(stats.inst_mix.branches, 10);
+        assert_eq!(stats.inst_mix.branches_taken, 9);
+    }
+
+    #[test]
+    fn float_fma_and_relu() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Fli {
+            fd: Fpr(1),
+            imm: 2.0,
+        });
+        b.push(Inst::Fli {
+            fd: Fpr(2),
+            imm: -3.0,
+        });
+        b.push(Inst::Fli {
+            fd: Fpr(3),
+            imm: 1.0,
+        });
+        b.push(Inst::Fmadd {
+            fd: Fpr(4),
+            fs1: Fpr(1),
+            fs2: Fpr(2),
+            fs3: Fpr(3),
+        }); // 2*-3+1 = -5
+        b.push(Inst::Fli {
+            fd: Fpr(0),
+            imm: 0.0,
+        });
+        b.push(Inst::Fmax {
+            fd: Fpr(5),
+            fs1: Fpr(4),
+            fs2: Fpr(0),
+        }); // relu(-5) = 0
+        b.push(Inst::Halt);
+        let (cpu, _) = run_prog(b);
+        assert_eq!(cpu.fpr(Fpr(4)), -5.0);
+        assert_eq!(cpu.fpr(Fpr(5)), 0.0);
+    }
+
+    #[test]
+    fn memory_roundtrip_counts_loads_and_stores() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: 0x10_0000,
+        });
+        b.push(Inst::Fli {
+            fd: Fpr(1),
+            imm: 1.5,
+        });
+        b.push(Inst::Fsw {
+            fval: Fpr(1),
+            rs: Gpr(1),
+            imm: 8,
+        });
+        b.push(Inst::Flw {
+            fd: Fpr(2),
+            rs: Gpr(1),
+            imm: 8,
+        });
+        b.push(Inst::Halt);
+        let (cpu, stats) = run_prog(b);
+        assert_eq!(cpu.fpr(Fpr(2)), 1.5);
+        assert_eq!(stats.inst_mix.loads, 1);
+        assert_eq!(stats.inst_mix.stores, 1);
+        // Store allocated the line; the load hits L1D.
+        assert_eq!(stats.cache.l1d.read_hits, 1);
+        assert_eq!(stats.cache.l1d.write_misses, 1);
+    }
+
+    #[test]
+    fn vector_ops_respect_lane_count() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: 0x10_0000,
+        });
+        b.push(Inst::Vsplat {
+            vd: Vr(1),
+            imm: 2.0,
+        });
+        b.push(Inst::Vsplat {
+            vd: Vr(2),
+            imm: 3.0,
+        });
+        b.push(Inst::Vsplat {
+            vd: Vr(3),
+            imm: 1.0,
+        });
+        // v3 += v1 * v2 -> 7.0 in each lane
+        b.push(Inst::Vfma {
+            vd: Vr(3),
+            vs1: Vr(1),
+            vs2: Vr(2),
+        });
+        b.push(Inst::Vstore {
+            vval: Vr(3),
+            rs: Gpr(1),
+            imm: 0,
+        });
+        b.push(Inst::Vredsum {
+            fd: Fpr(1),
+            vs: Vr(3),
+        });
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        // ARM target: 4 lanes.
+        let target = TargetIsa::arm_cortex_a72();
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        cpu.run(&prog, &mut mem, &mut hier, RunLimits::default())
+            .unwrap();
+        assert_eq!(cpu.vr(Vr(3)), &[7.0, 7.0, 7.0, 7.0]);
+        assert_eq!(cpu.fpr(Fpr(1)), 28.0);
+        assert_eq!(mem.read_f32_slice(0x10_0000, 4).unwrap(), vec![7.0; 4]);
+        // Lane 4 was never written on a 4-lane target.
+        assert_eq!(mem.read_f32(0x10_0000 + 16).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn vector_load_straddling_lines_touches_two() {
+        let mut b = ProgramBuilder::new();
+        // Address 0x10_0038 = 56 mod 64: an 8-lane (32 B) access straddles.
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: 0x10_0038,
+        });
+        b.push(Inst::Vload {
+            vd: Vr(1),
+            rs: Gpr(1),
+            imm: 0,
+        });
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let target = TargetIsa::x86_ryzen_5800x(); // 8 lanes
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let stats = cpu
+            .run(&prog, &mut mem, &mut hier, RunLimits::default())
+            .unwrap();
+        assert_eq!(stats.inst_mix.loads, 1, "one instruction");
+        assert_eq!(stats.cache.l1d.read_misses, 2, "two lines touched");
+    }
+
+    #[test]
+    fn inst_limit_guards_infinite_loops() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_new_label();
+        b.jump(top);
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let target = TargetIsa::riscv_u74();
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let err = cpu.run(&prog, &mut mem, &mut hier, RunLimits { max_insts: 100 });
+        assert!(matches!(err, Err(SimError::InstLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn unknown_syscall_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Ecall { code: 42 });
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let target = TargetIsa::riscv_u74();
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let err = cpu.run(&prog, &mut mem, &mut hier, RunLimits::default());
+        assert_eq!(err, Err(SimError::UnknownSyscall { code: 42 }));
+    }
+
+    #[test]
+    fn fetch_statistics_accumulate_in_l1i() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 1 });
+        b.push(Inst::Halt);
+        let (_, stats) = run_prog(b);
+        assert_eq!(stats.inst_mix.total(), 2);
+        assert_eq!(stats.cache.l1i.read_accesses(), 2);
+        // Both instructions share one line: 1 miss + 1 hit.
+        assert_eq!(stats.cache.l1i.read_misses, 1);
+        assert_eq!(stats.cache.l1i.read_hits, 1);
+    }
+
+    #[test]
+    fn hook_receives_events() {
+        #[derive(Default)]
+        struct Counter {
+            retired: u64,
+            fetches: u64,
+            data: u64,
+            branches: u64,
+        }
+        impl ExecHook for Counter {
+            fn on_fetch(&mut self, _: usize, _: ServicedBy) {
+                self.fetches += 1;
+            }
+            fn on_retire(&mut self, _: &Inst) {
+                self.retired += 1;
+            }
+            fn on_data_access(
+                &mut self,
+                _: u64,
+                _: bool,
+                _: ServicedBy,
+                _: &mut CacheHierarchy,
+            ) {
+                self.data += 1;
+            }
+            fn on_branch(&mut self, _: usize, _: usize, _: bool) {
+                self.branches += 1;
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: 0x10_0000,
+        });
+        b.push(Inst::Flw {
+            fd: Fpr(1),
+            rs: Gpr(1),
+            imm: 0,
+        });
+        let l = b.new_label();
+        b.jump(l);
+        b.bind(l);
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let target = TargetIsa::riscv_u74();
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let mut hook = Counter::default();
+        cpu.run_with_hook(&prog, &mut mem, &mut hier, RunLimits::default(), &mut hook)
+            .unwrap();
+        assert_eq!(hook.retired, 4);
+        assert_eq!(hook.fetches, 4);
+        assert_eq!(hook.data, 1);
+        assert_eq!(hook.branches, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Disassembly: human-readable listings of virtual-ISA programs.
+//!
+//! Used by debugging sessions and the documentation examples; the
+//! mnemonics follow RISC-V assembly conventions where an equivalent
+//! exists.
+
+use crate::{Inst, Program};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li      {rd}, {imm}"),
+            Inst::Addi { rd, rs, imm } => write!(f, "addi    {rd}, {rs}, {imm}"),
+            Inst::Add { rd, rs1, rs2 } => write!(f, "add     {rd}, {rs1}, {rs2}"),
+            Inst::Sub { rd, rs1, rs2 } => write!(f, "sub     {rd}, {rs1}, {rs2}"),
+            Inst::Mul { rd, rs1, rs2 } => write!(f, "mul     {rd}, {rs1}, {rs2}"),
+            Inst::Muli { rd, rs, imm } => write!(f, "muli    {rd}, {rs}, {imm}"),
+            Inst::Slli { rd, rs, shamt } => write!(f, "slli    {rd}, {rs}, {shamt}"),
+            Inst::Mv { rd, rs } => write!(f, "mv      {rd}, {rs}"),
+            Inst::Ld { rd, rs, imm } => write!(f, "ld      {rd}, {imm}({rs})"),
+            Inst::Sd { rval, rs, imm } => write!(f, "sd      {rval}, {imm}({rs})"),
+            Inst::Fli { fd, imm } => write!(f, "fli     {fd}, {imm}"),
+            Inst::Flw { fd, rs, imm } => write!(f, "flw     {fd}, {imm}({rs})"),
+            Inst::Fsw { fval, rs, imm } => write!(f, "fsw     {fval}, {imm}({rs})"),
+            Inst::Fadd { fd, fs1, fs2 } => write!(f, "fadd.s  {fd}, {fs1}, {fs2}"),
+            Inst::Fsub { fd, fs1, fs2 } => write!(f, "fsub.s  {fd}, {fs1}, {fs2}"),
+            Inst::Fmul { fd, fs1, fs2 } => write!(f, "fmul.s  {fd}, {fs1}, {fs2}"),
+            Inst::Fdiv { fd, fs1, fs2 } => write!(f, "fdiv.s  {fd}, {fs1}, {fs2}"),
+            Inst::Fmadd { fd, fs1, fs2, fs3 } => {
+                write!(f, "fmadd.s {fd}, {fs1}, {fs2}, {fs3}")
+            }
+            Inst::Fmax { fd, fs1, fs2 } => write!(f, "fmax.s  {fd}, {fs1}, {fs2}"),
+            Inst::Fcvt { fd, rs } => write!(f, "fcvt.s  {fd}, {rs}"),
+            Inst::Vload { vd, rs, imm } => write!(f, "vload   {vd}, {imm}({rs})"),
+            Inst::Vstore { vval, rs, imm } => write!(f, "vstore  {vval}, {imm}({rs})"),
+            Inst::Vbcast { vd, fs } => write!(f, "vbcast  {vd}, {fs}"),
+            Inst::Vsplat { vd, imm } => write!(f, "vsplat  {vd}, {imm}"),
+            Inst::Vfadd { vd, vs1, vs2 } => write!(f, "vfadd   {vd}, {vs1}, {vs2}"),
+            Inst::Vfmul { vd, vs1, vs2 } => write!(f, "vfmul   {vd}, {vs1}, {vs2}"),
+            Inst::Vfma { vd, vs1, vs2 } => write!(f, "vfma    {vd}, {vs1}, {vs2}"),
+            Inst::Vfmax { vd, vs1, vs2 } => write!(f, "vfmax   {vd}, {vs1}, {vs2}"),
+            Inst::Vredsum { fd, vs } => write!(f, "vredsum {fd}, {vs}"),
+            Inst::Vinsert { vd, fs, lane } => write!(f, "vins    {vd}[{lane}], {fs}"),
+            Inst::Vextract { fd, vs, lane } => write!(f, "vext    {fd}, {vs}[{lane}]"),
+            Inst::Blt { rs1, rs2, target } => write!(f, "blt     {rs1}, {rs2}, @{target}"),
+            Inst::Bge { rs1, rs2, target } => write!(f, "bge     {rs1}, {rs2}, @{target}"),
+            Inst::Bne { rs1, rs2, target } => write!(f, "bne     {rs1}, {rs2}, @{target}"),
+            Inst::Jmp { target } => write!(f, "j       @{target}"),
+            Inst::Ecall { code } => write!(f, "ecall   {code}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Program {
+    /// Full disassembly listing with instruction indices and branch
+    /// target markers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simtune_isa::{Gpr, Inst, ProgramBuilder};
+    ///
+    /// # fn main() -> Result<(), simtune_isa::BuildProgramError> {
+    /// let mut b = ProgramBuilder::new();
+    /// b.push(Inst::Li { rd: Gpr(1), imm: 3 });
+    /// b.push(Inst::Halt);
+    /// let listing = b.build()?.disassemble();
+    /// assert!(listing.contains("li      r1, 3"));
+    /// assert!(listing.contains("halt"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use std::collections::HashSet;
+        use std::fmt::Write as _;
+
+        // Collect branch targets so the listing marks them.
+        let targets: HashSet<usize> = self
+            .insts()
+            .iter()
+            .filter_map(|i| match *i {
+                Inst::Blt { target, .. }
+                | Inst::Bge { target, .. }
+                | Inst::Bne { target, .. }
+                | Inst::Jmp { target } => Some(target),
+                _ => None,
+            })
+            .collect();
+        let mut out = String::new();
+        for (pc, inst) in self.insts().iter().enumerate() {
+            let mark = if targets.contains(&pc) { ">" } else { " " };
+            let _ = writeln!(out, "{mark}{pc:>6}:  {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fpr, Gpr, ProgramBuilder, Vr};
+
+    #[test]
+    fn every_instruction_kind_disassembles() {
+        let insts = vec![
+            Inst::Li { rd: Gpr(1), imm: -5 },
+            Inst::Addi { rd: Gpr(1), rs: Gpr(2), imm: 8 },
+            Inst::Mul { rd: Gpr(3), rs1: Gpr(1), rs2: Gpr(2) },
+            Inst::Ld { rd: Gpr(4), rs: Gpr(2), imm: 16 },
+            Inst::Flw { fd: Fpr(1), rs: Gpr(2), imm: 4 },
+            Inst::Fmadd { fd: Fpr(2), fs1: Fpr(1), fs2: Fpr(1), fs3: Fpr(2) },
+            Inst::Vload { vd: Vr(1), rs: Gpr(2), imm: 0 },
+            Inst::Vfma { vd: Vr(0), vs1: Vr(1), vs2: Vr(2) },
+            Inst::Vinsert { vd: Vr(1), fs: Fpr(1), lane: 3 },
+            Inst::Ecall { code: 0 },
+            Inst::Halt,
+        ];
+        for inst in insts {
+            let s = inst.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.contains("{"), "unformatted field in {s}");
+        }
+    }
+
+    #[test]
+    fn listing_marks_branch_targets() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 0 });
+        let top = b.bind_new_label();
+        b.push(Inst::Addi { rd: Gpr(1), rs: Gpr(1), imm: 1 });
+        b.push(Inst::Li { rd: Gpr(2), imm: 5 });
+        b.branch_lt(Gpr(1), Gpr(2), top);
+        b.push(Inst::Halt);
+        let listing = b.build().unwrap().disassemble();
+        // Instruction 1 is the loop head: marked with '>'.
+        assert!(listing.lines().any(|l| l.starts_with(">     1:")));
+        assert!(listing.contains("blt     r1, r2, @1"));
+    }
+}

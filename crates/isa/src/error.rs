@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while assembling a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildProgramError {
+    /// A label was referenced by a branch but never bound.
+    UnboundLabel {
+        /// Internal label id.
+        label: u32,
+        /// Index of the referencing instruction.
+        at: usize,
+    },
+    /// A label was bound twice.
+    DuplicateLabel {
+        /// Internal label id.
+        label: u32,
+    },
+    /// A register index exceeds the hard register-file bounds.
+    RegisterOutOfRange {
+        /// Which file: "gpr", "fpr" or "vr".
+        file: &'static str,
+        /// The offending index.
+        index: u8,
+        /// Index of the instruction using it.
+        at: usize,
+    },
+    /// The program has no terminator ([`crate::Inst::Halt`] or `Ecall 0`).
+    MissingTerminator,
+    /// The program is empty.
+    Empty,
+}
+
+impl fmt::Display for BuildProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildProgramError::UnboundLabel { label, at } => {
+                write!(f, "label {label} referenced at instruction {at} was never bound")
+            }
+            BuildProgramError::DuplicateLabel { label } => {
+                write!(f, "label {label} bound more than once")
+            }
+            BuildProgramError::RegisterOutOfRange { file, index, at } => {
+                write!(f, "{file} register {index} out of range at instruction {at}")
+            }
+            BuildProgramError::MissingTerminator => {
+                write!(f, "program has no halt or exit ecall")
+            }
+            BuildProgramError::Empty => write!(f, "program is empty"),
+        }
+    }
+}
+
+impl Error for BuildProgramError {}
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program counter left the code segment without a terminator.
+    PcOutOfRange {
+        /// The runaway program counter.
+        pc: usize,
+    },
+    /// The instruction budget was exhausted (runaway loop guard).
+    InstLimitExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A data access fell outside the simulatable address space.
+    MemoryFault {
+        /// The faulting byte address.
+        addr: u64,
+    },
+    /// An `Ecall` code the syscall-emulation layer does not implement.
+    UnknownSyscall {
+        /// The unrecognized code.
+        code: u16,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            SimError::InstLimitExceeded { limit } => {
+                write!(f, "instruction limit of {limit} exceeded")
+            }
+            SimError::MemoryFault { addr } => write!(f, "memory fault at address {addr:#x}"),
+            SimError::UnknownSyscall { code } => write!(f, "unknown syscall code {code}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(SimError::MemoryFault { addr: 0x40 }.to_string().contains("0x40"));
+        assert!(BuildProgramError::MissingTerminator
+            .to_string()
+            .contains("halt"));
+    }
+}

@@ -1,0 +1,206 @@
+use std::fmt;
+
+/// General-purpose (integer/address) register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gpr(pub u8);
+
+/// Scalar floating-point register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fpr(pub u8);
+
+/// Vector register index (each holds [`MAX_LANES`](crate::inst) f32 lanes;
+/// the active lane count comes from the target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Vr(pub u8);
+
+/// Unresolved branch target used by [`crate::ProgramBuilder`]; resolved to
+/// an instruction index when the program is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) u32);
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for Vr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Maximum vector lanes supported by the register file (the widest
+/// target, x86/AVX2-like, uses all 8).
+pub const MAX_LANES: usize = 8;
+
+/// One instruction of the virtual ISA.
+///
+/// Branch/jump targets are *resolved* instruction indices; construct
+/// programs through [`crate::ProgramBuilder`], which patches labels and
+/// validates register indices against hard register-file bounds.
+///
+/// Memory operands use base + immediate-offset addressing; effective
+/// addresses are byte addresses. Scalar float accesses move 4 bytes,
+/// integer accesses 8 bytes, vector accesses `4 * lanes` bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    // ----- integer -----
+    /// `rd = imm`
+    Li { rd: Gpr, imm: i64 },
+    /// `rd = rs + imm`
+    Addi { rd: Gpr, rs: Gpr, imm: i64 },
+    /// `rd = rs1 + rs2`
+    Add { rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// `rd = rs1 - rs2`
+    Sub { rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// `rd = rs1 * rs2`
+    Mul { rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// `rd = rs * imm` (strength-reduced index arithmetic)
+    Muli { rd: Gpr, rs: Gpr, imm: i64 },
+    /// `rd = rs << shamt`
+    Slli { rd: Gpr, rs: Gpr, shamt: u8 },
+    /// `rd = rs`
+    Mv { rd: Gpr, rs: Gpr },
+    /// `rd = mem64[rs + imm]` (spill reload)
+    Ld { rd: Gpr, rs: Gpr, imm: i64 },
+    /// `mem64[rs + imm] = rval` (spill store)
+    Sd { rval: Gpr, rs: Gpr, imm: i64 },
+
+    // ----- scalar float (f32) -----
+    /// `fd = imm`
+    Fli { fd: Fpr, imm: f32 },
+    /// `fd = mem32[rs + imm]`
+    Flw { fd: Fpr, rs: Gpr, imm: i64 },
+    /// `mem32[rs + imm] = fval`
+    Fsw { fval: Fpr, rs: Gpr, imm: i64 },
+    /// `fd = fs1 + fs2`
+    Fadd { fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// `fd = fs1 - fs2`
+    Fsub { fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// `fd = fs1 * fs2`
+    Fmul { fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// `fd = fs1 / fs2`
+    Fdiv { fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// `fd = fs1 * fs2 + fs3` (fused)
+    Fmadd { fd: Fpr, fs1: Fpr, fs2: Fpr, fs3: Fpr },
+    /// `fd = max(fs1, fs2)` (ReLU)
+    Fmax { fd: Fpr, fs1: Fpr, fs2: Fpr },
+    /// `fd = f32(rs)` integer-to-float conversion
+    Fcvt { fd: Fpr, rs: Gpr },
+
+    // ----- vector (f32 x lanes) -----
+    /// `vd[l] = mem32[rs + imm + 4*l]` for each active lane
+    Vload { vd: Vr, rs: Gpr, imm: i64 },
+    /// `mem32[rs + imm + 4*l] = vval[l]` for each active lane
+    Vstore { vval: Vr, rs: Gpr, imm: i64 },
+    /// `vd[l] = fs` (broadcast)
+    Vbcast { vd: Vr, fs: Fpr },
+    /// `vd[l] = imm` (splat constant)
+    Vsplat { vd: Vr, imm: f32 },
+    /// `vd[l] = vs1[l] + vs2[l]`
+    Vfadd { vd: Vr, vs1: Vr, vs2: Vr },
+    /// `vd[l] = vs1[l] * vs2[l]`
+    Vfmul { vd: Vr, vs1: Vr, vs2: Vr },
+    /// `vd[l] = vs1[l] * vs2[l] + vd[l]` (fused accumulate)
+    Vfma { vd: Vr, vs1: Vr, vs2: Vr },
+    /// `vd[l] = max(vs1[l], vs2[l])`
+    Vfmax { vd: Vr, vs1: Vr, vs2: Vr },
+    /// `fd = Σ_l vs[l]` (horizontal reduction)
+    Vredsum { fd: Fpr, vs: Vr },
+    /// `vd[lane] = fs` (single-lane insert; strided vector load lowering)
+    Vinsert { vd: Vr, fs: Fpr, lane: u8 },
+    /// `fd = vs[lane]` (single-lane extract; strided vector store lowering)
+    Vextract { fd: Fpr, vs: Vr, lane: u8 },
+
+    // ----- control -----
+    /// `if rs1 < rs2 { pc = target }`
+    Blt { rs1: Gpr, rs2: Gpr, target: usize },
+    /// `if rs1 >= rs2 { pc = target }`
+    Bge { rs1: Gpr, rs2: Gpr, target: usize },
+    /// `if rs1 != rs2 { pc = target }`
+    Bne { rs1: Gpr, rs2: Gpr, target: usize },
+    /// `pc = target`
+    Jmp { target: usize },
+
+    // ----- system -----
+    /// Syscall-emulation hook; code 0 is `exit`.
+    Ecall { code: u16 },
+    /// Stop execution.
+    Halt,
+}
+
+impl Inst {
+    /// True for instructions that terminate execution.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Halt | Inst::Ecall { code: 0 })
+    }
+
+    /// True for control-flow instructions (the paper's "branch" class).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Blt { .. } | Inst::Bge { .. } | Inst::Bne { .. } | Inst::Jmp { .. }
+        )
+    }
+
+    /// True for instructions that read data memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ld { .. } | Inst::Flw { .. } | Inst::Vload { .. }
+        )
+    }
+
+    /// True for instructions that write data memory.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Inst::Sd { .. } | Inst::Fsw { .. } | Inst::Vstore { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Inst::Halt.is_terminator());
+        assert!(Inst::Ecall { code: 0 }.is_terminator());
+        assert!(!Inst::Ecall { code: 1 }.is_terminator());
+        assert!(Inst::Jmp { target: 0 }.is_branch());
+        assert!(Inst::Flw {
+            fd: Fpr(0),
+            rs: Gpr(0),
+            imm: 0
+        }
+        .is_load());
+        assert!(Inst::Vstore {
+            vval: Vr(0),
+            rs: Gpr(0),
+            imm: 0
+        }
+        .is_store());
+        assert!(!Inst::Fadd {
+            fd: Fpr(0),
+            fs1: Fpr(0),
+            fs2: Fpr(0)
+        }
+        .is_load());
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(Gpr(3).to_string(), "r3");
+        assert_eq!(Fpr(1).to_string(), "f1");
+        assert_eq!(Vr(7).to_string(), "v7");
+    }
+}

@@ -1,0 +1,74 @@
+//! Virtual RISC-like ISA and instruction-accurate (atomic-mode) simulator.
+//!
+//! This crate is the stand-in for gem5 in the paper's setup
+//! (Section II-C / III-B): a *functional* CPU model that executes one
+//! instruction per step, routes every fetch and data access through a
+//! [`simtune_cache::CacheHierarchy`], and reports instruction-mix and cache
+//! statistics — but **no timing**. The atomic `SimpleCPU` + syscall
+//! emulation combination the paper uses maps to:
+//!
+//! * [`AtomicCpu`] — single-transaction memory accesses, no pipeline;
+//! * [`Executable`] — a "standalone executable" whose prepared input
+//!   tensors are materialized into simulator memory by the loader, the
+//!   moral equivalent of the generated `main` function in Section III-A;
+//! * [`Inst::Ecall`] — the tiny syscall-emulation surface (exit).
+//!
+//! The ISA itself is a register RISC machine with scalar integer/float
+//! operations, fused multiply-add, and fixed-width vector operations whose
+//! lane count is a property of the [`TargetIsa`] (8 for the x86-like
+//! target, 4 for the ARM-like target, 1 — i.e. no vectors — for the
+//! RISC-V-like U74 target, which has no V extension).
+//!
+//! # Example
+//!
+//! ```
+//! use simtune_cache::HierarchyConfig;
+//! use simtune_isa::{AtomicCpu, Gpr, Inst, Memory, ProgramBuilder, RunLimits, TargetIsa};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // r1 = 5; r2 = 37; r3 = r1 + r2; halt.
+//! let mut b = ProgramBuilder::new();
+//! b.push(Inst::Li { rd: Gpr(1), imm: 5 });
+//! b.push(Inst::Li { rd: Gpr(2), imm: 37 });
+//! b.push(Inst::Add { rd: Gpr(3), rs1: Gpr(1), rs2: Gpr(2) });
+//! b.push(Inst::Halt);
+//! let prog = b.build()?;
+//!
+//! let target = TargetIsa::riscv_u74();
+//! let mut cpu = AtomicCpu::new(&target);
+//! let mut mem = Memory::new();
+//! let mut hier = simtune_cache::CacheHierarchy::new(
+//!     simtune_cache::HierarchyConfig::tiny_for_tests());
+//! let stats = cpu.run(&prog, &mut mem, &mut hier, RunLimits::default())?;
+//! assert_eq!(cpu.gpr(Gpr(3)), 42);
+//! assert_eq!(stats.inst_mix.total(), 4);
+//! # let _ = HierarchyConfig::tiny_for_tests();
+//! # Ok(())
+//! # }
+//! ```
+
+mod cpu;
+mod disasm;
+mod error;
+mod exec;
+mod inst;
+mod memory;
+mod program;
+mod stats;
+mod target;
+
+pub use cpu::{AtomicCpu, ExecHook, NoopHook, RunLimits};
+pub use error::{BuildProgramError, SimError};
+pub use exec::{simulate, Executable, SimOutcome};
+pub use inst::{Fpr, Gpr, Inst, Label, Vr};
+pub use memory::Memory;
+pub use program::{Program, ProgramBuilder};
+pub use stats::{InstMix, SimStats};
+pub use target::TargetIsa;
+
+/// Base address at which program code is mapped.
+pub const CODE_BASE: u64 = 0x1_0000;
+/// Base address of the data segment (tensor buffers).
+pub const DATA_BASE: u64 = 0x100_0000;
+/// Base address of the downward-growing stack (spill slots).
+pub const STACK_BASE: u64 = 0x4000_0000;

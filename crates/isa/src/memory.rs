@@ -1,0 +1,253 @@
+use crate::SimError;
+
+const PAGE_BITS: u32 = 16;
+const PAGE_BYTES: usize = 1 << PAGE_BITS; // 64 KiB
+/// Simulatable address space: 4 GiB (65536 pages), allocated lazily.
+const MAX_PAGES: usize = 1 << 16;
+
+/// Sparse, page-granular byte-addressable memory.
+///
+/// Pages (64 KiB) are allocated on first touch, so tensor buffers placed
+/// megabytes apart cost only the pages they actually use. Unwritten bytes
+/// read as zero, which the loader exploits when materializing zero-padded
+/// input tensors.
+///
+/// # Example
+///
+/// ```
+/// use simtune_isa::Memory;
+///
+/// # fn main() -> Result<(), simtune_isa::SimError> {
+/// let mut m = Memory::new();
+/// m.write_f32(0x1000, 3.5)?;
+/// assert_eq!(m.read_f32(0x1000)?, 3.5);
+/// assert_eq!(m.read_f32(0x2000)?, 0.0); // untouched memory reads zero
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: Vec<Option<Box<[u8]>>>,
+}
+
+impl Memory {
+    /// Creates an empty memory with no pages allocated.
+    pub fn new() -> Self {
+        Memory { pages: Vec::new() }
+    }
+
+    /// Number of 64 KiB pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn page_index(addr: u64) -> Result<usize, SimError> {
+        let idx = (addr >> PAGE_BITS) as usize;
+        if idx >= MAX_PAGES {
+            Err(SimError::MemoryFault { addr })
+        } else {
+            Ok(idx)
+        }
+    }
+
+    fn page_mut(&mut self, idx: usize) -> &mut [u8] {
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || None);
+        }
+        self.pages[idx]
+            .get_or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice())
+            .as_mut()
+    }
+
+    fn page(&self, idx: usize) -> Option<&[u8]> {
+        self.pages.get(idx).and_then(|p| p.as_deref())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, SimError> {
+        let idx = Self::page_index(addr)?;
+        Ok(self
+            .page(idx)
+            .map(|p| p[(addr as usize) & (PAGE_BYTES - 1)])
+            .unwrap_or(0))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), SimError> {
+        let idx = Self::page_index(addr)?;
+        self.page_mut(idx)[(addr as usize) & (PAGE_BYTES - 1)] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn read_f32(&self, addr: u64) -> Result<f32, SimError> {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn write_f32(&mut self, addr: u64, value: f32) -> Result<(), SimError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian i64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, SimError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(i64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian i64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn write_i64(&mut self, addr: u64, value: i64) -> Result<(), SimError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Copies `buf.len()` bytes out of memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        // Fast path: within one page.
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + buf.len() <= PAGE_BYTES {
+            let idx = Self::page_index(addr)?;
+            Self::page_index(addr + buf.len().max(1) as u64 - 1)?;
+            match self.page(idx) {
+                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return Ok(());
+        }
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + bytes.len() <= PAGE_BYTES {
+            let idx = Self::page_index(addr)?;
+            Self::page_index(addr + bytes.len().max(1) as u64 - 1)?;
+            self.page_mut(idx)[off..off + bytes.len()].copy_from_slice(bytes);
+            return Ok(());
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` consecutive f32 values starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn read_f32_slice(&self, addr: u64, count: usize) -> Result<Vec<f32>, SimError> {
+        (0..count)
+            .map(|i| self.read_f32(addr + 4 * i as u64))
+            .collect()
+    }
+
+    /// Writes consecutive f32 values starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] beyond the address space.
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) -> Result<(), SimError> {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0).unwrap(), 0);
+        assert_eq!(m.read_f32(12345).unwrap(), 0.0);
+        assert_eq!(m.read_i64(999).unwrap(), 0);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut m = Memory::new();
+        m.write_f32(100, -2.25).unwrap();
+        m.write_i64(200, -77).unwrap();
+        assert_eq!(m.read_f32(100).unwrap(), -2.25);
+        assert_eq!(m.read_i64(200).unwrap(), -77);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (PAGE_BYTES - 2) as u64; // i64 straddles page 0/1
+        m.write_i64(addr, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_i64(addr).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn fault_beyond_address_space() {
+        let mut m = Memory::new();
+        let bad = (MAX_PAGES as u64) << PAGE_BITS;
+        assert!(matches!(m.read_u8(bad), Err(SimError::MemoryFault { .. })));
+        assert!(matches!(
+            m.write_u8(bad, 1),
+            Err(SimError::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = Memory::new();
+        let vals = vec![1.0f32, -2.0, 3.5, 0.0, 9.25];
+        m.write_f32_slice(4096, &vals).unwrap();
+        assert_eq!(m.read_f32_slice(4096, 5).unwrap(), vals);
+    }
+
+    #[test]
+    fn pages_allocate_lazily() {
+        let mut m = Memory::new();
+        assert_eq!(m.resident_pages(), 0);
+        m.write_u8(0, 1).unwrap();
+        m.write_u8((10 << PAGE_BITS) + 5, 1).unwrap();
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

@@ -1,0 +1,354 @@
+use crate::inst::MAX_LANES;
+use crate::{BuildProgramError, Fpr, Gpr, Inst, Label, Vr};
+use std::collections::HashMap;
+
+/// Hard bound of the integer register file (targets expose fewer).
+pub(crate) const GPR_FILE: usize = 32;
+/// Hard bound of the float register file.
+pub(crate) const FPR_FILE: usize = 32;
+/// Hard bound of the vector register file.
+pub(crate) const VR_FILE: usize = 32;
+
+/// A validated, label-resolved instruction sequence.
+///
+/// Obtained from [`ProgramBuilder::build`]; every branch target points
+/// inside the program, every register index is within the hard register
+/// file bounds, and a terminator is guaranteed to exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// The instruction sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions (static code size).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions (never true for built
+    /// programs, which require a terminator).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Static code footprint in bytes for a given encoding width,
+    /// used to lay the program out for I-cache simulation.
+    pub fn code_bytes(&self, inst_bytes: u64) -> u64 {
+        self.insts.len() as u64 * inst_bytes
+    }
+}
+
+/// Incremental program assembler with labels and validation.
+///
+/// # Example
+///
+/// ```
+/// use simtune_isa::{Gpr, Inst, ProgramBuilder};
+///
+/// # fn main() -> Result<(), simtune_isa::BuildProgramError> {
+/// // Count r1 from 0 to 10.
+/// let mut b = ProgramBuilder::new();
+/// b.push(Inst::Li { rd: Gpr(1), imm: 0 });
+/// b.push(Inst::Li { rd: Gpr(2), imm: 10 });
+/// let top = b.bind_new_label();
+/// b.push(Inst::Addi { rd: Gpr(1), rs: Gpr(1), imm: 1 });
+/// b.branch_lt(Gpr(1), Gpr(2), top);
+/// b.push(Inst::Halt);
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: HashMap<u32, usize>,
+    next_label: u32,
+    // (instruction index, label) pairs to patch at build time.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction and returns its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Current instruction count (the index the next `push` will get).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Allocates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (programmer error in codegen).
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.labels.insert(label.0, self.insts.len());
+        assert!(prev.is_none(), "label {} bound twice", label.0);
+    }
+
+    /// Convenience: allocate a label and bind it here.
+    pub fn bind_new_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits `blt rs1, rs2, label` with a deferred target.
+    pub fn branch_lt(&mut self, rs1: Gpr, rs2: Gpr, label: Label) {
+        let at = self.push(Inst::Blt {
+            rs1,
+            rs2,
+            target: usize::MAX,
+        });
+        self.fixups.push((at, label));
+    }
+
+    /// Emits `bge rs1, rs2, label` with a deferred target.
+    pub fn branch_ge(&mut self, rs1: Gpr, rs2: Gpr, label: Label) {
+        let at = self.push(Inst::Bge {
+            rs1,
+            rs2,
+            target: usize::MAX,
+        });
+        self.fixups.push((at, label));
+    }
+
+    /// Emits `bne rs1, rs2, label` with a deferred target.
+    pub fn branch_ne(&mut self, rs1: Gpr, rs2: Gpr, label: Label) {
+        let at = self.push(Inst::Bne {
+            rs1,
+            rs2,
+            target: usize::MAX,
+        });
+        self.fixups.push((at, label));
+    }
+
+    /// Emits `jmp label` with a deferred target.
+    pub fn jump(&mut self, label: Label) {
+        let at = self.push(Inst::Jmp { target: usize::MAX });
+        self.fixups.push((at, label));
+    }
+
+    /// Resolves labels, validates registers and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProgramError`] if the program is empty, lacks a
+    /// terminator, references an unbound label, or uses a register index
+    /// outside the hard register file bounds.
+    pub fn build(mut self) -> Result<Program, BuildProgramError> {
+        if self.insts.is_empty() {
+            return Err(BuildProgramError::Empty);
+        }
+        for (at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(&label.0)
+                .ok_or(BuildProgramError::UnboundLabel {
+                    label: label.0,
+                    at: *at,
+                })?;
+            match &mut self.insts[*at] {
+                Inst::Blt { target: t, .. }
+                | Inst::Bge { target: t, .. }
+                | Inst::Bne { target: t, .. }
+                | Inst::Jmp { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        if !self.insts.iter().any(|i| i.is_terminator()) {
+            return Err(BuildProgramError::MissingTerminator);
+        }
+        for (at, inst) in self.insts.iter().enumerate() {
+            validate_registers(inst, at)?;
+        }
+        Ok(Program { insts: self.insts })
+    }
+}
+
+fn validate_registers(inst: &Inst, at: usize) -> Result<(), BuildProgramError> {
+    let g = |r: Gpr| -> Result<(), BuildProgramError> {
+        if (r.0 as usize) < GPR_FILE {
+            Ok(())
+        } else {
+            Err(BuildProgramError::RegisterOutOfRange {
+                file: "gpr",
+                index: r.0,
+                at,
+            })
+        }
+    };
+    let fp = |r: Fpr| -> Result<(), BuildProgramError> {
+        if (r.0 as usize) < FPR_FILE {
+            Ok(())
+        } else {
+            Err(BuildProgramError::RegisterOutOfRange {
+                file: "fpr",
+                index: r.0,
+                at,
+            })
+        }
+    };
+    let v = |r: Vr| -> Result<(), BuildProgramError> {
+        if (r.0 as usize) < VR_FILE {
+            Ok(())
+        } else {
+            Err(BuildProgramError::RegisterOutOfRange {
+                file: "vr",
+                index: r.0,
+                at,
+            })
+        }
+    };
+    let lane = |l: u8| -> Result<(), BuildProgramError> {
+        if (l as usize) < MAX_LANES {
+            Ok(())
+        } else {
+            Err(BuildProgramError::RegisterOutOfRange {
+                file: "vr",
+                index: l,
+                at,
+            })
+        }
+    };
+    match *inst {
+        Inst::Li { rd, .. } => g(rd),
+        Inst::Addi { rd, rs, .. } | Inst::Muli { rd, rs, .. } | Inst::Mv { rd, rs } => {
+            g(rd).and(g(rs))
+        }
+        Inst::Slli { rd, rs, .. } => g(rd).and(g(rs)),
+        Inst::Add { rd, rs1, rs2 } | Inst::Sub { rd, rs1, rs2 } | Inst::Mul { rd, rs1, rs2 } => {
+            g(rd).and(g(rs1)).and(g(rs2))
+        }
+        Inst::Ld { rd, rs, .. } => g(rd).and(g(rs)),
+        Inst::Sd { rval, rs, .. } => g(rval).and(g(rs)),
+        Inst::Fli { fd, .. } => fp(fd),
+        Inst::Flw { fd, rs, .. } => fp(fd).and(g(rs)),
+        Inst::Fsw { fval, rs, .. } => fp(fval).and(g(rs)),
+        Inst::Fadd { fd, fs1, fs2 }
+        | Inst::Fsub { fd, fs1, fs2 }
+        | Inst::Fmul { fd, fs1, fs2 }
+        | Inst::Fdiv { fd, fs1, fs2 }
+        | Inst::Fmax { fd, fs1, fs2 } => fp(fd).and(fp(fs1)).and(fp(fs2)),
+        Inst::Fmadd { fd, fs1, fs2, fs3 } => fp(fd).and(fp(fs1)).and(fp(fs2)).and(fp(fs3)),
+        Inst::Fcvt { fd, rs } => fp(fd).and(g(rs)),
+        Inst::Vload { vd, rs, .. } => v(vd).and(g(rs)),
+        Inst::Vstore { vval, rs, .. } => v(vval).and(g(rs)),
+        Inst::Vbcast { vd, fs } => v(vd).and(fp(fs)),
+        Inst::Vsplat { vd, .. } => v(vd),
+        Inst::Vfadd { vd, vs1, vs2 }
+        | Inst::Vfmul { vd, vs1, vs2 }
+        | Inst::Vfma { vd, vs1, vs2 }
+        | Inst::Vfmax { vd, vs1, vs2 } => v(vd).and(v(vs1)).and(v(vs2)),
+        Inst::Vredsum { fd, vs } => fp(fd).and(v(vs)),
+        Inst::Vinsert { vd, fs, lane: l } => v(vd).and(fp(fs)).and(lane(l)),
+        Inst::Vextract { fd, vs, lane: l } => fp(fd).and(v(vs)).and(lane(l)),
+        Inst::Blt { rs1, rs2, .. } | Inst::Bge { rs1, rs2, .. } | Inst::Bne { rs1, rs2, .. } => {
+            g(rs1).and(g(rs2))
+        }
+        Inst::Jmp { .. } | Inst::Ecall { .. } | Inst::Halt => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.push(Inst::Li { rd: Gpr(1), imm: 0 });
+        b.jump(end);
+        b.push(Inst::Li { rd: Gpr(1), imm: 99 }); // skipped
+        b.bind(end);
+        b.push(Inst::Halt);
+        let p = b.build().unwrap();
+        match p.insts()[1] {
+            Inst::Jmp { target } => assert_eq!(target, 3),
+            ref other => panic!("expected jmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.build(),
+            Err(BuildProgramError::UnboundLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(0), imm: 1 });
+        assert!(matches!(
+            b.build(),
+            Err(BuildProgramError::MissingTerminator)
+        ));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(matches!(
+            ProgramBuilder::new().build(),
+            Err(BuildProgramError::Empty)
+        ));
+    }
+
+    #[test]
+    fn register_bounds_are_enforced() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(32),
+            imm: 0,
+        });
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.build(),
+            Err(BuildProgramError::RegisterOutOfRange { file: "gpr", .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn code_bytes_scales_with_encoding() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Halt);
+        let p = b.build().unwrap();
+        assert_eq!(p.code_bytes(4), 4);
+    }
+}

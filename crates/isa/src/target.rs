@@ -1,0 +1,132 @@
+/// Architectural parameters of a simulation target.
+///
+/// One `TargetIsa` instance describes the ISA-visible resources the code
+/// generator may use and the encoding size used for instruction-fetch
+/// addresses. The three presets correspond to the paper's evaluation
+/// platforms (Section IV); the numbers are ISA properties (register
+/// counts, SIMD width), not microarchitectural ones — timing lives in
+/// `simtune-hw`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TargetIsa {
+    /// Short label: `"x86"`, `"arm"` or `"riscv"`.
+    pub name: &'static str,
+    /// f32 lanes per vector register (1 = scalar-only target).
+    pub vector_lanes: usize,
+    /// General-purpose registers available to generated code.
+    pub gpr_count: usize,
+    /// Scalar floating-point registers available to generated code.
+    pub fpr_count: usize,
+    /// Vector registers available to generated code.
+    pub vreg_count: usize,
+    /// Whether fused multiply-add is available (all presets: yes).
+    pub has_fma: bool,
+    /// Bytes per instruction used to lay out code for I-cache simulation.
+    /// x86 encodings are variable-length; 4 B is the common average.
+    pub inst_bytes: u64,
+}
+
+impl TargetIsa {
+    /// AMD Ryzen 7 5800X-like x86-64 target: AVX2 (8 x f32), 16 GPRs,
+    /// 16 vector registers. The small GPR file is what makes deep loop
+    /// nests spill on this target.
+    pub fn x86_ryzen_5800x() -> Self {
+        TargetIsa {
+            name: "x86",
+            vector_lanes: 8,
+            gpr_count: 16,
+            fpr_count: 16,
+            vreg_count: 16,
+            has_fma: true,
+            inst_bytes: 4,
+        }
+    }
+
+    /// ARM Cortex-A72-like AArch64 target: NEON (4 x f32), 31 GPRs,
+    /// 32 SIMD registers.
+    pub fn arm_cortex_a72() -> Self {
+        TargetIsa {
+            name: "arm",
+            vector_lanes: 4,
+            gpr_count: 31,
+            fpr_count: 32,
+            vreg_count: 32,
+            has_fma: true,
+            inst_bytes: 4,
+        }
+    }
+
+    /// SiFive U74-like RV64GC target: no vector extension (lane count 1),
+    /// 32 GPRs, 32 FPRs.
+    pub fn riscv_u74() -> Self {
+        TargetIsa {
+            name: "riscv",
+            vector_lanes: 1,
+            gpr_count: 32,
+            fpr_count: 32,
+            vreg_count: 0,
+            has_fma: true,
+            inst_bytes: 4,
+        }
+    }
+
+    /// The three paper targets in table order (x86, ARM, RISC-V).
+    pub fn paper_targets() -> Vec<TargetIsa> {
+        vec![
+            Self::x86_ryzen_5800x(),
+            Self::arm_cortex_a72(),
+            Self::riscv_u74(),
+        ]
+    }
+
+    /// Looks a preset up by its short label.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simtune_isa::TargetIsa;
+    /// assert_eq!(TargetIsa::by_name("arm").unwrap().vector_lanes, 4);
+    /// assert!(TargetIsa::by_name("sparc").is_none());
+    /// ```
+    pub fn by_name(name: &str) -> Option<TargetIsa> {
+        match name {
+            "x86" => Some(Self::x86_ryzen_5800x()),
+            "arm" => Some(Self::arm_cortex_a72()),
+            "riscv" => Some(Self::riscv_u74()),
+            _ => None,
+        }
+    }
+
+    /// True when the target supports vector instructions at all.
+    pub fn has_vectors(&self) -> bool {
+        self.vector_lanes > 1 && self.vreg_count > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_platforms() {
+        let x86 = TargetIsa::x86_ryzen_5800x();
+        assert_eq!(x86.vector_lanes, 8);
+        assert_eq!(x86.gpr_count, 16);
+        assert!(x86.has_vectors());
+
+        let arm = TargetIsa::arm_cortex_a72();
+        assert_eq!(arm.vector_lanes, 4);
+        assert_eq!(arm.gpr_count, 31);
+
+        let riscv = TargetIsa::riscv_u74();
+        assert!(!riscv.has_vectors(), "U74 has no V extension");
+        assert_eq!(riscv.gpr_count, 32);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for t in TargetIsa::paper_targets() {
+            assert_eq!(TargetIsa::by_name(t.name), Some(t.clone()));
+        }
+        assert!(TargetIsa::by_name("").is_none());
+    }
+}

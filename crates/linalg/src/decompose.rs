@@ -1,0 +1,369 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// Used by the Gaussian-process predictor (kernel matrix inversion and
+/// log-determinants) and by ridge-regularized normal equations.
+///
+/// # Example
+///
+/// ```
+/// use simtune_linalg::Matrix;
+///
+/// # fn main() -> Result<(), simtune_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![25.0, 15.0], vec![15.0, 18.0]])?;
+/// let chol = a.cholesky()?;
+/// let x = chol.solve(&[40.0, 33.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper triangle is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    /// positive.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `L y = b` only (forward substitution). Needed for GP
+    /// predictive variances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// `log |A| = 2 Σ log L_ii`, used in the GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// Used for general (possibly non-SPD) linear solves such as unregularized
+/// normal equations.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined LU storage: unit lower triangle below the diagonal, U on
+    /// and above it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+    /// [`LinalgError::Singular`] if no usable pivot exists.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivoting: find the largest remaining entry in `col`.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in col + 1..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                perm.swap(col, pivot_row);
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let inv = 1.0 / lu[(col, col)];
+            for r in col + 1..n {
+                let factor = lu[(r, col)] * inv;
+                lu[(r, col)] = factor;
+                for j in col + 1..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(r, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl Matrix {
+    /// Convenience wrapper for [`Cholesky::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cholesky::new`].
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        Cholesky::new(self)
+    }
+
+    /// Convenience wrapper for [`Lu::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Lu::new`].
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        Lu::new(self)
+    }
+
+    /// Solves `A x = b`, trying Cholesky first (fast path for SPD matrices)
+    /// and falling back to pivoted LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the matrix is singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self.cholesky() {
+            Ok(c) => c.solve(b),
+            Err(_) => self.lu()?.solve(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random SPD matrix: B Bᵀ + n·I.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(6, 42);
+        let c = a.cholesky().unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small() {
+        let a = spd(8, 7);
+        let b: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        let r = a.mat_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_log_det_matches_known() {
+        // A = diag(4, 9) -> |A| = 36.
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]).unwrap();
+        let c = a.cholesky().unwrap();
+        assert!((c.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_nonsymmetric() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = vec![-8.0, 0.0, 3.0];
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = a.mat_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn generic_solve_falls_back_to_lu() {
+        // Indefinite but non-singular: Cholesky fails, LU succeeds.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_lower_is_forward_substitution() {
+        let a = spd(5, 3);
+        let c = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = c.solve_lower(&b).unwrap();
+        let r = c.l().mat_vec(&y);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization required a (strictly) positive-definite or
+    /// non-singular matrix and the input was not.
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+    },
+    /// LU factorization found no usable pivot (matrix is singular to
+    /// working precision).
+    Singular {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+    },
+    /// A constructor was given rows of unequal length or an empty shape.
+    MalformedInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            LinalgError::MalformedInput(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Small dense linear algebra for the `simtune` predictors.
+//!
+//! The predictor crate needs exactly the operations implemented here:
+//! dense row-major matrices, matrix products, Cholesky and LU
+//! factorizations with triangular solves (for multiple linear regression
+//! normal equations and Gaussian-process posteriors), and a handful of
+//! summary statistics (mean / median / variance / quantiles) used by the
+//! feature pipeline and the measurement harness.
+//!
+//! Everything is `f64` and written for clarity over raw speed; the matrices
+//! involved are at most a few thousand rows.
+//!
+//! # Example
+//!
+//! ```
+//! use simtune_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), simtune_linalg::LinalgError> {
+//! // Solve the SPD system A x = b via Cholesky.
+//! let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]])?;
+//! let b = vec![1.0, 2.0];
+//! let chol = a.cholesky()?;
+//! let x = chol.solve(&b)?;
+//! let r = a.mat_vec(&x);
+//! assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod decompose;
+mod error;
+mod matrix;
+pub mod stats;
+
+pub use decompose::{Cholesky, Lu};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,464 @@
+use crate::LinalgError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix.
+///
+/// This is the single data structure shared by all predictors. It supports
+/// the usual constructors, element access via `m[(i, j)]`, products,
+/// transposes and row/column extraction.
+///
+/// # Example
+///
+/// ```
+/// use simtune_linalg::Matrix;
+///
+/// # fn main() -> Result<(), simtune_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c[(1, 0)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equally sized rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] if `rows` is empty or the
+    /// rows have different lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::MalformedInput(
+                "from_rows requires at least one non-empty row".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::MalformedInput(
+                "from_rows requires rows of equal length".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::MalformedInput(format!(
+                "from_vec: expected {} elements, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for each element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the `i`-th row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies the `j`-th column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner accesses contiguous.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for j in 0..rrow.len() {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`.
+    pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mat_vec: length mismatch");
+        (0..self.rows).map(|i| crate::dot(self.row(i), v)).collect()
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * alpha).collect(),
+        }
+    }
+
+    /// Adds `alpha` to every diagonal element in place (useful as jitter
+    /// before a Cholesky factorization).
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Gram matrix `selfᵀ * self` (always square, `cols x cols`).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Maximum absolute element, or 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.as_slice(), &[0.0; 6]);
+        let f = Matrix::filled(1, 2, 7.0);
+        assert_eq!(f.as_slice(), &[7.0, 7.0]);
+        let e = Matrix::identity(3);
+        assert_eq!(e[(1, 1)], 1.0);
+        assert_eq!(e[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let p = m.matmul(&Matrix::identity(3)).unwrap();
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(approx(c[(0, 0)], 19.0));
+        assert!(approx(c[(0, 1)], 22.0));
+        assert!(approx(c[(1, 0)], 43.0));
+        assert!(approx(c[(1, 1)], 50.0));
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn mat_vec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = a.mat_vec(&[1.0, 1.0]);
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], expected[(i, j)]));
+                assert!(approx(g[(i, j)], g[(j, i)]));
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_scale_diagonal() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        assert_eq!(a.add(&b).unwrap(), Matrix::filled(2, 2, 3.0));
+        assert_eq!(b.sub(&a).unwrap(), Matrix::filled(2, 2, 1.0));
+        assert_eq!(a.scale(3.0), Matrix::filled(2, 2, 3.0));
+        let mut d = Matrix::zeros(2, 2);
+        d.add_diagonal(5.0);
+        assert_eq!(d[(0, 0)], 5.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+}

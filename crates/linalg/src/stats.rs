@@ -1,0 +1,213 @@
+//! Summary statistics shared by the feature pipeline, the measurement
+//! harness and the experiment reports.
+//!
+//! All functions treat an empty input as a hard precondition violation and
+//! panic, because every call site in `simtune` constructs its inputs and an
+//! empty slice always indicates a logic error upstream.
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median. For even-length inputs returns the mean of the two middle
+/// elements (the convention used for the paper's `N_exe = 15` repetitions,
+/// which are odd anyway).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Indices that sort `xs` ascending (stable; `NaN`-free input assumed).
+///
+/// # Panics
+///
+/// Panics if `xs` contains NaN.
+pub fn argsort(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("argsort: NaN in input"));
+    idx
+}
+
+/// Index of the minimum element.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+pub fn argmin(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for i in 1..xs.len() {
+        if xs[i].partial_cmp(&xs[best]).expect("argmin: NaN in input")
+            == std::cmp::Ordering::Less
+        {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0.0 when either slice has zero variance.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors.
+/// This is the natural quality measure for a *score* predictor, which only
+/// has to order implementations correctly (Section III-D of the paper).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let order = argsort(v);
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in order.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argsort_orders_indices() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+        assert_eq!(argsort(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn argmin_finds_first_minimum() {
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear relation: Spearman 1, Pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty slice")]
+    fn mean_empty_panics() {
+        let _ = mean(&[]);
+    }
+}

@@ -1,0 +1,155 @@
+use crate::{GbtConfig, GbtRegressor, Loss, PredictError, Regressor};
+use simtune_linalg::Matrix;
+
+/// Hyperparameter grid for tuning [`GbtRegressor`], mirroring the grid
+/// search the paper applied to XGBoost (Section IV-C, citing grid search
+/// as the tuning method for its many hyperparameters).
+#[derive(Debug, Clone)]
+pub struct GbtGrid {
+    /// Learning rates to try.
+    pub learning_rates: Vec<f64>,
+    /// Maximum depths to try.
+    pub max_depths: Vec<usize>,
+    /// L2 regularization strengths to try.
+    pub lambdas: Vec<f64>,
+    /// Column subsample ratios to try.
+    pub colsamples: Vec<f64>,
+    /// Tree counts to try.
+    pub n_trees: Vec<usize>,
+}
+
+impl Default for GbtGrid {
+    fn default() -> Self {
+        GbtGrid {
+            learning_rates: vec![0.05, 0.1],
+            max_depths: vec![2, 3, 4],
+            lambdas: vec![0.0, 0.1, 1.0],
+            colsamples: vec![0.6, 1.0],
+            n_trees: vec![150, 300],
+        }
+    }
+}
+
+impl GbtGrid {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.learning_rates.len()
+            * self.max_depths.len()
+            * self.lambdas.len()
+            * self.colsamples.len()
+            * self.n_trees.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Exhaustive grid search for the best GBT configuration under holdout
+/// validation: fits each grid point on `(x_train, y_train)`, scores
+/// `loss` on `(x_val, y_val)`, returns the winning configuration and its
+/// validation loss.
+///
+/// # Errors
+///
+/// Propagates fit errors; returns [`PredictError::EmptyTrainingSet`] for
+/// an empty grid.
+///
+/// # Example
+///
+/// ```
+/// use simtune_linalg::Matrix;
+/// use simtune_predict::{grid_search_gbt, GbtGrid, Loss};
+///
+/// # fn main() -> Result<(), simtune_predict::PredictError> {
+/// let x = Matrix::from_fn(60, 1, |i, _| i as f64);
+/// let y: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 1.0 }).collect();
+/// let grid = GbtGrid { n_trees: vec![20], ..GbtGrid::default() };
+/// let (cfg, loss) = grid_search_gbt(&grid, &x, &y, &x, &y, Loss::Mse, 1)?;
+/// assert!(loss < 0.05);
+/// assert!(grid.max_depths.contains(&cfg.max_depth));
+/// # Ok(())
+/// # }
+/// ```
+pub fn grid_search_gbt(
+    grid: &GbtGrid,
+    x_train: &Matrix,
+    y_train: &[f64],
+    x_val: &Matrix,
+    y_val: &[f64],
+    loss: Loss,
+    seed: u64,
+) -> Result<(GbtConfig, f64), PredictError> {
+    let mut best: Option<(GbtConfig, f64)> = None;
+    for &lr in &grid.learning_rates {
+        for &depth in &grid.max_depths {
+            for &lambda in &grid.lambdas {
+                for &colsample in &grid.colsamples {
+                    for &trees in &grid.n_trees {
+                        let cfg = GbtConfig {
+                            learning_rate: lr,
+                            max_depth: depth,
+                            lambda,
+                            colsample,
+                            n_trees: trees,
+                            seed,
+                            ..GbtConfig::default()
+                        };
+                        let mut model = GbtRegressor::new(cfg.clone());
+                        model.fit(x_train, y_train)?;
+                        let pred = model.predict(x_val)?;
+                        let l = loss.compute(y_val, &pred);
+                        if best.as_ref().map(|(_, bl)| l < *bl).unwrap_or(true) {
+                            best = Some((cfg, l));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.ok_or(PredictError::EmptyTrainingSet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_len_is_product() {
+        let g = GbtGrid::default();
+        assert_eq!(g.len(), 2 * 3 * 3 * 2 * 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn picks_depth_that_fits_interactions() {
+        // y = XOR-ish of two binary features: depth-1 stumps cannot fit,
+        // depth >= 2 can.
+        let x = Matrix::from_fn(80, 2, |i, j| ((i >> j) & 1) as f64);
+        let y: Vec<f64> = (0..80)
+            .map(|i| ((i & 1) ^ ((i >> 1) & 1)) as f64)
+            .collect();
+        let grid = GbtGrid {
+            learning_rates: vec![0.3],
+            max_depths: vec![1, 3],
+            lambdas: vec![0.0],
+            colsamples: vec![1.0],
+            n_trees: vec![50],
+        };
+        let (cfg, loss) = grid_search_gbt(&grid, &x, &y, &x, &y, Loss::Mse, 0).unwrap();
+        assert_eq!(cfg.max_depth, 3, "xor needs interactions");
+        assert!(loss < 0.05);
+    }
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        let grid = GbtGrid {
+            learning_rates: vec![],
+            ..GbtGrid::default()
+        };
+        let x = Matrix::zeros(4, 1);
+        let err = grid_search_gbt(&grid, &x, &[0.0; 4], &x, &[0.0; 4], Loss::Mse, 0);
+        assert!(matches!(err, Err(PredictError::EmptyTrainingSet)));
+    }
+}

@@ -1,0 +1,91 @@
+/// Loss functions used to train and tune the predictors (paper
+/// Section III-D: MSE, MAE and RSS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Loss {
+    /// Mean squared error.
+    #[default]
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Residual sum of squares (unnormalized MSE).
+    Rss,
+}
+
+impl Loss {
+    /// Evaluates the loss between targets and predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn compute(self, y_true: &[f64], y_pred: &[f64]) -> f64 {
+        assert_eq!(y_true.len(), y_pred.len(), "loss: length mismatch");
+        assert!(!y_true.is_empty(), "loss of empty slices");
+        let n = y_true.len() as f64;
+        match self {
+            Loss::Mse => {
+                y_true
+                    .iter()
+                    .zip(y_pred)
+                    .map(|(t, p)| (t - p) * (t - p))
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::Mae => {
+                y_true
+                    .iter()
+                    .zip(y_pred)
+                    .map(|(t, p)| (t - p).abs())
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::Rss => y_true
+                .iter()
+                .zip(y_pred)
+                .map(|(t, p)| (t - p) * (t - p))
+                .sum::<f64>(),
+        }
+    }
+
+    /// Short lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Loss::Mse => "mse",
+            Loss::Mae => "mae",
+            Loss::Rss => "rss",
+        }
+    }
+}
+
+impl std::fmt::Display for Loss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 1.0];
+        assert!((Loss::Mse.compute(&t, &p) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((Loss::Mae.compute(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((Loss::Rss.compute(&t, &p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_for_perfect_predictions() {
+        let t = [1.0, -2.0];
+        for loss in [Loss::Mse, Loss::Mae, Loss::Rss] {
+            assert_eq!(loss.compute(&t, &t), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Loss::Mse.compute(&[1.0], &[1.0, 2.0]);
+    }
+}

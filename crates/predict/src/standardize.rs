@@ -1,0 +1,103 @@
+use simtune_linalg::Matrix;
+
+/// Per-feature z-score standardization, fitted on training data and
+/// replayed at prediction time. Constant features map to zero.
+///
+/// All non-tree predictors standardize inputs internally: the feature
+/// vectors mix ratios in `[0, 1]` with group-normalized deviations of
+/// arbitrary scale, and both the DNN and the RBF kernel need comparable
+/// feature scales to behave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has zero rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "standardizer needs at least one row");
+        let (n, d) = x.shape();
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (j, m) in means.iter_mut().enumerate() {
+                *m += x[(i, j)];
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        let mut stds = vec![0.0; d];
+        for i in 0..n {
+            for j in 0..d {
+                let dlt = x[(i, j)] - means[j];
+                stds[j] += dlt * dlt;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: map to zero, don't blow up
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Number of features this standardizer was fitted on.
+    pub fn features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Applies the transform to a matrix with the fitted feature count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fit.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.features(), "feature count mismatch");
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            (x[(i, j)] - self.means[j]) / self.stds[j]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_std() {
+        let x = Matrix::from_fn(50, 3, |i, j| (i as f64) * (j as f64 + 1.0) + 5.0);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        for j in 0..3 {
+            let col = z.col(j);
+            let mean = col.iter().sum::<f64>() / 50.0;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 50.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let x = Matrix::filled(10, 2, 7.0);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transform_replays_training_statistics() {
+        let train = Matrix::from_fn(20, 1, |i, _| i as f64);
+        let s = Standardizer::fit(&train);
+        let test = Matrix::from_vec(1, 1, vec![9.5]).unwrap();
+        let z = s.transform(&test);
+        // Mean of 0..20 is 9.5: maps exactly to 0.
+        assert!(z[(0, 0)].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,579 @@
+//! Schedules: loop transformations applied to a compute definition.
+//!
+//! Mirrors TVM's scheduling language (Section II-A of the paper) for the
+//! primitives the paper's search spaces actually exercise: `split`
+//! (tiling), `reorder`, `unroll`, `vectorize` and `parallel`. A
+//! [`Schedule`] is applied to a [`ComputeDef`] to produce a
+//! [`LoopStructure`] — the ordered list of loops the lowering pass turns
+//! into code.
+
+use crate::expr::{ComputeDef, VarRef};
+use crate::TargetIsa;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Maximum extent accepted for a fully unrolled loop.
+pub const MAX_UNROLL: usize = 16;
+
+/// One piece of a split iteration variable: `piece` 0 is the outermost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubVar {
+    /// The original variable this piece belongs to.
+    pub var: VarRef,
+    /// Piece index, 0 = outermost piece.
+    pub piece: usize,
+}
+
+impl SubVar {
+    /// Piece 0 of an unsplit variable.
+    pub fn whole(var: VarRef) -> Self {
+        SubVar { var, piece: 0 }
+    }
+}
+
+impl fmt::Display for SubVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.piece)
+    }
+}
+
+/// How one loop of the final structure executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// Ordinary counted loop.
+    Serial,
+    /// Fully expanded at code-generation time.
+    Unrolled,
+    /// Mapped to vector instructions (innermost only).
+    Vectorized,
+}
+
+/// One loop of the applied schedule, outermost first in
+/// [`LoopStructure::loops`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Which sub-variable this loop iterates.
+    pub sub: SubVar,
+    /// Trip count.
+    pub extent: usize,
+    /// Multiplier reconstructing the original variable:
+    /// `orig = Σ_pieces piece_value · stride`.
+    pub stride: i64,
+    /// Execution kind.
+    pub kind: LoopKind,
+    /// True if the original variable is a reduction axis.
+    pub is_reduce: bool,
+}
+
+/// The ordered loop nest an applied schedule produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopStructure {
+    /// Loops from outermost to innermost.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl LoopStructure {
+    /// For each original variable, the `(loop index, stride)` pairs whose
+    /// weighted sum reconstructs it. Used by lowering to substitute
+    /// original variables in operand indices.
+    pub fn expansions(&self) -> HashMap<VarRef, Vec<(usize, i64)>> {
+        let mut map: HashMap<VarRef, Vec<(usize, i64)>> = HashMap::new();
+        for (i, l) in self.loops.iter().enumerate() {
+            map.entry(l.sub.var).or_default().push((i, l.stride));
+        }
+        map
+    }
+
+    /// Total iteration count (product of extents).
+    pub fn iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.extent as u64).product()
+    }
+}
+
+/// A splitting of one variable into nested pieces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// The variable being split.
+    pub var: VarRef,
+    /// Extents of the *inner* pieces (piece 1, piece 2, …); piece 0's
+    /// extent is `original_extent / product(factors)` and must divide
+    /// exactly.
+    pub factors: Vec<usize>,
+}
+
+/// A complete schedule: splits, a loop order, and annotations.
+///
+/// # Example
+///
+/// ```
+/// use simtune_tensor::{matmul, Schedule, TargetIsa};
+///
+/// let def = matmul(8, 8, 8);
+/// let sched = Schedule::default_for(&def);
+/// let nest = sched.apply(&def, &TargetIsa::riscv_u74()).unwrap();
+/// assert_eq!(nest.loops.len(), 3); // i, j, k
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    /// Variable splits (at most one entry per variable).
+    pub splits: Vec<Split>,
+    /// Permutation of every sub-variable, outermost first.
+    pub order: Vec<SubVar>,
+    /// Sub-variables to fully unroll.
+    pub unroll: Vec<SubVar>,
+    /// Sub-variable to vectorize (must be the innermost loop).
+    pub vectorize: Option<SubVar>,
+    /// Sub-variable marked parallel. Accepted for API parity with TVM but
+    /// a no-op: the paper's workloads are single-core (Section III-B).
+    pub parallel: Option<SubVar>,
+}
+
+/// Errors raised when applying a schedule or lowering it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A split's factors do not divide the variable's extent.
+    NonDividingSplit {
+        /// The offending variable.
+        var: String,
+        /// Its extent.
+        extent: usize,
+        /// Product of the requested inner factors.
+        factor_product: usize,
+    },
+    /// `order` is not a permutation of the produced sub-variables.
+    NotAPermutation {
+        /// Description of what is missing or duplicated.
+        detail: String,
+    },
+    /// A variable was split more than once.
+    DuplicateSplit {
+        /// The offending variable.
+        var: String,
+    },
+    /// The vectorized loop is not the innermost loop.
+    VectorizeNotInnermost,
+    /// Vectorize was requested on a reduction axis.
+    VectorizeOnReduce,
+    /// The vectorized loop's extent differs from the target's lane count.
+    VectorizeWidthMismatch {
+        /// Loop extent.
+        extent: usize,
+        /// Target lanes.
+        lanes: usize,
+    },
+    /// The target has no vector unit.
+    VectorizeUnsupported {
+        /// Target name.
+        target: &'static str,
+    },
+    /// An unrolled loop exceeds [`MAX_UNROLL`].
+    UnrollTooLarge {
+        /// The requested extent.
+        extent: usize,
+    },
+    /// `parallel` must annotate the outermost loop.
+    ParallelNotOutermost,
+    /// The output is not written contiguously along the vectorized loop
+    /// (its coefficient in the flattened output index must be 1).
+    VectorizedOutputNotContiguous {
+        /// The actual coefficient.
+        coef: i64,
+    },
+    /// An annotation references a sub-variable absent from the order.
+    UnknownSubVar {
+        /// Display form of the sub-variable.
+        sub: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NonDividingSplit {
+                var,
+                extent,
+                factor_product,
+            } => write!(
+                f,
+                "split of {var} (extent {extent}) by factor product {factor_product} does not divide"
+            ),
+            ScheduleError::NotAPermutation { detail } => {
+                write!(f, "order is not a permutation of sub-variables: {detail}")
+            }
+            ScheduleError::DuplicateSplit { var } => write!(f, "variable {var} split twice"),
+            ScheduleError::VectorizeNotInnermost => {
+                write!(f, "vectorized loop must be innermost")
+            }
+            ScheduleError::VectorizeOnReduce => {
+                write!(f, "cannot vectorize a reduction axis")
+            }
+            ScheduleError::VectorizeWidthMismatch { extent, lanes } => {
+                write!(f, "vectorized extent {extent} != target lanes {lanes}")
+            }
+            ScheduleError::VectorizeUnsupported { target } => {
+                write!(f, "target {target} has no vector unit")
+            }
+            ScheduleError::UnrollTooLarge { extent } => {
+                write!(f, "unroll extent {extent} exceeds {MAX_UNROLL}")
+            }
+            ScheduleError::ParallelNotOutermost => {
+                write!(f, "parallel annotation must be on the outermost loop")
+            }
+            ScheduleError::VectorizedOutputNotContiguous { coef } => {
+                write!(f, "vectorized output stride {coef} != 1")
+            }
+            ScheduleError::UnknownSubVar { sub } => {
+                write!(f, "annotation references unknown sub-variable {sub}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+impl Schedule {
+    /// The identity schedule: no splits, spatial axes outer (in order),
+    /// reduce axes inner (in order) — TVM's default loop nest.
+    pub fn default_for(def: &ComputeDef) -> Schedule {
+        let mut order = Vec::new();
+        for i in 0..def.spatial_extents.len() {
+            order.push(SubVar::whole(VarRef::Spatial(i)));
+        }
+        for i in 0..def.reduce_extents.len() {
+            order.push(SubVar::whole(VarRef::Reduce(i)));
+        }
+        Schedule {
+            order,
+            ..Schedule::default()
+        }
+    }
+
+    /// Applies the schedule to `def` for `target`, validating every
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ScheduleError`] (non-dividing split,
+    /// broken permutation, misplaced annotations, …).
+    pub fn apply(
+        &self,
+        def: &ComputeDef,
+        target: &TargetIsa,
+    ) -> Result<LoopStructure, ScheduleError> {
+        // 1. Work out the pieces of every variable.
+        let extent_of = |v: VarRef| -> usize {
+            match v {
+                VarRef::Spatial(i) => def.spatial_extents[i],
+                VarRef::Reduce(i) => def.reduce_extents[i],
+            }
+        };
+        let mut pieces: HashMap<VarRef, Vec<usize>> = HashMap::new();
+        let all_vars: Vec<VarRef> = (0..def.spatial_extents.len())
+            .map(VarRef::Spatial)
+            .chain((0..def.reduce_extents.len()).map(VarRef::Reduce))
+            .collect();
+        for v in &all_vars {
+            pieces.insert(*v, vec![extent_of(*v)]);
+        }
+        for split in &self.splits {
+            let entry = pieces
+                .get_mut(&split.var)
+                .ok_or_else(|| ScheduleError::UnknownSubVar {
+                    sub: split.var.to_string(),
+                })?;
+            if entry.len() != 1 {
+                return Err(ScheduleError::DuplicateSplit {
+                    var: split.var.to_string(),
+                });
+            }
+            let extent = entry[0];
+            let product: usize = split.factors.iter().product();
+            if product == 0 || extent % product != 0 {
+                return Err(ScheduleError::NonDividingSplit {
+                    var: split.var.to_string(),
+                    extent,
+                    factor_product: product,
+                });
+            }
+            let mut exts = vec![extent / product];
+            exts.extend_from_slice(&split.factors);
+            *entry = exts;
+        }
+
+        // 2. Strides per piece: product of inner piece extents.
+        let mut stride_of: HashMap<SubVar, (usize, i64)> = HashMap::new();
+        for (var, exts) in &pieces {
+            let mut stride = 1i64;
+            for (p, &e) in exts.iter().enumerate().rev() {
+                stride_of.insert(SubVar { var: *var, piece: p }, (e, stride));
+                stride *= e as i64;
+            }
+        }
+
+        // 3. Validate the order is a permutation of all sub-variables.
+        let mut seen: HashMap<SubVar, bool> = stride_of.keys().map(|k| (*k, false)).collect();
+        for sub in &self.order {
+            match seen.get_mut(sub) {
+                None => {
+                    return Err(ScheduleError::NotAPermutation {
+                        detail: format!("unknown sub-variable {sub}"),
+                    })
+                }
+                Some(s) if *s => {
+                    return Err(ScheduleError::NotAPermutation {
+                        detail: format!("duplicate sub-variable {sub}"),
+                    })
+                }
+                Some(s) => *s = true,
+            }
+        }
+        if let Some((missing, _)) = seen.iter().find(|(_, &v)| !v) {
+            return Err(ScheduleError::NotAPermutation {
+                detail: format!("missing sub-variable {missing}"),
+            });
+        }
+
+        // 4. Assemble loops with annotations.
+        let mut loops = Vec::with_capacity(self.order.len());
+        for (i, sub) in self.order.iter().enumerate() {
+            let (extent, stride) = stride_of[sub];
+            let mut kind = LoopKind::Serial;
+            if self.unroll.contains(sub) {
+                if extent > MAX_UNROLL {
+                    return Err(ScheduleError::UnrollTooLarge { extent });
+                }
+                kind = LoopKind::Unrolled;
+            }
+            if self.vectorize == Some(*sub) {
+                if i != self.order.len() - 1 {
+                    return Err(ScheduleError::VectorizeNotInnermost);
+                }
+                if matches!(sub.var, VarRef::Reduce(_)) {
+                    return Err(ScheduleError::VectorizeOnReduce);
+                }
+                if !target.has_vectors() {
+                    return Err(ScheduleError::VectorizeUnsupported {
+                        target: target.name,
+                    });
+                }
+                if extent != target.vector_lanes {
+                    return Err(ScheduleError::VectorizeWidthMismatch {
+                        extent,
+                        lanes: target.vector_lanes,
+                    });
+                }
+                kind = LoopKind::Vectorized;
+            }
+            loops.push(LoopInfo {
+                sub: *sub,
+                extent,
+                stride,
+                kind,
+                is_reduce: matches!(sub.var, VarRef::Reduce(_)),
+            });
+        }
+        if let Some(v) = &self.vectorize {
+            if !self.order.contains(v) {
+                return Err(ScheduleError::UnknownSubVar { sub: v.to_string() });
+            }
+        }
+        for u in &self.unroll {
+            if !self.order.contains(u) {
+                return Err(ScheduleError::UnknownSubVar { sub: u.to_string() });
+            }
+        }
+        if let Some(p) = &self.parallel {
+            if self.order.first() != Some(p) {
+                return Err(ScheduleError::ParallelNotOutermost);
+            }
+        }
+        Ok(LoopStructure { loops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul;
+
+    fn target() -> TargetIsa {
+        TargetIsa::arm_cortex_a72() // 4 lanes
+    }
+
+    #[test]
+    fn default_schedule_orders_spatial_then_reduce() {
+        let def = matmul(4, 4, 4);
+        let nest = Schedule::default_for(&def).apply(&def, &target()).unwrap();
+        assert_eq!(nest.loops.len(), 3);
+        assert!(!nest.loops[0].is_reduce);
+        assert!(!nest.loops[1].is_reduce);
+        assert!(nest.loops[2].is_reduce);
+        assert_eq!(nest.iterations(), 64);
+    }
+
+    #[test]
+    fn split_produces_pieces_with_correct_strides() {
+        let def = matmul(8, 4, 4);
+        let i = VarRef::Spatial(0);
+        let mut sched = Schedule::default_for(&def);
+        sched.splits.push(Split {
+            var: i,
+            factors: vec![2],
+        });
+        sched.order = vec![
+            SubVar { var: i, piece: 0 },
+            SubVar::whole(VarRef::Spatial(1)),
+            SubVar { var: i, piece: 1 },
+            SubVar::whole(VarRef::Reduce(0)),
+        ];
+        let nest = sched.apply(&def, &target()).unwrap();
+        // i.0: extent 4, stride 2; i.1: extent 2, stride 1.
+        assert_eq!(nest.loops[0].extent, 4);
+        assert_eq!(nest.loops[0].stride, 2);
+        assert_eq!(nest.loops[2].extent, 2);
+        assert_eq!(nest.loops[2].stride, 1);
+        let exp = nest.expansions();
+        assert_eq!(exp[&i], vec![(0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn non_dividing_split_rejected() {
+        let def = matmul(6, 4, 4);
+        let mut sched = Schedule::default_for(&def);
+        sched.splits.push(Split {
+            var: VarRef::Spatial(0),
+            factors: vec![4],
+        });
+        sched.order = vec![
+            SubVar {
+                var: VarRef::Spatial(0),
+                piece: 0,
+            },
+            SubVar {
+                var: VarRef::Spatial(0),
+                piece: 1,
+            },
+            SubVar::whole(VarRef::Spatial(1)),
+            SubVar::whole(VarRef::Reduce(0)),
+        ];
+        assert!(matches!(
+            sched.apply(&def, &target()),
+            Err(ScheduleError::NonDividingSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn broken_permutations_rejected() {
+        let def = matmul(4, 4, 4);
+        let mut sched = Schedule::default_for(&def);
+        sched.order.pop(); // missing a sub-var
+        assert!(matches!(
+            sched.apply(&def, &target()),
+            Err(ScheduleError::NotAPermutation { .. })
+        ));
+        let mut sched2 = Schedule::default_for(&def);
+        let first = sched2.order[0];
+        sched2.order[2] = first; // duplicate
+        assert!(matches!(
+            sched2.apply(&def, &target()),
+            Err(ScheduleError::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn vectorize_constraints() {
+        let def = matmul(4, 4, 4);
+        // Vectorize innermost spatial j (extent 4 == ARM lanes): ok.
+        let mut ok = Schedule::default_for(&def);
+        ok.order = vec![
+            SubVar::whole(VarRef::Spatial(0)),
+            SubVar::whole(VarRef::Reduce(0)),
+            SubVar::whole(VarRef::Spatial(1)),
+        ];
+        ok.vectorize = Some(SubVar::whole(VarRef::Spatial(1)));
+        assert!(ok.apply(&def, &target()).is_ok());
+
+        // Not innermost: rejected.
+        let mut bad = ok.clone();
+        bad.order = vec![
+            SubVar::whole(VarRef::Spatial(0)),
+            SubVar::whole(VarRef::Spatial(1)),
+            SubVar::whole(VarRef::Reduce(0)),
+        ];
+        assert_eq!(
+            bad.apply(&def, &target()),
+            Err(ScheduleError::VectorizeNotInnermost)
+        );
+
+        // On a reduce axis: rejected.
+        let mut red = Schedule::default_for(&def);
+        red.vectorize = Some(SubVar::whole(VarRef::Reduce(0)));
+        assert_eq!(
+            red.apply(&def, &target()),
+            Err(ScheduleError::VectorizeOnReduce)
+        );
+
+        // Wrong width (8 != 4 lanes): rejected.
+        let def8 = matmul(4, 8, 4);
+        let mut wide = Schedule::default_for(&def8);
+        wide.order = vec![
+            SubVar::whole(VarRef::Spatial(0)),
+            SubVar::whole(VarRef::Reduce(0)),
+            SubVar::whole(VarRef::Spatial(1)),
+        ];
+        wide.vectorize = Some(SubVar::whole(VarRef::Spatial(1)));
+        assert!(matches!(
+            wide.apply(&def8, &target()),
+            Err(ScheduleError::VectorizeWidthMismatch { .. })
+        ));
+
+        // Scalar-only target: rejected.
+        assert!(matches!(
+            ok.apply(&def, &TargetIsa::riscv_u74()),
+            Err(ScheduleError::VectorizeUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn unroll_limit_enforced() {
+        let def = matmul(4, 4, 64);
+        let mut sched = Schedule::default_for(&def);
+        sched.unroll.push(SubVar::whole(VarRef::Reduce(0)));
+        assert!(matches!(
+            sched.apply(&def, &target()),
+            Err(ScheduleError::UnrollTooLarge { extent: 64 })
+        ));
+    }
+
+    #[test]
+    fn parallel_must_be_outermost() {
+        let def = matmul(4, 4, 4);
+        let mut sched = Schedule::default_for(&def);
+        sched.parallel = Some(SubVar::whole(VarRef::Spatial(1)));
+        assert_eq!(
+            sched.apply(&def, &target()),
+            Err(ScheduleError::ParallelNotOutermost)
+        );
+        sched.parallel = Some(SubVar::whole(VarRef::Spatial(0)));
+        assert!(sched.apply(&def, &target()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_split_rejected() {
+        let def = matmul(8, 4, 4);
+        let mut sched = Schedule::default_for(&def);
+        sched.splits.push(Split {
+            var: VarRef::Spatial(0),
+            factors: vec![2],
+        });
+        sched.splits.push(Split {
+            var: VarRef::Spatial(0),
+            factors: vec![2],
+        });
+        assert!(matches!(
+            sched.apply(&def, &target()),
+            Err(ScheduleError::DuplicateSplit { .. })
+        ));
+    }
+}

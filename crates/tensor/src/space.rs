@@ -1,0 +1,583 @@
+//! AutoTVM-style template search spaces.
+//!
+//! AutoTVM (paper Section II-A, Listing 2) asks an expert to define a
+//! *schedule template* with tunable knobs — tiling factors, loop orders,
+//! annotations — spanning a finite design space the tuner then explores.
+//! [`ConfigSpace`] provides those templates for the kernel types in this
+//! crate: every knob is an enumerated choice, a configuration is one index
+//! per knob, and [`ConfigSpace::schedule`] materializes a configuration
+//! into a [`Schedule`].
+//!
+//! As in real AutoTVM spaces, not every configuration is valid (for
+//! example vectorization requires a lane-divisible tile); invalid
+//! configurations surface as [`ScheduleError`]s at build time and the
+//! tuner penalizes them.
+
+use crate::expr::{ComputeDef, VarRef};
+use crate::schedule::{Schedule, ScheduleError, Split, SubVar};
+use crate::TargetIsa;
+use rand::Rng;
+
+/// One selectable alternative of a knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnobChoice {
+    /// Inner split factors for a variable (outer piece extent is derived).
+    Factors(Vec<usize>),
+    /// A named discrete alternative ("reduce_inner", "unroll_kw", ...).
+    Tag(&'static str),
+}
+
+/// A named knob with its alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knob {
+    /// Knob name ("tile_ow", "order", ...).
+    pub name: String,
+    /// The enumerated alternatives.
+    pub choices: Vec<KnobChoice>,
+}
+
+/// Incremental constructor for custom spaces (the library's conv2d and
+/// matmul templates are built with it; user kernels can define their own).
+#[derive(Debug, Default)]
+pub struct SpaceBuilder {
+    knobs: Vec<Knob>,
+}
+
+impl SpaceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a split knob enumerating inner factors (`define_split` in
+    /// AutoTVM terms): one choice per candidate factor list.
+    pub fn define_split(mut self, name: impl Into<String>, candidates: Vec<Vec<usize>>) -> Self {
+        self.knobs.push(Knob {
+            name: name.into(),
+            choices: candidates.into_iter().map(KnobChoice::Factors).collect(),
+        });
+        self
+    }
+
+    /// Adds a tag knob (`define_knob` in AutoTVM terms).
+    pub fn define_tag(mut self, name: impl Into<String>, tags: Vec<&'static str>) -> Self {
+        self.knobs.push(Knob {
+            name: name.into(),
+            choices: tags.into_iter().map(KnobChoice::Tag).collect(),
+        });
+        self
+    }
+
+    fn build(self, kind: SpaceKind) -> ConfigSpace {
+        assert!(
+            self.knobs.iter().all(|k| !k.choices.is_empty()),
+            "every knob needs at least one choice"
+        );
+        ConfigSpace {
+            knobs: self.knobs,
+            kind,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpaceKind {
+    Conv2d {
+        /// Vector lanes of the target the space was built for (0 = none).
+        lanes: usize,
+    },
+    Matmul {
+        /// Vector lanes of the target the space was built for (0 = none).
+        lanes: usize,
+    },
+}
+
+/// A finite AutoTVM-style design space for one kernel on one target.
+///
+/// # Example
+///
+/// ```
+/// use simtune_tensor::{matmul, ConfigSpace, TargetIsa};
+///
+/// let def = matmul(16, 16, 16);
+/// let space = ConfigSpace::matmul(&def, &TargetIsa::arm_cortex_a72());
+/// assert!(space.len() > 10);
+/// let config = space.config_from_index(0);
+/// let schedule = space.schedule(&def, &config).unwrap();
+/// assert!(!schedule.order.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpace {
+    knobs: Vec<Knob>,
+    kind: SpaceKind,
+}
+
+impl ConfigSpace {
+    /// Template for [`crate::conv2d_bias_relu`] kernels: tiling of the
+    /// output channels / height / width, four canonical loop orders,
+    /// unroll and vectorize annotations.
+    pub fn conv2d(def: &ComputeDef, target: &TargetIsa) -> ConfigSpace {
+        let co = def.spatial_extents[1];
+        let oh = def.spatial_extents[2];
+        let ow = def.spatial_extents[3];
+        let mut b = SpaceBuilder::new()
+            .define_split("tile_co", singleton_factors(divisors_up_to(co, 32)))
+            .define_split("tile_oh", singleton_factors(divisors_up_to(oh, 8)))
+            .define_split("tile_ow", singleton_factors(divisors_up_to(ow, 32)))
+            .define_tag(
+                "order",
+                vec!["reduce_inner", "spatial_inner", "ci_blocked", "hw_inner"],
+            )
+            .define_tag("unroll", vec!["none", "kw", "kw_oh"]);
+        if target.has_vectors() {
+            b = b.define_tag("vectorize", vec!["off", "on"]);
+        }
+        b.build(SpaceKind::Conv2d {
+            lanes: if target.has_vectors() { target.vector_lanes } else { 0 },
+        })
+    }
+
+    /// Template for [`crate::matmul`] kernels: tiling of i/j/k, three
+    /// canonical orders, unroll and vectorize annotations.
+    pub fn matmul(def: &ComputeDef, target: &TargetIsa) -> ConfigSpace {
+        let n = def.spatial_extents[0];
+        let m = def.spatial_extents[1];
+        let l = def.reduce_extents[0];
+        let mut b = SpaceBuilder::new()
+            .define_split("tile_i", singleton_factors(divisors_up_to(n, 32)))
+            .define_split("tile_j", singleton_factors(divisors_up_to(m, 32)))
+            .define_split("tile_k", singleton_factors(divisors_up_to(l, 32)))
+            .define_tag("order", vec!["reduce_inner", "k_blocked", "spatial_inner"])
+            .define_tag("unroll", vec!["none", "k_inner"]);
+        if target.has_vectors() {
+            b = b.define_tag("vectorize", vec!["off", "on"]);
+        }
+        b.build(SpaceKind::Matmul {
+            lanes: if target.has_vectors() { target.vector_lanes } else { 0 },
+        })
+    }
+
+    /// The knobs of this space.
+    pub fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    /// Total number of configurations (product of knob cardinalities).
+    pub fn len(&self) -> usize {
+        self.knobs.iter().map(|k| k.choices.len()).product()
+    }
+
+    /// True when the space has no configurations (never for built spaces).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes a flat configuration index into one choice per knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn config_from_index(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.len(), "config index out of range");
+        let mut rem = index;
+        self.knobs
+            .iter()
+            .map(|k| {
+                let c = rem % k.choices.len();
+                rem /= k.choices.len();
+                c
+            })
+            .collect()
+    }
+
+    /// Encodes a configuration back into its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is malformed.
+    pub fn index_of(&self, config: &[usize]) -> usize {
+        assert_eq!(config.len(), self.knobs.len(), "config arity");
+        let mut idx = 0usize;
+        let mut mult = 1usize;
+        for (c, k) in config.iter().zip(&self.knobs) {
+            assert!(*c < k.choices.len(), "choice out of range");
+            idx += c * mult;
+            mult *= k.choices.len();
+        }
+        idx
+    }
+
+    /// Draws a uniformly random configuration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<usize> {
+        self.knobs
+            .iter()
+            .map(|k| rng.gen_range(0..k.choices.len()))
+            .collect()
+    }
+
+    /// Mutates one random knob to a different choice (evolutionary-search
+    /// neighborhood).
+    pub fn mutate<R: Rng>(&self, config: &[usize], rng: &mut R) -> Vec<usize> {
+        let mut out = config.to_vec();
+        // Only knobs with >1 choice can mutate.
+        let mutable: Vec<usize> = self
+            .knobs
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.choices.len() > 1)
+            .map(|(i, _)| i)
+            .collect();
+        if mutable.is_empty() {
+            return out;
+        }
+        let knob = mutable[rng.gen_range(0..mutable.len())];
+        let n = self.knobs[knob].choices.len();
+        let mut c = rng.gen_range(0..n);
+        if c == out[knob] {
+            c = (c + 1) % n;
+        }
+        out[knob] = c;
+        out
+    }
+
+    fn factors(&self, config: &[usize], knob: usize) -> Vec<usize> {
+        match &self.knobs[knob].choices[config[knob]] {
+            KnobChoice::Factors(f) => f.clone(),
+            KnobChoice::Tag(t) => panic!("knob {knob} is a tag ({t}), not factors"),
+        }
+    }
+
+    fn tag(&self, config: &[usize], knob: usize) -> &'static str {
+        match &self.knobs[knob].choices[config[knob]] {
+            KnobChoice::Tag(t) => t,
+            KnobChoice::Factors(_) => panic!("knob {knob} is factors, not a tag"),
+        }
+    }
+
+    /// Materializes a configuration into a schedule for `def`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid combinations (non-dividing vector tiles, oversized unrolls)
+    /// return the corresponding [`ScheduleError`]; tuners treat these as
+    /// failed builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has the wrong arity for this space.
+    pub fn schedule(&self, def: &ComputeDef, config: &[usize]) -> Result<Schedule, ScheduleError> {
+        assert_eq!(config.len(), self.knobs.len(), "config arity");
+        match self.kind {
+            SpaceKind::Conv2d { lanes } => self.conv2d_schedule(def, config, lanes),
+            SpaceKind::Matmul { lanes } => self.matmul_schedule(def, config, lanes),
+        }
+    }
+
+    fn conv2d_schedule(
+        &self,
+        def: &ComputeDef,
+        config: &[usize],
+        lanes: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        let _ = def;
+        let (n, co, oh, ow) = (
+            VarRef::Spatial(0),
+            VarRef::Spatial(1),
+            VarRef::Spatial(2),
+            VarRef::Spatial(3),
+        );
+        let (ci, kh, kw) = (VarRef::Reduce(0), VarRef::Reduce(1), VarRef::Reduce(2));
+        let co_i = self.factors(config, 0)[0];
+        let oh_i = self.factors(config, 1)[0];
+        let ow_i = self.factors(config, 2)[0];
+        let order_tag = self.tag(config, 3);
+        let unroll_tag = self.tag(config, 4);
+        let vectorize = self.knobs.len() > 5 && self.tag(config, 5) == "on" && lanes > 1;
+
+        let mut splits = vec![
+            Split {
+                var: co,
+                factors: vec![co_i],
+            },
+            Split {
+                var: oh,
+                factors: vec![oh_i],
+            },
+        ];
+        // ow pieces: [ow0, ow1] or [ow0, ow1, ow_v] when vectorized.
+        let ow_pieces: Vec<SubVar>;
+        if vectorize {
+            // The innermost ow piece must be exactly the target's vector
+            // width; a non-dividing tile is an invalid configuration and
+            // surfaces as NonDividingSplit (factor 0) at apply time.
+            let ok = ow_i % lanes == 0;
+            splits.push(Split {
+                var: ow,
+                factors: vec![if ok { ow_i / lanes } else { 0 }, lanes],
+            });
+            ow_pieces = vec![
+                SubVar { var: ow, piece: 0 },
+                SubVar { var: ow, piece: 1 },
+                SubVar { var: ow, piece: 2 },
+            ];
+        } else {
+            splits.push(Split {
+                var: ow,
+                factors: vec![ow_i],
+            });
+            ow_pieces = vec![SubVar { var: ow, piece: 0 }, SubVar { var: ow, piece: 1 }];
+        }
+
+        let (co0, co1) = (SubVar { var: co, piece: 0 }, SubVar { var: co, piece: 1 });
+        let (oh0, oh1) = (SubVar { var: oh, piece: 0 }, SubVar { var: oh, piece: 1 });
+        let n0 = SubVar::whole(n);
+        let (ci0, kh0, kw0) = (SubVar::whole(ci), SubVar::whole(kh), SubVar::whole(kw));
+        let ow0 = ow_pieces[0];
+        let ow1 = ow_pieces[1];
+        let owv = ow_pieces.get(2).copied();
+
+        let mut order: Vec<SubVar> = match order_tag {
+            // Spatial tiles outer, full reduction innermost: register-
+            // friendly (full accumulator window).
+            "reduce_inner" => vec![n0, co0, oh0, ow0, co1, oh1, ow1, ci0, kh0, kw0],
+            // Reduction in the middle, spatial pieces innermost:
+            // load-modify-store per element.
+            "spatial_inner" => vec![n0, co0, oh0, ow0, ci0, kh0, kw0, co1, oh1, ow1],
+            // Input channels blocked outside the inner spatial tile.
+            "ci_blocked" => vec![n0, co0, oh0, ow0, ci0, co1, oh1, ow1, kh0, kw0],
+            // Filter window hoisted high; inner spatial loops innermost.
+            "hw_inner" => vec![n0, co0, ci0, kh0, oh0, kw0, co1, oh1, ow0, ow1],
+            other => unreachable!("unknown order tag {other}"),
+        };
+        if let Some(v) = owv {
+            order.push(v);
+        }
+
+        let mut unroll = Vec::new();
+        match unroll_tag {
+            "none" => {}
+            "kw" => unroll.push(kw0),
+            "kw_oh" => {
+                unroll.push(kw0);
+                unroll.push(oh1);
+            }
+            other => unreachable!("unknown unroll tag {other}"),
+        }
+        // Unrolling the vectorized piece is not allowed; it never is here.
+
+        Ok(Schedule {
+            splits,
+            order,
+            unroll,
+            vectorize: owv,
+            parallel: None,
+        })
+    }
+
+    fn matmul_schedule(
+        &self,
+        def: &ComputeDef,
+        config: &[usize],
+        lanes: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        let _ = def;
+        let (i, j, k) = (VarRef::Spatial(0), VarRef::Spatial(1), VarRef::Reduce(0));
+        let i_i = self.factors(config, 0)[0];
+        let j_i = self.factors(config, 1)[0];
+        let k_i = self.factors(config, 2)[0];
+        let order_tag = self.tag(config, 3);
+        let unroll_tag = self.tag(config, 4);
+        let vectorize = self.knobs.len() > 5 && self.tag(config, 5) == "on" && lanes > 1;
+
+        let mut splits = vec![
+            Split {
+                var: i,
+                factors: vec![i_i],
+            },
+            Split {
+                var: k,
+                factors: vec![k_i],
+            },
+        ];
+        let j_pieces: Vec<SubVar>;
+        if vectorize {
+            let ok = j_i % lanes == 0;
+            splits.push(Split {
+                var: j,
+                factors: vec![if ok { j_i / lanes } else { 0 }, lanes],
+            });
+            j_pieces = vec![
+                SubVar { var: j, piece: 0 },
+                SubVar { var: j, piece: 1 },
+                SubVar { var: j, piece: 2 },
+            ];
+        } else {
+            splits.push(Split {
+                var: j,
+                factors: vec![j_i],
+            });
+            j_pieces = vec![SubVar { var: j, piece: 0 }, SubVar { var: j, piece: 1 }];
+        }
+        let (i0, i1) = (SubVar { var: i, piece: 0 }, SubVar { var: i, piece: 1 });
+        let (k0, k1) = (SubVar { var: k, piece: 0 }, SubVar { var: k, piece: 1 });
+        let j0 = j_pieces[0];
+        let j1 = j_pieces[1];
+        let jv = j_pieces.get(2).copied();
+
+        let mut order: Vec<SubVar> = match order_tag {
+            "reduce_inner" => vec![i0, j0, i1, j1, k0, k1],
+            "k_blocked" => vec![i0, j0, k0, i1, j1, k1],
+            "spatial_inner" => vec![i0, j0, k0, k1, i1, j1],
+            other => unreachable!("unknown order tag {other}"),
+        };
+        if let Some(v) = jv {
+            order.push(v);
+        }
+
+        let mut unroll = Vec::new();
+        if unroll_tag == "k_inner" {
+            unroll.push(k1);
+        }
+
+        Ok(Schedule {
+            splits,
+            order,
+            unroll,
+            vectorize: jv,
+            parallel: None,
+        })
+    }
+}
+
+/// Divisors of `n` up to `cap`, ascending.
+fn divisors_up_to(n: usize, cap: usize) -> Vec<usize> {
+    (1..=n.min(cap)).filter(|d| n % d == 0).collect()
+}
+
+fn singleton_factors(divs: Vec<usize>) -> Vec<Vec<usize>> {
+    divs.into_iter().map(|d| vec![d]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{conv2d_bias_relu, matmul, Conv2dShape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_conv() -> crate::expr::ComputeDef {
+        conv2d_bias_relu(&Conv2dShape {
+            n: 1,
+            h: 8,
+            w: 8,
+            co: 8,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: (1, 1),
+            pad: (1, 1),
+        })
+    }
+
+    #[test]
+    fn divisors_helper() {
+        assert_eq!(divisors_up_to(12, 6), vec![1, 2, 3, 4, 6]);
+        assert_eq!(divisors_up_to(7, 32), vec![1, 7]);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let def = matmul(16, 16, 16);
+        let space = ConfigSpace::matmul(&def, &TargetIsa::arm_cortex_a72());
+        for idx in [0, 1, space.len() / 2, space.len() - 1] {
+            let cfg = space.config_from_index(idx);
+            assert_eq!(space.index_of(&cfg), idx);
+        }
+    }
+
+    #[test]
+    fn conv_space_has_expected_knobs() {
+        let def = small_conv();
+        let space = ConfigSpace::conv2d(&def, &TargetIsa::x86_ryzen_5800x());
+        let names: Vec<&str> = space.knobs().iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["tile_co", "tile_oh", "tile_ow", "order", "unroll", "vectorize"]
+        );
+        // Scalar target: no vectorize knob.
+        let scalar = ConfigSpace::conv2d(&def, &TargetIsa::riscv_u74());
+        assert_eq!(scalar.knobs().len(), 5);
+    }
+
+    #[test]
+    fn all_conv_configs_apply_or_fail_cleanly() {
+        let def = small_conv();
+        let target = TargetIsa::arm_cortex_a72();
+        let space = ConfigSpace::conv2d(&def, &target);
+        let mut valid = 0usize;
+        for idx in 0..space.len() {
+            let cfg = space.config_from_index(idx);
+            match space.schedule(&def, &cfg) {
+                Ok(s) => {
+                    if s.apply(&def, &target).is_ok() {
+                        valid += 1;
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        assert!(
+            valid > space.len() / 4,
+            "most configurations should be valid: {valid}/{}",
+            space.len()
+        );
+    }
+
+    #[test]
+    fn sample_and_mutate_stay_in_range(){
+        let def = matmul(16, 16, 16);
+        let space = ConfigSpace::matmul(&def, &TargetIsa::x86_ryzen_5800x());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = space.sample(&mut rng);
+        for _ in 0..50 {
+            cfg = space.mutate(&cfg, &mut rng);
+            for (c, k) in cfg.iter().zip(space.knobs()) {
+                assert!(*c < k.choices.len());
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_knob() {
+        let def = matmul(16, 16, 16);
+        let space = ConfigSpace::matmul(&def, &TargetIsa::x86_ryzen_5800x());
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = space.sample(&mut rng);
+        let mutated = space.mutate(&cfg, &mut rng);
+        let diffs = cfg
+            .iter()
+            .zip(&mutated)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn vectorized_config_produces_vector_schedule() {
+        let def = matmul(16, 16, 16);
+        let target = TargetIsa::arm_cortex_a72();
+        let space = ConfigSpace::matmul(&def, &target);
+        // Find a valid vectorized configuration.
+        let mut found = false;
+        for idx in 0..space.len() {
+            let cfg = space.config_from_index(idx);
+            if let Ok(s) = space.schedule(&def, &cfg) {
+                if s.vectorize.is_some() && s.apply(&def, &target).is_ok() {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "space must contain valid vectorized schedules");
+    }
+}

@@ -1,0 +1,176 @@
+//! Numeric validation: simulated kernel output vs host reference.
+//!
+//! Every schedule in a design space must compute the same function; this
+//! module runs a generated executable on the instruction-accurate
+//! simulator and compares the output buffer against
+//! [`ComputeDef::reference`] executed on identical input data. Because
+//! schedules reorder the floating-point reduction, comparison uses a
+//! combined absolute/relative tolerance.
+
+use crate::codegen::{build_executable, CodegenError};
+use crate::expr::{prepared_inputs, ComputeDef};
+use crate::lower::lower;
+use crate::schedule::Schedule;
+use crate::TargetIsa;
+use simtune_cache::HierarchyConfig;
+use simtune_isa::{simulate, RunLimits, SimError};
+use std::error::Error;
+use std::fmt;
+
+/// Default absolute/relative tolerance for reduction reordering.
+pub const DEFAULT_TOLERANCE: f32 = 1e-3;
+
+/// Errors raised by [`validate_schedule`].
+#[derive(Debug)]
+pub enum ValidateError {
+    /// The schedule failed to lower or compile.
+    Codegen(CodegenError),
+    /// The simulation aborted.
+    Sim(SimError),
+    /// The simulated output disagrees with the reference.
+    Mismatch {
+        /// Flat element index of the first mismatch.
+        index: usize,
+        /// Host reference value.
+        expected: f32,
+        /// Simulated value.
+        actual: f32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Codegen(e) => write!(f, "codegen failed: {e}"),
+            ValidateError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ValidateError::Mismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "output mismatch at element {index}: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ValidateError::Codegen(e) => Some(e),
+            ValidateError::Sim(e) => Some(e),
+            ValidateError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CodegenError> for ValidateError {
+    fn from(e: CodegenError) -> Self {
+        ValidateError::Codegen(e)
+    }
+}
+
+impl From<SimError> for ValidateError {
+    fn from(e: SimError) -> Self {
+        ValidateError::Sim(e)
+    }
+}
+
+impl From<crate::schedule::ScheduleError> for ValidateError {
+    fn from(e: crate::schedule::ScheduleError) -> Self {
+        ValidateError::Codegen(CodegenError::Schedule(e))
+    }
+}
+
+/// Builds, simulates and numerically validates one schedule.
+///
+/// # Errors
+///
+/// Returns [`ValidateError::Mismatch`] for the first element whose
+/// simulated value differs from the host reference by more than `tol`
+/// (absolutely and relatively); codegen and simulation failures are
+/// propagated.
+///
+/// # Example
+///
+/// ```
+/// use simtune_cache::HierarchyConfig;
+/// use simtune_tensor::{matmul, validate_schedule, Schedule, TargetIsa};
+///
+/// let def = matmul(6, 6, 6);
+/// validate_schedule(
+///     &def,
+///     &Schedule::default_for(&def),
+///     &TargetIsa::riscv_u74(),
+///     &HierarchyConfig::tiny_for_tests(),
+///     7,
+///     1e-3,
+/// )?;
+/// # Ok::<(), simtune_tensor::ValidateError>(())
+/// ```
+pub fn validate_schedule(
+    def: &ComputeDef,
+    schedule: &Schedule,
+    target: &TargetIsa,
+    hierarchy: &HierarchyConfig,
+    seed: u64,
+    tol: f32,
+) -> Result<(), ValidateError> {
+    let kernel = lower(def, schedule, target)?;
+    let exe = build_executable(def, schedule, target, seed, &def.name)?;
+    let outcome = simulate(&exe, hierarchy, RunLimits::default())?;
+
+    let out_buf = &kernel.buffers[kernel.output_buffer];
+    let simulated = outcome
+        .memory
+        .read_f32_slice(out_buf.base, out_buf.decl.len())?;
+
+    let inputs = prepared_inputs(def, seed);
+    let expected = def.reference(&inputs);
+
+    for (i, (got, want)) in simulated.iter().zip(&expected).enumerate() {
+        let abs = (got - want).abs();
+        let rel = abs / want.abs().max(1.0);
+        if abs > tol && rel > tol {
+            return Err(ValidateError::Mismatch {
+                index: i,
+                expected: *want,
+                actual: *got,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul;
+
+    #[test]
+    fn default_matmul_schedule_validates() {
+        let def = matmul(5, 7, 3);
+        validate_schedule(
+            &def,
+            &Schedule::default_for(&def),
+            &TargetIsa::riscv_u74(),
+            &HierarchyConfig::tiny_for_tests(),
+            11,
+            DEFAULT_TOLERANCE,
+        )
+        .expect("default schedule computes the right matmul");
+    }
+
+    #[test]
+    fn mismatch_error_is_informative() {
+        let e = ValidateError::Mismatch {
+            index: 3,
+            expected: 1.0,
+            actual: 2.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("element 3"));
+        assert!(s.contains("expected 1"));
+    }
+}

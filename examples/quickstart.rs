@@ -1,0 +1,95 @@
+//! Quickstart: autotune a MatMul kernel **entirely on simulators**.
+//!
+//! Mirrors the paper's pipeline end to end in under a minute:
+//!
+//! 1. define a kernel (TE-style compute definition),
+//! 2. collect a small training set: every implementation runs on the
+//!    instruction-accurate simulator *and* the emulated target board,
+//! 3. train a score predictor on the simulator statistics,
+//! 4. autotune new candidates using only simulator runs + the predictor,
+//! 5. verify the chosen schedule on the (emulated) target hardware.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use simtune::core::{
+    collect_group_data, tune_with_predictor, CollectOptions, EvolutionaryTuner, HardwareRunner,
+    KernelBuilder, ScorePredictor, TuneOptions,
+};
+use simtune::hw::TargetSpec;
+use simtune::predict::PredictorKind;
+use simtune::tensor::{matmul, SketchGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Tune for the RISC-V target: the scenario where real boards are
+    // scarce and simulation parallelism wins (paper Section IV).
+    let spec = TargetSpec::riscv_u74();
+    let def = matmul(32, 32, 32);
+    println!("kernel: {} ({} MACs)", def.name, def.macs());
+
+    // -- Training phase (paper Fig. 4-I) -------------------------------
+    println!("\n[1/3] collecting training data (simulator + emulated board)...");
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 48,
+            n_parallel: 8,
+            seed: 42,
+            max_attempts_factor: 40,
+        },
+    )?;
+    println!(
+        "      {} implementations, t_ref {:.3} ms .. {:.3} ms",
+        data.len(),
+        data.t_ref.iter().cloned().fold(f64::INFINITY, f64::min) * 1e3,
+        data.t_ref.iter().cloned().fold(0.0, f64::max) * 1e3,
+    );
+
+    let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "matmul", 1);
+    predictor.train(std::slice::from_ref(&data))?;
+    println!("[2/3] trained {} score predictor", predictor.kind());
+
+    // -- Execution phase (paper Fig. 4-II): no target hardware ---------
+    println!("[3/3] tuning with simulators only...");
+    let mut tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 7);
+    let result = tune_with_predictor(
+        &def,
+        &spec,
+        &predictor,
+        &mut tuner,
+        &TuneOptions {
+            n_trials: 48,
+            batch_size: 12,
+            n_parallel: 8,
+            ..TuneOptions::default()
+        },
+    )?;
+    println!(
+        "      evaluated {} candidates, best predicted score {:+.3}",
+        result.history.len(),
+        result.best().score
+    );
+
+    // -- Verify the winner on the emulated target ----------------------
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let hw = HardwareRunner::new(spec.clone());
+    let best_exe = builder.build(&result.best().schedule, "winner")?;
+    let best_time = hw.run_one(&best_exe, 0)?.t_ref;
+
+    // Compare against the median implementation from the training set.
+    let mut times = data.t_ref.clone();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    println!(
+        "\nwinner measured on target: {:.3} ms (median random schedule: {:.3} ms, \
+         speedup {:.2}x)",
+        best_time * 1e3,
+        median * 1e3,
+        median / best_time
+    );
+    println!("winner schedule: {}", result.best().description);
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # simtune
+//!
+//! A reproduction of *"Introducing Instruction-Accurate Simulators for
+//! Performance Estimation of Autotuning Workloads"* (DAC 2025): a simulator
+//! interface that lets autotuning workloads run on instruction-accurate
+//! simulators instead of real hardware, plus trained score predictors that
+//! map simulator statistics to performance scores for x86-, ARM- and
+//! RISC-V-like targets.
+//!
+//! This crate is a façade that re-exports the workspace crates under short
+//! module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`linalg`] | `simtune-linalg` | dense matrices, Cholesky/LU, statistics |
+//! | [`cache`] | `simtune-cache` | set-associative cache hierarchy model |
+//! | [`isa`] | `simtune-isa` | virtual ISA + instruction-accurate simulator |
+//! | [`tensor`] | `simtune-tensor` | kernels, schedules, codegen, search spaces |
+//! | [`hw`] | `simtune-hw` | timing-accurate targets + measurement harness |
+//! | [`predict`] | `simtune-predict` | MLR, DNN, GP/Bayes, gradient-boosted trees |
+//! | [`core`] | `simtune-core` | simulator interface + score-predictor workflow |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: define a kernel,
+//! generate schedule candidates, simulate them in parallel, train a score
+//! predictor and pick the best implementation.
+
+pub use simtune_cache as cache;
+pub use simtune_core as core;
+pub use simtune_hw as hw;
+pub use simtune_isa as isa;
+pub use simtune_linalg as linalg;
+pub use simtune_predict as predict;
+pub use simtune_tensor as tensor;

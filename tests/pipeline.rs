@@ -1,0 +1,246 @@
+//! Cross-crate integration tests: the full training-phase and
+//! execution-phase pipelines of the paper, exercised end to end at
+//! miniature scale.
+
+use simtune::core::{
+    collect_group_data, evaluate_predictor, holdout_group_curves, parallel_speedup_k,
+    split_train_test, tune_with_predictor, CollectOptions, EvolutionaryTuner,
+    FeatureConfig, GroupData, ScorePredictor, TuneOptions, WindowKind,
+};
+use simtune::hw::{measure, MeasureConfig, TargetSpec};
+use simtune::isa::{simulate, RunLimits};
+use simtune::predict::PredictorKind;
+use simtune::tensor::{build_executable, conv2d_bias_relu, Conv2dShape, Schedule, SketchGenerator};
+
+fn small_shape() -> Conv2dShape {
+    Conv2dShape {
+        n: 1,
+        h: 10,
+        w: 12,
+        co: 8,
+        ci: 4,
+        kh: 3,
+        kw: 3,
+        stride: (1, 1),
+        pad: (1, 1),
+    }
+}
+
+fn collect(spec: &TargetSpec, gid: usize, n: usize, seed: u64) -> GroupData {
+    let def = conv2d_bias_relu(&small_shape());
+    collect_group_data(
+        &def,
+        spec,
+        gid,
+        &CollectOptions {
+            n_impls: n,
+            n_parallel: 2,
+            seed,
+            max_attempts_factor: 40,
+        },
+    )
+    .expect("collection succeeds")
+}
+
+#[test]
+fn collection_is_deterministic_per_seed() {
+    let spec = TargetSpec::riscv_u74();
+    let a = collect(&spec, 0, 10, 5);
+    let b = collect(&spec, 0, 10, 5);
+    assert_eq!(a.t_ref, b.t_ref, "same seed, same reference times");
+    for (x, y) in a.stats.iter().zip(&b.stats) {
+        assert_eq!(x.inst_mix, y.inst_mix);
+        assert_eq!(x.cache, y.cache);
+    }
+    let c = collect(&spec, 0, 10, 6);
+    assert_ne!(a.t_ref, c.t_ref, "different seed, different data");
+}
+
+#[test]
+fn simulator_stats_correlate_with_target_times() {
+    // The core premise of the paper: instruction-accurate statistics
+    // carry enough signal about target runtime to rank implementations.
+    let spec = TargetSpec::riscv_u74();
+    let data = collect(&spec, 0, 24, 11);
+    let insts: Vec<f64> = data
+        .stats
+        .iter()
+        .map(|s| s.inst_mix.total() as f64)
+        .collect();
+    let rho = simtune::linalg::stats::spearman(&insts, &data.t_ref);
+    assert!(
+        rho > 0.5,
+        "instruction counts should correlate with runtime on an in-order core: {rho}"
+    );
+}
+
+#[test]
+fn trained_predictor_ranks_at_least_as_well_as_instruction_counts() {
+    // Averaged over several splits to be robust at miniature scale: the
+    // learned ordering must correlate with the measured runtimes at
+    // least as well as the naive rank-by-instruction-count baseline.
+    let spec = TargetSpec::x86_ryzen_5800x();
+    let data = collect(&spec, 0, 60, 13);
+    let mut model_rho = 0.0;
+    let mut baseline_rho = 0.0;
+    const SPLITS: usize = 3;
+    for round in 0..SPLITS {
+        let (train_idx, test_idx) = split_train_test(data.len(), 15, round as u64);
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let mut predictor =
+            ScorePredictor::new(PredictorKind::Xgboost, "x86", "conv", round as u64);
+        predictor.train(std::slice::from_ref(&train)).expect("trains");
+        let scores = predictor.score_group(&test.stats).expect("scores");
+        let baseline: Vec<f64> = test
+            .stats
+            .iter()
+            .map(|s| s.inst_mix.total() as f64)
+            .collect();
+        model_rho += simtune::linalg::stats::spearman(&scores, &test.t_ref);
+        baseline_rho += simtune::linalg::stats::spearman(&baseline, &test.t_ref);
+    }
+    model_rho /= SPLITS as f64;
+    baseline_rho /= SPLITS as f64;
+    assert!(
+        model_rho > 0.5,
+        "learned ordering must carry real signal: rho {model_rho:.3}"
+    );
+    assert!(
+        model_rho >= baseline_rho - 0.1,
+        "learned rho {model_rho:.3} clearly worse than baseline {baseline_rho:.3}"
+    );
+}
+
+#[test]
+fn full_protocol_produces_bounded_metrics() {
+    let spec = TargetSpec::arm_cortex_a72();
+    let groups = vec![collect(&spec, 0, 24, 17), collect(&spec, 1, 24, 18)];
+    let report = evaluate_predictor(
+        PredictorKind::LinReg,
+        &groups,
+        "arm",
+        "conv",
+        6,
+        3,
+        5,
+        FeatureConfig::default(),
+    )
+    .expect("evaluates");
+    assert_eq!(report.per_group.len(), 2);
+    for m in &report.per_group {
+        assert!(m.e_top1 >= 0.0 && m.e_top1.is_finite());
+        assert!(m.q_low >= 0.0 && m.q_high >= 0.0);
+        assert!(m.r_top1 > 0.0 && m.r_top1 <= 100.0);
+    }
+}
+
+#[test]
+fn holdout_group_transfer_works() {
+    // Figure 5's claim: a predictor trained WITHOUT a group still ranks
+    // that group usefully.
+    let spec = TargetSpec::riscv_u74();
+    let g0 = collect(&spec, 0, 30, 23);
+    let g1 = collect(&spec, 1, 30, 29);
+    let (_, test_idx) = split_train_test(g1.len(), 10, 1);
+    let curves = holdout_group_curves(
+        PredictorKind::Xgboost,
+        std::slice::from_ref(&g0),
+        &g1,
+        &test_idx,
+        "riscv",
+        "conv",
+        3,
+    )
+    .expect("transfers");
+    // The prediction-ordered series should correlate with the sorted one.
+    let rho = simtune::linalg::stats::spearman(
+        &curves.prediction_ordered,
+        &curves.sorted_ref,
+    );
+    assert!(rho > 0.3, "held-out transfer correlation too weak: {rho}");
+}
+
+#[test]
+fn execution_phase_needs_no_hardware_and_finds_good_schedules() {
+    let spec = TargetSpec::riscv_u74();
+    let def = conv2d_bias_relu(&small_shape());
+    let data = collect(&spec, 0, 30, 31);
+    let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "conv", 2);
+    predictor.train(std::slice::from_ref(&data)).expect("trains");
+
+    let mut tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 5);
+    let result = tune_with_predictor(
+        &def,
+        &spec,
+        &predictor,
+        &mut tuner,
+        &TuneOptions {
+            n_trials: 20,
+            batch_size: 5,
+            n_parallel: 2,
+            window: WindowKind::Dynamic,
+            seed: 1,
+        },
+    )
+    .expect("tunes");
+    assert_eq!(result.history.len(), 20);
+
+    // Measure the predicted-best on the emulated board and compare with
+    // the median of the training distribution: it should not be a dud.
+    let exe = build_executable(&def, &result.best().schedule, &spec.isa, 0x5EED, "win")
+        .expect("builds");
+    let m = measure(&exe, &spec, &MeasureConfig::default(), 1).expect("measures");
+    let mut times = data.t_ref.clone();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    assert!(
+        m.t_ref <= median * 1.25,
+        "predicted best ({:.6}s) much slower than median ({median:.6}s)",
+        m.t_ref
+    );
+}
+
+#[test]
+fn equation_4_end_to_end() {
+    // Collect real (t_sim, t_ref) pairs and check K is sane: positive,
+    // and larger for faster targets at fixed simulation cost.
+    let x86 = collect(&TargetSpec::x86_ryzen_5800x(), 0, 8, 41);
+    let riscv = collect(&TargetSpec::riscv_u74(), 0, 8, 41);
+    let cfg = MeasureConfig::default();
+    let k = |g: &GroupData| {
+        g.sim_seconds
+            .iter()
+            .zip(&g.t_ref)
+            .map(|(&s, &r)| parallel_speedup_k(s, r, cfg.cooldown_s, cfg.n_exe))
+            .max()
+            .expect("non-empty")
+    };
+    assert!(k(&x86) >= 1);
+    assert!(k(&riscv) >= 1);
+    // The x86 target is faster, so its native benchmarking takes less
+    // time per impl; K_x86 >= K_riscv for identical kernels & host.
+    assert!(
+        x86.t_ref.iter().sum::<f64>() < riscv.t_ref.iter().sum::<f64>(),
+        "x86 must be the faster target"
+    );
+}
+
+#[test]
+fn atomic_and_timing_models_execute_identically() {
+    // The timing model re-executes the same program: functional results
+    // and therefore output buffers must agree with the atomic run.
+    let spec = TargetSpec::arm_cortex_a72();
+    let def = conv2d_bias_relu(&small_shape());
+    let schedule = Schedule::default_for(&def);
+    let exe = build_executable(&def, &schedule, &spec.isa, 7, "x").expect("builds");
+    let atomic = simulate(&exe, &spec.hierarchy, RunLimits::default()).expect("atomic runs");
+    // measure() re-runs through the timing hook; if it produced different
+    // functional behavior, base_seconds would be garbage or the run would
+    // fault. Compare instruction-visible effects via a second atomic run
+    // plus the timing run's success.
+    let m = measure(&exe, &spec, &MeasureConfig::default(), 1).expect("timing runs");
+    assert!(m.base_seconds > 0.0);
+    let atomic2 = simulate(&exe, &spec.hierarchy, RunLimits::default()).expect("atomic runs");
+    assert_eq!(atomic.stats.inst_mix, atomic2.stats.inst_mix);
+}
