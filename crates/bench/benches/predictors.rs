@@ -23,7 +23,11 @@ fn fit_benchmarks(c: &mut Criterion) {
     let (x, y) = synthetic(300, 45);
     let mut group = c.benchmark_group("predictor_fit_300x45");
     group.sample_size(10);
-    for kind in [PredictorKind::LinReg, PredictorKind::Bayes, PredictorKind::Xgboost] {
+    for kind in [
+        PredictorKind::LinReg,
+        PredictorKind::Bayes,
+        PredictorKind::Xgboost,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
             b.iter(|| {
                 let mut m = kind.build(1);
@@ -50,7 +54,11 @@ fn fit_benchmarks(c: &mut Criterion) {
 fn predict_benchmarks(c: &mut Criterion) {
     let (x, y) = synthetic(300, 45);
     let mut group = c.benchmark_group("predictor_predict_300x45");
-    for kind in [PredictorKind::LinReg, PredictorKind::Bayes, PredictorKind::Xgboost] {
+    for kind in [
+        PredictorKind::LinReg,
+        PredictorKind::Bayes,
+        PredictorKind::Xgboost,
+    ] {
         let mut m = kind.build(1);
         m.fit(&x, &y).expect("fits");
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {

@@ -31,7 +31,9 @@ fn tuning_step(c: &mut Criterion) {
     )
     .expect("collects");
     let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "matmul", 1);
-    predictor.train(std::slice::from_ref(&data)).expect("trains");
+    predictor
+        .train(std::slice::from_ref(&data))
+        .expect("trains");
 
     let generator = SketchGenerator::new(&def, spec.isa.clone());
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());

@@ -69,11 +69,7 @@ fn main() {
                 *feature_config,
             ) {
                 Ok(report) => {
-                    let mean_qlow = report
-                        .per_group
-                        .iter()
-                        .map(|m| m.q_low)
-                        .sum::<f64>()
+                    let mean_qlow = report.per_group.iter().map(|m| m.q_low).sum::<f64>()
                         / report.per_group.len() as f64;
                     println!(
                         "{:>16} | {:>10.2}% | {:>9.1}% | {:>9.2}%",

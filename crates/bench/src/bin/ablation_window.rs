@@ -34,9 +34,13 @@ fn main() {
             .zip(&splits)
             .map(|(g, (tr, _))| g.subset(tr))
             .collect();
-        let mut predictor =
-            ScorePredictor::new(PredictorKind::Xgboost, &cfg.arch, "conv2d_bias_relu", args.seed)
-                .with_feature_config(FeatureConfig::default());
+        let mut predictor = ScorePredictor::new(
+            PredictorKind::Xgboost,
+            &cfg.arch,
+            "conv2d_bias_relu",
+            args.seed,
+        )
+        .with_feature_config(FeatureConfig::default());
         if let Err(e) = predictor.train(&train) {
             eprintln!("[{}] training failed: {e}", cfg.arch);
             continue;

@@ -44,9 +44,8 @@ fn main() {
             .iter()
             .map(|g| {
                 if g.group_id == EVAL_GROUP {
-                    let train: Vec<usize> = (0..g.len())
-                        .filter(|i| !test_idx.contains(i))
-                        .collect();
+                    let train: Vec<usize> =
+                        (0..g.len()).filter(|i| !test_idx.contains(i)).collect();
                     g.subset(&train)
                 } else {
                     g.clone()
@@ -98,8 +97,8 @@ fn main() {
                                 vec![i.to_string(), format!("{r:.6e}"), format!("{p:.6e}")]
                             })
                             .collect();
-                        let path = Path::new(dir)
-                            .join(format!("figure5_{}_{}.csv", cfg.arch, variant));
+                        let path =
+                            Path::new(dir).join(format!("figure5_{}_{}.csv", cfg.arch, variant));
                         match write_csv(&path, &["sample", "t_ref", "t_pred"], &rows) {
                             Ok(()) => eprintln!("wrote {}", path.display()),
                             Err(e) => eprintln!("csv write failed: {e}"),

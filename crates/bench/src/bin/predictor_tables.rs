@@ -11,7 +11,9 @@
 //!     --arch all --scale quarter --impls 120 --test 30 --rounds 10
 //! ```
 
-use simtune_bench::{collect_arch_datasets, format_metric_table, write_csv, Args, ExperimentConfig};
+use simtune_bench::{
+    collect_arch_datasets, format_metric_table, write_csv, Args, ExperimentConfig,
+};
 use simtune_core::{evaluate_predictor, FeatureConfig};
 use simtune_predict::PredictorKind;
 use std::path::Path;
@@ -88,7 +90,15 @@ fn main() {
             let path = Path::new(dir).join(format!("table_{}.csv", cfg.arch));
             if let Err(e) = write_csv(
                 &path,
-                &["arch", "predictor", "group", "e_top1", "q_low", "q_high", "r_top1"],
+                &[
+                    "arch",
+                    "predictor",
+                    "group",
+                    "e_top1",
+                    "q_low",
+                    "q_high",
+                    "r_top1",
+                ],
                 &rows,
             ) {
                 eprintln!("csv write failed: {e}");

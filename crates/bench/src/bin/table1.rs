@@ -25,8 +25,19 @@ fn main() {
     );
     println!(
         "{:<8}|{:>7} {:>6} {:>6}|{:>7} {:>6} {:>6}|{:>7} {:>6} {:>6}|{:>7} {:>6} {:>6}",
-        "", "size", "sets", "assoc", "size", "sets", "assoc", "size", "sets", "assoc",
-        "size", "sets", "assoc"
+        "",
+        "size",
+        "sets",
+        "assoc",
+        "size",
+        "sets",
+        "assoc",
+        "size",
+        "sets",
+        "assoc",
+        "size",
+        "sets",
+        "assoc"
     );
     println!("{}", "-".repeat(8 + 4 * 22));
     for h in HierarchyConfig::paper_presets() {

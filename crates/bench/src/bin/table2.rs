@@ -35,9 +35,6 @@ fn main() {
         Scale::Paper,
     );
     for scale in [Scale::Half, Scale::Quarter, Scale::Smoke] {
-        print_groups(
-            &format!("Scaled variant: --scale {scale}"),
-            scale,
-        );
+        print_groups(&format!("Scaled variant: --scale {scale}"), scale);
     }
 }

@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = parse("--arch riscv --scale smoke --impls 40 --test 10 --rounds 3 --seed 7 --refresh");
+        let a =
+            parse("--arch riscv --scale smoke --impls 40 --test 10 --rounds 3 --seed 7 --refresh");
         assert_eq!(a.archs, vec!["riscv"]);
         assert_eq!(a.scale, Scale::Smoke);
         assert_eq!(a.impls, 40);

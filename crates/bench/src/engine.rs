@@ -63,7 +63,11 @@ pub fn collect_arch_datasets(
     let path = dataset_cache_path(cfg);
     if !refresh {
         if let Ok(Some(groups)) = load_groups(&path) {
-            eprintln!("[{}] loaded cached datasets from {}", cfg.arch, path.display());
+            eprintln!(
+                "[{}] loaded cached datasets from {}",
+                cfg.arch,
+                path.display()
+            );
             return Ok(groups);
         }
     }

@@ -31,7 +31,11 @@ pub fn format_metric_table(
     let _ = writeln!(out);
     let _ = write!(out, "{:>3} ", "");
     for _ in predictor_names {
-        let _ = write!(out, "| {:>7}{:>8}{:>8}{:>8} ", "Etop1", "Qlow", "Qhigh", "Rtop1");
+        let _ = write!(
+            out,
+            "| {:>7}{:>8}{:>8}{:>8} ",
+            "Etop1", "Qlow", "Qhigh", "Rtop1"
+        );
     }
     let _ = writeln!(out);
     let width = 4 + predictor_names.len() * 34;
@@ -73,10 +77,7 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Resu
 pub fn ascii_plot(title: &str, series: &[(&str, &[f64])], height: usize, width: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let all: Vec<f64> = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .collect();
+    let all: Vec<f64> = series.iter().flat_map(|(_, v)| v.iter().copied()).collect();
     if all.is_empty() {
         return out;
     }
@@ -126,7 +127,10 @@ mod tests {
         let t = format_metric_table(
             "TABLE TEST",
             &["LinReg", "DNN"],
-            &[vec![metric(1.0), metric(2.0)], vec![metric(3.0), metric(4.0)]],
+            &[
+                vec![metric(1.0), metric(2.0)],
+                vec![metric(3.0), metric(4.0)],
+            ],
         );
         assert!(t.contains("TABLE TEST"));
         assert!(t.contains("LinReg"));

@@ -55,7 +55,13 @@ impl Scale {
         let (sd, cd) = self.divisors();
         Conv2dShape::paper_groups()
             .into_iter()
-            .map(|g| if sd == 1 && cd == 1 { g } else { g.scaled(sd, cd) })
+            .map(|g| {
+                if sd == 1 && cd == 1 {
+                    g
+                } else {
+                    g.scaled(sd, cd)
+                }
+            })
             .collect()
     }
 }

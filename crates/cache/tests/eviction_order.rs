@@ -1,0 +1,127 @@
+//! Eviction-order tests: each replacement policy is driven through a
+//! scripted access trace on a single-set cache, and the exact sequence
+//! of evicted lines is checked (not just hit/miss counts).
+
+use simtune_cache::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
+
+/// 4-way × 1-set × 64 B cache: every line conflicts, so the policy alone
+/// decides who gets evicted.
+fn one_set(policy: ReplacementPolicy) -> Cache {
+    Cache::new(CacheConfig::new("t", 256, 1, 4, 64, policy).expect("valid config"))
+}
+
+/// Line base address for slot `i` (all map to set 0 of `one_set`).
+fn line(i: u64) -> u64 {
+    i * 64
+}
+
+/// Reads `line(i)` and reports whether it missed.
+fn read(c: &mut Cache, i: u64) -> bool {
+    !c.access(line(i), AccessKind::Read).hit
+}
+
+/// Returns which of the first `n` lines are currently resident.
+fn resident(c: &Cache, n: u64) -> Vec<u64> {
+    (0..n).filter(|&i| c.contains(line(i))).collect()
+}
+
+#[test]
+fn lru_evicts_in_recency_order() {
+    let mut c = one_set(ReplacementPolicy::Lru);
+    for i in 0..4 {
+        assert!(read(&mut c, i), "cold fill {i}");
+    }
+    // Recency order (oldest first) is now 0, 1, 2, 3. Touch 0 and 1 so
+    // the order becomes 2, 3, 0, 1 and evictions must follow it.
+    assert!(!read(&mut c, 0));
+    assert!(!read(&mut c, 1));
+    assert!(read(&mut c, 4), "conflict miss");
+    assert_eq!(resident(&c, 5), vec![0, 1, 3, 4], "2 was LRU");
+    assert!(read(&mut c, 5));
+    assert_eq!(resident(&c, 6), vec![0, 1, 4, 5], "then 3");
+    assert!(read(&mut c, 6));
+    assert_eq!(resident(&c, 7), vec![1, 4, 5, 6], "then 0");
+    assert!(read(&mut c, 7));
+    assert_eq!(resident(&c, 8), vec![4, 5, 6, 7], "then 1");
+}
+
+#[test]
+fn fifo_evicts_in_fill_order_ignoring_hits() {
+    let mut c = one_set(ReplacementPolicy::Fifo);
+    for i in 0..4 {
+        read(&mut c, i);
+    }
+    // Hits must not refresh FIFO age: 0 stays the oldest fill.
+    assert!(!read(&mut c, 0));
+    assert!(!read(&mut c, 0));
+    assert!(read(&mut c, 4));
+    assert_eq!(
+        resident(&c, 5),
+        vec![1, 2, 3, 4],
+        "0 filled first, goes first"
+    );
+    assert!(read(&mut c, 5));
+    assert_eq!(resident(&c, 6), vec![2, 3, 4, 5], "then 1");
+    // Re-reading 2 (a hit) still must not save it.
+    assert!(!read(&mut c, 2));
+    assert!(read(&mut c, 6));
+    assert_eq!(resident(&c, 7), vec![3, 4, 5, 6], "then 2 despite the hit");
+}
+
+#[test]
+fn tree_plru_protects_the_most_recent_line() {
+    let mut c = one_set(ReplacementPolicy::TreePlru);
+    for i in 0..4 {
+        read(&mut c, i);
+    }
+    // After filling ways 0..3 the PLRU pointers select way 0; touching
+    // line 0 flips the tree so the victim moves to the opposite
+    // subtree — line 2 under standard tree-PLRU.
+    assert!(!read(&mut c, 0));
+    assert!(read(&mut c, 4));
+    assert_eq!(resident(&c, 5), vec![0, 1, 3, 4], "2 evicted, 0 protected");
+    // The fresh fill of 4 (into way 2) points the tree at way 1 next.
+    assert!(read(&mut c, 5));
+    assert_eq!(resident(&c, 6), vec![0, 3, 4, 5], "then 1");
+}
+
+#[test]
+fn random_eviction_is_deterministic_across_runs() {
+    // The Random policy draws from the cache's own xorshift stream, so
+    // two caches fed the identical trace must evict identically.
+    let trace: Vec<u64> = (0..64).map(|i| (i * 7) % 13).collect();
+    let run = |mut c: Cache| -> (Vec<u64>, u64) {
+        for &i in &trace {
+            c.access(line(i), AccessKind::Read);
+        }
+        let s = c.stats();
+        (resident(&c, 13), s.read_replacements)
+    };
+    let (res_a, evictions_a) = run(one_set(ReplacementPolicy::Random));
+    let (res_b, evictions_b) = run(one_set(ReplacementPolicy::Random));
+    assert_eq!(res_a, res_b, "same trace, same evictions");
+    assert_eq!(evictions_a, evictions_b);
+    assert_eq!(
+        res_a.len(),
+        4,
+        "a 4-way set holds exactly 4 of 13 hot lines"
+    );
+    assert!(evictions_a > 0, "trace must overflow the set");
+}
+
+#[test]
+fn policies_diverge_on_the_same_trace() {
+    // Sanity: the scripted trace actually distinguishes the policies
+    // (LRU keeps the re-touched line, FIFO does not).
+    let mut lru = one_set(ReplacementPolicy::Lru);
+    let mut fifo = one_set(ReplacementPolicy::Fifo);
+    for c in [&mut lru, &mut fifo] {
+        for i in 0..4 {
+            read(c, i);
+        }
+        read(c, 0); // touch the oldest line
+        read(c, 4); // overflow
+    }
+    assert!(lru.contains(line(0)), "LRU refreshed line 0");
+    assert!(!fifo.contains(line(0)), "FIFO still evicts line 0");
+}

@@ -118,16 +118,15 @@ impl Tuner for EvolutionaryTuner {
         let mut attempts = 0;
         while out.len() < n && attempts < n * 60 {
             attempts += 1;
-            let candidate = if self.population.len() < 2
-                || self.rng.gen_bool(self.immigrant_fraction)
-            {
-                self.generator.random(&mut self.rng)
-            } else {
-                let a = self.tournament();
-                let b = self.tournament();
-                let child = self.generator.crossover(&a, &b, &mut self.rng);
-                self.generator.mutate(&child, &mut self.rng)
-            };
+            let candidate =
+                if self.population.len() < 2 || self.rng.gen_bool(self.immigrant_fraction) {
+                    self.generator.random(&mut self.rng)
+                } else {
+                    let a = self.tournament();
+                    let b = self.tournament();
+                    let child = self.generator.crossover(&a, &b, &mut self.rng);
+                    self.generator.mutate(&child, &mut self.rng)
+                };
             if self.seen.insert(format!("{candidate:?}")) {
                 out.push(candidate);
             }
@@ -461,13 +460,7 @@ mod tests {
         let (def, spec) = setup();
         let predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
         let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
-        let err = tune_with_predictor(
-            &def,
-            &spec,
-            &predictor,
-            &mut tuner,
-            &TuneOptions::default(),
-        );
+        let err = tune_with_predictor(&def, &spec, &predictor, &mut tuner, &TuneOptions::default());
         assert!(matches!(err, Err(CoreError::Pipeline(_))));
     }
 }

@@ -86,7 +86,9 @@ pub fn feature_names(has_l3: bool, config: &FeatureConfig) -> Vec<String> {
             levels.push("l3");
         }
         for l in levels {
-            for m in ["rd_hit", "rd_miss", "rd_repl", "wr_hit", "wr_miss", "wr_repl"] {
+            for m in [
+                "rd_hit", "rd_miss", "rd_repl", "wr_hit", "wr_miss", "wr_repl",
+            ] {
                 base.push(format!("{l}_{m}"));
             }
         }

@@ -116,11 +116,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::Li { rd: Gpr(0), imm: 0 });
         b.push(Inst::Halt);
-        let exe = simtune_isa::Executable::new(
-            "t",
-            b.build().unwrap(),
-            TargetIsa::riscv_u74(),
-        );
+        let exe = simtune_isa::Executable::new("t", b.build().unwrap(), TargetIsa::riscv_u74());
         let out = runner.run(&[exe]);
         assert_eq!(out[0].as_ref().unwrap().host_nanos, 7);
     }

@@ -47,8 +47,8 @@ mod template_tune;
 mod workflow;
 
 pub use autotune::{
-    tune_on_hardware, tune_with_predictor, EvolutionaryTuner, RandomTuner, TuneOptions,
-    TuneRecord, TuneResult, Tuner,
+    tune_on_hardware, tune_with_predictor, EvolutionaryTuner, RandomTuner, TuneOptions, TuneRecord,
+    TuneResult, Tuner,
 };
 pub use error::CoreError;
 pub use features::{
@@ -65,6 +65,6 @@ pub use template_tune::{
     tune_template_space, GridTemplateTuner, RandomTemplateTuner, SaTemplateTuner, TemplateTuner,
 };
 pub use workflow::{
-    collect_group_data, evaluate_predictor, holdout_group_curves, split_train_test,
-    CollectOptions, EvalReport, SortedPrediction,
+    collect_group_data, evaluate_predictor, holdout_group_curves, split_train_test, CollectOptions,
+    EvalReport, SortedPrediction,
 };

@@ -49,10 +49,7 @@ pub fn prediction_metrics(t_ref: &[f64], scores: &[f64]) -> PredictionMetrics {
 ///
 /// Panics if either slice is empty.
 pub fn e_top1(t_ref: &[f64], prediction_ordered_times: &[f64]) -> f64 {
-    let best_measured = t_ref
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let best_measured = t_ref.iter().cloned().fold(f64::INFINITY, f64::min);
     let top_predicted = prediction_ordered_times[0];
     (1.0 - best_measured / top_predicted).abs() * 100.0
 }
@@ -100,12 +97,7 @@ pub fn quality_score(prediction_ordered_times: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics on non-positive native benchmarking time.
-pub fn parallel_speedup_k(
-    t_simulator: f64,
-    t_ref: f64,
-    t_cooldown: f64,
-    n_exe: usize,
-) -> u64 {
+pub fn parallel_speedup_k(t_simulator: f64, t_ref: f64, t_cooldown: f64, n_exe: usize) -> u64 {
     let native = (t_cooldown + t_ref) * n_exe as f64;
     assert!(native > 0.0, "native benchmark time must be positive");
     (t_simulator / native).ceil().max(1.0) as u64

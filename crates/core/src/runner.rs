@@ -240,7 +240,9 @@ mod tests {
     fn exes(n: usize) -> Vec<Executable> {
         let b = builder();
         let s = Schedule::default_for(b.def());
-        (0..n).map(|i| b.build(&s, &format!("m{i}")).unwrap()).collect()
+        (0..n)
+            .map(|i| b.build(&s, &format!("m{i}")).unwrap())
+            .collect()
     }
 
     #[test]
@@ -289,10 +291,7 @@ mod tests {
         let b = builder();
         let mut s = Schedule::default_for(b.def());
         s.order.pop();
-        assert!(matches!(
-            b.build(&s, "bad"),
-            Err(CoreError::Codegen(_))
-        ));
+        assert!(matches!(b.build(&s, "bad"), Err(CoreError::Codegen(_))));
     }
 
     #[test]

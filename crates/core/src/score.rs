@@ -306,9 +306,7 @@ mod tests {
         let mut p = ScorePredictor::new(PredictorKind::LinReg, "arm", "synthetic", 2);
         p.train(std::slice::from_ref(&g)).unwrap();
         let exact = p.score_group(&g.stats).unwrap();
-        let dynamic = p
-            .score_with_window(&g.stats, WindowKind::Dynamic)
-            .unwrap();
+        let dynamic = p.score_with_window(&g.stats, WindowKind::Dynamic).unwrap();
         let static_w = p
             .score_with_window(&g.stats, WindowKind::Static(20))
             .unwrap();

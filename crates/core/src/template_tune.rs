@@ -290,7 +290,9 @@ mod tests {
         )
         .expect("collects");
         let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
-        predictor.train(std::slice::from_ref(&data)).expect("trains");
+        predictor
+            .train(std::slice::from_ref(&data))
+            .expect("trains");
         (def, spec, space, predictor)
     }
 

@@ -109,11 +109,7 @@ pub fn collect_group_data(
         group_id,
         ..GroupData::default()
     };
-    for ((sim_r, hw_r), desc) in sim_results
-        .into_iter()
-        .zip(measurements)
-        .zip(descriptions)
-    {
+    for ((sim_r, hw_r), desc) in sim_results.into_iter().zip(measurements).zip(descriptions) {
         let (Ok(stats), Ok(m)) = (sim_r, hw_r) else {
             continue;
         };

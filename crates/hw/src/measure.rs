@@ -157,13 +157,7 @@ mod tests {
     #[test]
     fn measurement_has_n_exe_samples_and_median() {
         let spec = TargetSpec::riscv_u74();
-        let m = measure(
-            &loop_exe(&spec, 1000),
-            &spec,
-            &MeasureConfig::default(),
-            1,
-        )
-        .unwrap();
+        let m = measure(&loop_exe(&spec, 1000), &spec, &MeasureConfig::default(), 1).unwrap();
         assert_eq!(m.samples.len(), 15);
         assert!(m.t_ref > 0.0);
         let mut sorted = m.samples.clone();

@@ -193,7 +193,10 @@ mod tests {
         let base = 0.01;
         let samples: Vec<f64> = (0..500).map(|_| m.sample(base, &mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean - base).abs() / base < 0.1, "mean {mean} vs base {base}");
+        assert!(
+            (mean - base).abs() / base < 0.1,
+            "mean {mean} vs base {base}"
+        );
         // All samples positive and none absurdly large.
         assert!(samples.iter().all(|&s| s > 0.0 && s < base * 2.0));
     }

@@ -1,6 +1,6 @@
 use crate::{BranchPredictor, StridePrefetcher, TargetSpec};
-use simtune_isa::{ExecHook, Inst, InstMix};
 use simtune_cache::{CacheHierarchy, ServicedBy};
+use simtune_isa::{ExecHook, Inst, InstMix};
 
 /// Cycle accounting of one timing run, split by source.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

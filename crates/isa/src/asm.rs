@@ -1,0 +1,389 @@
+//! Assembly parsing: the inverse of [`crate::Inst`]'s `Display` /
+//! [`crate::Program::disassemble`].
+//!
+//! Every mnemonic emitted by the disassembler parses back to the exact
+//! instruction it came from, which gives the ISA a textual round-trip
+//! (`Inst` → text → `Inst`) used by tests, debugging sessions and
+//! hand-written fixtures.
+
+use crate::{Fpr, Gpr, Inst, Program, ProgramBuilder, Vr};
+use std::fmt;
+
+/// Error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line (0 when parsing a bare instruction).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm parse error: {}", self.msg)
+        } else {
+            write!(f, "asm parse error on line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line: 0,
+        msg: msg.into(),
+    }
+}
+
+/// Parses one instruction in the disassembler's syntax, e.g.
+/// `add r3, r1, r2`, `ld r4, 16(r2)`, `vins v1[3], f1` or
+/// `blt r1, r2, @7`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics, malformed operands or
+/// wrong operand counts.
+pub fn parse_inst(text: &str) -> Result<Inst, AsmError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let inst = match mnemonic {
+        "li" => Inst::Li {
+            rd: gpr(op(&ops, 0, 2)?)?,
+            imm: int(op(&ops, 1, 2)?)?,
+        },
+        "addi" => Inst::Addi {
+            rd: gpr(op(&ops, 0, 3)?)?,
+            rs: gpr(op(&ops, 1, 3)?)?,
+            imm: int(op(&ops, 2, 3)?)?,
+        },
+        "add" | "sub" | "mul" => {
+            let rd = gpr(op(&ops, 0, 3)?)?;
+            let rs1 = gpr(op(&ops, 1, 3)?)?;
+            let rs2 = gpr(op(&ops, 2, 3)?)?;
+            match mnemonic {
+                "add" => Inst::Add { rd, rs1, rs2 },
+                "sub" => Inst::Sub { rd, rs1, rs2 },
+                _ => Inst::Mul { rd, rs1, rs2 },
+            }
+        }
+        "muli" => Inst::Muli {
+            rd: gpr(op(&ops, 0, 3)?)?,
+            rs: gpr(op(&ops, 1, 3)?)?,
+            imm: int(op(&ops, 2, 3)?)?,
+        },
+        "slli" => Inst::Slli {
+            rd: gpr(op(&ops, 0, 3)?)?,
+            rs: gpr(op(&ops, 1, 3)?)?,
+            shamt: u8::try_from(int(op(&ops, 2, 3)?)?)
+                .map_err(|_| err("shift amount out of range"))?,
+        },
+        "mv" => Inst::Mv {
+            rd: gpr(op(&ops, 0, 2)?)?,
+            rs: gpr(op(&ops, 1, 2)?)?,
+        },
+        "ld" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Ld {
+                rd: gpr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "sd" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Sd {
+                rval: gpr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "fli" => Inst::Fli {
+            fd: fpr(op(&ops, 0, 2)?)?,
+            imm: float(op(&ops, 1, 2)?)?,
+        },
+        "flw" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Flw {
+                fd: fpr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "fsw" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Fsw {
+                fval: fpr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" | "fmax.s" => {
+            let fd = fpr(op(&ops, 0, 3)?)?;
+            let fs1 = fpr(op(&ops, 1, 3)?)?;
+            let fs2 = fpr(op(&ops, 2, 3)?)?;
+            match mnemonic {
+                "fadd.s" => Inst::Fadd { fd, fs1, fs2 },
+                "fsub.s" => Inst::Fsub { fd, fs1, fs2 },
+                "fmul.s" => Inst::Fmul { fd, fs1, fs2 },
+                "fdiv.s" => Inst::Fdiv { fd, fs1, fs2 },
+                _ => Inst::Fmax { fd, fs1, fs2 },
+            }
+        }
+        "fmadd.s" => Inst::Fmadd {
+            fd: fpr(op(&ops, 0, 4)?)?,
+            fs1: fpr(op(&ops, 1, 4)?)?,
+            fs2: fpr(op(&ops, 2, 4)?)?,
+            fs3: fpr(op(&ops, 3, 4)?)?,
+        },
+        "fcvt.s" => Inst::Fcvt {
+            fd: fpr(op(&ops, 0, 2)?)?,
+            rs: gpr(op(&ops, 1, 2)?)?,
+        },
+        "vload" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Vload {
+                vd: vr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "vstore" => {
+            let (imm, rs) = mem_operand(op(&ops, 1, 2)?)?;
+            Inst::Vstore {
+                vval: vr(op(&ops, 0, 2)?)?,
+                rs,
+                imm,
+            }
+        }
+        "vbcast" => Inst::Vbcast {
+            vd: vr(op(&ops, 0, 2)?)?,
+            fs: fpr(op(&ops, 1, 2)?)?,
+        },
+        "vsplat" => Inst::Vsplat {
+            vd: vr(op(&ops, 0, 2)?)?,
+            imm: float(op(&ops, 1, 2)?)?,
+        },
+        "vfadd" | "vfmul" | "vfma" | "vfmax" => {
+            let vd = vr(op(&ops, 0, 3)?)?;
+            let vs1 = vr(op(&ops, 1, 3)?)?;
+            let vs2 = vr(op(&ops, 2, 3)?)?;
+            match mnemonic {
+                "vfadd" => Inst::Vfadd { vd, vs1, vs2 },
+                "vfmul" => Inst::Vfmul { vd, vs1, vs2 },
+                "vfma" => Inst::Vfma { vd, vs1, vs2 },
+                _ => Inst::Vfmax { vd, vs1, vs2 },
+            }
+        }
+        "vredsum" => Inst::Vredsum {
+            fd: fpr(op(&ops, 0, 2)?)?,
+            vs: vr(op(&ops, 1, 2)?)?,
+        },
+        "vins" => {
+            let (vd, lane) = lane_operand(op(&ops, 0, 2)?, 'v')?;
+            Inst::Vinsert {
+                vd: Vr(vd),
+                fs: fpr(op(&ops, 1, 2)?)?,
+                lane,
+            }
+        }
+        "vext" => {
+            let (vs, lane) = lane_operand(op(&ops, 1, 2)?, 'v')?;
+            Inst::Vextract {
+                fd: fpr(op(&ops, 0, 2)?)?,
+                vs: Vr(vs),
+                lane,
+            }
+        }
+        "blt" | "bge" | "bne" => {
+            let rs1 = gpr(op(&ops, 0, 3)?)?;
+            let rs2 = gpr(op(&ops, 1, 3)?)?;
+            let target = target(op(&ops, 2, 3)?)?;
+            match mnemonic {
+                "blt" => Inst::Blt { rs1, rs2, target },
+                "bge" => Inst::Bge { rs1, rs2, target },
+                _ => Inst::Bne { rs1, rs2, target },
+            }
+        }
+        "j" => Inst::Jmp {
+            target: target(op(&ops, 0, 1)?)?,
+        },
+        "ecall" => Inst::Ecall {
+            code: u16::try_from(int(op(&ops, 0, 1)?)?)
+                .map_err(|_| err("ecall code out of range"))?,
+        },
+        "halt" => {
+            if !ops.is_empty() {
+                return Err(err("halt takes no operands"));
+            }
+            Inst::Halt
+        }
+        other => return Err(err(format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(inst)
+}
+
+/// Parses a whole listing in [`Program::disassemble`]'s format —
+/// optional `>` target marker, optional `index:` prefix, one
+/// instruction per line; blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with its line number) for the first malformed
+/// line, or the underlying build error if the program fails validation.
+pub fn parse_program(listing: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    for (lineno, raw) in listing.lines().enumerate() {
+        let mut line = raw.trim();
+        if let Some((code, _comment)) = line.split_once('#') {
+            line = code.trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        line = line.strip_prefix('>').unwrap_or(line).trim_start();
+        // Optional "index:" prefix from disassemble().
+        if let Some((prefix, rest)) = line.split_once(':') {
+            if prefix.trim().parse::<usize>().is_ok() {
+                line = rest.trim_start();
+            }
+        }
+        let inst = parse_inst(line).map_err(|e| AsmError {
+            line: lineno + 1,
+            msg: e.msg,
+        })?;
+        b.push(inst);
+    }
+    b.build().map_err(|e| err(format!("invalid program: {e}")))
+}
+
+fn op<'a>(ops: &[&'a str], idx: usize, want: usize) -> Result<&'a str, AsmError> {
+    if ops.len() != want {
+        return Err(err(format!(
+            "expected {want} operand(s), found {}",
+            ops.len()
+        )));
+    }
+    Ok(ops[idx])
+}
+
+fn reg_index(text: &str, prefix: char, kind: &str) -> Result<u8, AsmError> {
+    text.strip_prefix(prefix)
+        .and_then(|d| d.parse::<u8>().ok())
+        .ok_or_else(|| err(format!("expected {kind} register, found {text:?}")))
+}
+
+fn gpr(text: &str) -> Result<Gpr, AsmError> {
+    reg_index(text, 'r', "general-purpose").map(Gpr)
+}
+
+fn fpr(text: &str) -> Result<Fpr, AsmError> {
+    reg_index(text, 'f', "floating-point").map(Fpr)
+}
+
+fn vr(text: &str) -> Result<Vr, AsmError> {
+    reg_index(text, 'v', "vector").map(Vr)
+}
+
+fn int(text: &str) -> Result<i64, AsmError> {
+    text.parse::<i64>()
+        .map_err(|_| err(format!("expected integer, found {text:?}")))
+}
+
+fn float(text: &str) -> Result<f32, AsmError> {
+    text.parse::<f32>()
+        .map_err(|_| err(format!("expected float, found {text:?}")))
+}
+
+/// Parses `imm(reg)` base+offset memory operands.
+fn mem_operand(text: &str) -> Result<(i64, Gpr), AsmError> {
+    let (imm_text, rest) = text
+        .split_once('(')
+        .ok_or_else(|| err(format!("expected imm(reg), found {text:?}")))?;
+    let reg_text = rest
+        .strip_suffix(')')
+        .ok_or_else(|| err(format!("unclosed memory operand {text:?}")))?;
+    Ok((int(imm_text.trim())?, gpr(reg_text.trim())?))
+}
+
+/// Parses `vN[lane]` indexed-lane operands.
+fn lane_operand(text: &str, prefix: char) -> Result<(u8, u8), AsmError> {
+    let (reg_text, rest) = text
+        .split_once('[')
+        .ok_or_else(|| err(format!("expected {prefix}N[lane], found {text:?}")))?;
+    let lane_text = rest
+        .strip_suffix(']')
+        .ok_or_else(|| err(format!("unclosed lane index {text:?}")))?;
+    let reg = reg_index(reg_text.trim(), prefix, "vector")?;
+    let lane = lane_text
+        .trim()
+        .parse::<u8>()
+        .map_err(|_| err(format!("expected lane index, found {lane_text:?}")))?;
+    Ok((reg, lane))
+}
+
+/// Parses `@index` branch targets.
+fn target(text: &str) -> Result<usize, AsmError> {
+    text.strip_prefix('@')
+        .and_then(|d| d.parse::<usize>().ok())
+        .ok_or_else(|| err(format!("expected @target, found {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_memory_and_lane_operands() {
+        assert_eq!(
+            parse_inst("ld r4, 16(r2)").unwrap(),
+            Inst::Ld {
+                rd: Gpr(4),
+                rs: Gpr(2),
+                imm: 16
+            }
+        );
+        assert_eq!(
+            parse_inst("vins v1[3], f1").unwrap(),
+            Inst::Vinsert {
+                vd: Vr(1),
+                fs: Fpr(1),
+                lane: 3
+            }
+        );
+        assert_eq!(
+            parse_inst("vext f2, v5[0]").unwrap(),
+            Inst::Vextract {
+                fd: Fpr(2),
+                vs: Vr(5),
+                lane: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(parse_inst("frobnicate r1").is_err());
+        assert!(parse_inst("add r1, r2").is_err());
+        assert!(parse_inst("ld r1, (r2").is_err());
+        assert!(parse_inst("li x1, 5").is_err());
+        assert!(parse_inst("halt r1").is_err());
+        assert!(parse_inst("blt r1, r2, 7").is_err(), "target needs @");
+    }
+
+    #[test]
+    fn parse_program_reports_line_numbers() {
+        let e = parse_program("li r1, 1\nbogus\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,7 +1,7 @@
 use crate::inst::MAX_LANES;
 use crate::program::{FPR_FILE, GPR_FILE, VR_FILE};
-use crate::{Fpr, Gpr, Inst, InstMix, Memory, Program, SimError, SimStats, TargetIsa, Vr};
 use crate::CODE_BASE;
+use crate::{Fpr, Gpr, Inst, InstMix, Memory, Program, SimError, SimStats, TargetIsa, Vr};
 use simtune_cache::{lines_touched, CacheHierarchy, ServicedBy};
 
 /// Execution budget for one simulation.
@@ -223,23 +223,19 @@ impl AtomicCpu {
                     mix.stores += 1;
                 }
                 Inst::Fadd { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] =
-                        self.fpr[fs1.0 as usize] + self.fpr[fs2.0 as usize];
+                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] + self.fpr[fs2.0 as usize];
                     mix.fp_alu += 1;
                 }
                 Inst::Fsub { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] =
-                        self.fpr[fs1.0 as usize] - self.fpr[fs2.0 as usize];
+                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] - self.fpr[fs2.0 as usize];
                     mix.fp_alu += 1;
                 }
                 Inst::Fmul { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] =
-                        self.fpr[fs1.0 as usize] * self.fpr[fs2.0 as usize];
+                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] * self.fpr[fs2.0 as usize];
                     mix.fp_alu += 1;
                 }
                 Inst::Fdiv { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] =
-                        self.fpr[fs1.0 as usize] / self.fpr[fs2.0 as usize];
+                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] / self.fpr[fs2.0 as usize];
                     mix.fp_alu += 1;
                 }
                 Inst::Fmadd { fd, fs1, fs2, fs3 } => {
@@ -314,8 +310,7 @@ impl AtomicCpu {
                     mix.vec_alu += 1;
                 }
                 Inst::Vredsum { fd, vs } => {
-                    self.fpr[fd.0 as usize] =
-                        self.vr[vs.0 as usize][..self.lanes].iter().sum();
+                    self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][..self.lanes].iter().sum();
                     mix.vec_alu += 1;
                 }
                 Inst::Vinsert { vd, fs, lane } => {
@@ -471,7 +466,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::Li { rd: Gpr(1), imm: 0 }); // i
         b.push(Inst::Li { rd: Gpr(2), imm: 0 }); // sum
-        b.push(Inst::Li { rd: Gpr(3), imm: 10 });
+        b.push(Inst::Li {
+            rd: Gpr(3),
+            imm: 10,
+        });
         let top = b.bind_new_label();
         b.push(Inst::Add {
             rd: Gpr(2),
@@ -688,13 +686,7 @@ mod tests {
             fn on_retire(&mut self, _: &Inst) {
                 self.retired += 1;
             }
-            fn on_data_access(
-                &mut self,
-                _: u64,
-                _: bool,
-                _: ServicedBy,
-                _: &mut CacheHierarchy,
-            ) {
+            fn on_data_access(&mut self, _: u64, _: bool, _: ServicedBy, _: &mut CacheHierarchy) {
                 self.data += 1;
             }
             fn on_branch(&mut self, _: usize, _: usize, _: bool) {

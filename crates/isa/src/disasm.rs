@@ -105,15 +105,51 @@ mod tests {
     #[test]
     fn every_instruction_kind_disassembles() {
         let insts = vec![
-            Inst::Li { rd: Gpr(1), imm: -5 },
-            Inst::Addi { rd: Gpr(1), rs: Gpr(2), imm: 8 },
-            Inst::Mul { rd: Gpr(3), rs1: Gpr(1), rs2: Gpr(2) },
-            Inst::Ld { rd: Gpr(4), rs: Gpr(2), imm: 16 },
-            Inst::Flw { fd: Fpr(1), rs: Gpr(2), imm: 4 },
-            Inst::Fmadd { fd: Fpr(2), fs1: Fpr(1), fs2: Fpr(1), fs3: Fpr(2) },
-            Inst::Vload { vd: Vr(1), rs: Gpr(2), imm: 0 },
-            Inst::Vfma { vd: Vr(0), vs1: Vr(1), vs2: Vr(2) },
-            Inst::Vinsert { vd: Vr(1), fs: Fpr(1), lane: 3 },
+            Inst::Li {
+                rd: Gpr(1),
+                imm: -5,
+            },
+            Inst::Addi {
+                rd: Gpr(1),
+                rs: Gpr(2),
+                imm: 8,
+            },
+            Inst::Mul {
+                rd: Gpr(3),
+                rs1: Gpr(1),
+                rs2: Gpr(2),
+            },
+            Inst::Ld {
+                rd: Gpr(4),
+                rs: Gpr(2),
+                imm: 16,
+            },
+            Inst::Flw {
+                fd: Fpr(1),
+                rs: Gpr(2),
+                imm: 4,
+            },
+            Inst::Fmadd {
+                fd: Fpr(2),
+                fs1: Fpr(1),
+                fs2: Fpr(1),
+                fs3: Fpr(2),
+            },
+            Inst::Vload {
+                vd: Vr(1),
+                rs: Gpr(2),
+                imm: 0,
+            },
+            Inst::Vfma {
+                vd: Vr(0),
+                vs1: Vr(1),
+                vs2: Vr(2),
+            },
+            Inst::Vinsert {
+                vd: Vr(1),
+                fs: Fpr(1),
+                lane: 3,
+            },
             Inst::Ecall { code: 0 },
             Inst::Halt,
         ];
@@ -129,7 +165,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::Li { rd: Gpr(1), imm: 0 });
         let top = b.bind_new_label();
-        b.push(Inst::Addi { rd: Gpr(1), rs: Gpr(1), imm: 1 });
+        b.push(Inst::Addi {
+            rd: Gpr(1),
+            rs: Gpr(1),
+            imm: 1,
+        });
         b.push(Inst::Li { rd: Gpr(2), imm: 5 });
         b.branch_lt(Gpr(1), Gpr(2), top);
         b.push(Inst::Halt);

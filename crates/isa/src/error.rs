@@ -35,13 +35,19 @@ impl fmt::Display for BuildProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildProgramError::UnboundLabel { label, at } => {
-                write!(f, "label {label} referenced at instruction {at} was never bound")
+                write!(
+                    f,
+                    "label {label} referenced at instruction {at} was never bound"
+                )
             }
             BuildProgramError::DuplicateLabel { label } => {
                 write!(f, "label {label} bound more than once")
             }
             BuildProgramError::RegisterOutOfRange { file, index, at } => {
-                write!(f, "{file} register {index} out of range at instruction {at}")
+                write!(
+                    f,
+                    "{file} register {index} out of range at instruction {at}"
+                )
             }
             BuildProgramError::MissingTerminator => {
                 write!(f, "program has no halt or exit ecall")
@@ -99,7 +105,9 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(SimError::MemoryFault { addr: 0x40 }.to_string().contains("0x40"));
+        assert!(SimError::MemoryFault { addr: 0x40 }
+            .to_string()
+            .contains("0x40"));
         assert!(BuildProgramError::MissingTerminator
             .to_string()
             .contains("halt"));

@@ -89,7 +89,12 @@ pub enum Inst {
     /// `fd = fs1 / fs2`
     Fdiv { fd: Fpr, fs1: Fpr, fs2: Fpr },
     /// `fd = fs1 * fs2 + fs3` (fused)
-    Fmadd { fd: Fpr, fs1: Fpr, fs2: Fpr, fs3: Fpr },
+    Fmadd {
+        fd: Fpr,
+        fs1: Fpr,
+        fs2: Fpr,
+        fs3: Fpr,
+    },
     /// `fd = max(fs1, fs2)` (ReLU)
     Fmax { fd: Fpr, fs1: Fpr, fs2: Fpr },
     /// `fd = f32(rs)` integer-to-float conversion

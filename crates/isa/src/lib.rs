@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+mod asm;
 mod cpu;
 mod disasm;
 mod error;
@@ -57,6 +58,7 @@ mod program;
 mod stats;
 mod target;
 
+pub use asm::{parse_inst, parse_program, AsmError};
 pub use cpu::{AtomicCpu, ExecHook, NoopHook, RunLimits};
 pub use error::{BuildProgramError, SimError};
 pub use exec::{simulate, Executable, SimOutcome};

@@ -281,7 +281,10 @@ mod tests {
         let end = b.new_label();
         b.push(Inst::Li { rd: Gpr(1), imm: 0 });
         b.jump(end);
-        b.push(Inst::Li { rd: Gpr(1), imm: 99 }); // skipped
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: 99,
+        }); // skipped
         b.bind(end);
         b.push(Inst::Halt);
         let p = b.build().unwrap();

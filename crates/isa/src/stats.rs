@@ -29,7 +29,12 @@ pub struct InstMix {
 impl InstMix {
     /// Total retired instructions.
     pub fn total(&self) -> u64 {
-        self.int_alu + self.fp_alu + self.vec_alu + self.loads + self.stores + self.branches
+        self.int_alu
+            + self.fp_alu
+            + self.vec_alu
+            + self.loads
+            + self.stores
+            + self.branches
             + self.other
     }
 
@@ -110,12 +115,36 @@ impl SimStats {
         };
         let m = &self.inst_mix;
         line("simInsts", m.total(), "Number of instructions simulated");
-        line("system.cpu.commitStats0.numLoadInsts", m.loads, "Number of load instructions");
-        line("system.cpu.commitStats0.numStoreInsts", m.stores, "Number of store instructions");
-        line("system.cpu.commitStats0.numBranches", m.branches, "Number of branches");
-        line("system.cpu.commitStats0.numIntAluAccesses", m.int_alu, "Integer ALU ops");
-        line("system.cpu.commitStats0.numFpAluAccesses", m.fp_alu, "FP ALU ops");
-        line("system.cpu.commitStats0.numVecAluAccesses", m.vec_alu, "Vector ALU ops");
+        line(
+            "system.cpu.commitStats0.numLoadInsts",
+            m.loads,
+            "Number of load instructions",
+        );
+        line(
+            "system.cpu.commitStats0.numStoreInsts",
+            m.stores,
+            "Number of store instructions",
+        );
+        line(
+            "system.cpu.commitStats0.numBranches",
+            m.branches,
+            "Number of branches",
+        );
+        line(
+            "system.cpu.commitStats0.numIntAluAccesses",
+            m.int_alu,
+            "Integer ALU ops",
+        );
+        line(
+            "system.cpu.commitStats0.numFpAluAccesses",
+            m.fp_alu,
+            "FP ALU ops",
+        );
+        line(
+            "system.cpu.commitStats0.numVecAluAccesses",
+            m.vec_alu,
+            "Vector ALU ops",
+        );
         for (label, cache_name) in [
             ("l1d", "system.cpu.dcache"),
             ("l1i", "system.cpu.icache"),
@@ -126,10 +155,26 @@ impl SimStats {
                 "l1i" => self.cache.l1i,
                 _ => self.cache.l2,
             };
-            line(&format!("{cache_name}.ReadReq.hits"), s.read_hits, "read hits");
-            line(&format!("{cache_name}.ReadReq.misses"), s.read_misses, "read misses");
-            line(&format!("{cache_name}.WriteReq.hits"), s.write_hits, "write hits");
-            line(&format!("{cache_name}.WriteReq.misses"), s.write_misses, "write misses");
+            line(
+                &format!("{cache_name}.ReadReq.hits"),
+                s.read_hits,
+                "read hits",
+            );
+            line(
+                &format!("{cache_name}.ReadReq.misses"),
+                s.read_misses,
+                "read misses",
+            );
+            line(
+                &format!("{cache_name}.WriteReq.hits"),
+                s.write_hits,
+                "write hits",
+            );
+            line(
+                &format!("{cache_name}.WriteReq.misses"),
+                s.write_misses,
+                "write misses",
+            );
             line(
                 &format!("{cache_name}.replacements"),
                 s.read_replacements + s.write_replacements,
@@ -142,8 +187,16 @@ impl SimStats {
             line("system.l3.WriteReq.hits", l3.write_hits, "write hits");
             line("system.l3.WriteReq.misses", l3.write_misses, "write misses");
         }
-        line("system.mem.numReads", self.cache.dram_reads, "DRAM line fills");
-        line("system.mem.numWrites", self.cache.dram_writes, "DRAM write-backs");
+        line(
+            "system.mem.numReads",
+            self.cache.dram_reads,
+            "DRAM line fills",
+        );
+        line(
+            "system.mem.numWrites",
+            self.cache.dram_writes,
+            "DRAM write-backs",
+        );
         out
     }
 }

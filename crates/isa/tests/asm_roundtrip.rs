@@ -1,0 +1,280 @@
+//! Textual round-trip of the whole ISA: every instruction variant is
+//! encoded (`Display`), disassembled as part of a program listing, and
+//! re-parsed — both levels must reproduce the original exactly.
+
+use simtune_isa::{parse_inst, parse_program, Fpr, Gpr, Inst, ProgramBuilder, Vr};
+
+/// One representative of every `Inst` variant, with asymmetric operand
+/// values so that swapped fields cannot round-trip by accident.
+fn all_variants() -> Vec<Inst> {
+    vec![
+        Inst::Li {
+            rd: Gpr(1),
+            imm: -5,
+        },
+        Inst::Addi {
+            rd: Gpr(2),
+            rs: Gpr(3),
+            imm: 8,
+        },
+        Inst::Add {
+            rd: Gpr(4),
+            rs1: Gpr(5),
+            rs2: Gpr(6),
+        },
+        Inst::Sub {
+            rd: Gpr(7),
+            rs1: Gpr(8),
+            rs2: Gpr(9),
+        },
+        Inst::Mul {
+            rd: Gpr(10),
+            rs1: Gpr(11),
+            rs2: Gpr(12),
+        },
+        Inst::Muli {
+            rd: Gpr(13),
+            rs: Gpr(14),
+            imm: -24,
+        },
+        Inst::Slli {
+            rd: Gpr(15),
+            rs: Gpr(1),
+            shamt: 3,
+        },
+        Inst::Mv {
+            rd: Gpr(2),
+            rs: Gpr(3),
+        },
+        Inst::Ld {
+            rd: Gpr(4),
+            rs: Gpr(5),
+            imm: 16,
+        },
+        Inst::Sd {
+            rval: Gpr(6),
+            rs: Gpr(7),
+            imm: -32,
+        },
+        Inst::Fli {
+            fd: Fpr(1),
+            imm: 2.5,
+        },
+        Inst::Flw {
+            fd: Fpr(2),
+            rs: Gpr(3),
+            imm: 4,
+        },
+        Inst::Fsw {
+            fval: Fpr(3),
+            rs: Gpr(4),
+            imm: -8,
+        },
+        Inst::Fadd {
+            fd: Fpr(4),
+            fs1: Fpr(5),
+            fs2: Fpr(6),
+        },
+        Inst::Fsub {
+            fd: Fpr(7),
+            fs1: Fpr(8),
+            fs2: Fpr(9),
+        },
+        Inst::Fmul {
+            fd: Fpr(10),
+            fs1: Fpr(11),
+            fs2: Fpr(12),
+        },
+        Inst::Fdiv {
+            fd: Fpr(13),
+            fs1: Fpr(14),
+            fs2: Fpr(15),
+        },
+        Inst::Fmadd {
+            fd: Fpr(1),
+            fs1: Fpr(2),
+            fs2: Fpr(3),
+            fs3: Fpr(4),
+        },
+        Inst::Fmax {
+            fd: Fpr(5),
+            fs1: Fpr(6),
+            fs2: Fpr(7),
+        },
+        Inst::Fcvt {
+            fd: Fpr(8),
+            rs: Gpr(9),
+        },
+        Inst::Vload {
+            vd: Vr(1),
+            rs: Gpr(2),
+            imm: 0,
+        },
+        Inst::Vstore {
+            vval: Vr(2),
+            rs: Gpr(3),
+            imm: 64,
+        },
+        Inst::Vbcast {
+            vd: Vr(3),
+            fs: Fpr(4),
+        },
+        Inst::Vsplat {
+            vd: Vr(4),
+            imm: -1.25,
+        },
+        Inst::Vfadd {
+            vd: Vr(5),
+            vs1: Vr(6),
+            vs2: Vr(7),
+        },
+        Inst::Vfmul {
+            vd: Vr(0),
+            vs1: Vr(1),
+            vs2: Vr(2),
+        },
+        Inst::Vfma {
+            vd: Vr(3),
+            vs1: Vr(4),
+            vs2: Vr(5),
+        },
+        Inst::Vfmax {
+            vd: Vr(6),
+            vs1: Vr(7),
+            vs2: Vr(0),
+        },
+        Inst::Vredsum {
+            fd: Fpr(9),
+            vs: Vr(1),
+        },
+        Inst::Vinsert {
+            vd: Vr(2),
+            fs: Fpr(10),
+            lane: 3,
+        },
+        Inst::Vextract {
+            fd: Fpr(11),
+            vs: Vr(3),
+            lane: 7,
+        },
+        Inst::Blt {
+            rs1: Gpr(1),
+            rs2: Gpr(2),
+            target: 40,
+        },
+        Inst::Bge {
+            rs1: Gpr(3),
+            rs2: Gpr(4),
+            target: 41,
+        },
+        Inst::Bne {
+            rs1: Gpr(5),
+            rs2: Gpr(6),
+            target: 42,
+        },
+        Inst::Jmp { target: 43 },
+        Inst::Ecall { code: 7 },
+        Inst::Halt,
+    ]
+}
+
+/// Forces `all_variants` to stay exhaustive: adding an `Inst` variant
+/// breaks this match until the list above is extended.
+fn assert_variant_covered(inst: &Inst) {
+    match inst {
+        Inst::Li { .. }
+        | Inst::Addi { .. }
+        | Inst::Add { .. }
+        | Inst::Sub { .. }
+        | Inst::Mul { .. }
+        | Inst::Muli { .. }
+        | Inst::Slli { .. }
+        | Inst::Mv { .. }
+        | Inst::Ld { .. }
+        | Inst::Sd { .. }
+        | Inst::Fli { .. }
+        | Inst::Flw { .. }
+        | Inst::Fsw { .. }
+        | Inst::Fadd { .. }
+        | Inst::Fsub { .. }
+        | Inst::Fmul { .. }
+        | Inst::Fdiv { .. }
+        | Inst::Fmadd { .. }
+        | Inst::Fmax { .. }
+        | Inst::Fcvt { .. }
+        | Inst::Vload { .. }
+        | Inst::Vstore { .. }
+        | Inst::Vbcast { .. }
+        | Inst::Vsplat { .. }
+        | Inst::Vfadd { .. }
+        | Inst::Vfmul { .. }
+        | Inst::Vfma { .. }
+        | Inst::Vfmax { .. }
+        | Inst::Vredsum { .. }
+        | Inst::Vinsert { .. }
+        | Inst::Vextract { .. }
+        | Inst::Blt { .. }
+        | Inst::Bge { .. }
+        | Inst::Bne { .. }
+        | Inst::Jmp { .. }
+        | Inst::Ecall { .. }
+        | Inst::Halt => {}
+    }
+}
+
+#[test]
+fn every_variant_roundtrips_through_text() {
+    for inst in all_variants() {
+        assert_variant_covered(&inst);
+        let text = inst.to_string();
+        let back = parse_inst(&text).unwrap_or_else(|e| panic!("{text:?} failed to parse: {e}"));
+        assert_eq!(inst, back, "text was {text:?}");
+    }
+}
+
+#[test]
+fn whole_program_listing_roundtrips() {
+    // Branch targets must be in range for the program to validate, so
+    // rewrite them to point inside this listing.
+    let mut insts = all_variants();
+    let len = insts.len();
+    for inst in &mut insts {
+        match inst {
+            Inst::Blt { target, .. }
+            | Inst::Bge { target, .. }
+            | Inst::Bne { target, .. }
+            | Inst::Jmp { target } => *target %= len,
+            _ => {}
+        }
+    }
+    let mut b = ProgramBuilder::new();
+    for inst in &insts {
+        b.push(*inst);
+    }
+    let program = b.build().expect("valid program");
+    let listing = program.disassemble();
+    let reparsed = parse_program(&listing).expect("listing parses");
+    assert_eq!(program.insts(), reparsed.insts());
+}
+
+#[test]
+fn listing_with_comments_and_blanks_parses() {
+    let src = "
+        # scalar setup
+        li r1, 4
+
+        li r2, 10
+        add r3, r1, r2   # r3 = 14
+        halt
+    ";
+    let p = parse_program(src).expect("parses");
+    assert_eq!(p.len(), 4);
+    assert_eq!(
+        p.insts()[2],
+        Inst::Add {
+            rd: Gpr(3),
+            rs1: Gpr(1),
+            rs2: Gpr(2)
+        }
+    );
+}

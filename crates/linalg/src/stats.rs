@@ -94,9 +94,7 @@ pub fn argmin(xs: &[f64]) -> usize {
     assert!(!xs.is_empty(), "argmin of empty slice");
     let mut best = 0;
     for i in 1..xs.len() {
-        if xs[i].partial_cmp(&xs[best]).expect("argmin: NaN in input")
-            == std::cmp::Ordering::Less
-        {
+        if xs[i].partial_cmp(&xs[best]).expect("argmin: NaN in input") == std::cmp::Ordering::Less {
             best = i;
         }
     }

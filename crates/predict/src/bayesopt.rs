@@ -1,4 +1,4 @@
-use crate::model::{check_fit_input};
+use crate::model::check_fit_input;
 use crate::{GpKernel, GpRegressor, Loss, PredictError, Regressor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -204,10 +204,7 @@ impl Regressor for BayesGpRegressor {
                     noise: 1e-4,
                 });
                 if surrogate.fit(&hx, &hy).is_err() {
-                    history.push((
-                        sample_point(&cfg, &mut rng),
-                        f64::NEG_INFINITY,
-                    ));
+                    history.push((sample_point(&cfg, &mut rng), f64::NEG_INFINITY));
                     continue;
                 }
                 let best = hy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -228,8 +225,14 @@ impl Regressor for BayesGpRegressor {
                 }
                 best_p
             };
-            let obj =
-                Self::objective(kernel_of(next), &x_train, &y_train, &x_val, &y_val, cfg.loss);
+            let obj = Self::objective(
+                kernel_of(next),
+                &x_train,
+                &y_train,
+                &x_val,
+                &y_val,
+                cfg.loss,
+            );
             history.push((next, obj));
         }
 

@@ -41,8 +41,8 @@ impl Default for DnnConfig {
 /// One dense layer with Adam state.
 #[derive(Debug, Clone)]
 struct Dense {
-    w: Matrix,       // out x in
-    b: Vec<f64>,     // out
+    w: Matrix,   // out x in
+    b: Vec<f64>, // out
     // Adam moments.
     mw: Matrix,
     vw: Matrix,
@@ -121,13 +121,7 @@ impl DnnRegressor {
     }
 
     /// Backward pass for one sample, accumulating gradients.
-    fn backward(
-        &self,
-        acts: &[Vec<f64>],
-        target: f64,
-        gw: &mut [Matrix],
-        gb: &mut [Vec<f64>],
-    ) {
+    fn backward(&self, acts: &[Vec<f64>], target: f64, gw: &mut [Matrix], gb: &mut [Vec<f64>]) {
         let out = acts.last().expect("activations")[0];
         // dL/dout for the configured loss.
         let mut delta: Vec<f64> = vec![match self.config.loss {

@@ -33,7 +33,10 @@ impl fmt::Display for PredictError {
                 expected,
                 got,
                 what,
-            } => write!(f, "dimension mismatch ({what}): expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "dimension mismatch ({what}): expected {expected}, got {got}"
+            ),
             PredictError::NotFitted => write!(f, "model has not been fitted"),
             PredictError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
             PredictError::Diverged => write!(f, "training diverged (NaN encountered)"),

@@ -192,9 +192,7 @@ impl GbtRegressor {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut sorted = rows.to_vec();
         for &f in features {
-            sorted.sort_by(|&a, &b| {
-                x[(a, f)].partial_cmp(&x[(b, f)]).expect("finite feature")
-            });
+            sorted.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("finite feature"));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for w in 0..sorted.len() - 1 {
@@ -334,7 +332,15 @@ mod tests {
     fn fits_piecewise_function() {
         let x = Matrix::from_fn(100, 1, |i, _| i as f64 / 10.0);
         let y: Vec<f64> = (0..100)
-            .map(|i| if i < 30 { 1.0 } else if i < 70 { -1.0 } else { 0.5 })
+            .map(|i| {
+                if i < 30 {
+                    1.0
+                } else if i < 70 {
+                    -1.0
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let mut m = GbtRegressor::new(quick(1));
         m.fit(&x, &y).unwrap();
@@ -372,7 +378,9 @@ mod tests {
     #[test]
     fn l2_regularization_shrinks_leaves() {
         let x = Matrix::from_fn(40, 1, |i, _| (i % 2) as f64);
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let fit_first_leaf_mag = |lambda: f64| {
             let mut cfg = quick(4);
             cfg.lambda = lambda;

@@ -104,7 +104,9 @@ impl GpRegressor {
         }
         let centered: Vec<f64> = y.iter().map(|v| v - st.y_mean).collect();
         let fit_term: f64 = centered.iter().zip(&st.alpha).map(|(a, b)| a * b).sum();
-        Ok(-0.5 * fit_term - 0.5 * st.chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln())
+        Ok(-0.5 * fit_term
+            - 0.5 * st.chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln())
     }
 
     /// Predictive variance at each row of `x` (diagonal of the posterior

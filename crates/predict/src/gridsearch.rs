@@ -127,9 +127,7 @@ mod tests {
         // y = XOR-ish of two binary features: depth-1 stumps cannot fit,
         // depth >= 2 can.
         let x = Matrix::from_fn(80, 2, |i, j| ((i >> j) & 1) as f64);
-        let y: Vec<f64> = (0..80)
-            .map(|i| ((i & 1) ^ ((i >> 1) & 1)) as f64)
-            .collect();
+        let y: Vec<f64> = (0..80).map(|i| ((i & 1) ^ ((i >> 1) & 1)) as f64).collect();
         let grid = GbtGrid {
             learning_rates: vec![0.3],
             max_depths: vec![1, 3],

@@ -1,6 +1,4 @@
-use crate::{
-    BayesGpRegressor, DnnRegressor, GbtRegressor, LinearRegression, PredictError,
-};
+use crate::{BayesGpRegressor, DnnRegressor, GbtRegressor, LinearRegression, PredictError};
 use simtune_linalg::Matrix;
 
 /// Common interface of all score predictors.

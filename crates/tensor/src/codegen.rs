@@ -272,9 +272,9 @@ impl<'a, 'b> NestEmitter<'a, 'b> {
         // depth -1 = site roots.
         #[derive(Clone, Copy)]
         enum Ent {
-            Counter(usize),            // level
+            Counter(usize),        // level
             Partial(usize, usize), // site idx, chain pos
-            Root(usize),               // site idx
+            Root(usize),           // site idx
         }
         let mut ents: Vec<(i64, Ent)> = Vec::new();
         for (l, info) in self.nest.loops.iter().enumerate() {
@@ -343,7 +343,10 @@ impl<'a, 'b> NestEmitter<'a, 'b> {
             let loc = self.sites[s].locs[0];
             match loc {
                 Loc::Reg(r) => {
-                    self.b.push(Inst::Li { rd: r, imm: root_val });
+                    self.b.push(Inst::Li {
+                        rd: r,
+                        imm: root_val,
+                    });
                 }
                 Loc::Stack(off) => {
                     self.b.push(Inst::Li {
@@ -563,7 +566,12 @@ impl<'a, 'b> NestEmitter<'a, 'b> {
     }
 
     fn emit_acc_init(&mut self) {
-        let NestBody::MacReduce { acc_init, window_entry, .. } = &self.nest.body else {
+        let NestBody::MacReduce {
+            acc_init,
+            window_entry,
+            ..
+        } = &self.nest.body
+        else {
             return;
         };
         let (acc_init, window_entry) = (*acc_init, *window_entry);
@@ -783,12 +791,19 @@ impl<'a, 'b> NestEmitter<'a, 'b> {
                     rs: ptr,
                     imm,
                 });
-                self.b.push(Inst::Vbcast { vd: dst, fs: F_OP_A });
+                self.b.push(Inst::Vbcast {
+                    vd: dst,
+                    fs: F_OP_A,
+                });
             }
             1 => {
                 // Unit stride: one vector load.
                 let (ptr, imm) = self.pointer_at(site_idx, n, SCRATCH0);
-                self.b.push(Inst::Vload { vd: dst, rs: ptr, imm });
+                self.b.push(Inst::Vload {
+                    vd: dst,
+                    rs: ptr,
+                    imm,
+                });
             }
             c => {
                 // Strided gather: one scalar load + insert per lane (what

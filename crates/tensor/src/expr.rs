@@ -306,7 +306,8 @@ impl ComputeDef {
         if self.output_decl().shape != self.spatial_extents {
             return Err(format!(
                 "output shape {:?} != spatial extents {:?}",
-                self.output_decl().shape, self.spatial_extents
+                self.output_decl().shape,
+                self.spatial_extents
             ));
         }
         let accesses: Vec<&OperandAccess> = std::iter::once(&self.lhs)
@@ -455,7 +456,12 @@ pub fn prepared_inputs(def: &ComputeDef, seed: u64) -> Vec<Vec<f32>> {
 
 /// Embeds `values` (shape `inner`) into a zero buffer of shape `padded`,
 /// offset by `pad` on the last two dimensions.
-fn embed_padded(padded: &[usize], inner: &[usize], pad: (usize, usize), values: &[f32]) -> Vec<f32> {
+fn embed_padded(
+    padded: &[usize],
+    inner: &[usize],
+    pad: (usize, usize),
+    values: &[f32],
+) -> Vec<f32> {
     assert_eq!(padded.len(), inner.len(), "rank mismatch");
     assert!(padded.len() >= 2, "padded tensors need at least 2 dims");
     let r = padded.len();

@@ -7,7 +7,9 @@
 //! (see DESIGN.md §7). [`matmul`] provides a second kernel type for
 //! examples and cross-kernel-type tests.
 
-use crate::expr::{AffineIdx, ComputeDef, Epilogue, OperandAccess, ReduceOp, TensorDecl, TensorInit, VarRef};
+use crate::expr::{
+    AffineIdx, ComputeDef, Epilogue, OperandAccess, ReduceOp, TensorDecl, TensorInit, VarRef,
+};
 
 /// Shape and parameters of one Conv2D+Bias+ReLU group — one row of the
 /// paper's Table II.
@@ -53,11 +55,61 @@ impl Conv2dShape {
     pub fn paper_groups() -> Vec<Conv2dShape> {
         vec![
             // group N  H    W    CO   CI  KH KW stride  pad
-            Conv2dShape { n: 1, h: 224, w: 224, co: 64, ci: 3, kh: 7, kw: 7, stride: (2, 2), pad: (3, 3) },
-            Conv2dShape { n: 1, h: 56, w: 56, co: 64, ci: 64, kh: 3, kw: 3, stride: (1, 1), pad: (1, 1) },
-            Conv2dShape { n: 1, h: 56, w: 56, co: 128, ci: 64, kh: 3, kw: 3, stride: (2, 2), pad: (1, 1) },
-            Conv2dShape { n: 1, h: 28, w: 28, co: 256, ci: 128, kh: 3, kw: 3, stride: (2, 2), pad: (1, 1) },
-            Conv2dShape { n: 1, h: 14, w: 24, co: 512, ci: 256, kh: 3, kw: 3, stride: (2, 2), pad: (1, 1) },
+            Conv2dShape {
+                n: 1,
+                h: 224,
+                w: 224,
+                co: 64,
+                ci: 3,
+                kh: 7,
+                kw: 7,
+                stride: (2, 2),
+                pad: (3, 3),
+            },
+            Conv2dShape {
+                n: 1,
+                h: 56,
+                w: 56,
+                co: 64,
+                ci: 64,
+                kh: 3,
+                kw: 3,
+                stride: (1, 1),
+                pad: (1, 1),
+            },
+            Conv2dShape {
+                n: 1,
+                h: 56,
+                w: 56,
+                co: 128,
+                ci: 64,
+                kh: 3,
+                kw: 3,
+                stride: (2, 2),
+                pad: (1, 1),
+            },
+            Conv2dShape {
+                n: 1,
+                h: 28,
+                w: 28,
+                co: 256,
+                ci: 128,
+                kh: 3,
+                kw: 3,
+                stride: (2, 2),
+                pad: (1, 1),
+            },
+            Conv2dShape {
+                n: 1,
+                h: 14,
+                w: 14,
+                co: 512,
+                ci: 256,
+                kh: 3,
+                kw: 3,
+                stride: (2, 2),
+                pad: (1, 1),
+            },
         ]
     }
 
@@ -361,7 +413,7 @@ mod tests {
         assert_eq!((g[0].kh, g[0].kw), (7, 7));
         assert_eq!(g[0].stride, (2, 2));
         assert_eq!(g[0].pad, (3, 3));
-        assert_eq!((g[4].h, g[4].w, g[4].co, g[4].ci), (14, 24, 512, 256));
+        assert_eq!((g[4].h, g[4].w, g[4].co, g[4].ci), (14, 14, 512, 256));
         for s in &g {
             conv2d_bias_relu(s).validate().expect("group validates");
         }
@@ -510,11 +562,10 @@ mod tests {
                                 let y = (i * 2 + kh) as i64 - 1;
                                 let x = (j * 2 + kw) as i64 - 1;
                                 if y >= 0 && y < shape.h as i64 && x >= 0 && x < shape.w as i64 {
-                                    let iv = ifm
-                                        [(ci * shape.h + y as usize) * shape.w + x as usize];
-                                    let wv = weights[((co * shape.ci + ci) * shape.kh + kh)
-                                        * shape.kw
-                                        + kw];
+                                    let iv =
+                                        ifm[(ci * shape.h + y as usize) * shape.w + x as usize];
+                                    let wv = weights
+                                        [((co * shape.ci + ci) * shape.kh + kh) * shape.kw + kw];
                                     acc += iv * wv;
                                 }
                             }

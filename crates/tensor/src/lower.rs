@@ -577,8 +577,14 @@ mod tests {
         s.order = vec![
             SubVar::whole(VarRef::Spatial(0)),
             SubVar::whole(VarRef::Spatial(1)),
-            SubVar { var: kvar, piece: 0 },
-            SubVar { var: kvar, piece: 1 },
+            SubVar {
+                var: kvar,
+                piece: 0,
+            },
+            SubVar {
+                var: kvar,
+                piece: 1,
+            },
         ];
         let k = lower(&def, &s, &arm()).unwrap();
         match &k.nests[0].body {

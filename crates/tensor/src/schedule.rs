@@ -306,7 +306,13 @@ impl Schedule {
         for (var, exts) in &pieces {
             let mut stride = 1i64;
             for (p, &e) in exts.iter().enumerate().rev() {
-                stride_of.insert(SubVar { var: *var, piece: p }, (e, stride));
+                stride_of.insert(
+                    SubVar {
+                        var: *var,
+                        piece: p,
+                    },
+                    (e, stride),
+                );
                 stride *= e as i64;
             }
         }

@@ -212,7 +212,11 @@ impl SketchGenerator {
                 .zip(&b.reduce_tiles)
                 .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
                 .collect(),
-            pattern: if rng.gen_bool(0.5) { a.pattern } else { b.pattern },
+            pattern: if rng.gen_bool(0.5) {
+                a.pattern
+            } else {
+                b.pattern
+            },
             vectorize: if rng.gen_bool(0.5) {
                 a.vectorize
             } else {
@@ -323,12 +327,7 @@ impl SketchGenerator {
 
         let mut outer_rd = Vec::new();
         let mut inner_rd = Vec::new();
-        for (i, (&extent, &tile)) in self
-            .reduce_extents
-            .iter()
-            .zip(&p.reduce_tiles)
-            .enumerate()
-        {
+        for (i, (&extent, &tile)) in self.reduce_extents.iter().zip(&p.reduce_tiles).enumerate() {
             let var = VarRef::Reduce(i);
             if tile > 1 && tile < extent {
                 splits.push(Split {
@@ -479,7 +478,11 @@ mod tests {
         for _ in 0..100 {
             distinct.insert(format!("{:?}", gen.random(&mut rng)));
         }
-        assert!(distinct.len() > 50, "only {} distinct sketches", distinct.len());
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct sketches",
+            distinct.len()
+        );
     }
 
     #[test]

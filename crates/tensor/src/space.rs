@@ -133,7 +133,11 @@ impl ConfigSpace {
             b = b.define_tag("vectorize", vec!["off", "on"]);
         }
         b.build(SpaceKind::Conv2d {
-            lanes: if target.has_vectors() { target.vector_lanes } else { 0 },
+            lanes: if target.has_vectors() {
+                target.vector_lanes
+            } else {
+                0
+            },
         })
     }
 
@@ -153,7 +157,11 @@ impl ConfigSpace {
             b = b.define_tag("vectorize", vec!["off", "on"]);
         }
         b.build(SpaceKind::Matmul {
-            lanes: if target.has_vectors() { target.vector_lanes } else { 0 },
+            lanes: if target.has_vectors() {
+                target.vector_lanes
+            } else {
+                0
+            },
         })
     }
 
@@ -502,7 +510,14 @@ mod tests {
         let names: Vec<&str> = space.knobs().iter().map(|k| k.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["tile_co", "tile_oh", "tile_ow", "order", "unroll", "vectorize"]
+            vec![
+                "tile_co",
+                "tile_oh",
+                "tile_ow",
+                "order",
+                "unroll",
+                "vectorize"
+            ]
         );
         // Scalar target: no vectorize knob.
         let scalar = ConfigSpace::conv2d(&def, &TargetIsa::riscv_u74());
@@ -534,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn sample_and_mutate_stay_in_range(){
+    fn sample_and_mutate_stay_in_range() {
         let def = matmul(16, 16, 16);
         let space = ConfigSpace::matmul(&def, &TargetIsa::x86_ryzen_5800x());
         let mut rng = StdRng::seed_from_u64(3);
@@ -554,11 +569,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let cfg = space.sample(&mut rng);
         let mutated = space.mutate(&cfg, &mut rng);
-        let diffs = cfg
-            .iter()
-            .zip(&mutated)
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = cfg.iter().zip(&mutated).filter(|(a, b)| a != b).count();
         assert_eq!(diffs, 1);
     }
 

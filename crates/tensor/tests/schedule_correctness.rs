@@ -109,7 +109,10 @@ fn random_sketches_correct_for_strided_conv() {
             let schedule = gen.schedule(&params);
             validate_schedule(&def, &schedule, &target, &hierarchy(), 3, DEFAULT_TOLERANCE)
                 .unwrap_or_else(|e| {
-                    panic!("strided sketch {i} on {}: {e}\nparams: {params:?}", target.name)
+                    panic!(
+                        "strided sketch {i} on {}: {e}\nparams: {params:?}",
+                        target.name
+                    )
                 });
         }
     }
@@ -165,7 +168,11 @@ fn matmul_template_configs_correct_where_valid() {
                 .unwrap_or_else(|e| panic!("config {cfg:?} on {}: {e}", target.name));
             validated += 1;
         }
-        assert!(validated >= 12, "not enough valid configs on {}", target.name);
+        assert!(
+            validated >= 12,
+            "not enough valid configs on {}",
+            target.name
+        );
     }
 }
 

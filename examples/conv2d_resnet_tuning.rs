@@ -84,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let hw_best_time = hw_result.best().score;
     println!("\nhardware flow best:  {:.3} ms", hw_best_time * 1e3);
-    println!("simulator flow best: {:.3} ms (top-3 re-measured)", best_sim_time * 1e3);
+    println!(
+        "simulator flow best: {:.3} ms (top-3 re-measured)",
+        best_sim_time * 1e3
+    );
     let ratio = best_sim_time / hw_best_time;
     println!(
         "simulator flow reaches {:.1} % of the hardware flow's result\n\

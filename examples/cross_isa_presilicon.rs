@@ -26,10 +26,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Phase 1 (with target access): train on two known shapes ----
     let train_shapes = [
-        Conv2dShape { n: 1, h: 14, w: 14, co: 8, ci: 8, kh: 3, kw: 3, stride: (1, 1), pad: (1, 1) },
-        Conv2dShape { n: 1, h: 14, w: 14, co: 16, ci: 8, kh: 3, kw: 3, stride: (2, 2), pad: (1, 1) },
+        Conv2dShape {
+            n: 1,
+            h: 14,
+            w: 14,
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: (1, 1),
+            pad: (1, 1),
+        },
+        Conv2dShape {
+            n: 1,
+            h: 14,
+            w: 14,
+            co: 16,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: (2, 2),
+            pad: (1, 1),
+        },
     ];
-    println!("phase 1: training the riscv conv2d predictor on {} groups", train_shapes.len());
+    println!(
+        "phase 1: training the riscv conv2d predictor on {} groups",
+        train_shapes.len()
+    );
     let mut groups = Vec::new();
     for (gid, shape) in train_shapes.iter().enumerate() {
         let def = conv2d_bias_relu(shape);
@@ -50,7 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Phase 2 (no target): a NEW shape, simulator only -----------
     let new_shape = Conv2dShape {
-        n: 1, h: 12, w: 20, co: 12, ci: 6, kh: 3, kw: 3, stride: (1, 1), pad: (1, 1),
+        n: 1,
+        h: 12,
+        w: 20,
+        co: 12,
+        ci: 6,
+        kh: 3,
+        kw: 3,
+        stride: (1, 1),
+        pad: (1, 1),
     };
     let def = conv2d_bias_relu(&new_shape);
     println!(

@@ -9,12 +9,12 @@
 //! cargo run --release --example parallel_simulation
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use simtune::core::{FunctionRegistry, KernelBuilder, SimulatorRunner, LOCAL_RUNNER_RUN};
 use simtune::hw::TargetSpec;
 use simtune::isa::{simulate, RunLimits};
 use simtune::tensor::{conv2d_bias_relu, Conv2dShape, SketchGenerator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,15 +37,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = SketchGenerator::new(&def, spec.isa.clone());
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
     let mut rng = StdRng::seed_from_u64(4);
-    let schedules: Vec<_> = std::iter::repeat_with(|| generator.schedule(&generator.random(&mut rng)))
-        .filter(|s| s.apply(&def, &spec.isa).is_ok())
-        .take(24)
+    let schedules: Vec<_> =
+        std::iter::repeat_with(|| generator.schedule(&generator.random(&mut rng)))
+            .filter(|s| s.apply(&def, &spec.isa).is_ok())
+            .take(24)
+            .collect();
+    let exes: Vec<_> = builder
+        .build_batch(&schedules)
+        .into_iter()
+        .flatten()
         .collect();
-    let exes: Vec<_> = builder.build_batch(&schedules).into_iter().flatten().collect();
-    println!("built {} candidates ({:.2} MMACs each)", exes.len(), shape.macs() as f64 / 1e6);
+    println!(
+        "built {} candidates ({:.2} MMACs each)",
+        exes.len(),
+        shape.macs() as f64 / 1e6
+    );
 
     // Scaling over n_parallel.
-    println!("\n{:>10} | {:>9} | {:>8}", "n_parallel", "wall time", "speedup");
+    println!(
+        "\n{:>10} | {:>9} | {:>8}",
+        "n_parallel", "wall time", "speedup"
+    );
     println!("{}", "-".repeat(34));
     let mut t1 = None;
     for n in [1usize, 2, 4, 8] {

@@ -4,8 +4,8 @@
 
 use simtune::core::{
     collect_group_data, evaluate_predictor, holdout_group_curves, parallel_speedup_k,
-    split_train_test, tune_with_predictor, CollectOptions, EvolutionaryTuner,
-    FeatureConfig, GroupData, ScorePredictor, TuneOptions, WindowKind,
+    split_train_test, tune_with_predictor, CollectOptions, EvolutionaryTuner, FeatureConfig,
+    GroupData, ScorePredictor, TuneOptions, WindowKind,
 };
 use simtune::hw::{measure, MeasureConfig, TargetSpec};
 use simtune::isa::{simulate, RunLimits};
@@ -90,7 +90,9 @@ fn trained_predictor_ranks_at_least_as_well_as_instruction_counts() {
         let test = data.subset(&test_idx);
         let mut predictor =
             ScorePredictor::new(PredictorKind::Xgboost, "x86", "conv", round as u64);
-        predictor.train(std::slice::from_ref(&train)).expect("trains");
+        predictor
+            .train(std::slice::from_ref(&train))
+            .expect("trains");
         let scores = predictor.score_group(&test.stats).expect("scores");
         let baseline: Vec<f64> = test
             .stats
@@ -154,10 +156,7 @@ fn holdout_group_transfer_works() {
     )
     .expect("transfers");
     // The prediction-ordered series should correlate with the sorted one.
-    let rho = simtune::linalg::stats::spearman(
-        &curves.prediction_ordered,
-        &curves.sorted_ref,
-    );
+    let rho = simtune::linalg::stats::spearman(&curves.prediction_ordered, &curves.sorted_ref);
     assert!(rho > 0.3, "held-out transfer correlation too weak: {rho}");
 }
 
@@ -167,7 +166,9 @@ fn execution_phase_needs_no_hardware_and_finds_good_schedules() {
     let def = conv2d_bias_relu(&small_shape());
     let data = collect(&spec, 0, 30, 31);
     let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "conv", 2);
-    predictor.train(std::slice::from_ref(&data)).expect("trains");
+    predictor
+        .train(std::slice::from_ref(&data))
+        .expect("trains");
 
     let mut tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 5);
     let result = tune_with_predictor(
@@ -188,8 +189,8 @@ fn execution_phase_needs_no_hardware_and_finds_good_schedules() {
 
     // Measure the predicted-best on the emulated board and compare with
     // the median of the training distribution: it should not be a dud.
-    let exe = build_executable(&def, &result.best().schedule, &spec.isa, 0x5EED, "win")
-        .expect("builds");
+    let exe =
+        build_executable(&def, &result.best().schedule, &spec.isa, 0x5EED, "win").expect("builds");
     let m = measure(&exe, &spec, &MeasureConfig::default(), 1).expect("measures");
     let mut times = data.t_ref.clone();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

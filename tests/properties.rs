@@ -4,7 +4,9 @@
 //! shapes and schedules.
 
 use proptest::prelude::*;
-use simtune::cache::{AccessKind, Cache, CacheConfig, CacheHierarchy, HierarchyConfig, ReplacementPolicy};
+use simtune::cache::{
+    AccessKind, Cache, CacheConfig, CacheHierarchy, HierarchyConfig, ReplacementPolicy,
+};
 use simtune::core::{prediction_metrics, quality_score, GroupMeans, RawSample};
 use simtune::linalg::Matrix;
 use simtune::tensor::{matmul, validate_schedule, Schedule, SketchGenerator, TargetIsa};

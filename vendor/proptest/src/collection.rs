@@ -1,0 +1,65 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with the given element strategy and size range.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

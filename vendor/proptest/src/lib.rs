@@ -1,0 +1,200 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest that the `simtune` property suites
+//! use: the [`proptest!`] macro, range and `any::<T>()` strategies,
+//! `prop::collection::vec`, `prop_assert*` / `prop_assume!`, and
+//! [`test_runner::Config::with_cases`].
+//!
+//! Cases are generated from a seed derived deterministically from the
+//! test's module path and name, so every run (local and CI) exercises
+//! the same inputs. There is **no shrinking**: a failing case reports
+//! its case number and message and panics immediately.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` that runs `Config::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pname:pat in $pstrat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(16);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let mut rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(attempts),
+                    );
+                    $(let $pname =
+                        $crate::strategy::Strategy::generate(&($pstrat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "property {} failed at case {attempts}: {message}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    accepted >= config.cases,
+                    "property {}: too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name),
+                    accepted,
+                    config.cases,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the surrounding property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Fails the surrounding property case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) when the condition is
+/// false; the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(
+            x in 3usize..17,
+            f in 0.25f64..0.75,
+            any_u in any::<u64>(),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(flag || !flag);
+            prop_assert_eq!(any_u, any_u);
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(
+            fixed in prop::collection::vec(any::<bool>(), 12),
+            ranged in prop::collection::vec(0u64..100, 2..9),
+        ) {
+            prop_assert_eq!(fixed.len(), 12);
+            prop_assert!((2..9).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (1..20)
+            .map(|i| s.generate(&mut crate::test_runner::case_rng("t", i)))
+            .collect();
+        let b: Vec<u64> = (1..20)
+            .map(|i| s.generate(&mut crate::test_runner::case_rng("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! Case configuration, error type and deterministic per-case RNG.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-suite configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+/// Deterministic RNG for one case: seeded from the property's fully
+/// qualified name and the 1-based attempt counter, so runs are
+/// reproducible everywhere without a persisted seed file.
+pub fn case_rng(test_name: &str, attempt: u64) -> TestRng {
+    // FNV-1a over the name, mixed with the attempt index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

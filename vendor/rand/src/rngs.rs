@@ -1,0 +1,51 @@
+//! Generator implementations. Only [`StdRng`] is provided.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// Drop-in for `rand::rngs::StdRng` as used in this workspace: seedable,
+/// portable, and fast. Not cryptographically secure, and not
+/// stream-compatible with upstream `rand`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            let mut st = 0x9E37_79B9_7F4A_7C15u64;
+            for word in &mut s {
+                *word = splitmix64(&mut st);
+            }
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,402 @@
+//! Minimal JSON pull-parser backing [`crate::Deserialize`].
+
+use std::fmt;
+
+/// JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Cursor over a JSON document.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing at the beginning of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Builds an [`Error`] at the current position.
+    pub fn error(&self, msg: impl Into<String>) -> Error {
+        Error::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes the next non-whitespace byte, requiring it to be `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input is exhausted or the byte differs.
+    pub fn expect_byte(&mut self, byte: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(self.error(format!(
+                "expected {:?}, found {:?}",
+                byte as char, b as char
+            ))),
+            None => Err(self.error(format!("expected {:?}, found end of input", byte as char))),
+        }
+    }
+
+    /// Requires that only whitespace remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when trailing non-whitespace data remains.
+    pub fn finish(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            None => Ok(()),
+            Some(b) => Err(self.error(format!("trailing data starting with {:?}", b as char))),
+        }
+    }
+
+    /// Parses a JSON string literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed literals or escapes.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: require a low surrogate pair.
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.error("invalid UTF-8"))?;
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number_slice(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.error("invalid UTF-8"))
+    }
+
+    /// Parses a JSON integer into `i128`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the token is not an integer.
+    pub fn parse_integer(&mut self) -> Result<i128, Error> {
+        let offset = self.pos;
+        let s = self.number_slice()?;
+        s.parse::<i128>()
+            .map_err(|_| Error::new(format!("invalid integer {s:?}"), offset))
+    }
+
+    /// Parses a JSON number into `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the token is not a number.
+    pub fn parse_f64(&mut self) -> Result<f64, Error> {
+        let offset = self.pos;
+        let s = self.number_slice()?;
+        s.parse::<f64>()
+            .map_err(|_| Error::new(format!("invalid number {s:?}"), offset))
+    }
+
+    /// Parses `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when neither keyword is present.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        if self.try_keyword("true") {
+            Ok(true)
+        } else if self.try_keyword("false") {
+            Ok(false)
+        } else {
+            Err(self.error("expected true or false"))
+        }
+    }
+
+    /// Parses the `null` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `null` is not present.
+    pub fn parse_null(&mut self) -> Result<(), Error> {
+        if self.try_keyword("null") {
+            Ok(())
+        } else {
+            Err(self.error("expected null"))
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips one complete JSON value of any type.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is malformed.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect_byte(b'{')?;
+                if self.peek() == Some(b'}') {
+                    return self.expect_byte(b'}');
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect_byte(b':')?;
+                    self.skip_value()?;
+                    if self.peek() == Some(b',') {
+                        self.expect_byte(b',')?;
+                    } else {
+                        return self.expect_byte(b'}');
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect_byte(b'[')?;
+                if self.peek() == Some(b']') {
+                    return self.expect_byte(b']');
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.peek() == Some(b',') {
+                        self.expect_byte(b',')?;
+                    } else {
+                        return self.expect_byte(b']');
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                self.parse_bool()?;
+                Ok(())
+            }
+            Some(b'n') => self.parse_null(),
+            Some(_) => {
+                self.parse_f64()?;
+                Ok(())
+            }
+            None => Err(self.error("expected a value, found end of input")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+/// Streaming reader for one JSON object, used by the derive macro.
+///
+/// Collects `key → value-span` pairs up front so that derived structs can
+/// read their fields in declaration order regardless of file order.
+pub struct ObjectReader {
+    fields: Vec<(String, String)>,
+}
+
+impl ObjectReader {
+    /// Parses an entire JSON object, capturing each member's raw text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed objects or duplicate keys.
+    pub fn parse(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_byte(b'{')?;
+        let mut fields: Vec<(String, String)> = Vec::new();
+        if p.peek() == Some(b'}') {
+            p.expect_byte(b'}')?;
+            return Ok(ObjectReader { fields });
+        }
+        loop {
+            let key = p.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(p.error(format!("duplicate key {key:?}")));
+            }
+            p.expect_byte(b':')?;
+            let start = {
+                p.skip_ws();
+                p.pos
+            };
+            p.skip_value()?;
+            let raw = std::str::from_utf8(&p.bytes[start..p.pos])
+                .map_err(|_| p.error("invalid UTF-8"))?
+                .to_owned();
+            fields.push((key, raw));
+            if p.peek() == Some(b',') {
+                p.expect_byte(b',')?;
+            } else {
+                p.expect_byte(b'}')?;
+                return Ok(ObjectReader { fields });
+            }
+        }
+    }
+
+    /// Extracts and deserializes the member named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the member is missing or malformed.
+    pub fn field<T: crate::Deserialize>(&mut self, name: &str) -> Result<T, Error> {
+        let idx = self
+            .fields
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| Error::new(format!("missing field {name:?}"), 0))?;
+        let (_, raw) = self.fields.swap_remove(idx);
+        let mut p = Parser::new(&raw);
+        let v = T::deserialize(&mut p)?;
+        p.finish()?;
+        Ok(v)
+    }
+
+    /// Requires that every member has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unknown field.
+    pub fn end(self) -> Result<(), Error> {
+        match self.fields.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(Error::new(format!("unknown field {k:?}"), 0)),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the serde surface that `simtune` uses:
+//! [`Serialize`] / [`Deserialize`] traits (JSON-only, no generic data
+//! model), a `#[derive(Serialize, Deserialize)]` for plain structs with
+//! named fields, and enough primitive/container impls for the persisted
+//! dataset format in `simtune-bench`.
+//!
+//! Derived structs serialize as JSON objects with fields in declaration
+//! order; deserialization accepts fields in any order and rejects
+//! unknown or duplicate keys.
+
+pub mod de;
+pub mod ser;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use de::{Error, Parser};
+
+/// Serializes `self` as a JSON fragment appended to `out`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Parses `Self` from the JSON token stream in `p`.
+pub trait Deserialize: Sized {
+    /// Reads one JSON value of type `Self` from the parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse [`Error`] when the input is not a valid encoding
+    /// of `Self`.
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(itoa_buffer(*self as i128).as_str());
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let v = p.parse_integer()?;
+                <$t>::try_from(v).map_err(|_| p.error(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buffer(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's Debug for f64 is the shortest round-trip decimal.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        f64::from(*self).serialize(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(p.parse_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        ser::write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        self.as_str().serialize(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_string()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        if p.peek() == Some(b']') {
+            p.expect_byte(b']')?;
+            return Ok(items);
+        }
+        loop {
+            items.push(T::deserialize(p)?);
+            if p.peek() == Some(b',') {
+                p.expect_byte(b',')?;
+            } else {
+                p.expect_byte(b']')?;
+                return Ok(items);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::deserialize(p)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| p.error(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.peek() == Some(b'n') {
+            p.parse_null()?;
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(p)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut s = String::new();
+        v.serialize(&mut s);
+        let mut p = Parser::new(&s);
+        let back = T::deserialize(&mut p).expect("parses");
+        p.finish().expect("no trailing data");
+        assert_eq!(v, back, "json was {s}");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.5f64);
+        roundtrip(1.0e-300f64);
+        roundtrip(0.1f64 + 0.2f64);
+        roundtrip(true);
+        roundtrip(String::from("hi \"there\" \\ \n \t ☃"));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip([7u64; 6]);
+        roundtrip(Some(5u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![Some(1u64), None]);
+        roundtrip(vec![String::from("a"), String::from("b,]}")]);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let mut p = Parser::new(" [ 1 , 2 ,\n3 ] ");
+        let v: Vec<u64> = Vec::deserialize(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        for bad in ["[1,", "{", "\"unterminated", "[1 2]", "tru", "1e", ""] {
+            let mut p = Parser::new(bad);
+            let failed = Vec::<u64>::deserialize(&mut p).is_err() || p.finish().is_err();
+            assert!(failed, "expected failure on {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Serialization helpers shared by impls and the derive macro.
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends one `"name": value` object member, used by the derive macro.
+pub fn write_field<T: crate::Serialize + ?Sized>(
+    out: &mut String,
+    name: &str,
+    value: &T,
+    first: bool,
+) {
+    if !first {
+        out.push(',');
+    }
+    write_json_string(out, name);
+    out.push(':');
+    value.serialize(out);
+}

@@ -1,0 +1,155 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde
+//! stand-in.
+//!
+//! Supports non-generic structs with named fields — exactly the shape
+//! used by the persisted dataset types in `simtune-bench`. The derive is
+//! written against the raw `proc_macro` token API (no `syn`/`quote`),
+//! because the build environment is fully offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON object, fields in declaration order).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let StructShape { name, fields } = parse_struct(input);
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        body.push_str(&format!(
+            "::serde::ser::write_field(out, \"{f}\", &self.{f}, {});\n",
+            i == 0
+        ));
+    }
+    body.push_str("out.push('}');");
+    let src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    );
+    src.parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (accepts any member order, rejects
+/// unknown, duplicate and missing members).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let StructShape { name, fields } = parse_struct(input);
+    let mut init = String::new();
+    for f in &fields {
+        init.push_str(&format!("{f}: obj.field(\"{f}\")?,\n"));
+    }
+    let src = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(p: &mut ::serde::de::Parser<'_>)\n\
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 let mut obj = ::serde::de::ObjectReader::parse(p)?;\n\
+                 let value = {name} {{\n{init}}};\n\
+                 obj.end()?;\n\
+                 ::std::result::Result::Ok(value)\n\
+             }}\n\
+         }}"
+    );
+    src.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter();
+    let mut name: Option<String> = None;
+    let mut saw_struct = false;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Ident(id) if !saw_struct && id.to_string() == "struct" => {
+                saw_struct = true;
+            }
+            TokenTree::Ident(id) if saw_struct => {
+                name = Some(id.to_string());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive target must be a struct");
+    let mut fields = None;
+    for tt in iter {
+        if let TokenTree::Group(g) = &tt {
+            if g.delimiter() == Delimiter::Brace {
+                fields = Some(parse_fields(g.stream()));
+                break;
+            }
+        }
+        if let TokenTree::Punct(p) = &tt {
+            // `struct Name<...>` or `struct Name(...)` are unsupported.
+            assert!(
+                p.as_char() != '<' && p.as_char() != ';',
+                "derive supports only non-generic structs with named fields"
+            );
+        }
+    }
+    StructShape {
+        name,
+        fields: fields.expect("derive supports only structs with named fields"),
+    }
+}
+
+/// Collects field names: each top-level `ident :` before the next
+/// top-level comma, skipping attributes, visibility and angle brackets.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut at_field_start = true;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                // Attribute: `#` followed by a bracketed group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    i += 1;
+                    // Optional `pub(...)` restriction.
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                } else {
+                    let followed_by_colon = matches!(
+                        tokens.get(i + 1),
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                    );
+                    assert!(followed_by_colon, "expected `name:` in struct field list");
+                    fields.push(s);
+                    at_field_start = false;
+                    i += 2;
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    fields
+}

@@ -1,0 +1,111 @@
+//! Workspace-local stand-in for `serde_json`: `to_string` / `from_str`
+//! over the JSON-only traits of the vendored `serde` crate.
+
+pub use serde::de::Error;
+
+use serde::de::Parser;
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for the supported data model; the `Result` mirrors the
+/// upstream `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON string, rejecting trailing data.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `input` is not a valid encoding of `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut p = Parser::new(input);
+    let v = T::deserialize(&mut p)?;
+    p.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Inner {
+        counters: [u64; 3],
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Outer {
+        id: usize,
+        xs: Vec<f64>,
+        inner: Inner,
+        maybe: Option<Inner>,
+        names: Vec<String>,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            id: 7,
+            xs: vec![0.5, 1e-9, -3.25],
+            inner: Inner {
+                counters: [1, 2, 3],
+            },
+            maybe: None,
+            names: vec!["a".into(), "b\"c".into()],
+        }
+    }
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let v = sample();
+        let s = to_string(&v).unwrap();
+        let back: Outer = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_some_roundtrip() {
+        let v = Outer {
+            maybe: Some(Inner {
+                counters: [9, 8, 7],
+            }),
+            ..sample()
+        };
+        let s = to_string(&v).unwrap();
+        let back: Outer = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn field_order_is_flexible() {
+        let s = r#"{"counters":[1,2,3]}"#;
+        let a: Inner = from_str(s).unwrap();
+        assert_eq!(a.counters, [1, 2, 3]);
+        // Whitespace + same fields parse identically.
+        let b: Inner = from_str(" { \"counters\" : [ 1 , 2 , 3 ] } ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let s = r#"{"counters":[1,2,3],"extra":1}"#;
+        assert!(from_str::<Inner>(s).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        assert!(from_str::<Inner>("{}").is_err());
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        let e = from_str::<Inner>("{").unwrap_err();
+        let io: std::io::Error = e.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}
