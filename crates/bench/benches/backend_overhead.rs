@@ -1,0 +1,43 @@
+//! Criterion bench: host cost of the three bundled fidelity tiers on
+//! one matmul candidate. The gap between `accurate` and `fast-count` is
+//! the speed-for-fidelity headroom the backend API exposes. `sampled`
+//! pays a counting pre-pass plus the accurate prefix, so on a kernel
+//! this small it costs about as much as `accurate`; its win appears on
+//! larger candidates where the cache-modeled fraction dominates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simtune_core::{AccurateBackend, FastCountBackend, KernelBuilder, SampledBackend, SimBackend};
+use simtune_hw::TargetSpec;
+use simtune_isa::RunLimits;
+use simtune_tensor::{matmul, Schedule};
+
+fn backend_overhead(c: &mut Criterion) {
+    let def = matmul(16, 16, 16);
+    let spec = TargetSpec::riscv_u74();
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let exe = builder
+        .build(&Schedule::default_for(&def), "mm16")
+        .expect("default schedule builds");
+    let limits = RunLimits::default();
+
+    let backends: Vec<Box<dyn SimBackend>> = vec![
+        Box::new(AccurateBackend::new(spec.hierarchy.clone())),
+        Box::new(FastCountBackend::matching(&spec.hierarchy)),
+        Box::new(
+            SampledBackend::new(spec.hierarchy.clone(), 0.25)
+                .expect("valid fraction")
+                .with_min_insts(1),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("backend_overhead");
+    for backend in &backends {
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| black_box(backend.run_one(&exe, &limits).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backend_overhead);
+criterion_main!(benches);

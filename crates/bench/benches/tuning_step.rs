@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simtune_core::{
     collect_group_data, raw_sample, CollectOptions, FeatureConfig, KernelBuilder, ScorePredictor,
-    SimulatorRunner, WindowKind, WindowNormalizer,
+    SimSession, WindowKind, WindowNormalizer,
 };
 use simtune_hw::TargetSpec;
 use simtune_isa::{simulate, RunLimits};
@@ -71,8 +71,12 @@ fn tuning_step(c: &mut Criterion) {
             .into_iter()
             .flatten()
             .collect();
-        let runner = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(8);
-        b.iter(|| black_box(runner.run(&exes)));
+        let session = SimSession::builder()
+            .accurate(&spec.hierarchy)
+            .n_parallel(8)
+            .build()
+            .expect("backend configured");
+        b.iter(|| black_box(session.run_stats(&exes)));
     });
     group.finish();
 }

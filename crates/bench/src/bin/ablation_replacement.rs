@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use simtune_bench::{Args, ExperimentConfig};
 use simtune_cache::ReplacementPolicy;
 use simtune_core::{
-    evaluate_predictor, FeatureConfig, GroupData, HardwareRunner, KernelBuilder, SimulatorRunner,
+    evaluate_predictor, FeatureConfig, GroupData, HardwareRunner, KernelBuilder, SimSession,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -68,9 +68,12 @@ fn main() {
                     .flatten()
                     .collect();
                 // Simulator with the ablated policy; target stays LRU.
-                let sim = SimulatorRunner::new(spec.hierarchy.with_policy(policy))
-                    .with_n_parallel(cfg.n_parallel);
-                let stats = sim.run(&exes);
+                let sim = SimSession::builder()
+                    .accurate(&spec.hierarchy.with_policy(policy))
+                    .n_parallel(cfg.n_parallel)
+                    .build()
+                    .expect("backend configured");
+                let stats = sim.run_stats(&exes);
                 let hw = HardwareRunner::new(spec.clone());
                 let measurements = hw.run(&exes);
                 let mut data = GroupData {

@@ -92,10 +92,8 @@ pub fn ascii_plot(title: &str, series: &[(&str, &[f64])], height: usize, width: 
             let x = if n <= 1 { 0 } else { i * (width - 1) / (n - 1) };
             let yf = (v - lo) / span;
             let y = ((1.0 - yf) * (height - 1) as f64).round() as usize;
-            let cell = &mut grid[y.min(height - 1)][x];
-            let mark = marks[si % marks.len()];
             // Overlap shows the later series' mark.
-            *cell = if *cell == ' ' { mark } else { mark };
+            grid[y.min(height - 1)][x] = marks[si % marks.len()];
         }
     }
     for row in grid {

@@ -227,8 +227,8 @@ impl HierarchyConfig {
         let p = ReplacementPolicy::Lru;
         HierarchyConfig {
             name: "tiny".into(),
-            l1d: CacheConfig::new("L1D", 1 * KIB, 4, 4, 64, p).expect("preset"),
-            l1i: CacheConfig::new("L1I", 1 * KIB, 4, 4, 64, p).expect("preset"),
+            l1d: CacheConfig::new("L1D", KIB, 4, 4, 64, p).expect("preset"),
+            l1i: CacheConfig::new("L1I", KIB, 4, 4, 64, p).expect("preset"),
             l2: CacheConfig::new("L2", 8 * KIB, 32, 4, 64, p).expect("preset"),
             l3: None,
         }

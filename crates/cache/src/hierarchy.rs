@@ -34,6 +34,16 @@ pub struct CacheHierarchy {
     l3: Option<Cache>,
     dram_reads: u64,
     dram_writes: u64,
+    counting: Option<AccessCounters>,
+}
+
+/// Raw access counters kept when the hierarchy runs in counting-only
+/// mode: no tag arrays are consulted, every access "misses to memory".
+#[derive(Debug, Clone, Copy, Default)]
+struct AccessCounters {
+    data_reads: u64,
+    data_writes: u64,
+    fetches: u64,
 }
 
 impl CacheHierarchy {
@@ -55,7 +65,41 @@ impl CacheHierarchy {
             config,
             dram_reads: 0,
             dram_writes: 0,
+            counting: None,
         }
+    }
+
+    /// Builds a counting-only hierarchy: accesses are tallied but no
+    /// cache model exists (no tag arrays, no replacement state). Every
+    /// access reports [`ServicedBy::Memory`]. This is the QEMU-plugin
+    /// flavor of instrumentation the fast-count simulator backend uses;
+    /// only `line_bytes` matters, because it determines how many lines a
+    /// vector access touches (and must match the reference hierarchy for
+    /// access counts to be comparable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn counting_only(line_bytes: u64) -> Self {
+        let policy = crate::ReplacementPolicy::Lru;
+        let line = crate::CacheConfig::new("count", line_bytes, 1, 1, line_bytes, policy)
+            .expect("line_bytes must be a power of two");
+        let config = HierarchyConfig {
+            name: "counting-only".into(),
+            l1d: line.clone(),
+            l1i: line.clone(),
+            l2: line,
+            l3: None,
+        };
+        CacheHierarchy {
+            counting: Some(AccessCounters::default()),
+            ..CacheHierarchy::new(config)
+        }
+    }
+
+    /// True when the hierarchy only counts accesses (no cache model).
+    pub fn is_counting_only(&self) -> bool {
+        self.counting.is_some()
     }
 
     /// The hierarchy's configuration.
@@ -70,6 +114,11 @@ impl CacheHierarchy {
 
     /// Data-side read (scalar or one line of a vector access).
     pub fn data_read(&mut self, addr: u64) -> ServicedBy {
+        if let Some(c) = &mut self.counting {
+            c.data_reads += 1;
+            self.dram_reads += 1;
+            return ServicedBy::Memory;
+        }
         let out = self.l1d.access(addr, AccessKind::Read);
         if let Some(wb) = out.writeback {
             self.backing_write(wb);
@@ -84,6 +133,11 @@ impl CacheHierarchy {
     /// Data-side write. Write-allocate: a store miss fills the line (the
     /// fill is a read against the levels below), then dirties it in L1D.
     pub fn data_write(&mut self, addr: u64) -> ServicedBy {
+        if let Some(c) = &mut self.counting {
+            c.data_writes += 1;
+            self.dram_writes += 1;
+            return ServicedBy::Memory;
+        }
         let out = self.l1d.access(addr, AccessKind::Write);
         if let Some(wb) = out.writeback {
             self.backing_write(wb);
@@ -97,6 +151,11 @@ impl CacheHierarchy {
 
     /// Instruction fetch: read against L1I, then the unified levels.
     pub fn fetch(&mut self, addr: u64) -> ServicedBy {
+        if let Some(c) = &mut self.counting {
+            c.fetches += 1;
+            self.dram_reads += 1;
+            return ServicedBy::Memory;
+        }
         let out = self.l1i.access(addr, AccessKind::Read);
         if let Some(wb) = out.writeback {
             self.backing_write(wb);
@@ -160,7 +219,29 @@ impl CacheHierarchy {
     }
 
     /// Snapshot of all counters.
+    ///
+    /// In counting-only mode every access is reported as a miss of the
+    /// corresponding L1 (reads/writes in L1D, fetches in L1I): the raw
+    /// access totals stay meaningful while hit/replacement counters — the
+    /// quantities a cache *model* would produce — remain zero.
     pub fn stats(&self) -> HierarchyStats {
+        if let Some(c) = &self.counting {
+            return HierarchyStats {
+                l1d: crate::CacheStats {
+                    read_misses: c.data_reads,
+                    write_misses: c.data_writes,
+                    ..Default::default()
+                },
+                l1i: crate::CacheStats {
+                    read_misses: c.fetches,
+                    ..Default::default()
+                },
+                l2: crate::CacheStats::default(),
+                l3: None,
+                dram_reads: self.dram_reads,
+                dram_writes: self.dram_writes,
+            };
+        }
         HierarchyStats {
             l1d: *self.l1d.stats(),
             l1i: *self.l1i.stats(),
@@ -173,6 +254,9 @@ impl CacheHierarchy {
 
     /// Clears statistics, keeping cache contents.
     pub fn reset_stats(&mut self) {
+        if let Some(c) = &mut self.counting {
+            *c = AccessCounters::default();
+        }
         self.l1d.reset_stats();
         self.l1i.reset_stats();
         self.l2.reset_stats();
@@ -268,6 +352,29 @@ mod tests {
         h.reset_stats();
         assert_eq!(h.stats().l1d.accesses(), 0);
         assert_eq!(h.data_read(0), ServicedBy::Memory);
+    }
+
+    #[test]
+    fn counting_only_tallies_without_cache_model() {
+        let mut h = CacheHierarchy::counting_only(64);
+        assert!(h.is_counting_only());
+        // Repeated touches of the same line never turn into hits.
+        assert_eq!(h.data_read(0), ServicedBy::Memory);
+        assert_eq!(h.data_read(0), ServicedBy::Memory);
+        assert_eq!(h.data_write(0), ServicedBy::Memory);
+        assert_eq!(h.fetch(0x100), ServicedBy::Memory);
+        let s = h.stats();
+        assert_eq!(s.l1d.read_misses, 2);
+        assert_eq!(s.l1d.write_misses, 1);
+        assert_eq!(s.l1i.read_misses, 1);
+        assert_eq!(s.l1d.read_hits + s.l1d.write_hits + s.l1i.read_hits, 0);
+        // Every access — fetches included — goes to memory.
+        assert_eq!(s.dram_reads, 3);
+        assert_eq!(s.dram_writes, 1);
+        // Line size is honored (it drives lines_touched in the CPU).
+        assert_eq!(h.line_bytes(), 64);
+        h.reset_stats();
+        assert_eq!(h.stats().l1d.read_misses, 0);
     }
 
     #[test]

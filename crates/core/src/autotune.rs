@@ -6,8 +6,9 @@
 //! score predictor or by hardware measurement), and the tuner evolves
 //! the next batch from the scores.
 
+use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
 use crate::features::WindowKind;
-use crate::runner::{HardwareRunner, KernelBuilder, SimulatorRunner};
+use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::ScorePredictor;
 use crate::CoreError;
 use rand::rngs::StdRng;
@@ -15,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use simtune_hw::TargetSpec;
 use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A search strategy over sketch genotypes.
 pub trait Tuner {
@@ -224,11 +226,32 @@ pub fn tune_with_predictor(
     if !predictor.is_trained() {
         return Err(CoreError::Pipeline("predictor is not trained".into()));
     }
+    let session = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .n_parallel(opts.n_parallel)
+        .build()?;
+    let (history, _) = explore(def, spec, predictor, tuner, opts, &session)?;
+    finish(history)
+}
+
+/// The shared exploration loop: generate batch-wise, build, run on
+/// `session`'s backend, score with `predictor`, feed the tuner. Returns
+/// the full evaluation history and the number of simulations executed
+/// (successful builds handed to the backend, whether or not they ran to
+/// completion).
+fn explore(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    tuner: &mut dyn Tuner,
+    opts: &TuneOptions,
+    session: &SimSession,
+) -> Result<(Vec<TuneRecord>, usize), CoreError> {
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
-    let sim = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(opts.n_parallel);
 
     let mut history: Vec<TuneRecord> = Vec::new();
+    let mut sim_runs = 0usize;
     // One normalizer for the whole session: the window means evolve over
     // the full candidate stream, not per batch.
     let mut normalizer = crate::features::WindowNormalizer::new(opts.window);
@@ -252,7 +275,8 @@ pub fn tune_with_predictor(
                 Err(_) => failed.push(p),
             }
         }
-        let stats = sim.run(&exes);
+        sim_runs += exes.len();
+        let stats = session.run_stats(&exes);
         let mut batch_scores: Vec<(SketchParams, f64)> = Vec::new();
         for (p, s) in kept.into_iter().zip(stats) {
             match s {
@@ -277,7 +301,152 @@ pub fn tune_with_predictor(
             });
         }
     }
-    finish(history)
+    Ok((history, sim_runs))
+}
+
+/// Options of the fidelity-escalation mode: how many finalists graduate
+/// from the cheap exploration tier to the accurate tier.
+#[derive(Debug, Clone)]
+pub struct EscalationOptions {
+    /// Finalists re-simulated on the accurate backend (the paper-style
+    /// trade: exploration breadth at low fidelity, final ranking at full
+    /// fidelity).
+    pub top_k: usize,
+    /// When set, exploration uses a [`SampledBackend`] at this fraction
+    /// instead of the default [`FastCountBackend`] — a middle tier for
+    /// workloads whose ranking is cache-sensitive.
+    pub sample_fraction: Option<f64>,
+}
+
+impl Default for EscalationOptions {
+    fn default() -> Self {
+        EscalationOptions {
+            top_k: 8,
+            sample_fraction: None,
+        }
+    }
+}
+
+/// Result of a fidelity-escalated tuning session.
+#[derive(Debug, Clone)]
+pub struct EscalatedTuneResult {
+    /// Full history: exploration records keep their cheap-tier scores;
+    /// finalist records carry accurate-tier scores. `result.best_index`
+    /// always points at a finalist.
+    pub result: TuneResult,
+    /// Name of the backend used for exploration rounds.
+    pub explore_backend: String,
+    /// Name of the backend used for the finalists.
+    pub final_backend: String,
+    /// Cheap-tier simulations executed.
+    pub explore_runs: usize,
+    /// Accurate simulations executed (≤ `top_k`, against `n_trials` for
+    /// an accurate-only session).
+    pub accurate_runs: usize,
+}
+
+/// Fidelity-escalation tuning (the trade the paper's Fig. 1 spans): a
+/// cheap backend ([`FastCountBackend`] by default, [`SampledBackend`]
+/// with [`EscalationOptions::sample_fraction`]) scores every exploration
+/// candidate, then only the `top_k` finalists are re-simulated on the
+/// instruction-accurate backend and the best finalist wins. The host
+/// pays for `top_k` accurate simulations instead of `n_trials`.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; returns [`CoreError::Pipeline`] when
+/// the predictor is untrained, `top_k` is zero, or no finalist survives.
+pub fn tune_with_fidelity_escalation(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    tuner: &mut dyn Tuner,
+    opts: &TuneOptions,
+    esc: &EscalationOptions,
+) -> Result<EscalatedTuneResult, CoreError> {
+    if !predictor.is_trained() {
+        return Err(CoreError::Pipeline("predictor is not trained".into()));
+    }
+    if esc.top_k == 0 {
+        return Err(CoreError::Pipeline(
+            "fidelity escalation needs top_k >= 1".into(),
+        ));
+    }
+    let explore_backend: Arc<dyn SimBackend> = match esc.sample_fraction {
+        Some(fraction) => Arc::new(SampledBackend::new(spec.hierarchy.clone(), fraction)?),
+        None => Arc::new(FastCountBackend::matching(&spec.hierarchy)),
+    };
+    let explore_name = explore_backend.name().to_string();
+    let session = SimSession::builder()
+        .backend(explore_backend)
+        .n_parallel(opts.n_parallel)
+        .build()?;
+    let (mut history, explore_runs) = explore(def, spec, predictor, tuner, opts, &session)?;
+
+    // Graduate the top-k cheap-tier candidates to the accurate tier.
+    let mut order: Vec<usize> = (0..history.len())
+        .filter(|&i| history[i].score.is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        history[a]
+            .score
+            .partial_cmp(&history[b].score)
+            .expect("finite scores")
+    });
+    order.truncate(esc.top_k);
+
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let mut finalist_idx = Vec::with_capacity(order.len());
+    let mut finalist_exes = Vec::with_capacity(order.len());
+    for &i in &order {
+        // Rebuilding is deterministic (fixed data seed), so the finalist
+        // executes byte-for-byte what the exploration round saw.
+        if let Ok(exe) = builder.build(&history[i].schedule, &format!("{}f{i}", def.name)) {
+            finalist_idx.push(i);
+            finalist_exes.push(exe);
+        }
+    }
+    let accurate = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .n_parallel(opts.n_parallel)
+        .build()?;
+    let final_name = accurate.backend_name().to_string();
+    let reports = accurate.run_stats(&finalist_exes);
+    let accurate_runs = finalist_exes.len();
+
+    let mut survivors = Vec::new();
+    let mut survivor_stats = Vec::new();
+    for (i, r) in finalist_idx.iter().zip(reports) {
+        if let Ok(stats) = r {
+            survivors.push(*i);
+            survivor_stats.push(stats);
+        }
+    }
+    if survivors.is_empty() {
+        return Err(CoreError::Pipeline(
+            "no finalist survived accurate re-simulation".into(),
+        ));
+    }
+    // Batch scoring keeps the finalists' normalization consistent with
+    // one another — the ranking that decides the winner.
+    let scores = predictor.score_group(&survivor_stats)?;
+    let mut best = (survivors[0], f64::INFINITY);
+    for (&i, &s) in survivors.iter().zip(&scores) {
+        history[i].score = s;
+        if s < best.1 {
+            best = (i, s);
+        }
+    }
+    Ok(EscalatedTuneResult {
+        result: TuneResult {
+            history,
+            best_index: best.0,
+        },
+        explore_backend: explore_name,
+        final_backend: final_name,
+        explore_runs,
+        accurate_runs,
+    })
 }
 
 /// Baseline flow: candidates are benchmarked on the (emulated) target

@@ -1,0 +1,903 @@
+//! Pluggable simulator backends: the typed successor of the
+//! function-registry override (paper Listings 3–4).
+//!
+//! The paper's claim is that the autotuner's runner is
+//! *simulator-agnostic*: anything that can execute a candidate and
+//! report statistics may sit behind `auto_scheduler.local_runner.run`,
+//! trading fidelity for speed. This module turns that claim into a
+//! first-class API built around three pieces:
+//!
+//! * [`SimBackend`] — the trait every simulator flavor implements:
+//!   `run_batch(&[Executable], &RunLimits) -> Vec<Result<SimReport, _>>`;
+//! * [`BackendRegistry`] — a typed, named registry replacing the
+//!   stringly [`crate::FunctionRegistry`] (which survives as a thin
+//!   deprecated shim on top of this);
+//! * [`SimSession`] — a builder-style entry point that pairs one
+//!   backend with a parallelism degree and run limits, re-exported from
+//!   the `simtune` façade.
+//!
+//! # Fidelity tiers
+//!
+//! Three backends ship with the crate; pick by what a tuning round
+//! needs:
+//!
+//! | backend | fidelity | cost | use when |
+//! |---|---|---|---|
+//! | [`AccurateBackend`] | cache-accurate ([`Fidelity::Accurate`]) | 1× | final ranking, training-data collection — the gem5-style reference |
+//! | [`FastCountBackend`] | counts only ([`Fidelity::CountOnly`]) | ≪1× | early exploration rounds where instruction/access totals are enough to discard bad candidates (QEMU-plugin instrumentation style) |
+//! | [`SampledBackend`] | extrapolated ([`Fidelity::Sampled`]) | count + fraction·accurate | middle ground: cache behavior matters but a prefix of the run is representative (Pac-Sim-style sampling) |
+//!
+//! `SampledBackend` sizes each candidate with a counting pass before
+//! simulating the prefix, so its cost is the fast-count cost *plus* the
+//! chosen fraction of the accurate cost — cheaper than accurate only
+//! when the cache model (not raw interpretation) dominates.
+//!
+//! [`crate::tune_with_fidelity_escalation`] composes the tiers: a cheap
+//! backend explores the schedule space and [`AccurateBackend`] re-ranks
+//! only the top-k finalists.
+//!
+//! # Example
+//!
+//! ```
+//! use simtune_cache::HierarchyConfig;
+//! use simtune_core::{KernelBuilder, SimSession};
+//! use simtune_tensor::{matmul, Schedule, TargetIsa};
+//!
+//! # fn main() -> Result<(), simtune_core::CoreError> {
+//! let def = matmul(8, 8, 8);
+//! let builder = KernelBuilder::new(def.clone(), TargetIsa::riscv_u74());
+//! let exe = builder.build(&Schedule::default_for(&def), "mm")?;
+//! let session = SimSession::builder()
+//!     .fast_count(&HierarchyConfig::riscv_u74())
+//!     .n_parallel(2)
+//!     .build()?;
+//! let reports = session.run(std::slice::from_ref(&exe));
+//! let report = reports[0].as_ref().unwrap();
+//! assert_eq!(report.backend, "fast-count");
+//! assert!(report.stats.inst_mix.total() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::runner::SimulatorRunFn;
+use crate::CoreError;
+use simtune_cache::{CacheStats, HierarchyConfig, HierarchyStats};
+use simtune_isa::{
+    simulate, simulate_counting, simulate_prefix, Executable, InstMix, RunLimits, SimError,
+    SimStats, ACCURATE, FAST_COUNT,
+};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Canonical name of the sampled (prefix + extrapolation) flavor.
+pub const SAMPLED: &str = "sampled";
+
+/// How faithful a backend's statistics are to the reference simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Fidelity {
+    /// Full instruction-accurate simulation with the cache model.
+    Accurate,
+    /// Instruction and memory-access counting only; no cache model.
+    CountOnly,
+    /// A fraction of the run is simulated accurately and the statistics
+    /// are linearly extrapolated to the full run.
+    Sampled {
+        /// Target fraction of retired instructions simulated accurately.
+        fraction: f64,
+    },
+    /// An external override whose fidelity is unknown to this crate.
+    Custom,
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fidelity::Accurate => write!(f, "accurate"),
+            Fidelity::CountOnly => write!(f, "count-only"),
+            Fidelity::Sampled { fraction } => write!(f, "sampled({fraction})"),
+            Fidelity::Custom => write!(f, "custom"),
+        }
+    }
+}
+
+/// Errors a backend can produce for one executable.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// The underlying simulation aborted.
+    Sim(SimError),
+    /// The backend was configured inconsistently.
+    Config {
+        /// Which backend rejected its configuration.
+        backend: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Sim(e) => write!(f, "backend simulation failed: {e}"),
+            BackendError::Config { backend, message } => {
+                write!(f, "backend {backend:?} misconfigured: {message}")
+            }
+        }
+    }
+}
+
+impl Error for BackendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BackendError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for BackendError {
+    fn from(e: SimError) -> Self {
+        BackendError::Sim(e)
+    }
+}
+
+/// What one backend invocation reports for one executable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulator statistics (possibly extrapolated, see `extrapolated`).
+    pub stats: SimStats,
+    /// Name of the backend that produced the statistics.
+    pub backend: String,
+    /// Fidelity tier of the producing backend.
+    pub fidelity: Fidelity,
+    /// True when `stats` was scaled up from a partial run rather than
+    /// measured over the whole program.
+    pub extrapolated: bool,
+}
+
+impl SimReport {
+    fn full(stats: SimStats, backend: &str, fidelity: Fidelity) -> Self {
+        SimReport {
+            stats,
+            backend: backend.to_string(),
+            fidelity,
+            extrapolated: false,
+        }
+    }
+}
+
+/// A pluggable simulator: the typed form of the paper's overridable
+/// `simulator_run` hook.
+///
+/// Implementations must be shareable across the runner's `n_parallel`
+/// worker threads, hence `Send + Sync`; per-run state (CPU, memory,
+/// cache hierarchy) is created inside [`SimBackend::run_one`] so every
+/// candidate starts cold, exactly like the function-pointer era.
+pub trait SimBackend: Send + Sync {
+    /// Stable name used as the registry key and stamped on every
+    /// [`SimReport`] / [`simtune_isa::SimOutcome`].
+    fn name(&self) -> &str;
+
+    /// The fidelity tier this backend provides.
+    fn fidelity(&self) -> Fidelity;
+
+    /// Runs one executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when the simulation aborts or the
+    /// backend is misconfigured for this executable.
+    fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError>;
+
+    /// Runs a batch sequentially, preserving order. Backends with a
+    /// cheaper batch path (shared warm-up, vectorized dispatch) may
+    /// override this; [`SimSession`] calls it whenever it does not shard
+    /// the batch across threads itself.
+    fn run_batch(
+        &self,
+        execs: &[Executable],
+        limits: &RunLimits,
+    ) -> Vec<Result<SimReport, BackendError>> {
+        execs.iter().map(|e| self.run_one(e, limits)).collect()
+    }
+}
+
+/// The reference backend: today's instruction-accurate interpreter with
+/// the full set-associative cache hierarchy (the gem5 stand-in).
+#[derive(Debug, Clone)]
+pub struct AccurateBackend {
+    hierarchy: HierarchyConfig,
+}
+
+impl AccurateBackend {
+    /// Accurate backend replicating `hierarchy` per instance.
+    pub fn new(hierarchy: HierarchyConfig) -> Self {
+        AccurateBackend { hierarchy }
+    }
+
+    /// The cache geometry each simulator instance models.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
+    }
+}
+
+impl SimBackend for AccurateBackend {
+    fn name(&self) -> &str {
+        ACCURATE
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Accurate
+    }
+
+    fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+        let out = simulate(exe, &self.hierarchy, *limits)?;
+        Ok(SimReport::full(out.stats, ACCURATE, Fidelity::Accurate))
+    }
+}
+
+/// QEMU-plugin-style counting backend: candidates execute functionally
+/// and retired instructions plus line-granular memory accesses are
+/// tallied, but no cache is modeled. Retired-instruction counts are
+/// bit-identical to [`AccurateBackend`]'s; cache hit/miss counters are
+/// absent (every access reports as an L1 miss). Use it for cheap early
+/// autotuning rounds where candidate ranking by work volume suffices.
+#[derive(Debug, Clone)]
+pub struct FastCountBackend {
+    line_bytes: u64,
+}
+
+impl FastCountBackend {
+    /// Counting backend with the given line size (drives how many lines
+    /// a vector access touches; must match the reference hierarchy for
+    /// access counts to be comparable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line_bytes must be a power of two"
+        );
+        FastCountBackend { line_bytes }
+    }
+
+    /// Counting backend whose line size matches `hierarchy`.
+    pub fn matching(hierarchy: &HierarchyConfig) -> Self {
+        FastCountBackend::new(hierarchy.line_bytes())
+    }
+}
+
+impl SimBackend for FastCountBackend {
+    fn name(&self) -> &str {
+        FAST_COUNT
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::CountOnly
+    }
+
+    fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+        let out = simulate_counting(exe, self.line_bytes, *limits)?;
+        Ok(SimReport::full(out.stats, FAST_COUNT, Fidelity::CountOnly))
+    }
+}
+
+/// Pac-Sim-inspired sampling backend: a cheap counting pass sizes the
+/// candidate, then only `fraction` of its retired instructions are
+/// simulated with the full cache model and the statistics are linearly
+/// extrapolated to the whole run. At `fraction == 1.0` the prefix covers
+/// the entire program and the result equals [`AccurateBackend`]'s
+/// exactly (modulo host wall-clock time).
+///
+/// Host cost is the counting pass plus `fraction` of the accurate cost
+/// (not `fraction` alone): the sizing pass interprets every instruction
+/// once, without the cache model. The tier pays off when cache modeling
+/// dominates the accurate backend's runtime.
+#[derive(Debug, Clone)]
+pub struct SampledBackend {
+    hierarchy: HierarchyConfig,
+    fraction: f64,
+    min_insts: u64,
+}
+
+impl SampledBackend {
+    /// Sampling backend simulating `fraction ∈ (0, 1]` of each candidate
+    /// accurately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] for a non-finite or out-of-range
+    /// fraction.
+    pub fn new(hierarchy: HierarchyConfig, fraction: f64) -> Result<Self, BackendError> {
+        if !fraction.is_finite() || fraction <= 0.0 || fraction > 1.0 {
+            return Err(BackendError::Config {
+                backend: SAMPLED.into(),
+                message: format!("sample fraction must be in (0, 1], got {fraction}"),
+            });
+        }
+        Ok(SampledBackend {
+            hierarchy,
+            fraction,
+            min_insts: 1_000,
+        })
+    }
+
+    /// Floor on the accurately simulated prefix, so tiny fractions of
+    /// tiny kernels still see a meaningful window (default 1000).
+    pub fn with_min_insts(mut self, min_insts: u64) -> Self {
+        self.min_insts = min_insts;
+        self
+    }
+
+    /// The configured sample fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl SimBackend for SampledBackend {
+    fn name(&self) -> &str {
+        SAMPLED
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Sampled {
+            fraction: self.fraction,
+        }
+    }
+
+    fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+        // Counting pass: total work, at a fraction of the accurate cost.
+        let count = simulate_counting(exe, self.hierarchy.line_bytes(), *limits)?;
+        let total = count.stats.inst_mix.total();
+        let budget = ((total as f64 * self.fraction).ceil() as u64)
+            .max(self.min_insts)
+            .max(1);
+        let (out, completed) = simulate_prefix(exe, &self.hierarchy, *limits, budget)?;
+        let fidelity = Fidelity::Sampled {
+            fraction: self.fraction,
+        };
+        if completed {
+            return Ok(SimReport::full(out.stats, SAMPLED, fidelity));
+        }
+        let retired = out.stats.inst_mix.total().max(1);
+        Ok(SimReport {
+            stats: extrapolate(&out.stats, total, retired),
+            backend: SAMPLED.into(),
+            fidelity,
+            extrapolated: true,
+        })
+    }
+}
+
+/// Linearly scales every counter of a prefix run by `total / retired`.
+/// Host wall time is kept as measured: the whole point of sampling is
+/// that the *host* paid only for the prefix.
+fn extrapolate(prefix: &SimStats, total: u64, retired: u64) -> SimStats {
+    let scale = |v: u64| ((v as u128 * total as u128) / retired as u128) as u64;
+    let scale_cache = |c: &CacheStats| CacheStats {
+        read_hits: scale(c.read_hits),
+        read_misses: scale(c.read_misses),
+        read_replacements: scale(c.read_replacements),
+        write_hits: scale(c.write_hits),
+        write_misses: scale(c.write_misses),
+        write_replacements: scale(c.write_replacements),
+    };
+    let m = &prefix.inst_mix;
+    SimStats {
+        inst_mix: InstMix {
+            int_alu: scale(m.int_alu),
+            fp_alu: scale(m.fp_alu),
+            vec_alu: scale(m.vec_alu),
+            loads: scale(m.loads),
+            stores: scale(m.stores),
+            branches: scale(m.branches),
+            branches_taken: scale(m.branches_taken),
+            other: scale(m.other),
+        },
+        cache: HierarchyStats {
+            l1d: scale_cache(&prefix.cache.l1d),
+            l1i: scale_cache(&prefix.cache.l1i),
+            l2: scale_cache(&prefix.cache.l2),
+            l3: prefix.cache.l3.as_ref().map(scale_cache),
+            dram_reads: scale(prefix.cache.dram_reads),
+            dram_writes: scale(prefix.cache.dram_writes),
+        },
+        host_nanos: prefix.host_nanos,
+    }
+}
+
+/// Adapter exposing a bare run function (the deprecated
+/// [`crate::SimulatorRunFn`] era) as a [`SimBackend`], so legacy
+/// overrides keep working behind the typed API.
+pub struct FnBackend {
+    name: String,
+    func: Arc<SimulatorRunFn>,
+}
+
+impl FnBackend {
+    /// Wraps `func` under `name`.
+    pub fn new(name: impl Into<String>, func: Arc<SimulatorRunFn>) -> Self {
+        FnBackend {
+            name: name.into(),
+            func,
+        }
+    }
+}
+
+impl fmt::Debug for FnBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnBackend")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl SimBackend for FnBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Custom
+    }
+
+    fn run_one(&self, exe: &Executable, _limits: &RunLimits) -> Result<SimReport, BackendError> {
+        let stats = (self.func)(exe)?;
+        Ok(SimReport::full(stats, &self.name, Fidelity::Custom))
+    }
+}
+
+/// A typed registry of named simulator backends — the successor of the
+/// stringly [`crate::FunctionRegistry`]. Iteration order (and thus
+/// [`BackendRegistry::names`]) is the names' lexicographic order.
+#[derive(Default, Clone)]
+pub struct BackendRegistry {
+    backends: BTreeMap<String, Arc<dyn SimBackend>>,
+}
+
+impl fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("registered", &self.names())
+            .finish()
+    }
+}
+
+impl BackendRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry pre-populated with the three bundled fidelity tiers for
+    /// `hierarchy`: [`AccurateBackend`], [`FastCountBackend`] and a
+    /// [`SampledBackend`] at `sample_fraction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] (as [`CoreError`]) for an
+    /// invalid `sample_fraction`.
+    pub fn with_defaults(
+        hierarchy: &HierarchyConfig,
+        sample_fraction: f64,
+    ) -> Result<Self, CoreError> {
+        let mut reg = BackendRegistry::new();
+        reg.register(Arc::new(AccurateBackend::new(hierarchy.clone())), false)?;
+        reg.register(Arc::new(FastCountBackend::matching(hierarchy)), false)?;
+        reg.register(
+            Arc::new(SampledBackend::new(hierarchy.clone(), sample_fraction)?),
+            false,
+        )?;
+        Ok(reg)
+    }
+
+    /// Registers `backend` under its own [`SimBackend::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Registry`] when the name is taken and
+    /// overriding was not requested.
+    pub fn register(
+        &mut self,
+        backend: Arc<dyn SimBackend>,
+        override_existing: bool,
+    ) -> Result<(), CoreError> {
+        let name = backend.name().to_string();
+        self.register_as(&name, backend, override_existing)
+    }
+
+    /// Registers `backend` under an explicit `name` (aliases, A/B
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Registry`] when the name is taken and
+    /// overriding was not requested.
+    pub fn register_as(
+        &mut self,
+        name: &str,
+        backend: Arc<dyn SimBackend>,
+        override_existing: bool,
+    ) -> Result<(), CoreError> {
+        if self.backends.contains_key(name) && !override_existing {
+            return Err(CoreError::Registry { name: name.into() });
+        }
+        self.backends.insert(name.to_string(), backend);
+        Ok(())
+    }
+
+    /// Resolves a backend by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn SimBackend>> {
+        self.backends.get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.backends.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+}
+
+/// One configured simulation context: a backend plus parallelism and run
+/// limits — what [`crate::SimulatorRunner`] is built on and what the
+/// autotuning loops drive.
+///
+/// Created through [`SimSession::builder`]. Batches are sharded across
+/// `n_parallel` worker threads (order-preserving); at `n_parallel == 1`
+/// the batch goes through [`SimBackend::run_batch`] so backends with a
+/// custom batch path are honored.
+#[derive(Clone)]
+pub struct SimSession {
+    backend: Arc<dyn SimBackend>,
+    n_parallel: usize,
+    limits: RunLimits,
+}
+
+impl fmt::Debug for SimSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSession")
+            .field("backend", &self.backend.name())
+            .field("fidelity", &self.backend.fidelity())
+            .field("n_parallel", &self.n_parallel)
+            .finish()
+    }
+}
+
+impl SimSession {
+    /// Starts building a session.
+    pub fn builder() -> SimSessionBuilder {
+        SimSessionBuilder::default()
+    }
+
+    /// The backend this session drives.
+    pub fn backend(&self) -> &Arc<dyn SimBackend> {
+        &self.backend
+    }
+
+    /// Name of the backend this session drives.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Worker threads used per batch.
+    pub fn n_parallel(&self) -> usize {
+        self.n_parallel
+    }
+
+    /// Per-run instruction budget.
+    pub fn limits(&self) -> RunLimits {
+        self.limits
+    }
+
+    /// Runs every executable, `n_parallel` at a time, preserving order.
+    pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimReport, CoreError>> {
+        if self.n_parallel <= 1 || exes.len() <= 1 {
+            return self
+                .backend
+                .run_batch(exes, &self.limits)
+                .into_iter()
+                .map(|r| r.map_err(CoreError::from))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<SimReport, CoreError>>>> =
+            Mutex::new((0..exes.len()).map(|_| None).collect());
+        let workers = self.n_parallel.min(exes.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= exes.len() {
+                        break;
+                    }
+                    let r = self
+                        .backend
+                        .run_one(&exes[i], &self.limits)
+                        .map_err(CoreError::from);
+                    results.lock().expect("poisoned results")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("poisoned results")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Like [`SimSession::run`] but strips reports down to bare
+    /// [`SimStats`] — the shape the feature extractor and predictors eat.
+    pub fn run_stats(&self, exes: &[Executable]) -> Vec<Result<SimStats, CoreError>> {
+        self.run(exes)
+            .into_iter()
+            .map(|r| r.map(|rep| rep.stats))
+            .collect()
+    }
+}
+
+/// Builder for [`SimSession`].
+#[derive(Default)]
+pub struct SimSessionBuilder {
+    backend: Option<Arc<dyn SimBackend>>,
+    n_parallel: Option<usize>,
+    limits: Option<RunLimits>,
+    error: Option<CoreError>,
+}
+
+impl fmt::Debug for SimSessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSessionBuilder")
+            .field("backend", &self.backend.as_ref().map(|b| b.name()))
+            .field("n_parallel", &self.n_parallel)
+            .finish()
+    }
+}
+
+impl SimSessionBuilder {
+    /// Uses an explicit backend instance. Clears any deferred error from
+    /// an earlier failed selection step, so fallback chains like
+    /// `from_registry(...).backend(...)` recover.
+    pub fn backend(mut self, backend: Arc<dyn SimBackend>) -> Self {
+        self.backend = Some(backend);
+        self.error = None;
+        self
+    }
+
+    /// Uses the instruction-accurate reference backend for `hierarchy`.
+    pub fn accurate(self, hierarchy: &HierarchyConfig) -> Self {
+        self.backend(Arc::new(AccurateBackend::new(hierarchy.clone())))
+    }
+
+    /// Uses the counting-only backend matched to `hierarchy`'s line size.
+    pub fn fast_count(self, hierarchy: &HierarchyConfig) -> Self {
+        self.backend(Arc::new(FastCountBackend::matching(hierarchy)))
+    }
+
+    /// Uses the sampling backend at `fraction`; an invalid fraction
+    /// surfaces from [`SimSessionBuilder::build`].
+    pub fn sampled(mut self, hierarchy: &HierarchyConfig, fraction: f64) -> Self {
+        match SampledBackend::new(hierarchy.clone(), fraction) {
+            Ok(b) => self.backend(Arc::new(b)),
+            Err(e) => {
+                self.error = Some(e.into());
+                self
+            }
+        }
+    }
+
+    /// Resolves `name` in `registry`; a miss surfaces from
+    /// [`SimSessionBuilder::build`].
+    pub fn from_registry(mut self, registry: &BackendRegistry, name: &str) -> Self {
+        match registry.get(name) {
+            Some(b) => self.backend(b),
+            None => {
+                self.error = Some(CoreError::Registry { name: name.into() });
+                self
+            }
+        }
+    }
+
+    /// Sets the number of parallel simulator instances (default 16, the
+    /// paper's Listing 3 default; clamped to at least 1).
+    pub fn n_parallel(mut self, n: usize) -> Self {
+        self.n_parallel = Some(n.max(1));
+        self
+    }
+
+    /// Sets the per-run instruction budget.
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Finishes the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Pipeline`] when no backend was chosen, or the
+    /// deferred error of an invalid [`SimSessionBuilder::sampled`] /
+    /// [`SimSessionBuilder::from_registry`] step.
+    pub fn build(self) -> Result<SimSession, CoreError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let backend = self
+            .backend
+            .ok_or_else(|| CoreError::Pipeline("SimSession needs a backend".into()))?;
+        Ok(SimSession {
+            backend,
+            n_parallel: self.n_parallel.unwrap_or(16),
+            limits: self.limits.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelBuilder;
+    use simtune_tensor::{matmul, Schedule, TargetIsa};
+
+    fn exes(n: usize) -> Vec<Executable> {
+        let def = matmul(6, 6, 6);
+        let b = KernelBuilder::new(def.clone(), TargetIsa::riscv_u74());
+        let s = Schedule::default_for(&def);
+        (0..n)
+            .map(|i| b.build(&s, &format!("m{i}")).unwrap())
+            .collect()
+    }
+
+    fn hier() -> HierarchyConfig {
+        HierarchyConfig::riscv_u74()
+    }
+
+    #[test]
+    fn accurate_and_fast_count_agree_on_retired_instructions() {
+        let exes = exes(1);
+        let acc = AccurateBackend::new(hier());
+        let fast = FastCountBackend::matching(&hier());
+        let a = acc.run_one(&exes[0], &RunLimits::default()).unwrap();
+        let f = fast.run_one(&exes[0], &RunLimits::default()).unwrap();
+        assert_eq!(a.stats.inst_mix, f.stats.inst_mix);
+        assert_eq!(a.backend, "accurate");
+        assert_eq!(f.backend, "fast-count");
+        assert!(!a.extrapolated && !f.extrapolated);
+        // The fast path reports no cache-model activity.
+        assert_eq!(f.stats.cache.l1d.read_hits, 0);
+        assert_eq!(f.stats.cache.l2, CacheStats::default());
+    }
+
+    #[test]
+    fn sampled_at_full_fraction_equals_accurate() {
+        let exes = exes(1);
+        let acc = AccurateBackend::new(hier());
+        let samp = SampledBackend::new(hier(), 1.0).unwrap();
+        let a = acc.run_one(&exes[0], &RunLimits::default()).unwrap();
+        let s = samp.run_one(&exes[0], &RunLimits::default()).unwrap();
+        assert!(!s.extrapolated);
+        assert_eq!(a.stats.inst_mix, s.stats.inst_mix);
+        assert_eq!(a.stats.cache, s.stats.cache);
+    }
+
+    #[test]
+    fn sampled_extrapolates_partial_runs() {
+        let exes = exes(1);
+        let acc = AccurateBackend::new(hier());
+        let full = acc.run_one(&exes[0], &RunLimits::default()).unwrap();
+        let total = full.stats.inst_mix.total();
+        let samp = SampledBackend::new(hier(), 0.25).unwrap().with_min_insts(1);
+        let s = samp.run_one(&exes[0], &RunLimits::default()).unwrap();
+        assert!(s.extrapolated);
+        assert_eq!(s.fidelity, Fidelity::Sampled { fraction: 0.25 });
+        // Extrapolated totals land close to the true total (linear
+        // scaling of an exact quarter prefix: within rounding of the
+        // component-wise division).
+        let est = s.stats.inst_mix.total();
+        let err = est.abs_diff(total) as f64 / total as f64;
+        assert!(err < 0.05, "estimate {est} vs true {total}");
+    }
+
+    #[test]
+    fn sampled_rejects_bad_fractions() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = SampledBackend::new(hier(), bad).unwrap_err();
+            assert!(matches!(err, BackendError::Config { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn registry_rejects_collisions_with_registry_error() {
+        let mut reg = BackendRegistry::with_defaults(&hier(), 0.5).unwrap();
+        assert_eq!(reg.names(), ["accurate", "fast-count", "sampled"]);
+        let err = reg
+            .register(Arc::new(AccurateBackend::new(hier())), false)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Registry { ref name } if name == "accurate"));
+        // Overriding is allowed when asked for.
+        reg.register(Arc::new(AccurateBackend::new(hier())), true)
+            .unwrap();
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn session_runs_parallel_and_preserves_order() {
+        let exes = exes(6);
+        let seq = SimSession::builder()
+            .accurate(&hier())
+            .n_parallel(1)
+            .build()
+            .unwrap();
+        let par = SimSession::builder()
+            .accurate(&hier())
+            .n_parallel(4)
+            .build()
+            .unwrap();
+        let a = seq.run(&exes);
+        let b = par.run(&exes);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.stats.inst_mix, y.stats.inst_mix);
+            assert_eq!(x.stats.cache, y.stats.cache);
+            assert_eq!(x.backend, y.backend);
+        }
+    }
+
+    #[test]
+    fn session_builder_surfaces_deferred_errors() {
+        let err = SimSession::builder().build().unwrap_err();
+        assert!(matches!(err, CoreError::Pipeline(_)));
+        let err = SimSession::builder()
+            .sampled(&hier(), 2.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }));
+        let reg = BackendRegistry::new();
+        let err = SimSession::builder()
+            .from_registry(&reg, "missing")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Registry { ref name } if name == "missing"));
+        // A later explicit selection recovers from the failed lookup.
+        let session = SimSession::builder()
+            .from_registry(&reg, "missing")
+            .accurate(&hier())
+            .build()
+            .unwrap();
+        assert_eq!(session.backend_name(), "accurate");
+    }
+
+    #[test]
+    fn fn_backend_adapts_legacy_overrides() {
+        let exes = exes(1);
+        let b = FnBackend::new(
+            "stub",
+            Arc::new(|_: &Executable| {
+                Ok(SimStats {
+                    host_nanos: 99,
+                    ..SimStats::default()
+                })
+            }),
+        );
+        let r = b.run_one(&exes[0], &RunLimits::default()).unwrap();
+        assert_eq!(r.stats.host_nanos, 99);
+        assert_eq!(r.backend, "stub");
+        assert_eq!(r.fidelity, Fidelity::Custom);
+    }
+}

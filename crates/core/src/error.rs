@@ -1,3 +1,4 @@
+use crate::backend::BackendError;
 use simtune_isa::SimError;
 use simtune_predict::PredictError;
 use simtune_tensor::{CodegenError, ScheduleError};
@@ -5,7 +6,12 @@ use std::error::Error;
 use std::fmt;
 
 /// Unified error type of the autotuning/prediction pipeline.
+///
+/// Marked `#[non_exhaustive]`: the pipeline keeps growing (backends,
+/// registries, remote runners), so downstream matches must carry a
+/// wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A schedule failed validation.
     Schedule(ScheduleError),
@@ -15,6 +21,19 @@ pub enum CoreError {
     Sim(SimError),
     /// A predictor failed to fit or predict.
     Predict(PredictError),
+    /// A name collision or unresolved name in a backend/function
+    /// registry.
+    Registry {
+        /// The conflicting (or missing) registration name.
+        name: String,
+    },
+    /// A simulator backend was misconfigured.
+    Backend {
+        /// Which backend rejected its configuration.
+        backend: String,
+        /// What was wrong.
+        message: String,
+    },
     /// The pipeline was used inconsistently.
     Pipeline(String),
 }
@@ -26,6 +45,12 @@ impl fmt::Display for CoreError {
             CoreError::Codegen(e) => write!(f, "codegen error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::Predict(e) => write!(f, "predictor error: {e}"),
+            CoreError::Registry { name } => {
+                write!(f, "registry error: conflicting or unknown name {name:?}")
+            }
+            CoreError::Backend { backend, message } => {
+                write!(f, "backend {backend:?} misconfigured: {message}")
+            }
             CoreError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
@@ -38,7 +63,7 @@ impl Error for CoreError {
             CoreError::Codegen(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Predict(e) => Some(e),
-            CoreError::Pipeline(_) => None,
+            _ => None,
         }
     }
 }
@@ -67,6 +92,15 @@ impl From<PredictError> for CoreError {
     }
 }
 
+impl From<BackendError> for CoreError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Sim(s) => CoreError::Sim(s),
+            BackendError::Config { backend, message } => CoreError::Backend { backend, message },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +111,14 @@ mod tests {
         assert!(e.to_string().contains("no groups"));
         let e: CoreError = SimError::PcOutOfRange { pc: 3 }.into();
         assert!(e.to_string().contains("simulation"));
+        let e = CoreError::Registry {
+            name: "accurate".into(),
+        };
+        assert!(e.to_string().contains("accurate"));
+        let e = CoreError::Backend {
+            backend: "sampled".into(),
+            message: "fraction 2".into(),
+        };
+        assert!(e.to_string().contains("sampled") && e.to_string().contains("fraction 2"));
     }
 }

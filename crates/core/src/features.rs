@@ -367,7 +367,7 @@ mod tests {
             ..Default::default()
         };
         let raw = raw_sample(&s, &raw_only);
-        let means = GroupMeans::exact(&[raw.clone()]);
+        let means = GroupMeans::exact(std::slice::from_ref(&raw));
         assert_eq!(means.features(&raw, &raw_only).len(), 21);
     }
 

@@ -1,12 +1,18 @@
-//! The function-registry override mechanism (paper Listings 3 and 4).
+//! The legacy function-registry override mechanism (paper Listings 3
+//! and 4) — now a thin shim over the typed [`BackendRegistry`].
 //!
 //! TVM's Auto-Scheduler resolves its runner through a global function
 //! registry; the paper overrides `auto_scheduler.local_runner.run` to
-//! redirect execution onto simulators. This module mirrors that
-//! integration style: named run functions can be registered (with or
-//! without permission to override) and a [`crate::SimulatorRunner`] can
-//! be wired to whatever the registry currently resolves.
+//! redirect execution onto simulators. This module mirrored that
+//! integration style with bare `Arc<SimulatorRunFn>` pointers. The typed
+//! [`crate::SimBackend`] API replaces it: this shim keeps the original
+//! signatures compiling and wraps each resolved function in a
+//! [`FnBackend`] when it reaches the runner, so old call sites keep
+//! working while new code talks to [`crate::BackendRegistry`] directly.
 
+#![allow(deprecated)]
+
+use crate::backend::FnBackend;
 use crate::runner::{SimulatorRunFn, SimulatorRunner};
 use crate::CoreError;
 use simtune_cache::HierarchyConfig;
@@ -18,6 +24,10 @@ use std::sync::Arc;
 pub const LOCAL_RUNNER_RUN: &str = "auto_scheduler.local_runner.run";
 
 /// A registry of named simulator run functions.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the typed `BackendRegistry` and `SimBackend` trait instead"
+)]
 #[derive(Default)]
 pub struct FunctionRegistry {
     funcs: HashMap<String, Arc<SimulatorRunFn>>,
@@ -43,7 +53,7 @@ impl FunctionRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Pipeline`] when the name exists and
+    /// Returns [`CoreError::Registry`] when the name exists and
     /// overriding was not requested.
     pub fn register_func(
         &mut self,
@@ -52,25 +62,26 @@ impl FunctionRegistry {
         override_existing: bool,
     ) -> Result<(), CoreError> {
         if self.funcs.contains_key(name) && !override_existing {
-            return Err(CoreError::Pipeline(format!(
-                "function {name} already registered (pass override)"
-            )));
+            return Err(CoreError::Registry { name: name.into() });
         }
         self.funcs.insert(name.to_string(), func);
         Ok(())
     }
 
-    /// Resolves a registered function.
+    /// Resolves a registered function (pre-backend signature, kept so
+    /// legacy call sites compile unchanged).
     pub fn get(&self, name: &str) -> Option<Arc<SimulatorRunFn>> {
         self.funcs.get(name).cloned()
     }
 
     /// Builds a [`SimulatorRunner`] that uses the registered
-    /// [`LOCAL_RUNNER_RUN`] override when present, and the built-in
-    /// instruction-accurate simulator otherwise.
+    /// [`LOCAL_RUNNER_RUN`] override (wrapped in a [`FnBackend`]) when
+    /// present, and the built-in instruction-accurate simulator
+    /// otherwise.
     pub fn runner(&self, hierarchy: HierarchyConfig) -> SimulatorRunner {
         match self.get(LOCAL_RUNNER_RUN) {
-            Some(f) => SimulatorRunner::new(hierarchy).with_run_override(f),
+            Some(f) => SimulatorRunner::new(hierarchy)
+                .with_backend(Arc::new(FnBackend::new(LOCAL_RUNNER_RUN, f))),
             None => SimulatorRunner::new(hierarchy),
         }
     }
@@ -102,7 +113,8 @@ mod tests {
     fn double_registration_needs_override_flag() {
         let mut reg = FunctionRegistry::new();
         reg.register_func("f", stub(), false).unwrap();
-        assert!(reg.register_func("f", stub(), false).is_err());
+        let err = reg.register_func("f", stub(), false).unwrap_err();
+        assert!(matches!(err, CoreError::Registry { ref name } if name == "f"));
         reg.register_func("f", stub(), true).unwrap();
     }
 

@@ -7,7 +7,9 @@
 //!
 //! | paper artifact | module |
 //! |---|---|
+//! | "any simulator can be plugged in" (Section II-C) | [`SimBackend`], [`BackendRegistry`], [`SimSession`] |
 //! | `SimulatorRunner` / `local_run` override (Listings 3–4, Fig. 1-I) | [`SimulatorRunner`], [`FunctionRegistry`] |
+//! | fidelity/speed trade-off across simulators (Fig. 1) | [`AccurateBackend`], [`FastCountBackend`], [`SampledBackend`], [`tune_with_fidelity_escalation`] |
 //! | simulator statistics → predictor inputs (Eqs. 1–2) | [`raw_sample`], [`GroupMeans`] |
 //! | static/dynamic window mean approximation (Section III-E) | [`WindowNormalizer`] |
 //! | predictor training / execution workflow (Fig. 4) | [`ScorePredictor`], [`collect_group_data`] |
@@ -37,6 +39,7 @@
 //! ```
 
 mod autotune;
+mod backend;
 mod error;
 mod features;
 mod interface;
@@ -47,15 +50,21 @@ mod template_tune;
 mod workflow;
 
 pub use autotune::{
-    tune_on_hardware, tune_with_predictor, EvolutionaryTuner, RandomTuner, TuneOptions, TuneRecord,
-    TuneResult, Tuner,
+    tune_on_hardware, tune_with_fidelity_escalation, tune_with_predictor, EscalatedTuneResult,
+    EscalationOptions, EvolutionaryTuner, RandomTuner, TuneOptions, TuneRecord, TuneResult, Tuner,
+};
+pub use backend::{
+    AccurateBackend, BackendError, BackendRegistry, FastCountBackend, Fidelity, FnBackend,
+    SampledBackend, SimBackend, SimReport, SimSession, SimSessionBuilder, SAMPLED,
 };
 pub use error::CoreError;
 pub use features::{
     feature_names, group_training_data, raw_sample, FeatureConfig, GroupMeans, RawSample,
     WindowKind, WindowNormalizer,
 };
-pub use interface::{FunctionRegistry, LOCAL_RUNNER_RUN};
+#[allow(deprecated)]
+pub use interface::FunctionRegistry;
+pub use interface::LOCAL_RUNNER_RUN;
 pub use metrics::{
     e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, PredictionMetrics,
 };

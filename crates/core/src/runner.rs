@@ -13,13 +13,13 @@
 //! * [`HardwareRunner`] — sequential noisy measurements on the emulated
 //!   target board (native execution is never parallel, Section IV).
 
+use crate::backend::{FnBackend, SimBackend, SimSession};
 use crate::CoreError;
 use simtune_cache::HierarchyConfig;
 use simtune_hw::{measure, MeasureConfig, Measurement, TargetSpec};
-use simtune_isa::{simulate, Executable, RunLimits, SimError, SimStats};
+use simtune_isa::{Executable, RunLimits, SimError, SimStats};
 use simtune_tensor::{build_executable, ComputeDef, Schedule, TargetIsa};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Compiles kernel schedules into standalone executables (the "builder"
 /// box of the paper's Fig. 2).
@@ -84,8 +84,12 @@ impl KernelBuilder {
 /// substitute anything that returns [`SimStats`].
 pub type SimulatorRunFn = dyn Fn(&Executable) -> Result<SimStats, SimError> + Send + Sync;
 
-/// Runs candidates on `n_parallel` instruction-accurate simulator
-/// instances (paper Listing 3 / Fig. 1-I).
+/// Runs candidates on `n_parallel` simulator instances (paper Listing 3
+/// / Fig. 1-I) — a thin convenience wrapper over [`SimSession`] that
+/// defaults to the instruction-accurate [`crate::AccurateBackend`] and
+/// strips reports down to bare [`SimStats`]. Code that cares about
+/// fidelity tiers or per-report backend provenance should drive a
+/// [`SimSession`] directly.
 ///
 /// # Example
 ///
@@ -111,7 +115,7 @@ pub struct SimulatorRunner {
     pub hierarchy: HierarchyConfig,
     /// Per-run instruction budget.
     pub limits: RunLimits,
-    run_fn: Option<Arc<SimulatorRunFn>>,
+    backend: Option<Arc<dyn SimBackend>>,
 }
 
 impl std::fmt::Debug for SimulatorRunner {
@@ -119,7 +123,10 @@ impl std::fmt::Debug for SimulatorRunner {
         f.debug_struct("SimulatorRunner")
             .field("n_parallel", &self.n_parallel)
             .field("hierarchy", &self.hierarchy.name)
-            .field("overridden", &self.run_fn.is_some())
+            .field(
+                "backend",
+                &self.backend.as_ref().map_or("accurate", |b| b.name()),
+            )
             .finish()
     }
 }
@@ -132,7 +139,7 @@ impl SimulatorRunner {
             n_parallel: 16,
             hierarchy,
             limits: RunLimits::default(),
-            run_fn: None,
+            backend: None,
         }
     }
 
@@ -142,42 +149,38 @@ impl SimulatorRunner {
         self
     }
 
-    /// Overrides the `simulator_run` hook (paper Listing 3: "this
-    /// function serves as a simulator interface and can be overwritten").
-    pub fn with_run_override(mut self, f: Arc<SimulatorRunFn>) -> Self {
-        self.run_fn = Some(f);
+    /// Plugs in a simulator backend (the typed form of the paper's
+    /// "this function serves as a simulator interface and can be
+    /// overwritten").
+    pub fn with_backend(mut self, backend: Arc<dyn SimBackend>) -> Self {
+        self.backend = Some(backend);
         self
+    }
+
+    /// Overrides the `simulator_run` hook with a bare function (legacy
+    /// seam; wrapped in a [`FnBackend`] internally). Prefer
+    /// [`SimulatorRunner::with_backend`].
+    pub fn with_run_override(mut self, f: Arc<SimulatorRunFn>) -> Self {
+        self.backend = Some(Arc::new(FnBackend::new("override", f)));
+        self
+    }
+
+    /// The session this runner's configuration resolves to.
+    pub fn session(&self) -> SimSession {
+        let builder = SimSession::builder()
+            .n_parallel(self.n_parallel)
+            .limits(self.limits);
+        match &self.backend {
+            Some(b) => builder.backend(b.clone()),
+            None => builder.accurate(&self.hierarchy),
+        }
+        .build()
+        .expect("runner always supplies a backend")
     }
 
     /// Runs every executable, `n_parallel` at a time, preserving order.
     pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimStats, CoreError>> {
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<Result<SimStats, CoreError>>>> =
-            Mutex::new((0..exes.len()).map(|_| None).collect());
-        let workers = self.n_parallel.min(exes.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= exes.len() {
-                        break;
-                    }
-                    let r = match &self.run_fn {
-                        Some(f) => f(&exes[i]).map_err(CoreError::from),
-                        None => simulate(&exes[i], &self.hierarchy, self.limits)
-                            .map(|o| o.stats)
-                            .map_err(CoreError::from),
-                    };
-                    results.lock().expect("poisoned results")[i] = Some(r);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("poisoned results")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+        self.session().run_stats(exes)
     }
 }
 

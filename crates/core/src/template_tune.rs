@@ -8,8 +8,9 @@
 //! space — exhaustive grid, uniform random, and simulated annealing —
 //! plus the simulator-backed tuning loop that evaluates them.
 
+use crate::backend::SimSession;
 use crate::features::WindowNormalizer;
-use crate::runner::{KernelBuilder, SimulatorRunner};
+use crate::runner::KernelBuilder;
 use crate::score::ScorePredictor;
 use crate::{CoreError, TuneOptions, TuneRecord, TuneResult};
 use rand::rngs::StdRng;
@@ -198,7 +199,10 @@ pub fn tune_template_space(
         return Err(CoreError::Pipeline("predictor is not trained".into()));
     }
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
-    let sim = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(opts.n_parallel);
+    let sim = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .n_parallel(opts.n_parallel)
+        .build()?;
     let mut normalizer = WindowNormalizer::new(opts.window);
     let mut history: Vec<TuneRecord> = Vec::new();
 
@@ -228,7 +232,7 @@ pub fn tune_template_space(
                 Err(_) => failed.push(cfg),
             }
         }
-        let stats = sim.run(&exes);
+        let stats = sim.run_stats(&exes);
         let mut scored: Vec<(Vec<usize>, Option<simtune_tensor::Schedule>, f64)> = Vec::new();
         for ((cfg, schedule), st) in kept.into_iter().zip(stats) {
             let score = match st {

@@ -1,9 +1,10 @@
 //! End-to-end workflows: data collection, the paper's evaluation
 //! protocol, and the held-out-group experiment of Figure 5.
 
+use crate::backend::SimSession;
 use crate::features::FeatureConfig;
 use crate::metrics::{prediction_metrics, PredictionMetrics};
-use crate::runner::{HardwareRunner, KernelBuilder, SimulatorRunner};
+use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::{GroupData, ScorePredictor};
 use crate::CoreError;
 use rand::rngs::StdRng;
@@ -94,9 +95,14 @@ pub fn collect_group_data(
         }
     }
 
-    // Simulate in parallel (Contribution I).
-    let sim = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(opts.n_parallel);
-    let sim_results = sim.run(&exes);
+    // Simulate in parallel (Contribution I). Training labels must come
+    // from the reference backend: predictors are fit against accurate
+    // cache statistics.
+    let sim = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .n_parallel(opts.n_parallel)
+        .build()?;
+    let sim_results = sim.run_stats(&exes);
 
     // Measure sequentially on the emulated board.
     let hw = HardwareRunner {
@@ -176,6 +182,7 @@ impl EvalReport {
 /// # Errors
 ///
 /// Propagates training failures.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's protocol knobs 1:1
 pub fn evaluate_predictor(
     kind: PredictorKind,
     groups: &[GroupData],

@@ -1,0 +1,105 @@
+//! Cross-backend consistency: the reduced-fidelity tiers must stay
+//! anchored to the reference simulator.
+//!
+//! * `FastCountBackend` executes the same functional CPU as
+//!   `AccurateBackend`, so retired-instruction mixes must agree
+//!   *exactly* on every kernel of the paper's workload set;
+//! * `SampledBackend` at sample fraction 1.0 covers the whole program,
+//!   so its statistics (instruction mix *and* cache counters) must equal
+//!   the accurate backend's.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simtune_core::{AccurateBackend, FastCountBackend, KernelBuilder, SampledBackend, SimBackend};
+use simtune_hw::TargetSpec;
+use simtune_isa::{Executable, RunLimits};
+use simtune_tensor::{conv2d_bias_relu, matmul, ComputeDef, Schedule, SketchGenerator};
+
+/// The paper's five Conv2D+Bias+ReLU groups (Table II) at smoke scale
+/// (spatial/8, channels/8 — the CI-sized variant), plus the matmul
+/// kernel used for cross-kernel-type experiments.
+fn workload_set() -> Vec<ComputeDef> {
+    let mut defs: Vec<ComputeDef> = simtune_tensor::Conv2dShape::paper_groups()
+        .iter()
+        .map(|g| conv2d_bias_relu(&g.scaled(8, 8)))
+        .collect();
+    defs.push(matmul(12, 12, 12));
+    defs
+}
+
+/// One default-schedule executable plus one randomly scheduled variant
+/// per kernel, so layout-sensitive code paths (tiling, vectorization)
+/// are exercised too.
+fn candidates(def: &ComputeDef, spec: &TargetSpec, seed: u64) -> Vec<Executable> {
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let mut out = vec![builder
+        .build(
+            &Schedule::default_for(def),
+            &format!("{}-default", def.name),
+        )
+        .expect("default schedule builds")];
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for attempt in 0..50 {
+        let schedule = generator.schedule(&generator.random(&mut rng));
+        if let Ok(exe) = builder.build(&schedule, &format!("{}-r{attempt}", def.name)) {
+            out.push(exe);
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn fast_count_matches_accurate_on_paper_workloads() {
+    let spec = TargetSpec::riscv_u74();
+    let accurate = AccurateBackend::new(spec.hierarchy.clone());
+    let fast = FastCountBackend::matching(&spec.hierarchy);
+    let limits = RunLimits::default();
+    for def in workload_set() {
+        for exe in candidates(&def, &spec, 0xC0DE) {
+            let a = accurate.run_one(&exe, &limits).expect("accurate runs");
+            let f = fast.run_one(&exe, &limits).expect("fast-count runs");
+            assert_eq!(
+                a.stats.inst_mix, f.stats.inst_mix,
+                "retired-instruction mix diverged on {}",
+                exe.name
+            );
+            // The raw access volume is preserved: every fast-count access
+            // is an L1 "miss", so L1 accesses match the accurate run's.
+            assert_eq!(
+                a.stats.cache.l1d.read_accesses(),
+                f.stats.cache.l1d.read_misses,
+                "data-read volume diverged on {}",
+                exe.name
+            );
+            assert_eq!(
+                a.stats.cache.l1d.write_accesses(),
+                f.stats.cache.l1d.write_misses,
+                "data-write volume diverged on {}",
+                exe.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_at_fraction_one_equals_accurate_on_paper_workloads() {
+    let spec = TargetSpec::riscv_u74();
+    let accurate = AccurateBackend::new(spec.hierarchy.clone());
+    let sampled = SampledBackend::new(spec.hierarchy.clone(), 1.0).expect("valid fraction");
+    let limits = RunLimits::default();
+    for def in workload_set() {
+        for exe in candidates(&def, &spec, 0x5EED) {
+            let a = accurate.run_one(&exe, &limits).expect("accurate runs");
+            let s = sampled.run_one(&exe, &limits).expect("sampled runs");
+            assert!(
+                !s.extrapolated,
+                "fraction 1.0 must cover the whole run on {}",
+                exe.name
+            );
+            assert_eq!(a.stats.inst_mix, s.stats.inst_mix, "mix on {}", exe.name);
+            assert_eq!(a.stats.cache, s.stats.cache, "cache on {}", exe.name);
+        }
+    }
+}

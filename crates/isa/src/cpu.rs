@@ -137,15 +137,59 @@ impl AtomicCpu {
         limits: RunLimits,
         hook: &mut H,
     ) -> Result<SimStats, SimError> {
+        self.run_inner(prog, mem, hier, limits, None, hook)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Runs at most `budget` instructions of `prog`, stopping *cleanly*
+    /// (not with an error) when the budget is reached before the program
+    /// terminates. Returns the statistics of the executed prefix and
+    /// whether the program ran to completion.
+    ///
+    /// This is the primitive behind sampled simulation (Pac-Sim-style):
+    /// a fidelity-reduced backend simulates only a prefix of the work and
+    /// extrapolates the rest. [`RunLimits::max_insts`] still aborts the
+    /// run with an error when it is lower than `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AtomicCpu::run_with_hook`].
+    pub fn run_prefix_with_hook<H: ExecHook>(
+        &mut self,
+        prog: &Program,
+        mem: &mut Memory,
+        hier: &mut CacheHierarchy,
+        limits: RunLimits,
+        budget: u64,
+        hook: &mut H,
+    ) -> Result<(SimStats, bool), SimError> {
+        self.run_inner(prog, mem, hier, limits, Some(budget), hook)
+    }
+
+    fn run_inner<H: ExecHook>(
+        &mut self,
+        prog: &Program,
+        mem: &mut Memory,
+        hier: &mut CacheHierarchy,
+        limits: RunLimits,
+        stop_at: Option<u64>,
+        hook: &mut H,
+    ) -> Result<(SimStats, bool), SimError> {
         let insts = prog.insts();
         let mut mix = InstMix::default();
         let mut pc = 0usize;
         let line_bytes = hier.line_bytes();
+        let mut completed = true;
         loop {
-            if mix.total() >= limits.max_insts {
+            let retired = mix.total();
+            if retired >= limits.max_insts {
                 return Err(SimError::InstLimitExceeded {
                     limit: limits.max_insts,
                 });
+            }
+            if stop_at.is_some_and(|budget| retired >= budget) {
+                completed = false;
+                break;
             }
             let inst = *insts.get(pc).ok_or(SimError::PcOutOfRange { pc })?;
 
@@ -375,11 +419,14 @@ impl AtomicCpu {
             hook.on_retire(&inst);
             pc = next_pc;
         }
-        Ok(SimStats {
-            inst_mix: mix,
-            cache: hier.stats(),
-            host_nanos: 0,
-        })
+        Ok((
+            SimStats {
+                inst_mix: mix,
+                cache: hier.stats(),
+                host_nanos: 0,
+            },
+            completed,
+        ))
     }
 
     #[inline]
@@ -641,6 +688,83 @@ mod tests {
         let mut cpu = AtomicCpu::new(&target);
         let (mut mem, mut hier) = setup();
         let err = cpu.run(&prog, &mut mem, &mut hier, RunLimits { max_insts: 100 });
+        assert!(matches!(err, Err(SimError::InstLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn prefix_run_stops_cleanly_at_budget() {
+        // sum = 0; for i in 0..10 { sum += i } — 33 retired instructions.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 0 });
+        b.push(Inst::Li { rd: Gpr(2), imm: 0 });
+        b.push(Inst::Li {
+            rd: Gpr(3),
+            imm: 10,
+        });
+        let top = b.bind_new_label();
+        b.push(Inst::Add {
+            rd: Gpr(2),
+            rs1: Gpr(2),
+            rs2: Gpr(1),
+        });
+        b.push(Inst::Addi {
+            rd: Gpr(1),
+            rs: Gpr(1),
+            imm: 1,
+        });
+        b.branch_lt(Gpr(1), Gpr(3), top);
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let target = TargetIsa::riscv_u74();
+
+        // Budget below the full run: clean stop, exact prefix length.
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let (stats, completed) = cpu
+            .run_prefix_with_hook(
+                &prog,
+                &mut mem,
+                &mut hier,
+                RunLimits::default(),
+                10,
+                &mut NoopHook,
+            )
+            .unwrap();
+        assert!(!completed);
+        assert_eq!(stats.inst_mix.total(), 10);
+
+        // Budget beyond the full run: identical to a plain run.
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let (stats, completed) = cpu
+            .run_prefix_with_hook(
+                &prog,
+                &mut mem,
+                &mut hier,
+                RunLimits::default(),
+                u64::MAX,
+                &mut NoopHook,
+            )
+            .unwrap();
+        assert!(completed);
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let full = cpu
+            .run(&prog, &mut mem, &mut hier, RunLimits::default())
+            .unwrap();
+        assert_eq!(stats, full);
+
+        // max_insts still wins over the prefix budget.
+        let mut cpu = AtomicCpu::new(&target);
+        let (mut mem, mut hier) = setup();
+        let err = cpu.run_prefix_with_hook(
+            &prog,
+            &mut mem,
+            &mut hier,
+            RunLimits { max_insts: 5 },
+            10,
+            &mut NoopHook,
+        );
         assert!(matches!(err, Err(SimError::InstLimitExceeded { .. })));
     }
 

@@ -60,7 +60,12 @@ impl fmt::Display for BuildProgramError {
 impl Error for BuildProgramError {}
 
 /// Errors raised during simulation.
+///
+/// Marked `#[non_exhaustive]`: simulator backends keep growing the
+/// failure surface (sampling, remote execution), so downstream matches
+/// must carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The program counter left the code segment without a terminator.
     PcOutOfRange {

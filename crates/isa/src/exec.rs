@@ -30,6 +30,10 @@ pub struct SimOutcome {
     pub stats: SimStats,
     /// Memory after the run; read the output buffer from here.
     pub memory: Memory,
+    /// Name of the simulator flavor that produced this outcome
+    /// ("accurate", "fast-count", …) — indispensable when debugging
+    /// mixed-fidelity autotuning runs.
+    pub backend: String,
 }
 
 /// Loads and runs `exe` on a fresh instruction-accurate simulator instance
@@ -81,7 +85,90 @@ pub fn simulate(
     let start = Instant::now();
     let mut stats = cpu.run(&exe.program, &mut mem, &mut hier, limits)?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
-    Ok(SimOutcome { stats, memory: mem })
+    Ok(SimOutcome {
+        stats,
+        memory: mem,
+        backend: ACCURATE.into(),
+    })
+}
+
+/// Canonical name of the full instruction-accurate simulator flavor.
+pub const ACCURATE: &str = "accurate";
+/// Canonical name of the counting-only simulator flavor.
+pub const FAST_COUNT: &str = "fast-count";
+
+/// Loads and runs `exe` on a *counting-only* simulator instance: the
+/// program executes functionally and retired instructions plus memory
+/// accesses are tallied, but no cache hierarchy is modeled (the
+/// QEMU-plugin instrumentation style the paper names as the cheap
+/// alternative to gem5). `line_bytes` must match the reference
+/// hierarchy's line size so vector accesses touch the same line count.
+///
+/// Retired-instruction counts are bit-identical to [`simulate`]'s: both
+/// run the same functional CPU on the same inputs.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_counting(
+    exe: &Executable,
+    line_bytes: u64,
+    limits: RunLimits,
+) -> Result<SimOutcome, SimError> {
+    let mut mem = Memory::new();
+    for (base, values) in &exe.data_segments {
+        mem.write_f32_slice(*base, values)?;
+    }
+    let mut hier = CacheHierarchy::counting_only(line_bytes);
+    let mut cpu = AtomicCpu::new(&exe.target);
+    let start = Instant::now();
+    let mut stats = cpu.run(&exe.program, &mut mem, &mut hier, limits)?;
+    stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
+    Ok(SimOutcome {
+        stats,
+        memory: mem,
+        backend: FAST_COUNT.into(),
+    })
+}
+
+/// Loads and runs at most `budget` instructions of `exe` on a fresh
+/// instruction-accurate instance, stopping cleanly when the budget is
+/// reached. Returns the prefix outcome and whether the program ran to
+/// completion — the primitive a sampled backend extrapolates from.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_prefix(
+    exe: &Executable,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+    budget: u64,
+) -> Result<(SimOutcome, bool), SimError> {
+    let mut mem = Memory::new();
+    for (base, values) in &exe.data_segments {
+        mem.write_f32_slice(*base, values)?;
+    }
+    let mut hier = CacheHierarchy::new(hierarchy.clone());
+    let mut cpu = AtomicCpu::new(&exe.target);
+    let start = Instant::now();
+    let (mut stats, completed) = cpu.run_prefix_with_hook(
+        &exe.program,
+        &mut mem,
+        &mut hier,
+        limits,
+        budget,
+        &mut crate::NoopHook,
+    )?;
+    stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
+    Ok((
+        SimOutcome {
+            stats,
+            memory: mem,
+            backend: ACCURATE.into(),
+        },
+        completed,
+    ))
 }
 
 impl Executable {

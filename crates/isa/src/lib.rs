@@ -61,7 +61,9 @@ mod target;
 pub use asm::{parse_inst, parse_program, AsmError};
 pub use cpu::{AtomicCpu, ExecHook, NoopHook, RunLimits};
 pub use error::{BuildProgramError, SimError};
-pub use exec::{simulate, Executable, SimOutcome};
+pub use exec::{
+    simulate, simulate_counting, simulate_prefix, Executable, SimOutcome, ACCURATE, FAST_COUNT,
+};
 pub use inst::{Fpr, Gpr, Inst, Label, Vr};
 pub use memory::Memory;
 pub use program::{Program, ProgramBuilder};

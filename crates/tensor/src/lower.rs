@@ -267,7 +267,7 @@ pub fn lower_structure(
     }
 
     let lhs_lin = to_lin(&def.lhs);
-    let rhs_lin = def.rhs.as_ref().map(|r| to_lin(r));
+    let rhs_lin = def.rhs.as_ref().map(to_lin);
 
     // ---- register window ----
     let n_loops = structure.loops.len();

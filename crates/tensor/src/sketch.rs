@@ -247,7 +247,7 @@ impl SketchGenerator {
             return false;
         }
         let last = p.spatial_tiles.len() - 1;
-        p.spatial_tiles[last] % self.target.vector_lanes == 0
+        p.spatial_tiles[last].is_multiple_of(self.target.vector_lanes)
             && p.spatial_tiles[last] >= self.target.vector_lanes
     }
 
@@ -390,7 +390,7 @@ impl SketchGenerator {
 
 /// Uniformly picks a divisor of `n` that is at most `cap`.
 fn pick_divisor<R: Rng>(n: usize, cap: usize, rng: &mut R) -> usize {
-    let divs: Vec<usize> = (1..=n.min(cap)).filter(|d| n % d == 0).collect();
+    let divs: Vec<usize> = (1..=n.min(cap)).filter(|d| n.is_multiple_of(*d)).collect();
     divs[rng.gen_range(0..divs.len())]
 }
 

@@ -313,28 +313,27 @@ impl ConfigSpace {
             },
         ];
         // ow pieces: [ow0, ow1] or [ow0, ow1, ow_v] when vectorized.
-        let ow_pieces: Vec<SubVar>;
-        if vectorize {
+        let ow_pieces: Vec<SubVar> = if vectorize {
             // The innermost ow piece must be exactly the target's vector
             // width; a non-dividing tile is an invalid configuration and
             // surfaces as NonDividingSplit (factor 0) at apply time.
-            let ok = ow_i % lanes == 0;
+            let ok = ow_i.is_multiple_of(lanes);
             splits.push(Split {
                 var: ow,
                 factors: vec![if ok { ow_i / lanes } else { 0 }, lanes],
             });
-            ow_pieces = vec![
+            vec![
                 SubVar { var: ow, piece: 0 },
                 SubVar { var: ow, piece: 1 },
                 SubVar { var: ow, piece: 2 },
-            ];
+            ]
         } else {
             splits.push(Split {
                 var: ow,
                 factors: vec![ow_i],
             });
-            ow_pieces = vec![SubVar { var: ow, piece: 0 }, SubVar { var: ow, piece: 1 }];
-        }
+            vec![SubVar { var: ow, piece: 0 }, SubVar { var: ow, piece: 1 }]
+        };
 
         let (co0, co1) = (SubVar { var: co, piece: 0 }, SubVar { var: co, piece: 1 });
         let (oh0, oh1) = (SubVar { var: oh, piece: 0 }, SubVar { var: oh, piece: 1 });
@@ -407,25 +406,24 @@ impl ConfigSpace {
                 factors: vec![k_i],
             },
         ];
-        let j_pieces: Vec<SubVar>;
-        if vectorize {
-            let ok = j_i % lanes == 0;
+        let j_pieces: Vec<SubVar> = if vectorize {
+            let ok = j_i.is_multiple_of(lanes);
             splits.push(Split {
                 var: j,
                 factors: vec![if ok { j_i / lanes } else { 0 }, lanes],
             });
-            j_pieces = vec![
+            vec![
                 SubVar { var: j, piece: 0 },
                 SubVar { var: j, piece: 1 },
                 SubVar { var: j, piece: 2 },
-            ];
+            ]
         } else {
             splits.push(Split {
                 var: j,
                 factors: vec![j_i],
             });
-            j_pieces = vec![SubVar { var: j, piece: 0 }, SubVar { var: j, piece: 1 }];
-        }
+            vec![SubVar { var: j, piece: 0 }, SubVar { var: j, piece: 1 }]
+        };
         let (i0, i1) = (SubVar { var: i, piece: 0 }, SubVar { var: i, piece: 1 });
         let (k0, k1) = (SubVar { var: k, piece: 0 }, SubVar { var: k, piece: 1 });
         let j0 = j_pieces[0];
@@ -459,7 +457,7 @@ impl ConfigSpace {
 
 /// Divisors of `n` up to `cap`, ascending.
 fn divisors_up_to(n: usize, cap: usize) -> Vec<usize> {
-    (1..=n.min(cap)).filter(|d| n % d == 0).collect()
+    (1..=n.min(cap)).filter(|d| n.is_multiple_of(*d)).collect()
 }
 
 fn singleton_factors(divs: Vec<usize>) -> Vec<Vec<usize>> {
@@ -532,13 +530,10 @@ mod tests {
         let mut valid = 0usize;
         for idx in 0..space.len() {
             let cfg = space.config_from_index(idx);
-            match space.schedule(&def, &cfg) {
-                Ok(s) => {
-                    if s.apply(&def, &target).is_ok() {
-                        valid += 1;
-                    }
+            if let Ok(s) = space.schedule(&def, &cfg) {
+                if s.apply(&def, &target).is_ok() {
+                    valid += 1;
                 }
-                Err(_) => {}
             }
         }
         assert!(

@@ -2,8 +2,10 @@
 //!
 //! * `n_parallel` simulator instances process a candidate batch
 //!   concurrently (paper Fig. 1-I / Listing 3);
-//! * the `simulator_run` hook is overridable through the function
-//!   registry, mirroring the paper's TVM registry override (Listing 4).
+//! * any simulator can be plugged in behind the runner through the
+//!   typed `SimBackend` registry, mirroring the paper's TVM registry
+//!   override (Listing 4) — including the bundled reduced-fidelity
+//!   tiers (fast-count, sampled).
 //!
 //! ```text
 //! cargo run --release --example parallel_simulation
@@ -11,10 +13,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simtune::core::{FunctionRegistry, KernelBuilder, SimulatorRunner, LOCAL_RUNNER_RUN};
+use simtune::core::KernelBuilder;
 use simtune::hw::TargetSpec;
-use simtune::isa::{simulate, RunLimits};
+use simtune::isa::{simulate, Executable, RunLimits, SimStats};
 use simtune::tensor::{conv2d_bias_relu, Conv2dShape, SketchGenerator};
+use simtune::{BackendRegistry, FnBackend, SimSession};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,39 +64,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(34));
     let mut t1 = None;
     for n in [1usize, 2, 4, 8] {
-        let runner = SimulatorRunner::new(spec.hierarchy.clone()).with_n_parallel(n);
+        let session = SimSession::builder()
+            .accurate(&spec.hierarchy)
+            .n_parallel(n)
+            .build()?;
         let t0 = Instant::now();
-        let results = runner.run(&exes);
+        let results = session.run(&exes);
         let dt = t0.elapsed().as_secs_f64();
         assert!(results.iter().all(|r| r.is_ok()));
         let base = *t1.get_or_insert(dt);
         println!("{n:>10} | {:>8.2}s | {:>7.2}x", dt, base / dt);
     }
 
-    // Registry override: plug a custom simulator into the same runner.
-    println!("\noverriding {LOCAL_RUNNER_RUN} with a custom simulator...");
-    let mut registry = FunctionRegistry::new();
+    // Fidelity tiers: the same batch on every bundled backend.
+    println!("\nsame batch across the bundled fidelity tiers...");
+    let registry = BackendRegistry::with_defaults(&spec.hierarchy, 0.25)?;
+    for name in registry.names() {
+        let session = SimSession::builder()
+            .from_registry(&registry, name)
+            .n_parallel(8)
+            .build()?;
+        let t0 = Instant::now();
+        let reports = session.run(&exes);
+        let dt = t0.elapsed().as_secs_f64();
+        let first = reports[0].as_ref().expect("runs");
+        println!(
+            "  {name:>10}: {:>9} insts, L1D miss {:>5.2} %, batch in {dt:.2}s",
+            first.stats.inst_mix.total(),
+            first.stats.cache.l1d.read_miss_ratio() * 100.0,
+        );
+    }
+
+    // Custom backend: plug any simulator into the same session (the
+    // paper's registry-override integration, typed).
+    println!("\nplugging a custom simulator backend into the session...");
     let hierarchy = spec.hierarchy.clone();
-    registry.register_func(
-        LOCAL_RUNNER_RUN,
-        Arc::new(move |exe| {
-            // A custom hook could shell out to gem5/QEMU here; we wrap
-            // the built-in simulator and tag the result.
+    let custom = FnBackend::new(
+        "gem5-wrapper",
+        Arc::new(move |exe: &Executable| -> Result<SimStats, _> {
+            // A custom backend could shell out to gem5/QEMU here; we
+            // wrap the built-in simulator and tag the result.
             let mut stats = simulate(exe, &hierarchy, RunLimits::default())?.stats;
             stats.host_nanos |= 1; // visible marker of the custom path
             Ok(stats)
         }),
-        true,
-    )?;
-    let runner = registry.runner(spec.hierarchy.clone());
-    let results = runner.run(&exes[..4]);
+    );
+    let session = SimSession::builder().backend(Arc::new(custom)).build()?;
+    let results = session.run(&exes[..4]);
     for (i, r) in results.iter().enumerate() {
-        let stats = r.as_ref().expect("runs");
+        let report = r.as_ref().expect("runs");
         println!(
-            "  candidate {i}: {:>9} insts, L1D miss {:>5.2} %, custom-path marker {}",
-            stats.inst_mix.total(),
-            stats.cache.l1d.read_miss_ratio() * 100.0,
-            stats.host_nanos & 1
+            "  candidate {i} via {:>12}: {:>9} insts, custom-path marker {}",
+            report.backend,
+            report.stats.inst_mix.total(),
+            report.stats.host_nanos & 1
         );
     }
     Ok(())

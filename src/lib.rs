@@ -20,11 +20,45 @@
 //! | [`predict`] | `simtune-predict` | MLR, DNN, GP/Bayes, gradient-boosted trees |
 //! | [`core`] | `simtune-core` | simulator interface + score-predictor workflow |
 //!
+//! # Simulator backends
+//!
+//! The simulator-integration surface is the [`SimBackend`] trait: any
+//! instruction-accurate simulator can be plugged in behind the
+//! autotuning runner. Three fidelity tiers ship in-tree —
+//! [`AccurateBackend`] (full cache model), [`FastCountBackend`]
+//! (instruction/access counting only) and [`SampledBackend`] (prefix
+//! simulation + extrapolation) — and [`SimSession`] is the builder-style
+//! entry point that runs candidate batches on whichever tier a tuning
+//! round needs:
+//!
+//! ```no_run
+//! use simtune::{SimSession, cache::HierarchyConfig};
+//!
+//! # fn main() -> Result<(), simtune::core::CoreError> {
+//! let session = SimSession::builder()
+//!     .fast_count(&HierarchyConfig::riscv_u74())
+//!     .n_parallel(8)
+//!     .build()?;
+//! # let exes = vec![];
+//! let reports = session.run(&exes);
+//! # let _ = reports;
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end run: define a kernel,
 //! generate schedule candidates, simulate them in parallel, train a score
 //! predictor and pick the best implementation.
+
+// The backend API is the crate's headline surface; lift it to the root
+// so `simtune::SimSession` works without spelling out the core crate.
+pub use simtune_core::{
+    tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry,
+    EscalatedTuneResult, EscalationOptions, FastCountBackend, Fidelity, FnBackend, SampledBackend,
+    SimBackend, SimReport, SimSession, SimSessionBuilder,
+};
 
 pub use simtune_cache as cache;
 pub use simtune_core as core;

@@ -1,0 +1,107 @@
+//! Acceptance tests for the `SimBackend` API as seen through the
+//! `simtune` façade: one candidate batch on all three fidelity tiers,
+//! and the fidelity-escalation autotune mode matching accurate-only
+//! tuning at a fraction of the accurate-simulation cost.
+
+use simtune::core::{
+    collect_group_data, tune_with_fidelity_escalation, tune_with_predictor, CollectOptions,
+    EscalationOptions, KernelBuilder, RandomTuner, ScorePredictor, TuneOptions,
+};
+use simtune::hw::TargetSpec;
+use simtune::predict::PredictorKind;
+use simtune::tensor::{matmul, ComputeDef, Schedule, SketchGenerator};
+use simtune::SimSession;
+
+fn matmul_workload() -> (ComputeDef, TargetSpec) {
+    (matmul(8, 8, 8), TargetSpec::riscv_u74())
+}
+
+#[test]
+fn sim_session_runs_one_batch_on_all_three_backends() {
+    let (def, spec) = matmul_workload();
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let schedule = Schedule::default_for(&def);
+    let exes: Vec<_> = (0..4)
+        .map(|i| builder.build(&schedule, &format!("mm{i}")).unwrap())
+        .collect();
+
+    let sessions = [
+        SimSession::builder().accurate(&spec.hierarchy),
+        SimSession::builder().fast_count(&spec.hierarchy),
+        SimSession::builder().sampled(&spec.hierarchy, 0.5),
+    ];
+    let mut seen_backends = Vec::new();
+    let mut totals = Vec::new();
+    for b in sessions {
+        let session = b.n_parallel(2).build().expect("session builds");
+        let reports = session.run(&exes);
+        assert_eq!(reports.len(), exes.len());
+        for r in &reports {
+            let r = r.as_ref().expect("candidate simulates");
+            assert_eq!(r.backend, session.backend_name());
+            assert!(r.stats.inst_mix.total() > 0);
+        }
+        seen_backends.push(session.backend_name().to_string());
+        totals.push(reports[0].as_ref().unwrap().stats.inst_mix.total());
+    }
+    assert_eq!(seen_backends, ["accurate", "fast-count", "sampled"]);
+    // All tiers execute the same functional program: identical candidate,
+    // near-identical work estimate (exact for accurate/fast-count).
+    assert_eq!(totals[0], totals[1]);
+    let err = totals[2].abs_diff(totals[0]) as f64 / totals[0] as f64;
+    assert!(err < 0.05, "sampled estimate off by {err}");
+}
+
+#[test]
+fn fidelity_escalation_matches_accurate_only_with_fewer_accurate_runs() {
+    let (def, spec) = matmul_workload();
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 16,
+            n_parallel: 4,
+            seed: 5,
+            max_attempts_factor: 40,
+        },
+    )
+    .unwrap();
+    let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+    predictor.train(std::slice::from_ref(&data)).unwrap();
+
+    let opts = TuneOptions {
+        n_trials: 24,
+        batch_size: 8,
+        n_parallel: 4,
+        ..Default::default()
+    };
+    // Same seed ⇒ the RandomTuner proposes the identical candidate
+    // stream to both flows (its feedback path is a no-op).
+    let mut accurate_tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
+    let accurate_only = tune_with_predictor(&def, &spec, &predictor, &mut accurate_tuner, &opts)
+        .expect("accurate-only tuning runs");
+
+    let esc = EscalationOptions {
+        top_k: 8,
+        sample_fraction: None,
+    };
+    let mut escalating_tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
+    let escalated =
+        tune_with_fidelity_escalation(&def, &spec, &predictor, &mut escalating_tuner, &opts, &esc)
+            .expect("escalated tuning runs");
+
+    assert_eq!(escalated.explore_backend, "fast-count");
+    assert_eq!(escalated.final_backend, "accurate");
+    // Fewer accurate simulations than the accurate-only flow's n_trials…
+    assert!(escalated.accurate_runs <= esc.top_k);
+    assert!(escalated.accurate_runs < opts.n_trials);
+    // …while landing on the same best schedule.
+    assert_eq!(
+        escalated.result.best().schedule,
+        accurate_only.best().schedule,
+        "escalated best {:?} vs accurate-only best {:?}",
+        escalated.result.best().description,
+        accurate_only.best().description
+    );
+}

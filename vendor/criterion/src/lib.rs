@@ -12,6 +12,9 @@
 //! `cargo bench --no-run` compiles the exact same bench sources that the
 //! real criterion would.
 
+// Vendored API-compatible stub: exempt from style lints.
+#![allow(clippy::all)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

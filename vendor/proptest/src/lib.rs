@@ -11,6 +11,9 @@
 //! the same inputs. There is **no shrinking**: a failing case reports
 //! its case number and message and panics immediately.
 
+// Vendored API-compatible stub: exempt from style lints.
+#![allow(clippy::all)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -1,6 +1,9 @@
 //! Workspace-local stand-in for `serde_json`: `to_string` / `from_str`
 //! over the JSON-only traits of the vendored `serde` crate.
 
+// Vendored API-compatible stub: exempt from style lints.
+#![allow(clippy::all)]
+
 pub use serde::de::Error;
 
 use serde::de::Parser;
