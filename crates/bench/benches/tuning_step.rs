@@ -27,6 +27,7 @@ fn tuning_step(c: &mut Criterion) {
             n_parallel: 4,
             seed: 3,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )
     .expect("collects");

@@ -87,6 +87,7 @@ pub fn collect_arch_datasets(
                 n_parallel: cfg.n_parallel,
                 seed: cfg.seed,
                 max_attempts_factor: 30,
+                ..CollectOptions::default()
             },
         )?;
         eprintln!(

@@ -8,6 +8,7 @@
 
 use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
 use crate::features::WindowKind;
+use crate::memo::SimCache;
 use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::ScorePredictor;
 use crate::CoreError;
@@ -165,6 +166,12 @@ pub struct TuneOptions {
     pub window: WindowKind,
     /// Base seed.
     pub seed: u64,
+    /// Simulation memo cache attached to every session this tuning run
+    /// creates. Share one `Arc<SimCache>` across runs (or with
+    /// [`crate::CollectOptions::memo_cache`]) so candidates revisited
+    /// anywhere in the workflow skip the backend entirely. `None`
+    /// disables memoization.
+    pub memo_cache: Option<Arc<SimCache>>,
 }
 
 impl Default for TuneOptions {
@@ -175,6 +182,7 @@ impl Default for TuneOptions {
             n_parallel: 8,
             window: WindowKind::Dynamic,
             seed: 0,
+            memo_cache: None,
         }
     }
 }
@@ -229,6 +237,7 @@ pub fn tune_with_predictor(
     let session = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let (history, _) = explore(def, spec, predictor, tuner, opts, &session)?;
     finish(history)
@@ -380,6 +389,7 @@ pub fn tune_with_fidelity_escalation(
     let session = SimSession::builder()
         .backend(explore_backend)
         .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let (mut history, explore_runs) = explore(def, spec, predictor, tuner, opts, &session)?;
 
@@ -409,6 +419,7 @@ pub fn tune_with_fidelity_escalation(
     let accurate = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let final_name = accurate.backend_name().to_string();
     let reports = accurate.run_stats(&finalist_exes);
@@ -602,6 +613,7 @@ mod tests {
                 n_parallel: 4,
                 seed: 5,
                 max_attempts_factor: 40,
+                ..CollectOptions::default()
             },
         )
         .unwrap();

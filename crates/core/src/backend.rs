@@ -13,8 +13,11 @@
 //!   stringly [`crate::FunctionRegistry`] (which survives as a thin
 //!   deprecated shim on top of this);
 //! * [`SimSession`] — a builder-style entry point that pairs one
-//!   backend with a parallelism degree and run limits, re-exported from
-//!   the `simtune` façade.
+//!   backend with a parallelism degree, run limits and an optional
+//!   [`SimCache`], re-exported from the `simtune` façade. Sessions
+//!   pre-decode every candidate once ([`Executable::decode`]) and feed
+//!   backends through [`SimBackend::run_one_decoded`]; with a cache
+//!   attached, revisited candidates skip the backend entirely.
 //!
 //! # Fidelity tiers
 //!
@@ -59,12 +62,13 @@
 //! # }
 //! ```
 
+use crate::memo::{fingerprint, SimCache};
 use crate::runner::SimulatorRunFn;
 use crate::CoreError;
-use simtune_cache::{CacheStats, HierarchyConfig, HierarchyStats};
+use simtune_cache::{CacheConfig, CacheStats, HierarchyConfig, HierarchyStats};
 use simtune_isa::{
-    simulate, simulate_counting, simulate_prefix, Executable, InstMix, RunLimits, SimError,
-    SimStats, ACCURATE, FAST_COUNT,
+    simulate_counting_decoded, simulate_decoded, simulate_prefix_decoded, DecodedProgram,
+    Executable, InstMix, RunLimits, SimError, SimStats, ACCURATE, FAST_COUNT,
 };
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -193,10 +197,44 @@ pub trait SimBackend: Send + Sync {
     /// backend is misconfigured for this executable.
     fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError>;
 
+    /// Runs one executable whose program was already lowered with
+    /// [`Executable::decode`]. [`SimSession`] decodes each candidate
+    /// exactly once per batch and calls this, so backends that execute
+    /// the program more than once per report (e.g. the sampling tier's
+    /// sizing pass plus prefix pass) replay the same µop array instead
+    /// of re-decoding. The default ignores the handle and delegates to
+    /// [`SimBackend::run_one`] — correct for external backends that
+    /// drive their own simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimBackend::run_one`].
+    fn run_one_decoded(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Result<SimReport, BackendError> {
+        let _ = decoded;
+        self.run_one(exe, limits)
+    }
+
+    /// Configuration digest for the memoization layer, or `None` to opt
+    /// out of memoization (the default). A backend that returns
+    /// `Some(digest)` asserts its reports are a pure function of
+    /// (program, data, target, limits, digest) — the [`SimCache`] may
+    /// then replay stored reports instead of re-executing. The digest
+    /// must cover every configuration knob that changes results (cache
+    /// geometry, sampling fraction, ...).
+    fn memo_key(&self) -> Option<String> {
+        None
+    }
+
     /// Runs a batch sequentially, preserving order. Backends with a
     /// cheaper batch path (shared warm-up, vectorized dispatch) may
-    /// override this; [`SimSession`] calls it whenever it does not shard
-    /// the batch across threads itself.
+    /// override this for direct callers; [`SimSession`] itself always
+    /// drives [`SimBackend::run_one_decoded`] per candidate so decoding
+    /// and memoization stay per-executable.
     fn run_batch(
         &self,
         execs: &[Executable],
@@ -204,6 +242,26 @@ pub trait SimBackend: Send + Sync {
     ) -> Vec<Result<SimReport, BackendError>> {
         execs.iter().map(|e| self.run_one(e, limits)).collect()
     }
+}
+
+/// Canonical digest of a cache geometry for [`SimBackend::memo_key`]:
+/// two hierarchies with equal digests model identical cache behavior.
+fn cache_digest(c: &CacheConfig) -> String {
+    format!(
+        "{}s{}w{}l{:?}",
+        c.num_sets, c.associativity, c.line_bytes, c.policy
+    )
+}
+
+fn hierarchy_digest(h: &HierarchyConfig) -> String {
+    let l3 = h.l3.as_ref().map_or("none".into(), cache_digest);
+    format!(
+        "l1d={} l1i={} l2={} l3={}",
+        cache_digest(&h.l1d),
+        cache_digest(&h.l1i),
+        cache_digest(&h.l2),
+        l3
+    )
 }
 
 /// The reference backend: today's instruction-accurate interpreter with
@@ -235,8 +293,22 @@ impl SimBackend for AccurateBackend {
     }
 
     fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
-        let out = simulate(exe, &self.hierarchy, *limits)?;
+        let decoded = exe.decode()?;
+        self.run_one_decoded(exe, &decoded, limits)
+    }
+
+    fn run_one_decoded(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Result<SimReport, BackendError> {
+        let out = simulate_decoded(exe, decoded, &self.hierarchy, *limits)?;
         Ok(SimReport::full(out.stats, ACCURATE, Fidelity::Accurate))
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        Some(hierarchy_digest(&self.hierarchy))
     }
 }
 
@@ -283,8 +355,22 @@ impl SimBackend for FastCountBackend {
     }
 
     fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
-        let out = simulate_counting(exe, self.line_bytes, *limits)?;
+        let decoded = exe.decode()?;
+        self.run_one_decoded(exe, &decoded, limits)
+    }
+
+    fn run_one_decoded(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Result<SimReport, BackendError> {
+        let out = simulate_counting_decoded(exe, decoded, self.line_bytes, *limits)?;
         Ok(SimReport::full(out.stats, FAST_COUNT, Fidelity::CountOnly))
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        Some(format!("line_bytes={}", self.line_bytes))
     }
 }
 
@@ -353,13 +439,26 @@ impl SimBackend for SampledBackend {
     }
 
     fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+        let decoded = exe.decode()?;
+        self.run_one_decoded(exe, &decoded, limits)
+    }
+
+    // Two passes over the same program; the shared pre-decoded handle is
+    // exactly what makes the sizing pass nearly free of dispatch setup.
+    fn run_one_decoded(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Result<SimReport, BackendError> {
         // Counting pass: total work, at a fraction of the accurate cost.
-        let count = simulate_counting(exe, self.hierarchy.line_bytes(), *limits)?;
+        let count = simulate_counting_decoded(exe, decoded, self.hierarchy.line_bytes(), *limits)?;
         let total = count.stats.inst_mix.total();
         let budget = ((total as f64 * self.fraction).ceil() as u64)
             .max(self.min_insts)
             .max(1);
-        let (out, completed) = simulate_prefix(exe, &self.hierarchy, *limits, budget)?;
+        let (out, completed) =
+            simulate_prefix_decoded(exe, decoded, &self.hierarchy, *limits, budget)?;
         let fidelity = Fidelity::Sampled {
             fraction: self.fraction,
         };
@@ -373,6 +472,15 @@ impl SimBackend for SampledBackend {
             fidelity,
             extrapolated: true,
         })
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        Some(format!(
+            "{} fraction={} min_insts={}",
+            hierarchy_digest(&self.hierarchy),
+            self.fraction,
+            self.min_insts
+        ))
     }
 }
 
@@ -554,19 +662,23 @@ impl BackendRegistry {
     }
 }
 
-/// One configured simulation context: a backend plus parallelism and run
-/// limits — what [`crate::SimulatorRunner`] is built on and what the
-/// autotuning loops drive.
+/// One configured simulation context: a backend plus parallelism, run
+/// limits and an optional memo cache — what [`crate::SimulatorRunner`]
+/// is built on and what the autotuning loops drive.
 ///
 /// Created through [`SimSession::builder`]. Batches are sharded across
-/// `n_parallel` worker threads (order-preserving); at `n_parallel == 1`
-/// the batch goes through [`SimBackend::run_batch`] so backends with a
-/// custom batch path are honored.
+/// `n_parallel` worker threads (order-preserving). Each executable is
+/// decoded exactly once per batch ([`Executable::decode`]) and handed to
+/// [`SimBackend::run_one_decoded`]; when a [`SimCache`] is attached and
+/// the backend opts into memoization ([`SimBackend::memo_key`]),
+/// previously seen candidates are answered from the cache without any
+/// backend execution.
 #[derive(Clone)]
 pub struct SimSession {
     backend: Arc<dyn SimBackend>,
     n_parallel: usize,
     limits: RunLimits,
+    memo: Option<Arc<SimCache>>,
 }
 
 impl fmt::Debug for SimSession {
@@ -575,6 +687,7 @@ impl fmt::Debug for SimSession {
             .field("backend", &self.backend.name())
             .field("fidelity", &self.backend.fidelity())
             .field("n_parallel", &self.n_parallel)
+            .field("memo", &self.memo)
             .finish()
     }
 }
@@ -605,15 +718,55 @@ impl SimSession {
         self.limits
     }
 
+    /// The attached memo cache, if any.
+    pub fn memo_cache(&self) -> Option<&Arc<SimCache>> {
+        self.memo.as_ref()
+    }
+
+    /// Runs one executable: answer from the memo cache when possible,
+    /// otherwise decode once, execute on the backend and memoize.
+    fn run_single(&self, exe: &Executable) -> Result<SimReport, CoreError> {
+        // Cache first — a hit costs a fingerprint and a hash probe, no
+        // decode, no backend.
+        let memo_slot = match (&self.memo, self.backend.memo_key()) {
+            (Some(cache), Some(config)) => {
+                let key = fingerprint(
+                    exe,
+                    self.backend.name(),
+                    &self.backend.fidelity(),
+                    &config,
+                    &self.limits,
+                );
+                if let Some(hit) = cache.lookup(&key) {
+                    return Ok(hit);
+                }
+                Some((cache, key))
+            }
+            _ => None,
+        };
+        // Decode once per candidate. Backends that drive their own
+        // simulator (default `run_one_decoded` discards the handle) are
+        // not subject to this crate's static control-flow validation:
+        // when decoding rejects the program, fall back to the raw entry
+        // point. The bundled backends decode inside `run_one` too, so
+        // for them the fallback reports the same decode error.
+        let report = match exe.decode() {
+            Ok(decoded) => self.backend.run_one_decoded(exe, &decoded, &self.limits),
+            Err(_) => self.backend.run_one(exe, &self.limits),
+        }
+        .map_err(CoreError::from)?;
+        // Errors are deliberately not memoized: a failed candidate
+        // stays cheap to retry and cannot mask a transient fault.
+        if let Some((cache, key)) = memo_slot {
+            cache.insert(key, report.clone());
+        }
+        Ok(report)
+    }
+
     /// Runs every executable, `n_parallel` at a time, preserving order.
     pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimReport, CoreError>> {
         if self.n_parallel <= 1 || exes.len() <= 1 {
-            return self
-                .backend
-                .run_batch(exes, &self.limits)
-                .into_iter()
-                .map(|r| r.map_err(CoreError::from))
-                .collect();
+            return exes.iter().map(|e| self.run_single(e)).collect();
         }
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<Result<SimReport, CoreError>>>> =
@@ -626,10 +779,7 @@ impl SimSession {
                     if i >= exes.len() {
                         break;
                     }
-                    let r = self
-                        .backend
-                        .run_one(&exes[i], &self.limits)
-                        .map_err(CoreError::from);
+                    let r = self.run_single(&exes[i]);
                     results.lock().expect("poisoned results")[i] = Some(r);
                 });
             }
@@ -658,6 +808,7 @@ pub struct SimSessionBuilder {
     backend: Option<Arc<dyn SimBackend>>,
     n_parallel: Option<usize>,
     limits: Option<RunLimits>,
+    memo: Option<Arc<SimCache>>,
     error: Option<CoreError>,
 }
 
@@ -727,6 +878,23 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Attaches a [`SimCache`] so revisited candidates are answered from
+    /// memory instead of re-simulated. Share one `Arc<SimCache>` across
+    /// sessions to deduplicate simulations across tuning loops; only
+    /// backends that opt in via [`SimBackend::memo_key`] are memoized.
+    pub fn memo_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.memo = Some(cache);
+        self
+    }
+
+    /// Conditionally attaches a [`SimCache`] ([`None`] leaves
+    /// memoization off) — convenience for plumbing optional caches from
+    /// tuning options.
+    pub fn memo_cache_opt(mut self, cache: Option<Arc<SimCache>>) -> Self {
+        self.memo = cache;
+        self
+    }
+
     /// Finishes the session.
     ///
     /// # Errors
@@ -745,6 +913,7 @@ impl SimSessionBuilder {
             backend,
             n_parallel: self.n_parallel.unwrap_or(16),
             limits: self.limits.unwrap_or_default(),
+            memo: self.memo,
         })
     }
 }
@@ -881,6 +1050,218 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(session.backend_name(), "accurate");
+    }
+
+    /// Wraps a backend and counts actual executions — the probe for
+    /// asserting that memo hits skip the backend entirely.
+    struct CountingBackend<B> {
+        inner: B,
+        executions: AtomicUsize,
+    }
+
+    impl<B: SimBackend> CountingBackend<B> {
+        fn new(inner: B) -> Self {
+            CountingBackend {
+                inner,
+                executions: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl<B: SimBackend> SimBackend for CountingBackend<B> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn fidelity(&self) -> Fidelity {
+            self.inner.fidelity()
+        }
+        fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            self.inner.run_one(exe, limits)
+        }
+        fn run_one_decoded(
+            &self,
+            exe: &Executable,
+            decoded: &DecodedProgram,
+            limits: &RunLimits,
+        ) -> Result<SimReport, BackendError> {
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            self.inner.run_one_decoded(exe, decoded, limits)
+        }
+        fn memo_key(&self) -> Option<String> {
+            self.inner.memo_key()
+        }
+    }
+
+    #[test]
+    fn memo_cache_skips_repeat_executions_and_replays_reports() {
+        let exes = exes(3);
+        let backend = Arc::new(CountingBackend::new(AccurateBackend::new(hier())));
+        let cache = Arc::new(SimCache::new());
+        let session = SimSession::builder()
+            .backend(backend.clone())
+            .n_parallel(1)
+            .memo_cache(cache.clone())
+            .build()
+            .unwrap();
+
+        // All three candidates are one schedule under three trial names;
+        // the name is excluded from the fingerprint, so the backend runs
+        // once and the other two are memo hits.
+        let first: Vec<SimReport> = session.run(&exes).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(backend.executions.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.len(), 1);
+        let second: Vec<SimReport> = session.run(&exes).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            backend.executions.load(Ordering::Relaxed),
+            1,
+            "repeat batch must be answered entirely from the cache"
+        );
+        assert_eq!(first, second, "memo hits replay byte-identical reports");
+        assert!(cache.stats().hit_ratio() > 0.5);
+    }
+
+    #[test]
+    fn memo_cache_distinguishes_backend_configurations() {
+        let exes = exes(1);
+        let cache = Arc::new(SimCache::new());
+        let tiny = SimSession::builder()
+            .accurate(&HierarchyConfig::tiny_for_tests())
+            .n_parallel(1)
+            .memo_cache(cache.clone())
+            .build()
+            .unwrap();
+        let big = SimSession::builder()
+            .accurate(&hier())
+            .n_parallel(1)
+            .memo_cache(cache.clone())
+            .build()
+            .unwrap();
+        let a = tiny.run(&exes).pop().unwrap().unwrap();
+        let b = big.run(&exes).pop().unwrap().unwrap();
+        // A 6x6x6 matmul happens to fit both geometries, so the reports
+        // agree — but the fingerprints must not: reusing one geometry's
+        // result for the other would be wrong on any larger kernel.
+        assert_eq!(cache.stats().hits, 0, "different geometries must miss");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(a.backend, b.backend);
+    }
+
+    #[test]
+    fn custom_backends_run_programs_the_static_validator_rejects() {
+        use simtune_isa::{Gpr, Inst, ProgramBuilder, TargetIsa};
+
+        // Dead instruction after the terminator: the interpreter never
+        // reaches it, but decode-time validation rejects the program.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Halt);
+        b.push(Inst::Li { rd: Gpr(1), imm: 1 });
+        let exe = Executable::new("tail", b.build().unwrap(), TargetIsa::riscv_u74());
+        assert!(exe.decode().is_err(), "sanity: validator rejects it");
+
+        // A custom backend driving its own simulator must still run it.
+        let custom = FnBackend::new(
+            "external",
+            Arc::new(|_: &Executable| {
+                Ok(SimStats {
+                    host_nanos: 5,
+                    ..SimStats::default()
+                })
+            }),
+        );
+        let session = SimSession::builder()
+            .backend(Arc::new(custom))
+            .n_parallel(1)
+            .build()
+            .unwrap();
+        let report = session
+            .run(std::slice::from_ref(&exe))
+            .pop()
+            .unwrap()
+            .expect("custom backend is not subject to decode validation");
+        assert_eq!(report.stats.host_nanos, 5);
+
+        // The bundled backends report the decode error instead.
+        let accurate = SimSession::builder()
+            .accurate(&hier())
+            .n_parallel(1)
+            .build()
+            .unwrap();
+        let err = accurate
+            .run(std::slice::from_ref(&exe))
+            .pop()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Sim(simtune_isa::SimError::InvalidPc { .. })
+        ));
+    }
+
+    #[test]
+    fn memo_hits_do_not_decode() {
+        use simtune_isa::{Gpr, Inst, ProgramBuilder, TargetIsa};
+
+        // An undecodable program with a memoized report: served from the
+        // cache without tripping the validator, proving the lookup
+        // happens before (and without) the decode.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Halt);
+        b.push(Inst::Li { rd: Gpr(1), imm: 1 });
+        let exe = Executable::new("tail", b.build().unwrap(), TargetIsa::riscv_u74());
+
+        let cache = Arc::new(SimCache::new());
+        let session = SimSession::builder()
+            .accurate(&hier())
+            .n_parallel(1)
+            .memo_cache(cache.clone())
+            .build()
+            .unwrap();
+        let backend = session.backend().clone();
+        let key = crate::memo::fingerprint(
+            &exe,
+            backend.name(),
+            &backend.fidelity(),
+            &backend.memo_key().unwrap(),
+            &session.limits(),
+        );
+        let planted = SimReport::full(SimStats::default(), ACCURATE, Fidelity::Accurate);
+        cache.insert(key, planted.clone());
+        let report = session
+            .run(std::slice::from_ref(&exe))
+            .pop()
+            .unwrap()
+            .expect("hit served without decoding");
+        assert_eq!(report, planted);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn custom_backends_are_not_memoized() {
+        let exes = exes(1);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_inner = calls.clone();
+        let b = FnBackend::new(
+            "stub",
+            Arc::new(move |_: &Executable| {
+                calls_inner.fetch_add(1, Ordering::Relaxed);
+                Ok(SimStats::default())
+            }),
+        );
+        let cache = Arc::new(SimCache::new());
+        let session = SimSession::builder()
+            .backend(Arc::new(b))
+            .n_parallel(1)
+            .memo_cache(cache.clone())
+            .build()
+            .unwrap();
+        session.run(&exes);
+        session.run(&exes);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "no memo for Custom");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().lookups(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | paper artifact | module |
 //! |---|---|
 //! | "any simulator can be plugged in" (Section II-C) | [`SimBackend`], [`BackendRegistry`], [`SimSession`] |
+//! | repeated performance queries made cheap (the paper's throughput argument) | [`SimCache`] memoization + pre-decoded execution ([`simtune_isa::DecodedProgram`]) |
 //! | `SimulatorRunner` / `local_run` override (Listings 3–4, Fig. 1-I) | [`SimulatorRunner`], [`FunctionRegistry`] |
 //! | fidelity/speed trade-off across simulators (Fig. 1) | [`AccurateBackend`], [`FastCountBackend`], [`SampledBackend`], [`tune_with_fidelity_escalation`] |
 //! | simulator statistics → predictor inputs (Eqs. 1–2) | [`raw_sample`], [`GroupMeans`] |
@@ -43,6 +44,7 @@ mod backend;
 mod error;
 mod features;
 mod interface;
+mod memo;
 mod metrics;
 mod runner;
 mod score;
@@ -65,8 +67,10 @@ pub use features::{
 #[allow(deprecated)]
 pub use interface::FunctionRegistry;
 pub use interface::LOCAL_RUNNER_RUN;
+pub use memo::SimCache;
 pub use metrics::{
-    e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, PredictionMetrics,
+    e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, MemoCacheStats,
+    PredictionMetrics,
 };
 pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
 pub use score::{GroupData, ScorePredictor};

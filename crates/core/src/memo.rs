@@ -1,0 +1,348 @@
+//! Cross-loop simulation memoization: a canonical-fingerprint →
+//! [`SimReport`] cache shared by [`crate::SimSession`]s.
+//!
+//! Autotuning traffic revisits work constantly: fidelity escalation
+//! re-simulates finalists, workflows re-collect groups they already
+//! measured, repeated tuning sessions over one kernel re-propose
+//! schedules the last session scored. Every such revisit used to pay a
+//! full backend execution even though the simulator is deterministic —
+//! identical program, input data, target, cache configuration, backend
+//! and limits always produce identical statistics. [`SimCache`] turns
+//! that determinism into speed: the first execution stores its
+//! [`SimReport`] under a canonical fingerprint; every later lookup with
+//! the same fingerprint returns the stored report without touching the
+//! backend.
+//!
+//! # Fingerprint
+//!
+//! The key covers everything result-relevant and nothing else:
+//!
+//! * the program bytes (disassembly listing — complete and canonical,
+//!   including resolved branch targets) and the target ISA,
+//! * the prepared data segments (bit-exact `f32` contents),
+//! * the backend name, fidelity and configuration digest
+//!   ([`crate::SimBackend::memo_key`]),
+//! * the [`RunLimits`].
+//!
+//! The executable's *name* is deliberately excluded: tuning loops stamp
+//! a fresh name on every trial ("conv2d g3 t17"), and two differently
+//! named builds of the same schedule are the same simulation.
+//!
+//! Backends whose results are not a pure function of the above opt out
+//! by returning `None` from [`crate::SimBackend::memo_key`] (the default
+//! — only the bundled deterministic tiers opt in), and cache hits are
+//! byte-identical replays: even `host_nanos` is the stored value, so
+//! downstream scoring sees exactly what a re-run of the original
+//! simulation reported.
+//!
+//! Hit/miss counters are surfaced as
+//! [`MemoCacheStats`](crate::metrics::MemoCacheStats) through
+//! [`SimCache::stats`].
+
+use crate::backend::Fidelity;
+use crate::metrics::MemoCacheStats;
+use crate::SimReport;
+use simtune_isa::{Executable, RunLimits};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A shareable, thread-safe memo cache of simulation results.
+///
+/// Attach one to a session with
+/// [`crate::SimSessionBuilder::memo_cache`]; share one `Arc<SimCache>`
+/// across sessions (and across tuning loops) to deduplicate work
+/// globally. Lookups and insertions are guarded by one mutex — the
+/// critical section is a hash-map probe, negligible next to a backend
+/// execution.
+///
+/// Deduplication is a convergence guarantee, not an in-flight one:
+/// when several workers of one parallel batch carry the *same*
+/// fingerprint, they can all miss before the first insert lands and
+/// each execute the backend once. Results are identical either way and
+/// every later batch hits. In practice the tuners' seen-sets keep
+/// duplicates out of a single batch; revisits arrive in later batches,
+/// where the cache is already warm.
+///
+/// [`SimCache::new`] is unbounded — right for tuning sessions, whose
+/// candidate streams are bounded by `n_trials`. Long-lived services
+/// should use [`SimCache::bounded`], which flushes the whole map when a
+/// generation fills up (epoch eviction: crude, O(1) amortized, and the
+/// hot candidates re-enter within one batch).
+#[derive(Default)]
+pub struct SimCache {
+    entries: Mutex<HashMap<Vec<u8>, SimReport>>,
+    max_entries: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SimCache")
+            .field("entries", &self.len())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl SimCache {
+    /// Creates an empty, unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache that never holds more than `max_entries` reports:
+    /// when a generation fills up, the whole map is flushed and the next
+    /// generation starts cold (counters are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_entries` is zero.
+    pub fn bounded(max_entries: usize) -> Self {
+        assert!(max_entries > 0, "a zero-capacity memo cache is useless");
+        SimCache {
+            max_entries: Some(max_entries),
+            ..Self::default()
+        }
+    }
+
+    /// Hit/miss counters accumulated over the cache's lifetime.
+    pub fn stats(&self) -> MemoCacheStats {
+        MemoCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized reports.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("poisoned memo cache").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("poisoned memo cache").clear();
+    }
+
+    /// Looks a fingerprint up, counting the hit or miss.
+    pub(crate) fn lookup(&self, key: &[u8]) -> Option<SimReport> {
+        let found = self
+            .entries
+            .lock()
+            .expect("poisoned memo cache")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a report under a fingerprint, flushing the generation
+    /// first when a bounded cache is full.
+    pub(crate) fn insert(&self, key: Vec<u8>, report: SimReport) {
+        let mut entries = self.entries.lock().expect("poisoned memo cache");
+        if let Some(cap) = self.max_entries {
+            if entries.len() >= cap && !entries.contains_key(&key) {
+                entries.clear();
+            }
+        }
+        entries.insert(key, report);
+    }
+}
+
+/// Builds the canonical fingerprint of one simulation request.
+///
+/// The full key (not a digest) is stored, so distinct simulations can
+/// never collide.
+pub(crate) fn fingerprint(
+    exe: &Executable,
+    backend_name: &str,
+    fidelity: &Fidelity,
+    config_digest: &str,
+    limits: &RunLimits,
+) -> Vec<u8> {
+    let mut text = String::new();
+    // Target ISA: everything that changes execution or fetch layout.
+    let t = &exe.target;
+    let _ = writeln!(
+        text,
+        "target={} lanes={} inst_bytes={}",
+        t.name, t.vector_lanes, t.inst_bytes
+    );
+    let _ = writeln!(
+        text,
+        "backend={backend_name} fidelity={fidelity} config=[{config_digest}]"
+    );
+    let _ = writeln!(text, "max_insts={}", limits.max_insts);
+    // Program bytes: the disassembly listing is complete (every operand
+    // and resolved branch target is printed) and canonical.
+    text.push_str(&exe.program.disassemble());
+    let mut key = text.into_bytes();
+    // Data segments: bit-exact, so value-identical but bit-different
+    // floats (e.g. -0.0 vs 0.0) fingerprint apart, matching simulator
+    // behavior exactly.
+    for (base, values) in &exe.data_segments {
+        key.extend_from_slice(&base.to_le_bytes());
+        key.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        for v in values {
+            key.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimBackend;
+    use simtune_isa::{Gpr, Inst, ProgramBuilder, SimStats, TargetIsa};
+
+    fn exe(name: &str, imm: i64, data: Vec<f32>) -> Executable {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm });
+        b.push(Inst::Halt);
+        Executable::new(name, b.build().unwrap(), TargetIsa::riscv_u74())
+            .with_segment(0x100_0000, data)
+    }
+
+    fn key_of(e: &Executable) -> Vec<u8> {
+        fingerprint(
+            e,
+            "accurate",
+            &Fidelity::Accurate,
+            "cfg",
+            &RunLimits::default(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_but_covers_everything_else() {
+        let a = exe("first", 7, vec![1.0, 2.0]);
+        let renamed = exe("second", 7, vec![1.0, 2.0]);
+        assert_eq!(key_of(&a), key_of(&renamed), "name must not matter");
+
+        let other_prog = exe("first", 8, vec![1.0, 2.0]);
+        assert_ne!(key_of(&a), key_of(&other_prog), "program must matter");
+
+        let other_data = exe("first", 7, vec![1.0, 2.5]);
+        assert_ne!(key_of(&a), key_of(&other_data), "data must matter");
+
+        let mut other_target = exe("first", 7, vec![1.0, 2.0]);
+        other_target.target = TargetIsa::x86_ryzen_5800x();
+        assert_ne!(key_of(&a), key_of(&other_target), "target must matter");
+
+        let other_backend = fingerprint(
+            &a,
+            "fast-count",
+            &Fidelity::CountOnly,
+            "cfg",
+            &RunLimits::default(),
+        );
+        assert_ne!(key_of(&a), other_backend, "backend must matter");
+
+        let other_config = fingerprint(
+            &a,
+            "accurate",
+            &Fidelity::Accurate,
+            "other-cfg",
+            &RunLimits::default(),
+        );
+        assert_ne!(key_of(&a), other_config, "backend config must matter");
+
+        let other_limits = fingerprint(
+            &a,
+            "accurate",
+            &Fidelity::Accurate,
+            "cfg",
+            &RunLimits { max_insts: 5 },
+        );
+        assert_ne!(key_of(&a), other_limits, "limits must matter");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache = SimCache::new();
+        let e = exe("e", 1, vec![]);
+        let key = key_of(&e);
+        assert!(cache.lookup(&key).is_none());
+        let report = SimReport {
+            stats: SimStats::default(),
+            backend: "accurate".into(),
+            fidelity: Fidelity::Accurate,
+            extrapolated: false,
+        };
+        cache.insert(key.clone(), report.clone());
+        assert_eq!(cache.lookup(&key).as_ref(), Some(&report));
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.lookups(), 2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_flushes_full_generations() {
+        let cache = SimCache::bounded(2);
+        let report = SimReport {
+            stats: SimStats::default(),
+            backend: "accurate".into(),
+            fidelity: Fidelity::Accurate,
+            extrapolated: false,
+        };
+        let keys: Vec<Vec<u8>> = (0..3u8)
+            .map(|i| key_of(&exe("e", i as i64, vec![])))
+            .collect();
+        cache.insert(keys[0].clone(), report.clone());
+        cache.insert(keys[1].clone(), report.clone());
+        assert_eq!(cache.len(), 2);
+        // Re-inserting a resident key does not flush.
+        cache.insert(keys[1].clone(), report.clone());
+        assert_eq!(cache.len(), 2);
+        // A new key at capacity flushes the generation first.
+        cache.insert(keys[2].clone(), report.clone());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&keys[2]).is_some());
+        assert!(cache.lookup(&keys[0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = SimCache::bounded(0);
+    }
+
+    #[test]
+    fn custom_backends_opt_out_by_default() {
+        struct Opaque;
+        impl SimBackend for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn fidelity(&self) -> Fidelity {
+                Fidelity::Custom
+            }
+            fn run_one(
+                &self,
+                _exe: &Executable,
+                _limits: &RunLimits,
+            ) -> Result<SimReport, crate::BackendError> {
+                unreachable!("not exercised")
+            }
+        }
+        assert_eq!(Opaque.memo_key(), None);
+    }
+}

@@ -1,11 +1,39 @@
-//! Evaluation metrics of the paper (Section IV-B) and the parallel-
-//! simulation speedup bound (Equation 4).
+//! Evaluation metrics of the paper (Section IV-B), the parallel-
+//! simulation speedup bound (Equation 4), and operational counters of
+//! the simulation memo cache.
 //!
-//! All metrics operate on a set of implementations of one group with
-//! measured reference run times `t_ref` and predicted scores; lower is
-//! better for every metric.
+//! The prediction metrics operate on a set of implementations of one
+//! group with measured reference run times `t_ref` and predicted scores;
+//! lower is better for every metric.
 
 use simtune_linalg::stats::argsort;
+
+/// Hit/miss counters of a [`crate::SimCache`], the cross-loop simulation
+/// memoization layer: every hit is one backend execution the session
+/// skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCacheStats {
+    /// Lookups answered from the cache (backend executions avoided).
+    pub hits: u64,
+    /// Lookups that fell through to a backend execution.
+    pub misses: u64,
+}
+
+impl MemoCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
 
 /// The four per-group prediction metrics of Tables III–V.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,5 +205,15 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_inputs_panic() {
         prediction_metrics(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn memo_cache_stats_ratios() {
+        let empty = MemoCacheStats::default();
+        assert_eq!(empty.lookups(), 0);
+        assert_eq!(empty.hit_ratio(), 0.0);
+        let s = MemoCacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

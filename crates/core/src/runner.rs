@@ -14,6 +14,7 @@
 //!   target board (native execution is never parallel, Section IV).
 
 use crate::backend::{FnBackend, SimBackend, SimSession};
+use crate::memo::SimCache;
 use crate::CoreError;
 use simtune_cache::HierarchyConfig;
 use simtune_hw::{measure, MeasureConfig, Measurement, TargetSpec};
@@ -116,6 +117,7 @@ pub struct SimulatorRunner {
     /// Per-run instruction budget.
     pub limits: RunLimits,
     backend: Option<Arc<dyn SimBackend>>,
+    memo: Option<Arc<SimCache>>,
 }
 
 impl std::fmt::Debug for SimulatorRunner {
@@ -140,6 +142,7 @@ impl SimulatorRunner {
             hierarchy,
             limits: RunLimits::default(),
             backend: None,
+            memo: None,
         }
     }
 
@@ -165,11 +168,19 @@ impl SimulatorRunner {
         self
     }
 
+    /// Attaches a simulation memo cache (see
+    /// [`crate::SimSessionBuilder::memo_cache`]).
+    pub fn with_memo_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.memo = Some(cache);
+        self
+    }
+
     /// The session this runner's configuration resolves to.
     pub fn session(&self) -> SimSession {
         let builder = SimSession::builder()
             .n_parallel(self.n_parallel)
-            .limits(self.limits);
+            .limits(self.limits)
+            .memo_cache_opt(self.memo.clone());
         match &self.backend {
             Some(b) => builder.backend(b.clone()),
             None => builder.accurate(&self.hierarchy),

@@ -202,6 +202,7 @@ pub fn tune_template_space(
     let sim = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let mut normalizer = WindowNormalizer::new(opts.window);
     let mut history: Vec<TuneRecord> = Vec::new();
@@ -290,6 +291,7 @@ mod tests {
                 n_parallel: 2,
                 seed: 3,
                 max_attempts_factor: 40,
+                ..CollectOptions::default()
             },
         )
         .expect("collects");

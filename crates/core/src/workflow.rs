@@ -27,6 +27,9 @@ pub struct CollectOptions {
     pub seed: u64,
     /// Give up after this many sketch attempts per accepted one.
     pub max_attempts_factor: usize,
+    /// Simulation memo cache shared with other workflow phases; see
+    /// [`crate::TuneOptions::memo_cache`]. `None` disables memoization.
+    pub memo_cache: Option<std::sync::Arc<crate::SimCache>>,
 }
 
 impl Default for CollectOptions {
@@ -36,6 +39,7 @@ impl Default for CollectOptions {
             n_parallel: 8,
             seed: 1,
             max_attempts_factor: 30,
+            memo_cache: None,
         }
     }
 }
@@ -101,6 +105,7 @@ pub fn collect_group_data(
     let sim = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let sim_results = sim.run_stats(&exes);
 
@@ -297,6 +302,7 @@ mod tests {
             n_parallel: 4,
             seed: 11,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         }
     }
 

@@ -62,6 +62,17 @@ pub struct NoopHook;
 
 impl ExecHook for NoopHook {}
 
+/// Where control goes after one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Jump to a resolved instruction index (taken branch).
+    Jump(usize),
+    /// Terminate execution (`Halt` / `Ecall 0`).
+    Stop,
+}
+
 /// Instruction-accurate CPU: the gem5 "atomic SimpleCPU" stand-in.
 ///
 /// Executes one instruction per step; every memory access completes within
@@ -123,6 +134,12 @@ impl AtomicCpu {
 
     /// Runs `prog` to completion, reporting every event to `hook`.
     ///
+    /// Thin wrapper over [`crate::InterpEngine`], the re-decoding
+    /// execution engine; pre-lower the program with
+    /// [`crate::DecodedProgram::decode`] and drive a
+    /// [`crate::DecodedEngine`] to amortize per-instruction dispatch work
+    /// across repeated simulations.
+    ///
     /// # Errors
     ///
     /// * [`SimError::PcOutOfRange`] — fell off the end of the program.
@@ -137,8 +154,8 @@ impl AtomicCpu {
         limits: RunLimits,
         hook: &mut H,
     ) -> Result<SimStats, SimError> {
-        self.run_inner(prog, mem, hier, limits, None, hook)
-            .map(|(stats, _)| stats)
+        use crate::decode::{ExecEngine, InterpEngine};
+        InterpEngine::new(prog).run_with_hook(self, mem, hier, limits, hook)
     }
 
     /// Runs at most `budget` instructions of `prog`, stopping *cleanly*
@@ -163,10 +180,11 @@ impl AtomicCpu {
         budget: u64,
         hook: &mut H,
     ) -> Result<(SimStats, bool), SimError> {
-        self.run_inner(prog, mem, hier, limits, Some(budget), hook)
+        use crate::decode::{ExecEngine, InterpEngine};
+        InterpEngine::new(prog).run_prefix_with_hook(self, mem, hier, limits, budget, hook)
     }
 
-    fn run_inner<H: ExecHook>(
+    pub(crate) fn run_inner<H: ExecHook>(
         &mut self,
         prog: &Program,
         mem: &mut Memory,
@@ -198,226 +216,13 @@ impl AtomicCpu {
             let serviced = hier.fetch(fetch_addr);
             hook.on_fetch(pc, serviced);
 
-            let mut next_pc = pc + 1;
-            match inst {
-                // ----- integer -----
-                Inst::Li { rd, imm } => {
-                    self.gpr[rd.0 as usize] = imm;
-                    mix.int_alu += 1;
-                }
-                Inst::Addi { rd, rs, imm } => {
-                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_add(imm);
-                    mix.int_alu += 1;
-                }
-                Inst::Add { rd, rs1, rs2 } => {
-                    self.gpr[rd.0 as usize] =
-                        self.gpr[rs1.0 as usize].wrapping_add(self.gpr[rs2.0 as usize]);
-                    mix.int_alu += 1;
-                }
-                Inst::Sub { rd, rs1, rs2 } => {
-                    self.gpr[rd.0 as usize] =
-                        self.gpr[rs1.0 as usize].wrapping_sub(self.gpr[rs2.0 as usize]);
-                    mix.int_alu += 1;
-                }
-                Inst::Mul { rd, rs1, rs2 } => {
-                    self.gpr[rd.0 as usize] =
-                        self.gpr[rs1.0 as usize].wrapping_mul(self.gpr[rs2.0 as usize]);
-                    mix.int_alu += 1;
-                }
-                Inst::Muli { rd, rs, imm } => {
-                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_mul(imm);
-                    mix.int_alu += 1;
-                }
-                Inst::Slli { rd, rs, shamt } => {
-                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_shl(shamt as u32);
-                    mix.int_alu += 1;
-                }
-                Inst::Mv { rd, rs } => {
-                    self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize];
-                    mix.other += 1;
-                }
-                Inst::Ld { rd, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    self.data_access(addr, 8, false, hier, hook, line_bytes);
-                    self.gpr[rd.0 as usize] = mem.read_i64(addr)?;
-                    mix.loads += 1;
-                }
-                Inst::Sd { rval, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    self.data_access(addr, 8, true, hier, hook, line_bytes);
-                    mem.write_i64(addr, self.gpr[rval.0 as usize])?;
-                    mix.stores += 1;
-                }
-
-                // ----- scalar float -----
-                Inst::Fli { fd, imm } => {
-                    self.fpr[fd.0 as usize] = imm;
-                    mix.fp_alu += 1;
-                }
-                Inst::Flw { fd, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    self.data_access(addr, 4, false, hier, hook, line_bytes);
-                    self.fpr[fd.0 as usize] = mem.read_f32(addr)?;
-                    mix.loads += 1;
-                }
-                Inst::Fsw { fval, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    self.data_access(addr, 4, true, hier, hook, line_bytes);
-                    mem.write_f32(addr, self.fpr[fval.0 as usize])?;
-                    mix.stores += 1;
-                }
-                Inst::Fadd { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] + self.fpr[fs2.0 as usize];
-                    mix.fp_alu += 1;
-                }
-                Inst::Fsub { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] - self.fpr[fs2.0 as usize];
-                    mix.fp_alu += 1;
-                }
-                Inst::Fmul { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] * self.fpr[fs2.0 as usize];
-                    mix.fp_alu += 1;
-                }
-                Inst::Fdiv { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] / self.fpr[fs2.0 as usize];
-                    mix.fp_alu += 1;
-                }
-                Inst::Fmadd { fd, fs1, fs2, fs3 } => {
-                    self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize]
-                        .mul_add(self.fpr[fs2.0 as usize], self.fpr[fs3.0 as usize]);
-                    mix.fp_alu += 1;
-                }
-                Inst::Fmax { fd, fs1, fs2 } => {
-                    self.fpr[fd.0 as usize] =
-                        self.fpr[fs1.0 as usize].max(self.fpr[fs2.0 as usize]);
-                    mix.fp_alu += 1;
-                }
-                Inst::Fcvt { fd, rs } => {
-                    self.fpr[fd.0 as usize] = self.gpr[rs.0 as usize] as f32;
-                    mix.other += 1;
-                }
-
-                // ----- vector -----
-                Inst::Vload { vd, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    let bytes = 4 * self.lanes as u64;
-                    self.data_access(addr, bytes, false, hier, hook, line_bytes);
-                    for l in 0..self.lanes {
-                        self.vr[vd.0 as usize][l] = mem.read_f32(addr + 4 * l as u64)?;
-                    }
-                    mix.loads += 1;
-                }
-                Inst::Vstore { vval, rs, imm } => {
-                    let addr = self.ea(rs, imm);
-                    let bytes = 4 * self.lanes as u64;
-                    self.data_access(addr, bytes, true, hier, hook, line_bytes);
-                    for l in 0..self.lanes {
-                        mem.write_f32(addr + 4 * l as u64, self.vr[vval.0 as usize][l])?;
-                    }
-                    mix.stores += 1;
-                }
-                Inst::Vbcast { vd, fs } => {
-                    let v = self.fpr[fs.0 as usize];
-                    self.vr[vd.0 as usize][..self.lanes].fill(v);
-                    mix.vec_alu += 1;
-                }
-                Inst::Vsplat { vd, imm } => {
-                    self.vr[vd.0 as usize][..self.lanes].fill(imm);
-                    mix.vec_alu += 1;
-                }
-                Inst::Vfadd { vd, vs1, vs2 } => {
-                    for l in 0..self.lanes {
-                        self.vr[vd.0 as usize][l] =
-                            self.vr[vs1.0 as usize][l] + self.vr[vs2.0 as usize][l];
-                    }
-                    mix.vec_alu += 1;
-                }
-                Inst::Vfmul { vd, vs1, vs2 } => {
-                    for l in 0..self.lanes {
-                        self.vr[vd.0 as usize][l] =
-                            self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
-                    }
-                    mix.vec_alu += 1;
-                }
-                Inst::Vfma { vd, vs1, vs2 } => {
-                    for l in 0..self.lanes {
-                        let prod = self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
-                        self.vr[vd.0 as usize][l] += prod;
-                    }
-                    mix.vec_alu += 1;
-                }
-                Inst::Vfmax { vd, vs1, vs2 } => {
-                    for l in 0..self.lanes {
-                        self.vr[vd.0 as usize][l] =
-                            self.vr[vs1.0 as usize][l].max(self.vr[vs2.0 as usize][l]);
-                    }
-                    mix.vec_alu += 1;
-                }
-                Inst::Vredsum { fd, vs } => {
-                    self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][..self.lanes].iter().sum();
-                    mix.vec_alu += 1;
-                }
-                Inst::Vinsert { vd, fs, lane } => {
-                    self.vr[vd.0 as usize][lane as usize] = self.fpr[fs.0 as usize];
-                    mix.vec_alu += 1;
-                }
-                Inst::Vextract { fd, vs, lane } => {
-                    self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][lane as usize];
-                    mix.vec_alu += 1;
-                }
-
-                // ----- control -----
-                Inst::Blt { rs1, rs2, target } => {
-                    let taken = self.gpr[rs1.0 as usize] < self.gpr[rs2.0 as usize];
-                    if taken {
-                        next_pc = target;
-                        mix.branches_taken += 1;
-                    }
-                    hook.on_branch(pc, target, taken);
-                    mix.branches += 1;
-                }
-                Inst::Bge { rs1, rs2, target } => {
-                    let taken = self.gpr[rs1.0 as usize] >= self.gpr[rs2.0 as usize];
-                    if taken {
-                        next_pc = target;
-                        mix.branches_taken += 1;
-                    }
-                    hook.on_branch(pc, target, taken);
-                    mix.branches += 1;
-                }
-                Inst::Bne { rs1, rs2, target } => {
-                    let taken = self.gpr[rs1.0 as usize] != self.gpr[rs2.0 as usize];
-                    if taken {
-                        next_pc = target;
-                        mix.branches_taken += 1;
-                    }
-                    hook.on_branch(pc, target, taken);
-                    mix.branches += 1;
-                }
-                Inst::Jmp { target } => {
-                    next_pc = target;
-                    hook.on_branch(pc, target, true);
-                    mix.branches += 1;
-                    mix.branches_taken += 1;
-                }
-
-                // ----- system -----
-                Inst::Ecall { code } => {
-                    mix.other += 1;
-                    if code == 0 {
-                        hook.on_retire(&inst);
-                        break;
-                    }
-                    return Err(SimError::UnknownSyscall { code });
-                }
-                Inst::Halt => {
-                    mix.other += 1;
-                    hook.on_retire(&inst);
-                    break;
-                }
-            }
+            let step = self.exec_inst(&inst, pc, mem, hier, hook, line_bytes, &mut mix)?;
             hook.on_retire(&inst);
-            pc = next_pc;
+            match step {
+                Step::Next => pc += 1,
+                Step::Jump(target) => pc = target,
+                Step::Stop => break,
+            }
         }
         Ok((
             SimStats {
@@ -427,6 +232,240 @@ impl AtomicCpu {
             },
             completed,
         ))
+    }
+
+    /// Executes exactly one instruction: the semantic core shared by the
+    /// re-decoding [`crate::InterpEngine`] and the pre-decoded
+    /// [`crate::DecodedEngine`], so both produce bit-identical
+    /// architectural state and statistics by construction.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // hot path: every operand is load-bearing
+    pub(crate) fn exec_inst<H: ExecHook>(
+        &mut self,
+        inst: &Inst,
+        pc: usize,
+        mem: &mut Memory,
+        hier: &mut CacheHierarchy,
+        hook: &mut H,
+        line_bytes: u64,
+        mix: &mut InstMix,
+    ) -> Result<Step, SimError> {
+        let mut next = Step::Next;
+        match *inst {
+            // ----- integer -----
+            Inst::Li { rd, imm } => {
+                self.gpr[rd.0 as usize] = imm;
+                mix.int_alu += 1;
+            }
+            Inst::Addi { rd, rs, imm } => {
+                self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_add(imm);
+                mix.int_alu += 1;
+            }
+            Inst::Add { rd, rs1, rs2 } => {
+                self.gpr[rd.0 as usize] =
+                    self.gpr[rs1.0 as usize].wrapping_add(self.gpr[rs2.0 as usize]);
+                mix.int_alu += 1;
+            }
+            Inst::Sub { rd, rs1, rs2 } => {
+                self.gpr[rd.0 as usize] =
+                    self.gpr[rs1.0 as usize].wrapping_sub(self.gpr[rs2.0 as usize]);
+                mix.int_alu += 1;
+            }
+            Inst::Mul { rd, rs1, rs2 } => {
+                self.gpr[rd.0 as usize] =
+                    self.gpr[rs1.0 as usize].wrapping_mul(self.gpr[rs2.0 as usize]);
+                mix.int_alu += 1;
+            }
+            Inst::Muli { rd, rs, imm } => {
+                self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_mul(imm);
+                mix.int_alu += 1;
+            }
+            Inst::Slli { rd, rs, shamt } => {
+                self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize].wrapping_shl(shamt as u32);
+                mix.int_alu += 1;
+            }
+            Inst::Mv { rd, rs } => {
+                self.gpr[rd.0 as usize] = self.gpr[rs.0 as usize];
+                mix.other += 1;
+            }
+            Inst::Ld { rd, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                self.data_access(addr, 8, false, hier, hook, line_bytes);
+                self.gpr[rd.0 as usize] = mem.read_i64(addr)?;
+                mix.loads += 1;
+            }
+            Inst::Sd { rval, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                self.data_access(addr, 8, true, hier, hook, line_bytes);
+                mem.write_i64(addr, self.gpr[rval.0 as usize])?;
+                mix.stores += 1;
+            }
+
+            // ----- scalar float -----
+            Inst::Fli { fd, imm } => {
+                self.fpr[fd.0 as usize] = imm;
+                mix.fp_alu += 1;
+            }
+            Inst::Flw { fd, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                self.data_access(addr, 4, false, hier, hook, line_bytes);
+                self.fpr[fd.0 as usize] = mem.read_f32(addr)?;
+                mix.loads += 1;
+            }
+            Inst::Fsw { fval, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                self.data_access(addr, 4, true, hier, hook, line_bytes);
+                mem.write_f32(addr, self.fpr[fval.0 as usize])?;
+                mix.stores += 1;
+            }
+            Inst::Fadd { fd, fs1, fs2 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] + self.fpr[fs2.0 as usize];
+                mix.fp_alu += 1;
+            }
+            Inst::Fsub { fd, fs1, fs2 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] - self.fpr[fs2.0 as usize];
+                mix.fp_alu += 1;
+            }
+            Inst::Fmul { fd, fs1, fs2 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] * self.fpr[fs2.0 as usize];
+                mix.fp_alu += 1;
+            }
+            Inst::Fdiv { fd, fs1, fs2 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize] / self.fpr[fs2.0 as usize];
+                mix.fp_alu += 1;
+            }
+            Inst::Fmadd { fd, fs1, fs2, fs3 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize]
+                    .mul_add(self.fpr[fs2.0 as usize], self.fpr[fs3.0 as usize]);
+                mix.fp_alu += 1;
+            }
+            Inst::Fmax { fd, fs1, fs2 } => {
+                self.fpr[fd.0 as usize] = self.fpr[fs1.0 as usize].max(self.fpr[fs2.0 as usize]);
+                mix.fp_alu += 1;
+            }
+            Inst::Fcvt { fd, rs } => {
+                self.fpr[fd.0 as usize] = self.gpr[rs.0 as usize] as f32;
+                mix.other += 1;
+            }
+
+            // ----- vector -----
+            Inst::Vload { vd, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                let bytes = 4 * self.lanes as u64;
+                self.data_access(addr, bytes, false, hier, hook, line_bytes);
+                for l in 0..self.lanes {
+                    self.vr[vd.0 as usize][l] = mem.read_f32(addr + 4 * l as u64)?;
+                }
+                mix.loads += 1;
+            }
+            Inst::Vstore { vval, rs, imm } => {
+                let addr = self.ea(rs, imm);
+                let bytes = 4 * self.lanes as u64;
+                self.data_access(addr, bytes, true, hier, hook, line_bytes);
+                for l in 0..self.lanes {
+                    mem.write_f32(addr + 4 * l as u64, self.vr[vval.0 as usize][l])?;
+                }
+                mix.stores += 1;
+            }
+            Inst::Vbcast { vd, fs } => {
+                let v = self.fpr[fs.0 as usize];
+                self.vr[vd.0 as usize][..self.lanes].fill(v);
+                mix.vec_alu += 1;
+            }
+            Inst::Vsplat { vd, imm } => {
+                self.vr[vd.0 as usize][..self.lanes].fill(imm);
+                mix.vec_alu += 1;
+            }
+            Inst::Vfadd { vd, vs1, vs2 } => {
+                for l in 0..self.lanes {
+                    self.vr[vd.0 as usize][l] =
+                        self.vr[vs1.0 as usize][l] + self.vr[vs2.0 as usize][l];
+                }
+                mix.vec_alu += 1;
+            }
+            Inst::Vfmul { vd, vs1, vs2 } => {
+                for l in 0..self.lanes {
+                    self.vr[vd.0 as usize][l] =
+                        self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
+                }
+                mix.vec_alu += 1;
+            }
+            Inst::Vfma { vd, vs1, vs2 } => {
+                for l in 0..self.lanes {
+                    let prod = self.vr[vs1.0 as usize][l] * self.vr[vs2.0 as usize][l];
+                    self.vr[vd.0 as usize][l] += prod;
+                }
+                mix.vec_alu += 1;
+            }
+            Inst::Vfmax { vd, vs1, vs2 } => {
+                for l in 0..self.lanes {
+                    self.vr[vd.0 as usize][l] =
+                        self.vr[vs1.0 as usize][l].max(self.vr[vs2.0 as usize][l]);
+                }
+                mix.vec_alu += 1;
+            }
+            Inst::Vredsum { fd, vs } => {
+                self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][..self.lanes].iter().sum();
+                mix.vec_alu += 1;
+            }
+            Inst::Vinsert { vd, fs, lane } => {
+                self.vr[vd.0 as usize][lane as usize] = self.fpr[fs.0 as usize];
+                mix.vec_alu += 1;
+            }
+            Inst::Vextract { fd, vs, lane } => {
+                self.fpr[fd.0 as usize] = self.vr[vs.0 as usize][lane as usize];
+                mix.vec_alu += 1;
+            }
+
+            // ----- control -----
+            Inst::Blt { rs1, rs2, target } => {
+                let taken = self.gpr[rs1.0 as usize] < self.gpr[rs2.0 as usize];
+                if taken {
+                    next = Step::Jump(target);
+                    mix.branches_taken += 1;
+                }
+                hook.on_branch(pc, target, taken);
+                mix.branches += 1;
+            }
+            Inst::Bge { rs1, rs2, target } => {
+                let taken = self.gpr[rs1.0 as usize] >= self.gpr[rs2.0 as usize];
+                if taken {
+                    next = Step::Jump(target);
+                    mix.branches_taken += 1;
+                }
+                hook.on_branch(pc, target, taken);
+                mix.branches += 1;
+            }
+            Inst::Bne { rs1, rs2, target } => {
+                let taken = self.gpr[rs1.0 as usize] != self.gpr[rs2.0 as usize];
+                if taken {
+                    next = Step::Jump(target);
+                    mix.branches_taken += 1;
+                }
+                hook.on_branch(pc, target, taken);
+                mix.branches += 1;
+            }
+            Inst::Jmp { target } => {
+                next = Step::Jump(target);
+                hook.on_branch(pc, target, true);
+                mix.branches += 1;
+                mix.branches_taken += 1;
+            }
+
+            // ----- system -----
+            Inst::Ecall { code } => {
+                mix.other += 1;
+                if code != 0 {
+                    return Err(SimError::UnknownSyscall { code });
+                }
+                next = Step::Stop;
+            }
+            Inst::Halt => {
+                mix.other += 1;
+                next = Step::Stop;
+            }
+        }
+        Ok(next)
     }
 
     #[inline]

@@ -87,6 +87,19 @@ pub enum SimError {
         /// The unrecognized code.
         code: u16,
     },
+    /// Decode-time validation rejected the program: a branch points
+    /// outside the code segment, or control can fall off the end of the
+    /// program. Raised once by [`crate::DecodedProgram::decode`] instead
+    /// of surfacing as a mid-run [`SimError::PcOutOfRange`].
+    InvalidPc {
+        /// Index of the offending instruction (the branch, or the last
+        /// instruction when it can fall through past the end).
+        at: usize,
+        /// Where control would go (an out-of-range target or `len`).
+        target: usize,
+        /// Program length the target was validated against.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -98,6 +111,10 @@ impl fmt::Display for SimError {
             }
             SimError::MemoryFault { addr } => write!(f, "memory fault at address {addr:#x}"),
             SimError::UnknownSyscall { code } => write!(f, "unknown syscall code {code}"),
+            SimError::InvalidPc { at, target, len } => write!(
+                f,
+                "instruction {at} leads to pc {target}, outside the {len}-instruction program"
+            ),
         }
     }
 }

@@ -1,4 +1,7 @@
-use crate::{AtomicCpu, Memory, Program, RunLimits, SimError, SimStats, TargetIsa};
+use crate::{
+    AtomicCpu, DecodedEngine, DecodedProgram, ExecEngine, Memory, NoopHook, Program, RunLimits,
+    SimError, SimStats, TargetIsa,
+};
 use simtune_cache::{CacheHierarchy, HierarchyConfig};
 use std::time::Instant;
 
@@ -43,10 +46,17 @@ pub struct SimOutcome {
 /// The returned statistics include the host wall-clock time of the
 /// simulation (`t_simulator` in the paper's Equation 4).
 ///
+/// The program is lowered with [`Executable::decode`] first, so
+/// decode-time control-flow validation applies: a branch pointing
+/// outside the program or a last instruction that could fall through
+/// past the end is rejected up front with [`SimError::InvalidPc`]
+/// instead of (possibly never) failing mid-run.
+///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from the run (memory faults, instruction
-/// budget exhaustion, unknown syscalls).
+/// Propagates any [`SimError`] from the decode or the run (invalid
+/// control flow, memory faults, instruction budget exhaustion, unknown
+/// syscalls).
 ///
 /// # Example
 ///
@@ -76,6 +86,26 @@ pub fn simulate(
     hierarchy: &HierarchyConfig,
     limits: RunLimits,
 ) -> Result<SimOutcome, SimError> {
+    let decoded = exe.decode()?;
+    simulate_decoded(exe, &decoded, hierarchy, limits)
+}
+
+/// [`simulate`] over a pre-decoded program: the batch-driver entry point
+/// that amortizes [`DecodedProgram::decode`] across repeated runs of the
+/// same executable (sampling passes, memo-cache misses, sweep replays).
+///
+/// `decoded` must be the lowering of `exe.program` for `exe.target`
+/// (obtain it from [`Executable::decode`]).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_decoded(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+) -> Result<SimOutcome, SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -83,7 +113,13 @@ pub fn simulate(
     let mut hier = CacheHierarchy::new(hierarchy.clone());
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let mut stats = cpu.run(&exe.program, &mut mem, &mut hier, limits)?;
+    let mut stats = DecodedEngine::new(decoded).run_with_hook(
+        &mut cpu,
+        &mut mem,
+        &mut hier,
+        limits,
+        &mut NoopHook,
+    )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok(SimOutcome {
         stats,
@@ -115,6 +151,22 @@ pub fn simulate_counting(
     line_bytes: u64,
     limits: RunLimits,
 ) -> Result<SimOutcome, SimError> {
+    let decoded = exe.decode()?;
+    simulate_counting_decoded(exe, &decoded, line_bytes, limits)
+}
+
+/// [`simulate_counting`] over a pre-decoded program; see
+/// [`simulate_decoded`] for the contract on `decoded`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_counting_decoded(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    line_bytes: u64,
+    limits: RunLimits,
+) -> Result<SimOutcome, SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -122,7 +174,13 @@ pub fn simulate_counting(
     let mut hier = CacheHierarchy::counting_only(line_bytes);
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let mut stats = cpu.run(&exe.program, &mut mem, &mut hier, limits)?;
+    let mut stats = DecodedEngine::new(decoded).run_with_hook(
+        &mut cpu,
+        &mut mem,
+        &mut hier,
+        limits,
+        &mut NoopHook,
+    )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok(SimOutcome {
         stats,
@@ -145,6 +203,23 @@ pub fn simulate_prefix(
     limits: RunLimits,
     budget: u64,
 ) -> Result<(SimOutcome, bool), SimError> {
+    let decoded = exe.decode()?;
+    simulate_prefix_decoded(exe, &decoded, hierarchy, limits, budget)
+}
+
+/// [`simulate_prefix`] over a pre-decoded program; see
+/// [`simulate_decoded`] for the contract on `decoded`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_prefix_decoded(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+    budget: u64,
+) -> Result<(SimOutcome, bool), SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -152,13 +227,13 @@ pub fn simulate_prefix(
     let mut hier = CacheHierarchy::new(hierarchy.clone());
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let (mut stats, completed) = cpu.run_prefix_with_hook(
-        &exe.program,
+    let (mut stats, completed) = DecodedEngine::new(decoded).run_prefix_with_hook(
+        &mut cpu,
         &mut mem,
         &mut hier,
         limits,
         budget,
-        &mut crate::NoopHook,
+        &mut NoopHook,
     )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok((
@@ -186,6 +261,17 @@ impl Executable {
     pub fn with_segment(mut self, base: u64, values: Vec<f32>) -> Self {
         self.data_segments.push((base, values));
         self
+    }
+
+    /// Lowers this executable's program once for its target — the handle
+    /// the `*_decoded` simulation entry points replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPc`] when decode-time control-flow
+    /// validation rejects the program.
+    pub fn decode(&self) -> Result<DecodedProgram, SimError> {
+        DecodedProgram::decode(&self.program, &self.target)
     }
 }
 

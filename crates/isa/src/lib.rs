@@ -13,6 +13,17 @@
 //!   moral equivalent of the generated `main` function in Section III-A;
 //! * [`Inst::Ecall`] — the tiny syscall-emulation surface (exit).
 //!
+//! Execution is split into a **decode phase** and an **execute phase**:
+//! [`DecodedProgram::decode`] lowers a validated [`Program`] once into a
+//! dense µop array (pre-resolved control flow, precomputed fetch
+//! addresses, per-instruction [`MixClass`], basic-block index), and the
+//! [`ExecEngine`] implementations drive the CPU over either form —
+//! [`InterpEngine`] re-inspects the raw program each step,
+//! [`DecodedEngine`] replays the µop array. `simulate`,
+//! `simulate_counting` and `simulate_prefix` decode internally; their
+//! `*_decoded` variants accept a pre-decoded handle so batch drivers pay
+//! for decoding exactly once per executable.
+//!
 //! The ISA itself is a register RISC machine with scalar integer/float
 //! operations, fused multiply-add, and fixed-width vector operations whose
 //! lane count is a property of the [`TargetIsa`] (8 for the x86-like
@@ -49,6 +60,7 @@
 
 mod asm;
 mod cpu;
+mod decode;
 mod disasm;
 mod error;
 mod exec;
@@ -60,9 +72,11 @@ mod target;
 
 pub use asm::{parse_inst, parse_program, AsmError};
 pub use cpu::{AtomicCpu, ExecHook, NoopHook, RunLimits};
+pub use decode::{DecodedEngine, DecodedProgram, ExecEngine, InterpEngine, MicroOp, MixClass};
 pub use error::{BuildProgramError, SimError};
 pub use exec::{
-    simulate, simulate_counting, simulate_prefix, Executable, SimOutcome, ACCURATE, FAST_COUNT,
+    simulate, simulate_counting, simulate_counting_decoded, simulate_decoded, simulate_prefix,
+    simulate_prefix_decoded, Executable, SimOutcome, ACCURATE, FAST_COUNT,
 };
 pub use inst::{Fpr, Gpr, Inst, Label, Vr};
 pub use memory::Memory;

@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_parallel: 8,
             seed: 3,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )?;
     let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "arm", "conv2d_bias_relu", 1);

@@ -15,14 +15,19 @@
 
 use simtune::core::{
     collect_group_data, parallel_speedup_k, prediction_metrics, CollectOptions, ScorePredictor,
-    SimulatorRunner,
+    SimCache,
 };
 use simtune::hw::{MeasureConfig, TargetSpec};
 use simtune::predict::PredictorKind;
 use simtune::tensor::{conv2d_bias_relu, Conv2dShape};
+use simtune::SimSession;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TargetSpec::riscv_u74();
+    // One memo cache spans every simulation phase of this workflow: any
+    // schedule revisited later in the session is answered from memory.
+    let memo = Arc::new(SimCache::new());
 
     // ---- Phase 1 (with target access): train on two known shapes ----
     let train_shapes = [
@@ -65,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 n_parallel: 8,
                 seed: 21,
                 max_attempts_factor: 40,
+                memo_cache: Some(memo.clone()),
             },
         )?);
     }
@@ -100,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_parallel: 8,
             seed: 77,
             max_attempts_factor: 40,
+            memo_cache: Some(memo.clone()),
         },
     )?;
     let scores = predictor.score_group(&eval.stats)?;
@@ -132,11 +139,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.cooldown_s
     );
 
-    // Show the interface's parallel scaling while we're here.
-    let runner = SimulatorRunner::new(spec.hierarchy.clone());
+    // Show the interface configuration while we're here: the typed
+    // session is the entry point everything above ran through.
+    let session = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .memo_cache(memo.clone())
+        .build()?;
+    let memo_stats = memo.stats();
     println!(
-        "simulator interface: {:?} (default n_parallel = {})",
-        runner, runner.n_parallel
+        "simulator interface: {session:?} (n_parallel = {})\n\
+         memo cache: {} entries, {} hits / {} lookups ({:.0} % of \
+         simulations answered from memory)",
+        session.n_parallel(),
+        memo.len(),
+        memo_stats.hits,
+        memo_stats.lookups(),
+        memo_stats.hit_ratio() * 100.0,
     );
     Ok(())
 }

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_parallel: 8,
             seed: 9,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )?;
     println!("{} implementations collected\n", data.len());

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_parallel: 8,
             seed: 42,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )?;
     println!(

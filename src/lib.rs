@@ -29,7 +29,9 @@
 //! (instruction/access counting only) and [`SampledBackend`] (prefix
 //! simulation + extrapolation) — and [`SimSession`] is the builder-style
 //! entry point that runs candidate batches on whichever tier a tuning
-//! round needs:
+//! round needs. Every session pre-decodes candidates once
+//! ([`isa::DecodedProgram`]) and can attach a shared [`SimCache`] so
+//! revisited candidates skip simulation entirely:
 //!
 //! ```no_run
 //! use simtune::{SimSession, cache::HierarchyConfig};
@@ -56,8 +58,8 @@
 // so `simtune::SimSession` works without spelling out the core crate.
 pub use simtune_core::{
     tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry,
-    EscalatedTuneResult, EscalationOptions, FastCountBackend, Fidelity, FnBackend, SampledBackend,
-    SimBackend, SimReport, SimSession, SimSessionBuilder,
+    EscalatedTuneResult, EscalationOptions, FastCountBackend, Fidelity, FnBackend, MemoCacheStats,
+    SampledBackend, SimBackend, SimCache, SimReport, SimSession, SimSessionBuilder,
 };
 
 pub use simtune_cache as cache;

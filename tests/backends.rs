@@ -5,12 +5,13 @@
 
 use simtune::core::{
     collect_group_data, tune_with_fidelity_escalation, tune_with_predictor, CollectOptions,
-    EscalationOptions, KernelBuilder, RandomTuner, ScorePredictor, TuneOptions,
+    EscalationOptions, KernelBuilder, RandomTuner, ScorePredictor, SimCache, TuneOptions,
 };
 use simtune::hw::TargetSpec;
 use simtune::predict::PredictorKind;
 use simtune::tensor::{matmul, ComputeDef, Schedule, SketchGenerator};
 use simtune::SimSession;
+use std::sync::Arc;
 
 fn matmul_workload() -> (ComputeDef, TargetSpec) {
     (matmul(8, 8, 8), TargetSpec::riscv_u74())
@@ -64,6 +65,7 @@ fn fidelity_escalation_matches_accurate_only_with_fewer_accurate_runs() {
             n_parallel: 4,
             seed: 5,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )
     .unwrap();
@@ -104,4 +106,77 @@ fn fidelity_escalation_matches_accurate_only_with_fewer_accurate_runs() {
         escalated.result.best().description,
         accurate_only.best().description
     );
+}
+
+#[test]
+fn memo_cache_dedupes_revisited_candidates_without_changing_results() {
+    let (def, spec) = matmul_workload();
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 16,
+            n_parallel: 4,
+            seed: 5,
+            max_attempts_factor: 40,
+            ..CollectOptions::default()
+        },
+    )
+    .unwrap();
+    let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+    predictor.train(std::slice::from_ref(&data)).unwrap();
+
+    let base = TuneOptions {
+        n_trials: 16,
+        batch_size: 8,
+        n_parallel: 2,
+        ..TuneOptions::default()
+    };
+    let run = |opts: &TuneOptions| {
+        // Same seed ⇒ the RandomTuner proposes the identical candidate
+        // stream on every invocation.
+        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 11);
+        tune_with_predictor(&def, &spec, &predictor, &mut tuner, opts).expect("tuning runs")
+    };
+
+    // Two identical tuning runs without memoization: the reference.
+    let cold_a = run(&base);
+    let cold_b = run(&base);
+
+    // The same two runs sharing one memo cache: the second run revisits
+    // every candidate the first one simulated.
+    let cache = Arc::new(SimCache::new());
+    let memo_opts = TuneOptions {
+        memo_cache: Some(cache.clone()),
+        ..base.clone()
+    };
+    let warm_a = run(&memo_opts);
+    let first_pass = cache.stats();
+    let warm_b = run(&memo_opts);
+    let second_pass = cache.stats();
+
+    // Strictly fewer backend executions: every simulation of the second
+    // run was answered from the cache (misses did not grow).
+    assert_eq!(
+        second_pass.misses, first_pass.misses,
+        "revisited candidates must not execute the backend again"
+    );
+    assert!(
+        second_pass.hits >= first_pass.hits + base.n_trials as u64,
+        "each revisited trial must be a cache hit ({} -> {})",
+        first_pass.hits,
+        second_pass.hits
+    );
+
+    // Identical tuning results with the cache on and off.
+    for (cold, warm) in [(&cold_a, &warm_a), (&cold_b, &warm_b)] {
+        assert_eq!(cold.best_index, warm.best_index);
+        assert_eq!(cold.history.len(), warm.history.len());
+        for (x, y) in cold.history.iter().zip(&warm.history) {
+            assert_eq!(x.description, y.description);
+            assert_eq!(x.schedule, y.schedule);
+            assert_eq!(x.score, y.score, "memoized stats must score identically");
+        }
+    }
 }

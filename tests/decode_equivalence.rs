@@ -1,0 +1,334 @@
+//! Differential property suite: the pre-decoded execution engine must be
+//! observationally identical to the re-decoding interpreter.
+//!
+//! Randomized programs (arithmetic, float, vector, memory and control
+//! instructions inside a counted loop) run on both engines from identical
+//! cold state; every architectural output — `SimStats`, register files,
+//! memory image — must match bit-for-bit, and prefix runs must stop at
+//! the same instruction. Floats are compared through their bit patterns
+//! so NaN-producing programs (e.g. `fdiv 0/0`) still compare exactly.
+
+use proptest::prelude::*;
+use simtune::cache::{CacheHierarchy, HierarchyConfig};
+use simtune::isa::{
+    AtomicCpu, DecodedEngine, DecodedProgram, ExecEngine, Fpr, Gpr, Inst, InterpEngine, Memory,
+    NoopHook, Program, ProgramBuilder, RunLimits, TargetIsa, Vr, DATA_BASE,
+};
+
+/// Bytes of the data window the generated programs read and write.
+const DATA_WINDOW: u64 = 2048;
+
+/// Builds a terminating random program from raw entropy words: a fixed
+/// preamble (r1 = DATA_BASE, loop bounds), one generated instruction per
+/// word inside a counted loop, and a `Halt`.
+fn build_program(words: &[u64], iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Li {
+        rd: Gpr(1),
+        imm: DATA_BASE as i64,
+    });
+    b.push(Inst::Li {
+        rd: Gpr(30),
+        imm: 0,
+    });
+    b.push(Inst::Li {
+        rd: Gpr(31),
+        imm: iters,
+    });
+    let top = b.bind_new_label();
+    for &w in words {
+        push_random_inst(&mut b, w);
+    }
+    b.push(Inst::Addi {
+        rd: Gpr(30),
+        rs: Gpr(30),
+        imm: 1,
+    });
+    b.branch_lt(Gpr(30), Gpr(31), top);
+    b.push(Inst::Halt);
+    b.build().expect("generated program is structurally valid")
+}
+
+/// Derives one instruction from an entropy word. Scratch registers are
+/// r2..r9 / f0..f7 / v1..v5; r1 (data base) and r30/r31 (loop) are never
+/// written, so memory accesses always stay inside the data window.
+fn push_random_inst(b: &mut ProgramBuilder, w: u64) {
+    let g = |n: u64| Gpr(2 + (n % 8) as u8);
+    let f = |n: u64| Fpr((n % 8) as u8);
+    let v = |n: u64| Vr(1 + (n % 5) as u8);
+    // Word-aligned offset leaving room for the widest (8-lane) access.
+    let off = |n: u64| (4 * (n % ((DATA_WINDOW - 32) / 4))) as i64;
+    let a = w >> 8;
+    let b2 = w >> 20;
+    let c = w >> 32;
+    match w % 24 {
+        0 => {
+            b.push(Inst::Li {
+                rd: g(a),
+                imm: (b2 % 1000) as i64 - 500,
+            });
+        }
+        1 => {
+            b.push(Inst::Addi {
+                rd: g(a),
+                rs: g(b2),
+                imm: (c % 64) as i64 - 32,
+            });
+        }
+        2 => {
+            b.push(Inst::Add {
+                rd: g(a),
+                rs1: g(b2),
+                rs2: g(c),
+            });
+        }
+        3 => {
+            b.push(Inst::Sub {
+                rd: g(a),
+                rs1: g(b2),
+                rs2: g(c),
+            });
+        }
+        4 => {
+            b.push(Inst::Mul {
+                rd: g(a),
+                rs1: g(b2),
+                rs2: g(c),
+            });
+        }
+        5 => {
+            b.push(Inst::Slli {
+                rd: g(a),
+                rs: g(b2),
+                shamt: (c % 8) as u8,
+            });
+        }
+        6 => {
+            b.push(Inst::Mv {
+                rd: g(a),
+                rs: g(b2),
+            });
+        }
+        7 => {
+            b.push(Inst::Ld {
+                rd: g(a),
+                rs: Gpr(1),
+                imm: off(b2) & !7,
+            });
+        }
+        8 => {
+            b.push(Inst::Sd {
+                rval: g(a),
+                rs: Gpr(1),
+                imm: off(b2) & !7,
+            });
+        }
+        9 => {
+            b.push(Inst::Fli {
+                fd: f(a),
+                imm: (b2 % 4096) as f32 / 16.0 - 128.0,
+            });
+        }
+        10 => {
+            b.push(Inst::Flw {
+                fd: f(a),
+                rs: Gpr(1),
+                imm: off(b2),
+            });
+        }
+        11 => {
+            b.push(Inst::Fsw {
+                fval: f(a),
+                rs: Gpr(1),
+                imm: off(b2),
+            });
+        }
+        12 => {
+            b.push(Inst::Fadd {
+                fd: f(a),
+                fs1: f(b2),
+                fs2: f(c),
+            });
+        }
+        13 => {
+            b.push(Inst::Fmul {
+                fd: f(a),
+                fs1: f(b2),
+                fs2: f(c),
+            });
+        }
+        14 => {
+            b.push(Inst::Fmadd {
+                fd: f(a),
+                fs1: f(b2),
+                fs2: f(c),
+                fs3: f(w >> 44),
+            });
+        }
+        15 => {
+            b.push(Inst::Fdiv {
+                fd: f(a),
+                fs1: f(b2),
+                fs2: f(c),
+            });
+        }
+        16 => {
+            b.push(Inst::Fcvt {
+                fd: f(a),
+                rs: g(b2),
+            });
+        }
+        17 => {
+            b.push(Inst::Vsplat {
+                vd: v(a),
+                imm: (b2 % 256) as f32 / 4.0,
+            });
+        }
+        18 => {
+            b.push(Inst::Vload {
+                vd: v(a),
+                rs: Gpr(1),
+                imm: off(b2),
+            });
+        }
+        19 => {
+            b.push(Inst::Vstore {
+                vval: v(a),
+                rs: Gpr(1),
+                imm: off(b2),
+            });
+        }
+        20 => {
+            b.push(Inst::Vfma {
+                vd: v(a),
+                vs1: v(b2),
+                vs2: v(c),
+            });
+        }
+        21 => {
+            b.push(Inst::Vredsum {
+                fd: f(a),
+                vs: v(b2),
+            });
+        }
+        22 => {
+            // Branch whose target is the next instruction: taken and
+            // not-taken paths converge, exercising both outcomes of the
+            // conditional-branch machinery without diverging control.
+            let next = b.new_label();
+            b.branch_ne(g(a), g(b2), next);
+            b.bind(next);
+        }
+        _ => {
+            let next = b.new_label();
+            b.jump(next);
+            b.bind(next);
+        }
+    }
+}
+
+struct RunOutput {
+    stats: simtune::isa::SimStats,
+    completed: bool,
+    gprs: Vec<i64>,
+    fpr_bits: Vec<u32>,
+    vr_bits: Vec<Vec<u32>>,
+    mem_bits: Vec<u32>,
+}
+
+fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>) -> RunOutput {
+    let mut cpu = AtomicCpu::new(target);
+    let mut mem = Memory::new();
+    let mut hier = CacheHierarchy::new(HierarchyConfig::tiny_for_tests());
+    let (stats, completed) = match budget {
+        Some(n) => engine
+            .run_prefix_with_hook(
+                &mut cpu,
+                &mut mem,
+                &mut hier,
+                RunLimits::default(),
+                n,
+                &mut NoopHook,
+            )
+            .expect("prefix run succeeds"),
+        None => (
+            engine
+                .run_with_hook(
+                    &mut cpu,
+                    &mut mem,
+                    &mut hier,
+                    RunLimits::default(),
+                    &mut NoopHook,
+                )
+                .expect("run succeeds"),
+            true,
+        ),
+    };
+    RunOutput {
+        stats,
+        completed,
+        gprs: (0..32).map(|r| cpu.gpr(Gpr(r))).collect(),
+        fpr_bits: (0..32).map(|r| cpu.fpr(Fpr(r)).to_bits()).collect(),
+        vr_bits: (0..32)
+            .map(|r| cpu.vr(Vr(r)).iter().map(|x| x.to_bits()).collect())
+            .collect(),
+        mem_bits: mem
+            .read_f32_slice(DATA_BASE, (DATA_WINDOW / 4) as usize)
+            .expect("window readable")
+            .into_iter()
+            .map(f32::to_bits)
+            .collect(),
+    }
+}
+
+fn assert_outputs_identical(a: &RunOutput, b: &RunOutput) {
+    assert_eq!(a.stats, b.stats, "SimStats must be byte-identical");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.gprs, b.gprs, "integer register files diverged");
+    assert_eq!(a.fpr_bits, b.fpr_bits, "float register files diverged");
+    assert_eq!(a.vr_bits, b.vr_bits, "vector register files diverged");
+    assert_eq!(a.mem_bits, b.mem_bits, "memory images diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full runs: both engines from cold state, every observable equal.
+    #[test]
+    fn decoded_engine_is_observationally_identical(
+        words in prop::collection::vec(0u64..u64::MAX, 4..40),
+        iters in 1i64..8,
+        target_sel in 0usize..3,
+    ) {
+        let target = &TargetIsa::paper_targets()[target_sel];
+        let prog = build_program(&words, iters);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+        prop_assert_eq!(decoded.len(), prog.len());
+
+        let interp = run_engine(&InterpEngine::new(&prog), target, None);
+        let fast = run_engine(&DecodedEngine::new(&decoded), target, None);
+        assert_outputs_identical(&interp, &fast);
+    }
+
+    /// Prefix runs: both engines stop at the same retirement with the
+    /// same partial state, for budgets below and above the full length.
+    #[test]
+    fn decoded_prefix_runs_match_interpreter(
+        words in prop::collection::vec(0u64..u64::MAX, 4..24),
+        iters in 2i64..6,
+        budget_percent in 5u64..150,
+    ) {
+        let target = &TargetIsa::arm_cortex_a72();
+        let prog = build_program(&words, iters);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+
+        let full = run_engine(&InterpEngine::new(&prog), target, None);
+        let total = full.stats.inst_mix.total();
+        let budget = (total * budget_percent / 100).max(1);
+
+        let interp = run_engine(&InterpEngine::new(&prog), target, Some(budget));
+        let fast = run_engine(&DecodedEngine::new(&decoded), target, Some(budget));
+        assert_outputs_identical(&interp, &fast);
+        prop_assert_eq!(interp.completed, budget_percent >= 100);
+    }
+}

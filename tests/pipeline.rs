@@ -37,6 +37,7 @@ fn collect(spec: &TargetSpec, gid: usize, n: usize, seed: u64) -> GroupData {
             n_parallel: 2,
             seed,
             max_attempts_factor: 40,
+            ..CollectOptions::default()
         },
     )
     .expect("collection succeeds")
@@ -182,6 +183,7 @@ fn execution_phase_needs_no_hardware_and_finds_good_schedules() {
             n_parallel: 2,
             window: WindowKind::Dynamic,
             seed: 1,
+            ..TuneOptions::default()
         },
     )
     .expect("tunes");
