@@ -1,0 +1,64 @@
+//! Criterion bench: search-strategy comparison at a fixed simulation
+//! budget.
+//!
+//! Every strategy tunes the same matmul kernel with the same trained
+//! predictor, the same seed and the same trial budget, so differences
+//! in wall-clock come from the strategy's own bookkeeping (population
+//! maintenance, neighborhood walks, enumeration) plus any variation in
+//! which candidates it chooses to simulate. Read together with
+//! `strategy_sweep`'s convergence table this shows the full trade:
+//! per-batch overhead here, candidate quality there.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simtune_core::{
+    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, StrategySpec,
+    TuneOptions,
+};
+use simtune_hw::TargetSpec;
+use simtune_predict::PredictorKind;
+use simtune_tensor::matmul;
+
+fn strategies_at_fixed_budget(c: &mut Criterion) {
+    let def = matmul(16, 16, 16);
+    let spec = TargetSpec::riscv_u74();
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 24,
+            n_parallel: 4,
+            seed: 3,
+            max_attempts_factor: 40,
+            ..CollectOptions::default()
+        },
+    )
+    .expect("collects");
+    let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+    predictor
+        .train(std::slice::from_ref(&data))
+        .expect("trains");
+
+    let mut group = c.benchmark_group("strategies_16_trials");
+    group.sample_size(10);
+    for strategy in StrategySpec::all() {
+        let opts = TuneOptions {
+            n_trials: 16,
+            batch_size: 8,
+            n_parallel: 4,
+            seed: 7,
+            strategy: strategy.clone(),
+            ..TuneOptions::default()
+        };
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let result = tune_with_predictor(&def, &spec, &predictor, &opts).expect("tunes");
+                black_box(result.best_index);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strategies_at_fixed_budget);
+criterion_main!(benches);

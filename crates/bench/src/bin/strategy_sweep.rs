@@ -1,0 +1,111 @@
+//! Compares the pluggable search strategies at a fixed simulation
+//! budget on the paper's Conv2D workload.
+//!
+//! Pac-Sim and CAPSim (PAPERS.md) argue that once per-candidate
+//! simulation is cheap, *candidate selection* dominates tuning cost.
+//! This binary quantifies that on one group: every strategy gets the
+//! same trial budget, the same predictor and the same simulators, and
+//! the table reports what each one found and how fast it converged.
+//!
+//! ```text
+//! cargo run --release --bin strategy_sweep -- --arch riscv --scale smoke
+//! cargo run --release --bin strategy_sweep -- --strategy evolutionary
+//! ```
+//!
+//! `--strategy <name>` restricts the sweep to one strategy
+//! (`random|grid|hill|evolutionary|annealing`); the default sweeps all
+//! five.
+
+use simtune_bench::{Args, ExperimentConfig};
+use simtune_core::{
+    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, StrategySpec,
+    TuneOptions,
+};
+use simtune_hw::TargetSpec;
+use simtune_predict::PredictorKind;
+use simtune_tensor::conv2d_bias_relu;
+
+fn main() {
+    let args = Args::from_env();
+    let strategies: Vec<StrategySpec> = match &args.strategy {
+        Some(s) => vec![s.clone()],
+        None => StrategySpec::all().to_vec(),
+    };
+    let n_trials = 48.min(args.impls.max(16));
+
+    for cfg in ExperimentConfig::from_args(&args) {
+        let Some(spec) = TargetSpec::by_name(&cfg.arch) else {
+            eprintln!("[{}] unknown arch, skipping", cfg.arch);
+            continue;
+        };
+        // Group 1 of Table II at the requested scale: the sweep workload.
+        let shape = cfg.scale.conv_groups()[1];
+        let def = conv2d_bias_relu(&shape);
+        eprintln!(
+            "[{}] training predictor on conv2d group 1 ({:.1}M MACs)...",
+            cfg.arch,
+            shape.macs() as f64 / 1e6
+        );
+        let data = match collect_group_data(
+            &def,
+            &spec,
+            1,
+            &CollectOptions {
+                n_impls: cfg.impls.min(60),
+                n_parallel: cfg.n_parallel,
+                seed: cfg.seed,
+                max_attempts_factor: 40,
+                ..CollectOptions::default()
+            },
+        ) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("[{}] collection failed: {e}", cfg.arch);
+                continue;
+            }
+        };
+        let mut predictor =
+            ScorePredictor::new(PredictorKind::Xgboost, &cfg.arch, "conv2d_bias_relu", 1);
+        if let Err(e) = predictor.train(std::slice::from_ref(&data)) {
+            eprintln!("[{}] training failed: {e}", cfg.arch);
+            continue;
+        }
+
+        println!(
+            "\n[{}] {n_trials} trials, batch {}, seed {}",
+            cfg.arch,
+            n_trials.min(12),
+            cfg.seed
+        );
+        println!(
+            "{:>13} | {:>11} | {:>11} | {:>8} | {:>13} | {:>8}",
+            "strategy", "best score", "simulations", "improves", "trials-to-best", "restarts"
+        );
+        println!("{}", "-".repeat(80));
+        for strategy in &strategies {
+            let opts = TuneOptions {
+                n_trials,
+                batch_size: n_trials.min(12),
+                n_parallel: cfg.n_parallel,
+                seed: cfg.seed,
+                strategy: strategy.clone(),
+                ..TuneOptions::default()
+            };
+            match tune_with_predictor(&def, &spec, &predictor, &opts) {
+                Ok(result) => {
+                    let c = result.convergence;
+                    println!(
+                        "{:>13} | {:>11.4} | {:>11} | {:>8} | {:>13} | {:>8}",
+                        result.strategy,
+                        result.best().score,
+                        result.simulations,
+                        c.improvements,
+                        c.trials_to_best,
+                        c.restarts
+                    );
+                }
+                Err(e) => println!("{:>13} | failed: {e}", strategy.label()),
+            }
+        }
+    }
+}

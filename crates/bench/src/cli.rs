@@ -2,6 +2,7 @@
 //! CLI dependency).
 
 use crate::Scale;
+use simtune_core::StrategySpec;
 
 /// Parsed command-line arguments with the defaults used throughout the
 /// experiment suite.
@@ -21,6 +22,10 @@ pub struct Args {
     pub n_parallel: usize,
     /// Base seed.
     pub seed: u64,
+    /// Search strategy for the tuning binaries
+    /// (`random|grid|hill|evolutionary|annealing`), or `None` to sweep
+    /// every built-in strategy.
+    pub strategy: Option<StrategySpec>,
     /// Ignore cached datasets and recollect.
     pub refresh: bool,
     /// Optional output directory for CSV artifacts.
@@ -39,6 +44,7 @@ impl Default for Args {
                 .map(|n| n.get())
                 .unwrap_or(8),
             seed: 42,
+            strategy: None,
             refresh: false,
             out_dir: None,
         }
@@ -48,7 +54,8 @@ impl Default for Args {
 impl Args {
     /// Parses `std::env::args()`-style flags:
     /// `--arch x86 --scale quarter --impls 120 --test 30 --rounds 10
-    ///  --parallel 8 --seed 42 --refresh --out results/`.
+    ///  --parallel 8 --seed 42 --strategy evolutionary --refresh
+    ///  --out results/`.
     ///
     /// # Panics
     ///
@@ -88,6 +95,14 @@ impl Args {
                         .expect("--parallel number")
                 }
                 "--seed" => out.seed = need(&mut it, "--seed").parse().expect("--seed number"),
+                "--strategy" => {
+                    let v = need(&mut it, "--strategy");
+                    out.strategy = if v == "all" {
+                        None
+                    } else {
+                        Some(v.parse().unwrap_or_else(|e| panic!("{e}")))
+                    };
+                }
                 "--refresh" => out.refresh = true,
                 "--out" => out.out_dir = Some(need(&mut it, "--out")),
                 other => panic!("unknown flag {other}"),
@@ -97,7 +112,7 @@ impl Args {
         out
     }
 
-    /// Parses the process's real arguments (skipping argv[0]).
+    /// Parses the process's real arguments (skipping `argv[0]`).
     pub fn from_env() -> Args {
         Args::parse(std::env::args().skip(1))
     }
@@ -135,6 +150,24 @@ mod tests {
     fn arch_list_and_all() {
         assert_eq!(parse("--arch x86,arm").archs, vec!["x86", "arm"]);
         assert_eq!(parse("--arch all").archs.len(), 3);
+    }
+
+    #[test]
+    fn strategy_flag_parses_names_and_all() {
+        assert!(parse("--seed 1").strategy.is_none());
+        assert!(parse("--strategy all").strategy.is_none());
+        let s = parse("--strategy evolutionary").strategy.expect("parsed");
+        assert_eq!(s.label(), "evolutionary");
+        assert_eq!(
+            parse("--strategy hill").strategy.expect("parsed").label(),
+            "hill_climb"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn bad_strategy_panics() {
+        parse("--strategy bogus");
     }
 
     #[test]

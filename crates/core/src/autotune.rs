@@ -1,157 +1,25 @@
 //! Tuners and the execution-phase tuning loop.
 //!
-//! Mirrors the search side of the paper's Fig. 2: the Auto-Scheduler
-//! substitute generates candidate implementations batch-wise; candidates
-//! are built, executed on `n_parallel` simulators, scored (by a trained
-//! score predictor or by hardware measurement), and the tuner evolves
-//! the next batch from the scores.
+//! Mirrors the search side of the paper's Fig. 2: a pluggable
+//! [`SearchStrategy`] generates candidate implementations batch-wise;
+//! candidates are built, executed on `n_parallel` simulators, scored (by
+//! a trained score predictor or by hardware measurement), and the
+//! strategy evolves the next batch from the scores. Which strategy runs
+//! is selected through [`TuneOptions::strategy`]; the default
+//! [`RandomSearch`](crate::RandomSearch) reproduces the historical
+//! random-sampling tuner bit-for-bit.
 
 use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
 use crate::features::WindowKind;
 use crate::memo::SimCache;
+use crate::metrics::ConvergenceStats;
 use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::ScorePredictor;
+use crate::search::{Evaluation, SearchStrategy, StrategySpec};
 use crate::CoreError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simtune_hw::TargetSpec;
 use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
-use std::collections::HashSet;
 use std::sync::Arc;
-
-/// A search strategy over sketch genotypes.
-pub trait Tuner {
-    /// Proposes up to `n` candidates for the next batch.
-    fn next_batch(&mut self, n: usize) -> Vec<SketchParams>;
-
-    /// Feeds back scores (lower = better) for a previous batch.
-    fn update(&mut self, batch: &[SketchParams], scores: &[f64]);
-
-    /// Strategy label for reports.
-    fn name(&self) -> &'static str;
-}
-
-/// Uniform random search over sketches.
-#[derive(Debug)]
-pub struct RandomTuner {
-    generator: SketchGenerator,
-    rng: StdRng,
-    seen: HashSet<String>,
-}
-
-impl RandomTuner {
-    /// Creates a random tuner.
-    pub fn new(generator: SketchGenerator, seed: u64) -> Self {
-        RandomTuner {
-            generator,
-            rng: StdRng::seed_from_u64(seed),
-            seen: HashSet::new(),
-        }
-    }
-}
-
-impl Tuner for RandomTuner {
-    fn next_batch(&mut self, n: usize) -> Vec<SketchParams> {
-        let mut out = Vec::with_capacity(n);
-        let mut attempts = 0;
-        while out.len() < n && attempts < n * 50 {
-            attempts += 1;
-            let p = self.generator.random(&mut self.rng);
-            if self.seen.insert(format!("{p:?}")) {
-                out.push(p);
-            }
-        }
-        out
-    }
-
-    fn update(&mut self, _batch: &[SketchParams], _scores: &[f64]) {}
-
-    fn name(&self) -> &'static str {
-        "random"
-    }
-}
-
-/// Evolutionary search (the Auto-Scheduler's strategy): keeps a
-/// population of the best genotypes and produces new batches by
-/// crossover + mutation, with a random-immigrant fraction for
-/// exploration.
-#[derive(Debug)]
-pub struct EvolutionaryTuner {
-    generator: SketchGenerator,
-    rng: StdRng,
-    population: Vec<(SketchParams, f64)>,
-    /// Maximum retained population.
-    pub population_size: usize,
-    /// Fraction of each batch drawn uniformly at random.
-    pub immigrant_fraction: f64,
-    seen: HashSet<String>,
-}
-
-impl EvolutionaryTuner {
-    /// Creates an evolutionary tuner with a population of 32 and a 25 %
-    /// immigrant fraction.
-    pub fn new(generator: SketchGenerator, seed: u64) -> Self {
-        EvolutionaryTuner {
-            generator,
-            rng: StdRng::seed_from_u64(seed),
-            population: Vec::new(),
-            population_size: 32,
-            immigrant_fraction: 0.25,
-            seen: HashSet::new(),
-        }
-    }
-
-    fn tournament(&mut self) -> SketchParams {
-        // Binary tournament over the current population.
-        let n = self.population.len();
-        let a = self.rng.gen_range(0..n);
-        let b = self.rng.gen_range(0..n);
-        let winner = if self.population[a].1 <= self.population[b].1 {
-            a
-        } else {
-            b
-        };
-        self.population[winner].0.clone()
-    }
-}
-
-impl Tuner for EvolutionaryTuner {
-    fn next_batch(&mut self, n: usize) -> Vec<SketchParams> {
-        let mut out = Vec::with_capacity(n);
-        let mut attempts = 0;
-        while out.len() < n && attempts < n * 60 {
-            attempts += 1;
-            let candidate =
-                if self.population.len() < 2 || self.rng.gen_bool(self.immigrant_fraction) {
-                    self.generator.random(&mut self.rng)
-                } else {
-                    let a = self.tournament();
-                    let b = self.tournament();
-                    let child = self.generator.crossover(&a, &b, &mut self.rng);
-                    self.generator.mutate(&child, &mut self.rng)
-                };
-            if self.seen.insert(format!("{candidate:?}")) {
-                out.push(candidate);
-            }
-        }
-        out
-    }
-
-    fn update(&mut self, batch: &[SketchParams], scores: &[f64]) {
-        for (p, &s) in batch.iter().zip(scores) {
-            if s.is_finite() {
-                self.population.push((p.clone(), s));
-            }
-        }
-        self.population
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
-        self.population.truncate(self.population_size);
-    }
-
-    fn name(&self) -> &'static str {
-        "evolutionary"
-    }
-}
 
 /// Options of one tuning session.
 #[derive(Debug, Clone)]
@@ -164,8 +32,14 @@ pub struct TuneOptions {
     pub n_parallel: usize,
     /// Window policy for score normalization during inference.
     pub window: WindowKind,
-    /// Base seed.
+    /// Base seed (drives the search strategy and, for the hardware flow,
+    /// the measurement noise).
     pub seed: u64,
+    /// Which [`SearchStrategy`] proposes candidates. The default
+    /// [`StrategySpec::Random`] reproduces the pre-subsystem sampling
+    /// loop bit-identically; [`StrategySpec::Custom`] plugs in any boxed
+    /// user strategy.
+    pub strategy: StrategySpec,
     /// Simulation memo cache attached to every session this tuning run
     /// creates. Share one `Arc<SimCache>` across runs (or with
     /// [`crate::CollectOptions::memo_cache`]) so candidates revisited
@@ -182,6 +56,7 @@ impl Default for TuneOptions {
             n_parallel: 8,
             window: WindowKind::Dynamic,
             seed: 0,
+            strategy: StrategySpec::default(),
             memo_cache: None,
         }
     }
@@ -206,6 +81,16 @@ pub struct TuneResult {
     pub history: Vec<TuneRecord>,
     /// Index of the best candidate in `history`.
     pub best_index: usize,
+    /// Label of the strategy that drove the search.
+    pub strategy: String,
+    /// The strategy's convergence counters at the end of the run.
+    pub convergence: ConvergenceStats,
+    /// Executions submitted to the backing evaluator: simulator runs for
+    /// the simulator flows, hardware measurements for
+    /// [`tune_on_hardware`]. With a memo cache attached this counts
+    /// submissions, not backend executions — see
+    /// [`crate::SimCache::stats`] for hit/miss counters.
+    pub simulations: usize,
 }
 
 impl TuneResult {
@@ -220,6 +105,10 @@ impl TuneResult {
 /// scores. The target hardware is not needed — the scenario that enables
 /// pre-silicon tuning and cross-ISA tuning on x86 hosts.
 ///
+/// The strategy configured in [`TuneOptions::strategy`] proposes the
+/// candidates; every strategy composes with the memo cache and any
+/// backend because the loop is strategy-agnostic.
+///
 /// # Errors
 ///
 /// Propagates pipeline failures; individual failed candidates are
@@ -228,7 +117,6 @@ pub fn tune_with_predictor(
     def: &ComputeDef,
     spec: &TargetSpec,
     predictor: &ScorePredictor,
-    tuner: &mut dyn Tuner,
     opts: &TuneOptions,
 ) -> Result<TuneResult, CoreError> {
     if !predictor.is_trained() {
@@ -239,34 +127,43 @@ pub fn tune_with_predictor(
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
-    let (history, _) = explore(def, spec, predictor, tuner, opts, &session)?;
-    finish(history)
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
+    let (history, sim_runs) = explore(
+        &generator,
+        def,
+        predictor,
+        strategy.as_mut(),
+        opts,
+        &session,
+    )?;
+    finish(history, strategy.as_ref(), sim_runs)
 }
 
-/// The shared exploration loop: generate batch-wise, build, run on
-/// `session`'s backend, score with `predictor`, feed the tuner. Returns
-/// the full evaluation history and the number of simulations executed
-/// (successful builds handed to the backend, whether or not they ran to
-/// completion).
+/// The shared exploration loop: the strategy proposes batch-wise, the
+/// loop builds, runs on `session`'s backend, scores with `predictor`,
+/// and feeds the evaluations back. Returns the full evaluation history
+/// and the number of simulations executed (successful builds handed to
+/// the backend, whether or not they ran to completion).
 fn explore(
+    generator: &SketchGenerator,
     def: &ComputeDef,
-    spec: &TargetSpec,
     predictor: &ScorePredictor,
-    tuner: &mut dyn Tuner,
+    strategy: &mut dyn SearchStrategy<SketchParams>,
     opts: &TuneOptions,
     session: &SimSession,
 ) -> Result<(Vec<TuneRecord>, usize), CoreError> {
-    let generator = SketchGenerator::new(def, spec.isa.clone());
-    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let builder = KernelBuilder::new(def.clone(), generator.target().clone());
 
     let mut history: Vec<TuneRecord> = Vec::new();
+    let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
     let mut sim_runs = 0usize;
     // One normalizer for the whole session: the window means evolve over
     // the full candidate stream, not per batch.
     let mut normalizer = crate::features::WindowNormalizer::new(opts.window);
     while history.len() < opts.n_trials {
         let want = opts.batch_size.min(opts.n_trials - history.len());
-        let batch = tuner.next_batch(want);
+        let batch = strategy.propose(&evaluations, want);
         if batch.is_empty() {
             break; // search space exhausted
         }
@@ -286,29 +183,29 @@ fn explore(
         }
         sim_runs += exes.len();
         let stats = session.run_stats(&exes);
-        let mut batch_scores: Vec<(SketchParams, f64)> = Vec::new();
+        let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
         for (p, s) in kept.into_iter().zip(stats) {
-            match s {
-                Ok(st) => {
-                    let score = predictor.score_streaming(&st, &mut normalizer)?;
-                    batch_scores.push((p, score));
-                }
-                Err(_) => batch_scores.push((p, f64::INFINITY)),
-            }
+            let score = match s {
+                Ok(st) => predictor.score_streaming(&st, &mut normalizer)?,
+                Err(_) => f64::INFINITY,
+            };
+            batch_evals.push(Evaluation { point: p, score });
         }
         for p in failed {
-            batch_scores.push((p, f64::INFINITY));
-        }
-        let params: Vec<SketchParams> = batch_scores.iter().map(|(p, _)| p.clone()).collect();
-        let scores: Vec<f64> = batch_scores.iter().map(|(_, s)| *s).collect();
-        tuner.update(&params, &scores);
-        for (p, s) in batch_scores {
-            history.push(TuneRecord {
-                schedule: generator.schedule(&p),
-                description: format!("{p:?}"),
-                score: s,
+            batch_evals.push(Evaluation {
+                point: p,
+                score: f64::INFINITY,
             });
         }
+        strategy.observe(&batch_evals);
+        for e in &batch_evals {
+            history.push(TuneRecord {
+                schedule: generator.schedule(&e.point),
+                description: format!("{:?}", e.point),
+                score: e.score,
+            });
+        }
+        evaluations.extend(batch_evals);
     }
     Ok((history, sim_runs))
 }
@@ -361,6 +258,34 @@ pub struct EscalatedTuneResult {
 /// instruction-accurate backend and the best finalist wins. The host
 /// pays for `top_k` accurate simulations instead of `n_trials`.
 ///
+/// # Example
+///
+/// ```no_run
+/// use simtune_core::{
+///     tune_with_fidelity_escalation, EscalationOptions, ScorePredictor, StrategySpec,
+///     TuneOptions,
+/// };
+/// use simtune_hw::TargetSpec;
+/// use simtune_predict::PredictorKind;
+/// use simtune_tensor::matmul;
+///
+/// # fn main() -> Result<(), simtune_core::CoreError> {
+/// let def = matmul(16, 16, 16);
+/// let spec = TargetSpec::riscv_u74();
+/// # let trained_predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+/// let opts = TuneOptions {
+///     n_trials: 64,
+///     strategy: StrategySpec::Evolutionary,
+///     ..TuneOptions::default()
+/// };
+/// let esc = EscalationOptions { top_k: 6, ..EscalationOptions::default() };
+/// let out = tune_with_fidelity_escalation(&def, &spec, &trained_predictor, &opts, &esc)?;
+/// assert!(out.accurate_runs <= 6);
+/// println!("best candidate: {}", out.result.best().description);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Propagates pipeline failures; returns [`CoreError::Pipeline`] when
@@ -369,7 +294,6 @@ pub fn tune_with_fidelity_escalation(
     def: &ComputeDef,
     spec: &TargetSpec,
     predictor: &ScorePredictor,
-    tuner: &mut dyn Tuner,
     opts: &TuneOptions,
     esc: &EscalationOptions,
 ) -> Result<EscalatedTuneResult, CoreError> {
@@ -391,7 +315,16 @@ pub fn tune_with_fidelity_escalation(
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
-    let (mut history, explore_runs) = explore(def, spec, predictor, tuner, opts, &session)?;
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
+    let (mut history, explore_runs) = explore(
+        &generator,
+        def,
+        predictor,
+        strategy.as_mut(),
+        opts,
+        &session,
+    )?;
 
     // Graduate the top-k cheap-tier candidates to the accurate tier.
     let mut order: Vec<usize> = (0..history.len())
@@ -452,6 +385,9 @@ pub fn tune_with_fidelity_escalation(
         result: TuneResult {
             history,
             best_index: best.0,
+            strategy: strategy.name().to_string(),
+            convergence: strategy.convergence(),
+            simulations: explore_runs + accurate_runs,
         },
         explore_backend: explore_name,
         final_backend: final_name,
@@ -469,7 +405,6 @@ pub fn tune_with_fidelity_escalation(
 pub fn tune_on_hardware(
     def: &ComputeDef,
     spec: &TargetSpec,
-    tuner: &mut dyn Tuner,
     opts: &TuneOptions,
 ) -> Result<TuneResult, CoreError> {
     let generator = SketchGenerator::new(def, spec.isa.clone());
@@ -478,38 +413,47 @@ pub fn tune_on_hardware(
         noise_seed: opts.seed ^ 0x7A11,
         ..HardwareRunner::new(spec.clone())
     };
+    let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
     let mut history: Vec<TuneRecord> = Vec::new();
+    let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
+    let mut hw_runs = 0usize;
     while history.len() < opts.n_trials {
         let want = opts.batch_size.min(opts.n_trials - history.len());
-        let batch = tuner.next_batch(want);
+        let batch = strategy.propose(&evaluations, want);
         if batch.is_empty() {
             break;
         }
-        let mut scored: Vec<(SketchParams, f64)> = Vec::new();
+        let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
         for p in batch {
             let schedule = generator.schedule(&p);
             let score = builder
                 .build(&schedule, &format!("{}h{}", def.name, history.len()))
-                .and_then(|exe| hw.run_one(&exe, history.len() + scored.len()))
+                .and_then(|exe| {
+                    hw_runs += 1;
+                    hw.run_one(&exe, history.len() + batch_evals.len())
+                })
                 .map(|m| m.t_ref)
                 .unwrap_or(f64::INFINITY);
-            scored.push((p, score));
+            batch_evals.push(Evaluation { point: p, score });
         }
-        let params: Vec<SketchParams> = scored.iter().map(|(p, _)| p.clone()).collect();
-        let scores: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
-        tuner.update(&params, &scores);
-        for (p, s) in scored {
+        strategy.observe(&batch_evals);
+        for e in &batch_evals {
             history.push(TuneRecord {
-                description: format!("{p:?}"),
-                schedule: generator.schedule(&p),
-                score: s,
+                description: format!("{:?}", e.point),
+                schedule: generator.schedule(&e.point),
+                score: e.score,
             });
         }
+        evaluations.extend(batch_evals);
     }
-    finish(history)
+    finish(history, strategy.as_ref(), hw_runs)
 }
 
-fn finish(history: Vec<TuneRecord>) -> Result<TuneResult, CoreError> {
+fn finish(
+    history: Vec<TuneRecord>,
+    strategy: &dyn SearchStrategy<SketchParams>,
+    simulations: usize,
+) -> Result<TuneResult, CoreError> {
     if history.is_empty() {
         return Err(CoreError::Pipeline("tuning produced no candidates".into()));
     }
@@ -522,6 +466,9 @@ fn finish(history: Vec<TuneRecord>) -> Result<TuneResult, CoreError> {
     Ok(TuneResult {
         history,
         best_index,
+        strategy: strategy.name().to_string(),
+        convergence: strategy.convergence(),
+        simulations,
     })
 }
 
@@ -536,77 +483,10 @@ mod tests {
         (matmul(8, 8, 8), TargetSpec::riscv_u74())
     }
 
-    #[test]
-    fn random_tuner_produces_unique_candidates() {
-        let (def, spec) = setup();
-        let mut t = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 1);
-        let a = t.next_batch(10);
-        let b = t.next_batch(10);
-        let mut seen = HashSet::new();
-        for p in a.iter().chain(&b) {
-            assert!(seen.insert(format!("{p:?}")), "duplicate candidate");
-        }
-    }
-
-    #[test]
-    fn evolutionary_tuner_improves_over_random_scores() {
-        // Feed a synthetic score function favoring vectorize+unroll and
-        // check the population converges toward low scores.
-        let (def, spec) = setup();
-        let score_fn = |p: &SketchParams| {
-            let mut s = 10.0;
-            if p.unroll_reduce {
-                s -= 3.0;
-            }
-            s + p.spatial_tiles.iter().sum::<usize>() as f64 * 0.1
-        };
-        let mut t = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 2);
-        let mut best_first = f64::INFINITY;
-        let mut best_last = f64::INFINITY;
-        for round in 0..8 {
-            let batch = t.next_batch(12);
-            if batch.is_empty() {
-                break;
-            }
-            let scores: Vec<f64> = batch.iter().map(score_fn).collect();
-            if round == 0 {
-                best_first = scores.iter().cloned().fold(f64::INFINITY, f64::min);
-            }
-            best_last = best_last.min(scores.iter().cloned().fold(f64::INFINITY, f64::min));
-            t.update(&batch, &scores);
-        }
-        assert!(best_last <= best_first, "{best_last} vs {best_first}");
-    }
-
-    #[test]
-    fn hardware_tuning_finds_a_good_schedule() {
-        let (def, spec) = setup();
-        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 3);
-        let result = tune_on_hardware(
-            &def,
-            &spec,
-            &mut tuner,
-            &TuneOptions {
-                n_trials: 12,
-                batch_size: 4,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(result.history.len(), 12);
-        assert!(result.best().score.is_finite());
-        // The best is at most the median candidate.
-        let mut scores: Vec<f64> = result.history.iter().map(|r| r.score).collect();
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(result.best().score <= scores[scores.len() / 2]);
-    }
-
-    #[test]
-    fn predictor_tuning_runs_without_hardware() {
-        let (def, spec) = setup();
+    fn trained_predictor(def: &ComputeDef, spec: &TargetSpec) -> ScorePredictor {
         let data = collect_group_data(
-            &def,
-            &spec,
+            def,
+            spec,
             0,
             &CollectOptions {
                 n_impls: 16,
@@ -619,29 +499,110 @@ mod tests {
         .unwrap();
         let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
         predictor.train(std::slice::from_ref(&data)).unwrap();
-        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
+        predictor
+    }
+
+    #[test]
+    fn hardware_tuning_finds_a_good_schedule() {
+        let (def, spec) = setup();
+        let result = tune_on_hardware(
+            &def,
+            &spec,
+            &TuneOptions {
+                n_trials: 12,
+                batch_size: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.history.len(), 12);
+        assert!(result.best().score.is_finite());
+        assert_eq!(result.strategy, "random");
+        assert_eq!(result.simulations, 12, "every build measured once");
+        // The best is at most the median candidate.
+        let mut scores: Vec<f64> = result.history.iter().map(|r| r.score).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(result.best().score <= scores[scores.len() / 2]);
+    }
+
+    #[test]
+    fn predictor_tuning_runs_without_hardware() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
         let result = tune_with_predictor(
             &def,
             &spec,
             &predictor,
-            &mut tuner,
             &TuneOptions {
                 n_trials: 10,
                 batch_size: 5,
+                seed: 9,
                 ..Default::default()
             },
         )
         .unwrap();
         assert_eq!(result.history.len(), 10);
         assert!(result.best().score.is_finite());
+        assert_eq!(result.convergence.observed, 10);
+        assert!(result.convergence.best_score <= result.best().score);
+    }
+
+    #[test]
+    fn every_builtin_strategy_drives_the_predictor_loop() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
+        for spec_kind in StrategySpec::all() {
+            let label = spec_kind.label();
+            let result = tune_with_predictor(
+                &def,
+                &spec,
+                &predictor,
+                &TuneOptions {
+                    n_trials: 8,
+                    batch_size: 4,
+                    n_parallel: 2,
+                    seed: 9,
+                    strategy: spec_kind,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(result.strategy, label);
+            assert_eq!(result.history.len(), 8, "{label} produced a short history");
+            assert!(result.best().score.is_finite(), "{label} found no best");
+            assert_eq!(result.convergence.observed, 8);
+        }
+    }
+
+    #[test]
+    fn custom_boxed_strategy_plugs_into_the_loop() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
+        let result = tune_with_predictor(
+            &def,
+            &spec,
+            &predictor,
+            &TuneOptions {
+                n_trials: 6,
+                batch_size: 3,
+                seed: 2,
+                strategy: StrategySpec::Custom(Arc::new(|space, seed| {
+                    Box::new(crate::search::HillClimb::new(space, seed))
+                })),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.strategy, "hill_climb");
+        assert_eq!(result.history.len(), 6);
     }
 
     #[test]
     fn untrained_predictor_is_rejected() {
         let (def, spec) = setup();
         let predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
-        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
-        let err = tune_with_predictor(&def, &spec, &predictor, &mut tuner, &TuneOptions::default());
+        let err = tune_with_predictor(&def, &spec, &predictor, &TuneOptions::default());
         assert!(matches!(err, Err(CoreError::Pipeline(_))));
     }
 }

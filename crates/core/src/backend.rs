@@ -673,6 +673,30 @@ impl BackendRegistry {
 /// the backend opts into memoization ([`SimBackend::memo_key`]),
 /// previously seen candidates are answered from the cache without any
 /// backend execution.
+///
+/// # Example
+///
+/// ```
+/// use simtune_cache::HierarchyConfig;
+/// use simtune_core::SimSession;
+/// use simtune_isa::{Executable, Gpr, Inst, ProgramBuilder, TargetIsa};
+///
+/// # fn main() -> Result<(), simtune_core::CoreError> {
+/// let mut b = ProgramBuilder::new();
+/// b.push(Inst::Li { rd: Gpr(1), imm: 7 });
+/// b.push(Inst::Halt);
+/// let exe = Executable::new("demo", b.build().unwrap(), TargetIsa::riscv_u74());
+///
+/// let session = SimSession::builder()
+///     .fast_count(&HierarchyConfig::tiny_for_tests())
+///     .n_parallel(2)
+///     .build()?;
+/// let report = session.run(&[exe]).remove(0).expect("simulates");
+/// assert_eq!(report.backend, "fast-count");
+/// assert!(report.stats.inst_mix.total() >= 2);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone)]
 pub struct SimSession {
     backend: Arc<dyn SimBackend>,

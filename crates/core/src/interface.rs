@@ -25,8 +25,10 @@ pub const LOCAL_RUNNER_RUN: &str = "auto_scheduler.local_runner.run";
 
 /// A registry of named simulator run functions.
 #[deprecated(
-    since = "0.2.0",
-    note = "use the typed `BackendRegistry` and `SimBackend` trait instead"
+    since = "0.1.0",
+    note = "implement the `SimBackend` trait and drive it through `SimSession` \
+            (register named backends in `BackendRegistry`); this string-keyed \
+            shim only exists for pre-backend call sites"
 )]
 #[derive(Default)]
 pub struct FunctionRegistry {

@@ -16,6 +16,7 @@
 //! | predictor training / execution workflow (Fig. 4) | [`ScorePredictor`], [`collect_group_data`] |
 //! | evaluation metrics `E_top1`, `R_top1`, `Q` and Eq. 4 | [`prediction_metrics`], [`parallel_speedup_k`] |
 //! | batch-wise candidate search (Fig. 2) | [`tune_with_predictor`], [`tune_template_space`] |
+//! | "selectable tuning algorithms" (Section II-A) | [`SearchStrategy`], [`StrategySpec`], [`search`] |
 //!
 //! # Quickstart
 //!
@@ -48,12 +49,13 @@ mod memo;
 mod metrics;
 mod runner;
 mod score;
+pub mod search;
 mod template_tune;
 mod workflow;
 
 pub use autotune::{
     tune_on_hardware, tune_with_fidelity_escalation, tune_with_predictor, EscalatedTuneResult,
-    EscalationOptions, EvolutionaryTuner, RandomTuner, TuneOptions, TuneRecord, TuneResult, Tuner,
+    EscalationOptions, TuneOptions, TuneRecord, TuneResult,
 };
 pub use backend::{
     AccurateBackend, BackendError, BackendRegistry, FastCountBackend, Fidelity, FnBackend,
@@ -69,14 +71,16 @@ pub use interface::FunctionRegistry;
 pub use interface::LOCAL_RUNNER_RUN;
 pub use memo::SimCache;
 pub use metrics::{
-    e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, MemoCacheStats,
-    PredictionMetrics,
+    e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, ConvergenceStats,
+    MemoCacheStats, PredictionMetrics,
 };
 pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
 pub use score::{GroupData, ScorePredictor};
-pub use template_tune::{
-    tune_template_space, GridTemplateTuner, RandomTemplateTuner, SaTemplateTuner, TemplateTuner,
+pub use search::{
+    Annealing, CustomStrategyFactory, Evaluation, Evolutionary, GridSearch, HillClimb,
+    RandomSearch, SearchSpace, SearchStrategy, SketchSpace, StrategySpec, TemplateSpace,
 };
+pub use template_tune::tune_template_space;
 pub use workflow::{
     collect_group_data, evaluate_predictor, holdout_group_curves, split_train_test, CollectOptions,
     EvalReport, SortedPrediction,

@@ -62,15 +62,56 @@ use std::sync::Mutex;
 /// when several workers of one parallel batch carry the *same*
 /// fingerprint, they can all miss before the first insert lands and
 /// each execute the backend once. Results are identical either way and
-/// every later batch hits. In practice the tuners' seen-sets keep
+/// every later batch hits. In practice the strategies' seen-sets keep
 /// duplicates out of a single batch; revisits arrive in later batches,
 /// where the cache is already warm.
 ///
-/// [`SimCache::new`] is unbounded — right for tuning sessions, whose
-/// candidate streams are bounded by `n_trials`. Long-lived services
-/// should use [`SimCache::bounded`], which flushes the whole map when a
-/// generation fills up (epoch eviction: crude, O(1) amortized, and the
-/// hot candidates re-enter within one batch).
+/// # Capacity and eviction
+///
+/// [`SimCache::new`] is unbounded: nothing is ever evicted, which is
+/// right for tuning sessions whose candidate streams are bounded by
+/// `n_trials`. Long-lived services should use [`SimCache::bounded`],
+/// whose eviction contract is *epoch-based*: the cache holds at most
+/// `max_entries` reports at any moment, and when an insert of a **new**
+/// fingerprint arrives while the current generation is full, the whole
+/// map is flushed first and the next generation starts cold
+/// (re-inserting an already-resident fingerprint never flushes).
+/// Hit/miss counters survive flushes. Epoch eviction is deliberately
+/// crude — O(1) amortized, no recency bookkeeping on the hot path — and
+/// works because autotuning traffic is phase-local: the candidates worth
+/// keeping re-enter within one batch after a flush.
+///
+/// # Example
+///
+/// A session with an attached cache answers a revisited candidate
+/// without executing the backend again:
+///
+/// ```
+/// use simtune_cache::HierarchyConfig;
+/// use simtune_core::{SimCache, SimSession};
+/// use simtune_isa::{Executable, Gpr, Inst, ProgramBuilder, TargetIsa};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), simtune_core::CoreError> {
+/// let cache = Arc::new(SimCache::new());
+/// let session = SimSession::builder()
+///     .accurate(&HierarchyConfig::tiny_for_tests())
+///     .memo_cache(cache.clone())
+///     .build()?;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Inst::Li { rd: Gpr(1), imm: 3 });
+/// b.push(Inst::Halt);
+/// let exe = Executable::new("demo", b.build().unwrap(), TargetIsa::riscv_u74());
+///
+/// let first = session.run(&[exe.clone()]).remove(0).expect("simulates");
+/// let second = session.run(&[exe]).remove(0).expect("served from cache");
+/// assert_eq!(first.stats, second.stats);
+/// assert_eq!(cache.stats().misses, 1, "one backend execution");
+/// assert_eq!(cache.stats().hits, 1, "one memoized replay");
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Default)]
 pub struct SimCache {
     entries: Mutex<HashMap<Vec<u8>, SimReport>>,
@@ -96,9 +137,47 @@ impl SimCache {
         Self::default()
     }
 
-    /// Creates a cache that never holds more than `max_entries` reports:
-    /// when a generation fills up, the whole map is flushed and the next
-    /// generation starts cold (counters are kept).
+    /// Creates a cache that never holds more than `max_entries` reports,
+    /// with epoch eviction: inserting a **new** fingerprint into a full
+    /// generation flushes the entire map first, and the next generation
+    /// starts cold. Re-inserting a resident fingerprint never flushes,
+    /// and the hit/miss counters survive flushes. See the
+    /// [capacity and eviction](SimCache#capacity-and-eviction) contract.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simtune_cache::HierarchyConfig;
+    /// use simtune_core::{SimCache, SimSession};
+    /// use simtune_isa::{Executable, Gpr, Inst, ProgramBuilder, TargetIsa};
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), simtune_core::CoreError> {
+    /// let exe = |imm: i64| {
+    ///     let mut b = ProgramBuilder::new();
+    ///     b.push(Inst::Li { rd: Gpr(1), imm });
+    ///     b.push(Inst::Halt);
+    ///     Executable::new("e", b.build().unwrap(), TargetIsa::riscv_u74())
+    /// };
+    /// let cache = Arc::new(SimCache::bounded(2));
+    /// let session = SimSession::builder()
+    ///     .accurate(&HierarchyConfig::tiny_for_tests())
+    ///     .memo_cache(cache.clone())
+    ///     .build()?;
+    ///
+    /// // Two distinct simulations fill the generation...
+    /// session.run(&[exe(1), exe(2)]);
+    /// assert_eq!(cache.len(), 2);
+    /// // ...a third flushes it: only the newest report stays resident...
+    /// session.run(&[exe(3)]);
+    /// assert_eq!(cache.len(), 1);
+    /// // ...so revisiting an evicted candidate misses and re-executes.
+    /// let misses_before = cache.stats().misses;
+    /// session.run(&[exe(1)]);
+    /// assert_eq!(cache.stats().misses, misses_before + 1);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Panics
     ///

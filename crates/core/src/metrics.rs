@@ -35,6 +35,44 @@ impl MemoCacheStats {
     }
 }
 
+/// Convergence counters of one [`crate::SearchStrategy`] run, surfaced
+/// on [`crate::TuneResult::convergence`].
+///
+/// The counters describe how the strategy spent its budget: how many
+/// candidates it handed out, how often an observation improved the best
+/// score, and how early the final best was found. A strategy that
+/// reaches the same `best_score` with a smaller `trials_to_best`
+/// converged faster at equal fidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceStats {
+    /// Candidates the strategy proposed.
+    pub proposed: u64,
+    /// Evaluations fed back through `observe`.
+    pub observed: u64,
+    /// Observations that improved the best score so far.
+    pub improvements: u64,
+    /// Best (lowest) score observed; `INFINITY` before any observation.
+    pub best_score: f64,
+    /// 1-based observation index at which the current best arrived
+    /// (0 before any observation).
+    pub trials_to_best: u64,
+    /// Random restarts taken (hill climbing; 0 for other strategies).
+    pub restarts: u64,
+}
+
+impl Default for ConvergenceStats {
+    fn default() -> Self {
+        ConvergenceStats {
+            proposed: 0,
+            observed: 0,
+            improvements: 0,
+            best_score: f64::INFINITY,
+            trials_to_best: 0,
+            restarts: 0,
+        }
+    }
+}
+
 /// The four per-group prediction metrics of Tables III–V.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictionMetrics {

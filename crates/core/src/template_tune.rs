@@ -3,196 +3,40 @@
 //! The paper's Contribution I covers both TVM flows (its Listings 3
 //! and 4): the Auto-Scheduler (sketches, [`crate::autotune`]) and
 //! AutoTVM, where "tuners [are] responsible for selecting subsequent
-//! programs based on selectable tuning algorithms" (Section II-A). This
-//! module provides those selectable algorithms over a finite template
-//! space — exhaustive grid, uniform random, and simulated annealing —
-//! plus the simulator-backed tuning loop that evaluates them.
+//! programs based on selectable tuning algorithms" (Section II-A). The
+//! selectable algorithms are the [`crate::SearchStrategy`]
+//! implementations of [`crate::search`], instantiated here over a
+//! [`TemplateSpace`](crate::TemplateSpace) — exhaustive grid, uniform
+//! random, hill climbing, evolutionary search and simulated annealing
+//! all drive the same simulator-backed loop, selected through
+//! [`TuneOptions::strategy`].
 
 use crate::backend::SimSession;
 use crate::features::WindowNormalizer;
 use crate::runner::KernelBuilder;
 use crate::score::ScorePredictor;
+use crate::search::Evaluation;
 use crate::{CoreError, TuneOptions, TuneRecord, TuneResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simtune_hw::TargetSpec;
 use simtune_tensor::{ComputeDef, ConfigSpace};
-use std::collections::HashSet;
-
-/// A search strategy over a template configuration space.
-pub trait TemplateTuner {
-    /// Proposes up to `n` configurations (one choice index per knob).
-    fn next_batch(&mut self, n: usize) -> Vec<Vec<usize>>;
-
-    /// Feeds back scores (lower = better).
-    fn update(&mut self, batch: &[Vec<usize>], scores: &[f64]);
-
-    /// Strategy label.
-    fn name(&self) -> &'static str;
-}
-
-/// Exhaustive enumeration in index order (feasible for template spaces,
-/// which are finite by construction).
-#[derive(Debug)]
-pub struct GridTemplateTuner {
-    space: ConfigSpace,
-    cursor: usize,
-}
-
-impl GridTemplateTuner {
-    /// Creates a grid tuner over `space`.
-    pub fn new(space: ConfigSpace) -> Self {
-        GridTemplateTuner { space, cursor: 0 }
-    }
-}
-
-impl TemplateTuner for GridTemplateTuner {
-    fn next_batch(&mut self, n: usize) -> Vec<Vec<usize>> {
-        let end = (self.cursor + n).min(self.space.len());
-        let batch = (self.cursor..end)
-            .map(|i| self.space.config_from_index(i))
-            .collect();
-        self.cursor = end;
-        batch
-    }
-
-    fn update(&mut self, _batch: &[Vec<usize>], _scores: &[f64]) {}
-
-    fn name(&self) -> &'static str {
-        "grid"
-    }
-}
-
-/// Uniform random sampling without replacement.
-#[derive(Debug)]
-pub struct RandomTemplateTuner {
-    space: ConfigSpace,
-    rng: StdRng,
-    seen: HashSet<usize>,
-}
-
-impl RandomTemplateTuner {
-    /// Creates a random tuner over `space`.
-    pub fn new(space: ConfigSpace, seed: u64) -> Self {
-        RandomTemplateTuner {
-            space,
-            rng: StdRng::seed_from_u64(seed),
-            seen: HashSet::new(),
-        }
-    }
-}
-
-impl TemplateTuner for RandomTemplateTuner {
-    fn next_batch(&mut self, n: usize) -> Vec<Vec<usize>> {
-        let mut out = Vec::with_capacity(n);
-        let total = self.space.len();
-        let mut attempts = 0;
-        while out.len() < n && self.seen.len() < total && attempts < n * 100 {
-            attempts += 1;
-            let cfg = self.space.sample(&mut self.rng);
-            if self.seen.insert(self.space.index_of(&cfg)) {
-                out.push(cfg);
-            }
-        }
-        out
-    }
-
-    fn update(&mut self, _batch: &[Vec<usize>], _scores: &[f64]) {}
-
-    fn name(&self) -> &'static str {
-        "random"
-    }
-}
-
-/// Simulated annealing over the knob lattice (AutoTVM's `sa` tuner
-/// family): proposals are single-knob mutations of the incumbent,
-/// accepted with the Metropolis criterion under a geometric temperature
-/// schedule.
-#[derive(Debug)]
-pub struct SaTemplateTuner {
-    space: ConfigSpace,
-    rng: StdRng,
-    incumbent: Option<(Vec<usize>, f64)>,
-    temperature: f64,
-    /// Multiplied into the temperature after every update.
-    pub cooling: f64,
-    seen: HashSet<usize>,
-}
-
-impl SaTemplateTuner {
-    /// Creates an annealing tuner with initial temperature 1.0 and a
-    /// 0.9 cooling factor per batch.
-    pub fn new(space: ConfigSpace, seed: u64) -> Self {
-        SaTemplateTuner {
-            space,
-            rng: StdRng::seed_from_u64(seed),
-            incumbent: None,
-            temperature: 1.0,
-            cooling: 0.9,
-            seen: HashSet::new(),
-        }
-    }
-}
-
-impl TemplateTuner for SaTemplateTuner {
-    fn next_batch(&mut self, n: usize) -> Vec<Vec<usize>> {
-        let mut out = Vec::with_capacity(n);
-        let mut attempts = 0;
-        while out.len() < n && attempts < n * 100 {
-            attempts += 1;
-            let candidate = match &self.incumbent {
-                None => self.space.sample(&mut self.rng),
-                Some((cfg, _)) => self.space.mutate(cfg, &mut self.rng),
-            };
-            if self.seen.insert(self.space.index_of(&candidate)) {
-                out.push(candidate);
-            }
-        }
-        out
-    }
-
-    fn update(&mut self, batch: &[Vec<usize>], scores: &[f64]) {
-        for (cfg, &score) in batch.iter().zip(scores) {
-            if !score.is_finite() {
-                continue;
-            }
-            let accept = match &self.incumbent {
-                None => true,
-                Some((_, best)) => {
-                    score < *best || {
-                        let delta = (score - best).max(0.0);
-                        let p = (-delta / self.temperature.max(1e-9)).exp();
-                        self.rng.gen_bool(p.clamp(0.0, 1.0))
-                    }
-                }
-            };
-            if accept {
-                self.incumbent = Some((cfg.clone(), score));
-            }
-        }
-        self.temperature *= self.cooling;
-    }
-
-    fn name(&self) -> &'static str {
-        "simulated_annealing"
-    }
-}
 
 /// AutoTVM-style tuning loop: template configurations are materialized,
 /// built, run on `n_parallel` simulators and scored by a trained
 /// predictor; invalid configurations receive an infinite score, exactly
-/// like failed builds in TVM.
+/// like failed builds in TVM. The strategy selected by
+/// [`TuneOptions::strategy`] walks the space.
 ///
 /// # Errors
 ///
 /// Propagates pipeline failures; returns [`CoreError::Pipeline`] when
-/// the predictor is untrained or the space yields nothing.
+/// the predictor is untrained, the space yields nothing, or the
+/// strategy spec cannot drive a template space
+/// ([`crate::StrategySpec::Custom`]).
 pub fn tune_template_space(
     def: &ComputeDef,
     spec: &TargetSpec,
     space: &ConfigSpace,
     predictor: &ScorePredictor,
-    tuner: &mut dyn TemplateTuner,
     opts: &TuneOptions,
 ) -> Result<TuneResult, CoreError> {
     if !predictor.is_trained() {
@@ -204,12 +48,15 @@ pub fn tune_template_space(
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
+    let mut strategy = opts.strategy.build_template(space.clone(), opts.seed)?;
     let mut normalizer = WindowNormalizer::new(opts.window);
     let mut history: Vec<TuneRecord> = Vec::new();
+    let mut evaluations: Vec<Evaluation<Vec<usize>>> = Vec::new();
+    let mut sim_runs = 0usize;
 
     while history.len() < opts.n_trials {
         let want = opts.batch_size.min(opts.n_trials - history.len());
-        let batch = tuner.next_batch(want);
+        let batch = strategy.propose(&evaluations, want);
         if batch.is_empty() {
             break; // space exhausted
         }
@@ -233,28 +80,37 @@ pub fn tune_template_space(
                 Err(_) => failed.push(cfg),
             }
         }
+        sim_runs += exes.len();
         let stats = sim.run_stats(&exes);
-        let mut scored: Vec<(Vec<usize>, Option<simtune_tensor::Schedule>, f64)> = Vec::new();
+        let mut scored: Vec<(Option<simtune_tensor::Schedule>, Evaluation<Vec<usize>>)> =
+            Vec::new();
         for ((cfg, schedule), st) in kept.into_iter().zip(stats) {
             let score = match st {
                 Ok(st) => predictor.score_streaming(&st, &mut normalizer)?,
                 Err(_) => f64::INFINITY,
             };
-            scored.push((cfg, Some(schedule), score));
+            scored.push((Some(schedule), Evaluation { point: cfg, score }));
         }
         for cfg in failed {
-            scored.push((cfg, None, f64::INFINITY));
+            scored.push((
+                None,
+                Evaluation {
+                    point: cfg,
+                    score: f64::INFINITY,
+                },
+            ));
         }
-        let cfgs: Vec<Vec<usize>> = scored.iter().map(|(c, _, _)| c.clone()).collect();
-        let scores: Vec<f64> = scored.iter().map(|(_, _, s)| *s).collect();
-        tuner.update(&cfgs, &scores);
-        for (cfg, schedule, score) in scored {
+        let batch_evals: Vec<Evaluation<Vec<usize>>> =
+            scored.iter().map(|(_, e)| e.clone()).collect();
+        strategy.observe(&batch_evals);
+        for (schedule, e) in scored {
             history.push(TuneRecord {
-                description: format!("config {cfg:?}"),
+                description: format!("config {:?}", e.point),
                 schedule: schedule.unwrap_or_default(),
-                score,
+                score: e.score,
             });
         }
+        evaluations.extend(batch_evals);
     }
     if history.is_empty() {
         return Err(CoreError::Pipeline("template space yielded nothing".into()));
@@ -268,6 +124,9 @@ pub fn tune_template_space(
     Ok(TuneResult {
         history,
         best_index,
+        strategy: strategy.name().to_string(),
+        convergence: strategy.convergence(),
+        simulations: sim_runs,
     })
 }
 
@@ -275,6 +134,7 @@ pub fn tune_template_space(
 mod tests {
     use super::*;
     use crate::workflow::{collect_group_data, CollectOptions};
+    use crate::StrategySpec;
     use simtune_predict::PredictorKind;
     use simtune_tensor::matmul;
 
@@ -303,79 +163,18 @@ mod tests {
     }
 
     #[test]
-    fn grid_tuner_enumerates_in_order_without_repeats() {
-        let def = matmul(8, 8, 8);
-        let space = ConfigSpace::matmul(&def, &simtune_tensor::TargetIsa::riscv_u74());
-        let mut t = GridTemplateTuner::new(space.clone());
-        let a = t.next_batch(5);
-        let b = t.next_batch(5);
-        assert_eq!(a.len(), 5);
-        assert_eq!(space.index_of(&a[0]), 0);
-        assert_eq!(space.index_of(&b[0]), 5);
-    }
-
-    #[test]
-    fn grid_tuner_stops_at_space_end() {
-        let def = matmul(8, 8, 8);
-        let space = ConfigSpace::matmul(&def, &simtune_tensor::TargetIsa::riscv_u74());
-        let mut t = GridTemplateTuner::new(space.clone());
-        let mut total = 0;
-        loop {
-            let b = t.next_batch(1000);
-            if b.is_empty() {
-                break;
-            }
-            total += b.len();
-        }
-        assert_eq!(total, space.len());
-    }
-
-    #[test]
-    fn random_tuner_has_no_duplicates() {
-        let def = matmul(8, 8, 8);
-        let space = ConfigSpace::matmul(&def, &simtune_tensor::TargetIsa::riscv_u74());
-        let mut t = RandomTemplateTuner::new(space.clone(), 1);
-        let mut seen = HashSet::new();
-        for _ in 0..5 {
-            for cfg in t.next_batch(10) {
-                assert!(seen.insert(space.index_of(&cfg)), "duplicate config");
-            }
-        }
-    }
-
-    #[test]
-    fn annealing_tracks_an_incumbent() {
-        let def = matmul(8, 8, 8);
-        let space = ConfigSpace::matmul(&def, &simtune_tensor::TargetIsa::riscv_u74());
-        let mut t = SaTemplateTuner::new(space.clone(), 7);
-        // Score = config index (lower index = better).
-        for _ in 0..10 {
-            let batch = t.next_batch(6);
-            if batch.is_empty() {
-                break;
-            }
-            let scores: Vec<f64> = batch.iter().map(|c| space.index_of(c) as f64).collect();
-            t.update(&batch, &scores);
-        }
-        let (_, best) = t.incumbent.expect("has incumbent");
-        assert!(best.is_finite());
-        assert!(t.temperature < 1.0, "temperature must cool");
-    }
-
-    #[test]
     fn template_tuning_end_to_end() {
         let (def, spec, space, predictor) = setup();
-        let mut tuner = RandomTemplateTuner::new(space.clone(), 9);
         let result = tune_template_space(
             &def,
             &spec,
             &space,
             &predictor,
-            &mut tuner,
             &TuneOptions {
                 n_trials: 12,
                 batch_size: 4,
                 n_parallel: 2,
+                seed: 9,
                 ..TuneOptions::default()
             },
         )
@@ -383,5 +182,55 @@ mod tests {
         assert_eq!(result.history.len(), 12);
         assert!(result.best().score.is_finite());
         assert!(result.best().description.starts_with("config"));
+        assert_eq!(result.strategy, "random");
+        assert_eq!(result.convergence.observed, 12);
+    }
+
+    #[test]
+    fn grid_strategy_walks_the_template_space_in_order() {
+        let (def, spec, space, predictor) = setup();
+        let result = tune_template_space(
+            &def,
+            &spec,
+            &space,
+            &predictor,
+            &TuneOptions {
+                n_trials: 6,
+                batch_size: 3,
+                n_parallel: 2,
+                strategy: StrategySpec::Grid,
+                ..TuneOptions::default()
+            },
+        )
+        .expect("tunes");
+        assert_eq!(result.strategy, "grid");
+        // Grid visits configs 0..6 in index order.
+        for (i, record) in result.history.iter().enumerate() {
+            let cfg = space.config_from_index(i);
+            assert_eq!(record.description, format!("config {cfg:?}"));
+        }
+    }
+
+    #[test]
+    fn annealing_strategy_tunes_the_template_space() {
+        let (def, spec, space, predictor) = setup();
+        let result = tune_template_space(
+            &def,
+            &spec,
+            &space,
+            &predictor,
+            &TuneOptions {
+                n_trials: 12,
+                batch_size: 4,
+                n_parallel: 2,
+                seed: 7,
+                strategy: StrategySpec::Annealing,
+                ..TuneOptions::default()
+            },
+        )
+        .expect("tunes");
+        assert_eq!(result.strategy, "annealing");
+        assert_eq!(result.history.len(), 12);
+        assert!(result.best().score.is_finite());
     }
 }

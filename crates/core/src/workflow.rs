@@ -6,6 +6,7 @@ use crate::features::FeatureConfig;
 use crate::metrics::{prediction_metrics, PredictionMetrics};
 use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::{GroupData, ScorePredictor};
+use crate::search::{RandomSearch, SearchStrategy, SketchSpace};
 use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,7 +14,6 @@ use simtune_hw::TargetSpec;
 use simtune_linalg::stats::{argsort, median};
 use simtune_predict::PredictorKind;
 use simtune_tensor::{ComputeDef, SketchGenerator};
-use std::collections::HashSet;
 
 /// Options for collecting one group's dataset (training phase of
 /// Fig. 4: run every implementation on the simulator *and* the target).
@@ -59,29 +59,41 @@ pub fn collect_group_data(
     opts: &CollectOptions,
 ) -> Result<GroupData, CoreError> {
     let generator = SketchGenerator::new(def, spec.isa.clone());
-    let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(group_id as u64 * 7919));
-
-    // Sample distinct, valid schedules.
+    // Sample distinct, valid schedules through the shared RandomSearch
+    // strategy — the same sampling loop that used to live inline here,
+    // extracted so collection, tuning and template search all draw
+    // candidates through one subsystem. Seed derivation, deduplication
+    // key and rng stream are unchanged, so datasets collected before the
+    // extraction reproduce bit-identically.
+    let mut sampler = RandomSearch::new(
+        SketchSpace::new(generator.clone()),
+        opts.seed.wrapping_add(group_id as u64 * 7919),
+    )
+    .with_attempts_factor(opts.max_attempts_factor);
     let mut schedules = Vec::with_capacity(opts.n_impls);
-    let mut seen = HashSet::new();
-    let mut attempts = 0usize;
+    // The historical give-up bound: at most n_impls * factor raw draws
+    // in total, however many of them deduplication or schedule
+    // validation rejects (checked between batches, so one in-flight
+    // batch may overshoot slightly).
     let max_attempts = opts.n_impls * opts.max_attempts_factor;
-    while schedules.len() < opts.n_impls && attempts < max_attempts {
-        attempts += 1;
-        let params = generator.random(&mut rng);
-        let key = format!("{params:?}");
-        if !seen.insert(key) {
-            continue;
+    while schedules.len() < opts.n_impls && sampler.attempts() < max_attempts {
+        let want = opts.n_impls - schedules.len();
+        let batch = sampler.propose(&[], want);
+        if batch.is_empty() {
+            break; // space exhausted or per-batch attempt budget spent
         }
-        let schedule = generator.schedule(&params);
-        if schedule.apply(def, &spec.isa).is_ok() {
-            schedules.push((format!("{params:?}"), schedule));
+        for params in batch {
+            let schedule = generator.schedule(&params);
+            if schedule.apply(def, &spec.isa).is_ok() {
+                schedules.push((format!("{params:?}"), schedule));
+            }
         }
     }
     if schedules.len() < opts.n_impls.min(8) {
         return Err(CoreError::Pipeline(format!(
-            "only {} valid schedules after {attempts} attempts",
-            schedules.len()
+            "only {} valid schedules after {} attempts",
+            schedules.len(),
+            sampler.attempts()
         )));
     }
 
@@ -281,6 +293,7 @@ pub fn holdout_group_curves(
 mod tests {
     use super::*;
     use simtune_tensor::{matmul, Conv2dShape};
+    use std::collections::HashSet;
 
     fn tiny_conv_def() -> ComputeDef {
         simtune_tensor::conv2d_bias_relu(&Conv2dShape {

@@ -1,0 +1,114 @@
+//! Strategy determinism: the same seed and strategy must reproduce the
+//! identical search — same candidates, same visit order, same best —
+//! regardless of how many parallel simulator instances evaluate the
+//! batches. Parallelism changes *who executes* a candidate, never
+//! *which* candidate runs or in which history slot it lands.
+
+use simtune_core::{
+    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, StrategySpec,
+    TuneOptions, TuneResult,
+};
+use simtune_hw::TargetSpec;
+use simtune_predict::PredictorKind;
+use simtune_tensor::{matmul, ComputeDef};
+
+fn workload() -> (ComputeDef, TargetSpec, ScorePredictor) {
+    let def = matmul(8, 8, 8);
+    let spec = TargetSpec::riscv_u74();
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 16,
+            n_parallel: 4,
+            seed: 5,
+            max_attempts_factor: 40,
+            ..CollectOptions::default()
+        },
+    )
+    .expect("collects");
+    let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+    predictor
+        .train(std::slice::from_ref(&data))
+        .expect("trains");
+    (def, spec, predictor)
+}
+
+fn run(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    strategy: StrategySpec,
+    n_parallel: usize,
+) -> TuneResult {
+    tune_with_predictor(
+        def,
+        spec,
+        predictor,
+        &TuneOptions {
+            n_trials: 12,
+            batch_size: 4,
+            n_parallel,
+            seed: 17,
+            strategy,
+            ..TuneOptions::default()
+        },
+    )
+    .expect("tunes")
+}
+
+#[test]
+fn every_strategy_is_deterministic_across_parallelism() {
+    let (def, spec, predictor) = workload();
+    for strategy in StrategySpec::all() {
+        let label = strategy.label();
+        let reference = run(&def, &spec, &predictor, strategy.clone(), 1);
+        for n_parallel in [2usize, 4] {
+            let other = run(&def, &spec, &predictor, strategy.clone(), n_parallel);
+            // Identical visit order: candidate i of one run is candidate
+            // i of the other, bit for bit.
+            assert_eq!(
+                reference.history.len(),
+                other.history.len(),
+                "{label}: history length diverged at n_parallel={n_parallel}"
+            );
+            for (i, (a, b)) in reference.history.iter().zip(&other.history).enumerate() {
+                assert_eq!(
+                    a.description, b.description,
+                    "{label}: visit order diverged at slot {i}, n_parallel={n_parallel}"
+                );
+                assert_eq!(
+                    a.score, b.score,
+                    "{label}: score diverged at slot {i}, n_parallel={n_parallel}"
+                );
+            }
+            // Identical best candidate.
+            assert_eq!(
+                reference.best_index, other.best_index,
+                "{label}: best index diverged at n_parallel={n_parallel}"
+            );
+            assert_eq!(reference.best().description, other.best().description);
+            // Identical convergence counters.
+            assert_eq!(
+                reference.convergence, other.convergence,
+                "{label}: convergence diverged at n_parallel={n_parallel}"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_reruns_are_bit_identical() {
+    let (def, spec, predictor) = workload();
+    for strategy in StrategySpec::all() {
+        let a = run(&def, &spec, &predictor, strategy.clone(), 4);
+        let b = run(&def, &spec, &predictor, strategy, 4);
+        let descs = |r: &TuneResult| -> Vec<String> {
+            r.history.iter().map(|t| t.description.clone()).collect()
+        };
+        assert_eq!(descs(&a), descs(&b));
+        assert_eq!(a.best_index, b.best_index);
+        assert_eq!(a.simulations, b.simulations);
+    }
+}

@@ -8,7 +8,7 @@ pub struct Gpr(pub u8);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Fpr(pub u8);
 
-/// Vector register index (each holds [`MAX_LANES`](crate::inst) f32 lanes;
+/// Vector register index (each holds [`MAX_LANES`] f32 lanes;
 /// the active lane count comes from the target).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Vr(pub u8);

@@ -78,7 +78,7 @@ pub use exec::{
     simulate, simulate_counting, simulate_counting_decoded, simulate_decoded, simulate_prefix,
     simulate_prefix_decoded, Executable, SimOutcome, ACCURATE, FAST_COUNT,
 };
-pub use inst::{Fpr, Gpr, Inst, Label, Vr};
+pub use inst::{Fpr, Gpr, Inst, Label, Vr, MAX_LANES};
 pub use memory::Memory;
 pub use program::{Program, ProgramBuilder};
 pub use stats::{InstMix, SimStats};

@@ -131,6 +131,64 @@ impl SketchGenerator {
         &self.target
     }
 
+    /// Extents of the kernel's spatial variables, in variable order.
+    pub fn spatial_extents(&self) -> &[usize] {
+        &self.spatial_extents
+    }
+
+    /// Extents of the kernel's reduction variables, in variable order.
+    pub fn reduce_extents(&self) -> &[usize] {
+        &self.reduce_extents
+    }
+
+    /// The rules this generator samples under.
+    pub fn rules(&self) -> &SketchRules {
+        &self.rules
+    }
+
+    /// Normalizes an externally constructed genotype into the valid
+    /// region: clears `vectorize` when the innermost tile is not
+    /// lane-exact and drops unroll flags whose effective trip count
+    /// exceeds [`MAX_UNROLL`] — the same clamping every sampled, mutated
+    /// or crossed-over genotype goes through. Enumerative searches use
+    /// this to project lattice points into the space the random sampler
+    /// draws from.
+    pub fn canonicalize(&self, p: &mut SketchParams) {
+        self.clamp(p);
+    }
+
+    /// True when `p` lies inside this generator's search space: every
+    /// tile divides its extent and respects the rule caps, and the
+    /// annotation flags survive [`SketchGenerator::canonicalize`]
+    /// unchanged.
+    pub fn contains(&self, p: &SketchParams) -> bool {
+        if p.spatial_tiles.len() != self.spatial_extents.len()
+            || p.reduce_tiles.len() != self.reduce_extents.len()
+        {
+            return false;
+        }
+        let tiles_ok = |tiles: &[usize], extents: &[usize], cap: usize| {
+            tiles
+                .iter()
+                .zip(extents)
+                .all(|(&t, &e)| t >= 1 && t <= cap && e.is_multiple_of(t))
+        };
+        if !tiles_ok(
+            &p.spatial_tiles,
+            &self.spatial_extents,
+            self.rules.max_spatial_tile,
+        ) || !tiles_ok(
+            &p.reduce_tiles,
+            &self.reduce_extents,
+            self.rules.max_reduce_tile,
+        ) {
+            return false;
+        }
+        let mut canonical = p.clone();
+        self.clamp(&mut canonical);
+        canonical == *p
+    }
+
     /// Samples a random valid genotype.
     pub fn random<R: Rng>(&self, rng: &mut R) -> SketchParams {
         let spatial_tiles: Vec<usize> = self
@@ -483,6 +541,44 @@ mod tests {
             "only {} distinct sketches",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn sampled_genotypes_are_contained_and_canonical() {
+        let def = conv_def();
+        for target in TargetIsa::paper_targets() {
+            let gen = SketchGenerator::new(&def, target);
+            let mut rng = StdRng::seed_from_u64(31);
+            for _ in 0..100 {
+                let p = gen.random(&mut rng);
+                assert!(gen.contains(&p), "sampled genotype outside space: {p:?}");
+                let mut c = p.clone();
+                gen.canonicalize(&mut c);
+                assert_eq!(c, p, "sampled genotype must already be canonical");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_rejects_invalid_genotypes() {
+        let def = conv_def();
+        let gen = SketchGenerator::new(&def, TargetIsa::x86_ryzen_5800x());
+        let mut rng = StdRng::seed_from_u64(4);
+        let valid = gen.random(&mut rng);
+
+        let mut bad_tile = valid.clone();
+        bad_tile.spatial_tiles[0] = 7; // no extent here is divisible by 7
+        assert!(!gen.contains(&bad_tile));
+
+        let mut bad_arity = valid.clone();
+        bad_arity.reduce_tiles.pop();
+        assert!(!gen.contains(&bad_arity));
+
+        // Vectorize on a scalar target is outside the space.
+        let scalar = SketchGenerator::new(&def, TargetIsa::riscv_u74());
+        let mut vec_on_scalar = scalar.random(&mut rng);
+        vec_on_scalar.vectorize = true;
+        assert!(!scalar.contains(&vec_on_scalar));
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //! ```
 
 use simtune::core::{
-    collect_group_data, tune_on_hardware, tune_with_predictor, CollectOptions, EvolutionaryTuner,
-    HardwareRunner, KernelBuilder, ScorePredictor, TuneOptions,
+    collect_group_data, tune_on_hardware, tune_with_predictor, CollectOptions, HardwareRunner,
+    KernelBuilder, ScorePredictor, StrategySpec, TuneOptions,
 };
 use simtune::hw::TargetSpec;
 use simtune::predict::PredictorKind;
-use simtune::tensor::{conv2d_bias_relu, Conv2dShape, SketchGenerator};
+use simtune::tensor::{conv2d_bias_relu, Conv2dShape};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TargetSpec::arm_cortex_a72();
@@ -58,18 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_trials: 40,
         batch_size: 10,
         n_parallel: 8,
+        seed: 11,
+        strategy: StrategySpec::Evolutionary,
         ..TuneOptions::default()
     };
 
     // Flow A: classic hardware-in-the-loop tuning.
     println!("flow A: tuning on the emulated board (sequential, noisy)...");
-    let mut hw_tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 11);
-    let hw_result = tune_on_hardware(&def, &spec, &mut hw_tuner, &opts)?;
+    let hw_result = tune_on_hardware(&def, &spec, &opts)?;
 
     // Flow B: simulator + predictor; re-measure the predicted top 3.
     println!("flow B: tuning on parallel simulators with the predictor...");
-    let mut sim_tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 11);
-    let sim_result = tune_with_predictor(&def, &spec, &predictor, &mut sim_tuner, &opts)?;
+    let sim_result = tune_with_predictor(&def, &spec, &predictor, &opts)?;
 
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
     let hw_runner = HardwareRunner::new(spec.clone());

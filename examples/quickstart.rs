@@ -14,12 +14,12 @@
 //! ```
 
 use simtune::core::{
-    collect_group_data, tune_with_predictor, CollectOptions, EvolutionaryTuner, HardwareRunner,
-    KernelBuilder, ScorePredictor, TuneOptions,
+    collect_group_data, tune_with_predictor, CollectOptions, HardwareRunner, KernelBuilder,
+    ScorePredictor, StrategySpec, TuneOptions,
 };
 use simtune::hw::TargetSpec;
 use simtune::predict::PredictorKind;
-use simtune::tensor::{matmul, SketchGenerator};
+use simtune::tensor::matmul;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Tune for the RISC-V target: the scenario where real boards are
@@ -55,22 +55,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- Execution phase (paper Fig. 4-II): no target hardware ---------
     println!("[3/3] tuning with simulators only...");
-    let mut tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 7);
     let result = tune_with_predictor(
         &def,
         &spec,
         &predictor,
-        &mut tuner,
         &TuneOptions {
             n_trials: 48,
             batch_size: 12,
             n_parallel: 8,
+            seed: 7,
+            strategy: StrategySpec::Evolutionary,
             ..TuneOptions::default()
         },
     )?;
     println!(
-        "      evaluated {} candidates, best predicted score {:+.3}",
+        "      evaluated {} candidates with {} search, best predicted score {:+.3}",
         result.history.len(),
+        result.strategy,
         result.best().score
     );
 

@@ -48,18 +48,54 @@
 //! # }
 //! ```
 //!
+//! # Search strategies
+//!
+//! Which candidate to simulate next is pluggable: every tuning loop
+//! takes a [`SearchStrategy`] selected through
+//! [`core::TuneOptions::strategy`] as a [`StrategySpec`] — uniform
+//! random (the default, bit-identical to the historical tuner),
+//! exhaustive grid, hill climbing with restarts, evolutionary search,
+//! simulated annealing, or any user-provided boxed strategy. All are
+//! deterministic under [`core::TuneOptions::seed`] and report
+//! [`ConvergenceStats`] on the result:
+//!
+//! ```no_run
+//! use simtune::core::{tune_with_predictor, ScorePredictor, TuneOptions};
+//! use simtune::StrategySpec;
+//! # use simtune::predict::PredictorKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let def = simtune::tensor::matmul(16, 16, 16);
+//! let spec = simtune::hw::TargetSpec::riscv_u74();
+//! # let trained_predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
+//! let opts = TuneOptions {
+//!     strategy: StrategySpec::Evolutionary,
+//!     seed: 7,
+//!     ..TuneOptions::default()
+//! };
+//! let result = tune_with_predictor(&def, &spec, &trained_predictor, &opts)?;
+//! println!("{} converged after {} trials", result.strategy,
+//!          result.convergence.trials_to_best);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end run: define a kernel,
 //! generate schedule candidates, simulate them in parallel, train a score
-//! predictor and pick the best implementation.
+//! predictor and pick the best implementation. `docs/ARCHITECTURE.md` in
+//! the repository maps the full dataflow and every paper section to its
+//! module.
 
-// The backend API is the crate's headline surface; lift it to the root
-// so `simtune::SimSession` works without spelling out the core crate.
+// The backend and search APIs are the crate's headline surface; lift
+// them to the root so `simtune::SimSession` / `simtune::SearchStrategy`
+// work without spelling out the core crate.
 pub use simtune_core::{
     tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry,
-    EscalatedTuneResult, EscalationOptions, FastCountBackend, Fidelity, FnBackend, MemoCacheStats,
-    SampledBackend, SimBackend, SimCache, SimReport, SimSession, SimSessionBuilder,
+    ConvergenceStats, EscalatedTuneResult, EscalationOptions, Evaluation, FastCountBackend,
+    Fidelity, FnBackend, MemoCacheStats, SampledBackend, SearchSpace, SearchStrategy, SimBackend,
+    SimCache, SimReport, SimSession, SimSessionBuilder, SketchSpace, StrategySpec, TemplateSpace,
 };
 
 pub use simtune_cache as cache;

@@ -5,11 +5,11 @@
 
 use simtune::core::{
     collect_group_data, tune_with_fidelity_escalation, tune_with_predictor, CollectOptions,
-    EscalationOptions, KernelBuilder, RandomTuner, ScorePredictor, SimCache, TuneOptions,
+    EscalationOptions, KernelBuilder, ScorePredictor, SimCache, TuneOptions,
 };
 use simtune::hw::TargetSpec;
 use simtune::predict::PredictorKind;
-use simtune::tensor::{matmul, ComputeDef, Schedule, SketchGenerator};
+use simtune::tensor::{matmul, ComputeDef, Schedule};
 use simtune::SimSession;
 use std::sync::Arc;
 
@@ -72,26 +72,24 @@ fn fidelity_escalation_matches_accurate_only_with_fewer_accurate_runs() {
     let mut predictor = ScorePredictor::new(PredictorKind::LinReg, "riscv", "matmul", 1);
     predictor.train(std::slice::from_ref(&data)).unwrap();
 
+    // Same seed + default RandomSearch strategy ⇒ both flows see the
+    // identical candidate stream (random search ignores feedback).
     let opts = TuneOptions {
         n_trials: 24,
         batch_size: 8,
         n_parallel: 4,
+        seed: 9,
         ..Default::default()
     };
-    // Same seed ⇒ the RandomTuner proposes the identical candidate
-    // stream to both flows (its feedback path is a no-op).
-    let mut accurate_tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
-    let accurate_only = tune_with_predictor(&def, &spec, &predictor, &mut accurate_tuner, &opts)
-        .expect("accurate-only tuning runs");
+    let accurate_only =
+        tune_with_predictor(&def, &spec, &predictor, &opts).expect("accurate-only tuning runs");
 
     let esc = EscalationOptions {
         top_k: 8,
         sample_fraction: None,
     };
-    let mut escalating_tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 9);
-    let escalated =
-        tune_with_fidelity_escalation(&def, &spec, &predictor, &mut escalating_tuner, &opts, &esc)
-            .expect("escalated tuning runs");
+    let escalated = tune_with_fidelity_escalation(&def, &spec, &predictor, &opts, &esc)
+        .expect("escalated tuning runs");
 
     assert_eq!(escalated.explore_backend, "fast-count");
     assert_eq!(escalated.final_backend, "accurate");
@@ -131,13 +129,13 @@ fn memo_cache_dedupes_revisited_candidates_without_changing_results() {
         n_trials: 16,
         batch_size: 8,
         n_parallel: 2,
+        seed: 11,
         ..TuneOptions::default()
     };
     let run = |opts: &TuneOptions| {
-        // Same seed ⇒ the RandomTuner proposes the identical candidate
-        // stream on every invocation.
-        let mut tuner = RandomTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 11);
-        tune_with_predictor(&def, &spec, &predictor, &mut tuner, opts).expect("tuning runs")
+        // Same seed ⇒ the default RandomSearch strategy proposes the
+        // identical candidate stream on every invocation.
+        tune_with_predictor(&def, &spec, &predictor, opts).expect("tuning runs")
     };
 
     // Two identical tuning runs without memoization: the reference.

@@ -4,13 +4,13 @@
 
 use simtune::core::{
     collect_group_data, evaluate_predictor, holdout_group_curves, parallel_speedup_k,
-    split_train_test, tune_with_predictor, CollectOptions, EvolutionaryTuner, FeatureConfig,
-    GroupData, ScorePredictor, TuneOptions, WindowKind,
+    split_train_test, tune_with_predictor, CollectOptions, FeatureConfig, GroupData,
+    ScorePredictor, StrategySpec, TuneOptions, WindowKind,
 };
 use simtune::hw::{measure, MeasureConfig, TargetSpec};
 use simtune::isa::{simulate, RunLimits};
 use simtune::predict::PredictorKind;
-use simtune::tensor::{build_executable, conv2d_bias_relu, Conv2dShape, Schedule, SketchGenerator};
+use simtune::tensor::{build_executable, conv2d_bias_relu, Conv2dShape, Schedule};
 
 fn small_shape() -> Conv2dShape {
     Conv2dShape {
@@ -171,23 +171,23 @@ fn execution_phase_needs_no_hardware_and_finds_good_schedules() {
         .train(std::slice::from_ref(&data))
         .expect("trains");
 
-    let mut tuner = EvolutionaryTuner::new(SketchGenerator::new(&def, spec.isa.clone()), 5);
     let result = tune_with_predictor(
         &def,
         &spec,
         &predictor,
-        &mut tuner,
         &TuneOptions {
             n_trials: 20,
             batch_size: 5,
             n_parallel: 2,
             window: WindowKind::Dynamic,
-            seed: 1,
+            seed: 5,
+            strategy: StrategySpec::Evolutionary,
             ..TuneOptions::default()
         },
     )
     .expect("tunes");
     assert_eq!(result.history.len(), 20);
+    assert_eq!(result.strategy, "evolutionary");
 
     // Measure the predicted-best on the emulated board and compare with
     // the median of the training distribution: it should not be a dud.

@@ -207,3 +207,88 @@ proptest! {
         .expect("default schedule correct");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every built-in search strategy proposes only candidates that lie
+    /// inside the template space it was built over, for any seed, batch
+    /// size and number of rounds, and never proposes a duplicate.
+    #[test]
+    fn template_strategies_stay_inside_the_space(
+        seed in any::<u64>(),
+        batch in 1usize..16,
+        rounds in 1usize..5,
+        strategy_idx in 0usize..5,
+        m in 2usize..5,
+    ) {
+        let def = matmul(8, m * 4, 8);
+        let space = simtune::tensor::ConfigSpace::matmul(&def, &TargetIsa::arm_cortex_a72());
+        let template = simtune::TemplateSpace::new(space.clone());
+        let spec = simtune::StrategySpec::all()[strategy_idx].clone();
+        let mut strategy = spec
+            .build_template(space, seed)
+            .expect("built-ins drive template spaces");
+        let mut seen = std::collections::HashSet::new();
+        let mut history = Vec::new();
+        for _ in 0..rounds {
+            let proposals = strategy.propose(&history, batch);
+            prop_assert!(proposals.len() <= batch);
+            for cfg in &proposals {
+                prop_assert!(
+                    simtune::SearchSpace::contains(&template, cfg),
+                    "{} proposed {:?} outside the space", strategy.name(), cfg
+                );
+                prop_assert!(
+                    seen.insert(format!("{cfg:?}")),
+                    "{} proposed {:?} twice", strategy.name(), cfg
+                );
+            }
+            // Deterministic synthetic objective keeps the walk moving.
+            let results: Vec<simtune::Evaluation<Vec<usize>>> = proposals
+                .into_iter()
+                .map(|cfg| {
+                    let score = cfg.iter().sum::<usize>() as f64;
+                    simtune::Evaluation { point: cfg, score }
+                })
+                .collect();
+            strategy.observe(&results);
+            history.extend(results);
+        }
+    }
+
+    /// Every built-in strategy over the sketch space proposes only
+    /// genotypes the generator itself considers members of the space.
+    #[test]
+    fn sketch_strategies_stay_inside_the_space(
+        seed in any::<u64>(),
+        batch in 1usize..12,
+        strategy_idx in 0usize..5,
+        target_idx in 0usize..3,
+    ) {
+        let def = matmul(8, 16, 8);
+        let target = TargetIsa::paper_targets()[target_idx].clone();
+        let gen = SketchGenerator::new(&def, target.clone());
+        let spec = simtune::StrategySpec::all()[strategy_idx].clone();
+        let mut strategy = spec.build_sketch(gen.clone(), seed);
+        let mut history = Vec::new();
+        for _ in 0..3 {
+            let proposals = strategy.propose(&history, batch);
+            for p in &proposals {
+                prop_assert!(
+                    gen.contains(p),
+                    "{} proposed {:?} outside the space", strategy.name(), p
+                );
+            }
+            let results: Vec<simtune::Evaluation<_>> = proposals
+                .into_iter()
+                .map(|p| {
+                    let score = p.spatial_tiles.iter().sum::<usize>() as f64;
+                    simtune::Evaluation { point: p, score }
+                })
+                .collect();
+            strategy.observe(&results);
+            history.extend(results);
+        }
+    }
+}

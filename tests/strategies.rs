@@ -1,0 +1,144 @@
+//! Acceptance tests for the pluggable search-strategy subsystem as seen
+//! through the `simtune` façade: the default strategy is plain random
+//! search, and at least one non-random strategy reaches an
+//! equal-or-better conv2d candidate on a strictly smaller simulation
+//! budget — the Pac-Sim/CAPSim argument that candidate selection
+//! matters once simulation is cheap.
+
+use simtune::core::{
+    collect_group_data, tune_with_predictor, CollectOptions, HardwareRunner, KernelBuilder,
+    ScorePredictor, StrategySpec, TuneOptions,
+};
+use simtune::hw::TargetSpec;
+use simtune::predict::PredictorKind;
+use simtune::tensor::{conv2d_bias_relu, ComputeDef, Conv2dShape};
+
+fn conv_workload() -> (ComputeDef, TargetSpec, ScorePredictor) {
+    let def = conv2d_bias_relu(&Conv2dShape {
+        n: 1,
+        h: 10,
+        w: 12,
+        co: 8,
+        ci: 4,
+        kh: 3,
+        kw: 3,
+        stride: (1, 1),
+        pad: (1, 1),
+    });
+    let spec = TargetSpec::riscv_u74();
+    let data = collect_group_data(
+        &def,
+        &spec,
+        0,
+        &CollectOptions {
+            n_impls: 30,
+            n_parallel: 4,
+            seed: 31,
+            max_attempts_factor: 40,
+            ..CollectOptions::default()
+        },
+    )
+    .expect("collects");
+    let mut predictor = ScorePredictor::new(PredictorKind::Xgboost, "riscv", "conv", 2);
+    predictor
+        .train(std::slice::from_ref(&data))
+        .expect("trains");
+    (def, spec, predictor)
+}
+
+/// Measures a tuning winner on the emulated board (fixed noise index, so
+/// both flows are measured under identical conditions).
+fn measure_winner(def: &ComputeDef, spec: &TargetSpec, result: &simtune::core::TuneResult) -> f64 {
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let exe = builder
+        .build(&result.best().schedule, "winner")
+        .expect("builds");
+    HardwareRunner::new(spec.clone())
+        .run_one(&exe, 0)
+        .expect("measures")
+        .t_ref
+}
+
+#[test]
+fn guided_search_matches_random_on_a_smaller_simulation_budget() {
+    let (def, spec, predictor) = conv_workload();
+
+    // The baseline: random search over the full budget.
+    let random = tune_with_predictor(
+        &def,
+        &spec,
+        &predictor,
+        &TuneOptions {
+            n_trials: 32,
+            batch_size: 8,
+            n_parallel: 4,
+            seed: 11,
+            ..TuneOptions::default()
+        },
+    )
+    .expect("random tunes");
+    let random_time = measure_winner(&def, &spec, &random);
+
+    // A guided strategy on a strictly smaller budget must reach an
+    // equal-or-better winner. At least one of the non-random strategies
+    // has to clear the bar — the subsystem's reason to exist.
+    let mut cleared = Vec::new();
+    for strategy in [
+        StrategySpec::HillClimb,
+        StrategySpec::Evolutionary,
+        StrategySpec::Annealing,
+    ] {
+        let label = strategy.label();
+        let guided = tune_with_predictor(
+            &def,
+            &spec,
+            &predictor,
+            &TuneOptions {
+                n_trials: 20,
+                batch_size: 5,
+                n_parallel: 4,
+                seed: 11,
+                strategy,
+                ..TuneOptions::default()
+            },
+        )
+        .expect("guided tunes");
+        assert!(
+            guided.simulations < random.simulations,
+            "{label}: budget not smaller ({} vs {})",
+            guided.simulations,
+            random.simulations
+        );
+        let guided_time = measure_winner(&def, &spec, &guided);
+        if guided_time <= random_time {
+            cleared.push((label, guided.simulations, guided_time));
+        }
+    }
+    assert!(
+        !cleared.is_empty(),
+        "no guided strategy matched random's winner ({random_time:.6}s at {} sims)",
+        random.simulations
+    );
+}
+
+#[test]
+fn default_strategy_is_random_search() {
+    let opts = TuneOptions::default();
+    assert_eq!(opts.strategy.label(), "random");
+    let (def, spec, predictor) = conv_workload();
+    let result = tune_with_predictor(
+        &def,
+        &spec,
+        &predictor,
+        &TuneOptions {
+            n_trials: 8,
+            batch_size: 4,
+            n_parallel: 2,
+            ..TuneOptions::default()
+        },
+    )
+    .expect("tunes");
+    assert_eq!(result.strategy, "random");
+    assert_eq!(result.convergence.observed, 8);
+    assert_eq!(result.simulations, 8);
+}
