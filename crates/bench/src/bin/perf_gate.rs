@@ -1,0 +1,102 @@
+//! CI perf-regression gate: compares a fresh `BENCH_5.json` (written by
+//! `strategy_sweep --json`) against the committed
+//! `ci/bench-baseline.json` and exits non-zero when sweep throughput
+//! regressed beyond the allowed fraction.
+//!
+//! ```text
+//! cargo run --release --bin perf_gate -- \
+//!     --current BENCH_5.json --baseline ci/bench-baseline.json --max-regression 0.25
+//! ```
+//!
+//! Scores are *not* gated here: the fixed-seed sweep is bit-deterministic
+//! and its results are locked down by `crates/core/tests/pool_determinism.rs`;
+//! this gate only watches the harness's speed.
+
+use simtune_bench::{gate, PerfSummary};
+use std::process::ExitCode;
+
+struct GateArgs {
+    current: String,
+    baseline: String,
+    max_regression: f64,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> GateArgs {
+    let mut current = None;
+    let mut baseline = None;
+    let mut max_regression = 0.25;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut need = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--current" => current = Some(need("--current")),
+            "--baseline" => baseline = Some(need("--baseline")),
+            "--max-regression" => {
+                max_regression = need("--max-regression")
+                    .parse()
+                    .expect("--max-regression fraction in (0, 1)");
+            }
+            other => {
+                panic!("unknown flag {other} (expected --current/--baseline/--max-regression)")
+            }
+        }
+    }
+    GateArgs {
+        current: current.expect("--current <BENCH_5.json> is required"),
+        baseline: baseline.expect("--baseline <ci/bench-baseline.json> is required"),
+        max_regression,
+    }
+}
+
+fn load(path: &str) -> Result<PerfSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    PerfSummary::from_json(text.trim()).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run(args: &GateArgs) -> Result<bool, String> {
+    let current = load(&args.current)?;
+    let baseline = load(&args.baseline)?;
+    let report = gate(&current, &baseline, args.max_regression)?;
+    println!("perf gate: {}", report.verdict());
+    println!(
+        "  current : {:>8.1} trials/sec, memo hit rate {:>5.1} % ({} trials)",
+        current.totals.trials_per_sec,
+        current.totals.memo_hit_rate * 100.0,
+        current.totals.trials
+    );
+    println!(
+        "  baseline: {:>8.1} trials/sec, memo hit rate {:>5.1} % ({} trials)",
+        baseline.totals.trials_per_sec,
+        baseline.totals.memo_hit_rate * 100.0,
+        baseline.totals.trials
+    );
+    for s in &current.strategies {
+        println!(
+            "  {:>13}: {:>8.1} trials/sec, best {:.4}, stages p/b/s/s = {:?} ms",
+            s.name,
+            s.trials_per_sec,
+            s.best_score,
+            s.stage_nanos.map(|n| n / 1_000_000)
+        );
+    }
+    Ok(report.passes())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args(std::env::args().skip(1));
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!(
+                "perf gate FAILED: throughput regressed more than {:.0} % vs the committed baseline",
+                args.max_regression * 100.0
+            );
+            eprintln!("if the regression is intended, regenerate ci/bench-baseline.json (see that file's provenance line)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf gate error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,23 +10,36 @@
 //! ```text
 //! cargo run --release --bin strategy_sweep -- --arch riscv --scale smoke
 //! cargo run --release --bin strategy_sweep -- --strategy evolutionary
+//! cargo run --release --bin strategy_sweep -- --arch riscv --scale smoke --json > BENCH_5.json
 //! ```
 //!
 //! `--strategy <name>` restricts the sweep to one strategy
 //! (`random|grid|hill|evolutionary|annealing`); the default sweeps all
-//! five.
+//! five. `--json` replaces the human table with one machine-readable
+//! [`simtune_bench::PerfSummary`] on stdout (progress still goes to
+//! stderr) — the format the `perf-smoke` CI job archives as
+//! `BENCH_5.json` and gates against `ci/bench-baseline.json`.
 
-use simtune_bench::{Args, ExperimentConfig};
+use simtune_bench::{Args, ExperimentConfig, PerfSummary, PerfTotals, StrategyPerf, PERF_SCHEMA};
 use simtune_core::{
-    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, StrategySpec,
-    TuneOptions,
+    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, SimCache,
+    StrategySpec, TuneOptions,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
 use simtune_tensor::conv2d_bias_relu;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
+    // One PerfSummary document per run: concatenated JSON objects would
+    // be unparseable by perf_gate, so JSON mode demands a single arch.
+    assert!(
+        !args.json || args.archs.len() == 1,
+        "--json emits one JSON document and needs exactly one --arch (got {:?})",
+        args.archs
+    );
     let strategies: Vec<StrategySpec> = match &args.strategy {
         Some(s) => vec![s.clone()],
         None => StrategySpec::all().to_vec(),
@@ -46,6 +59,10 @@ fn main() {
             cfg.arch,
             shape.macs() as f64 / 1e6
         );
+        // One memo cache for the whole sweep: strategies revisit each
+        // other's candidates, and the hit rate below measures how much
+        // of the sweep was answered from memory.
+        let memo = Arc::new(SimCache::new());
         let data = match collect_group_data(
             &def,
             &spec,
@@ -71,17 +88,27 @@ fn main() {
             continue;
         }
 
-        println!(
-            "\n[{}] {n_trials} trials, batch {}, seed {}",
-            cfg.arch,
-            n_trials.min(12),
-            cfg.seed
-        );
-        println!(
-            "{:>13} | {:>11} | {:>11} | {:>8} | {:>13} | {:>8}",
-            "strategy", "best score", "simulations", "improves", "trials-to-best", "restarts"
-        );
-        println!("{}", "-".repeat(80));
+        if !args.json {
+            println!(
+                "\n[{}] {n_trials} trials, batch {}, seed {}",
+                cfg.arch,
+                n_trials.min(12),
+                cfg.seed
+            );
+            println!(
+                "{:>13} | {:>11} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11}",
+                "strategy",
+                "best score",
+                "simulations",
+                "improves",
+                "trials-to-best",
+                "restarts",
+                "trials/sec"
+            );
+            println!("{}", "-".repeat(96));
+        }
+        let mut perfs: Vec<StrategyPerf> = Vec::new();
+        let sweep_start = Instant::now();
         for strategy in &strategies {
             let opts = TuneOptions {
                 n_trials,
@@ -89,23 +116,79 @@ fn main() {
                 n_parallel: cfg.n_parallel,
                 seed: cfg.seed,
                 strategy: strategy.clone(),
+                memo_cache: Some(memo.clone()),
                 ..TuneOptions::default()
             };
+            let t0 = Instant::now();
             match tune_with_predictor(&def, &spec, &predictor, &opts) {
                 Ok(result) => {
+                    let wall = t0.elapsed().as_secs_f64();
+                    let trials_per_sec = result.history.len() as f64 / wall.max(1e-9);
                     let c = result.convergence;
-                    println!(
-                        "{:>13} | {:>11.4} | {:>11} | {:>8} | {:>13} | {:>8}",
-                        result.strategy,
-                        result.best().score,
-                        result.simulations,
-                        c.improvements,
-                        c.trials_to_best,
-                        c.restarts
-                    );
+                    if !args.json {
+                        println!(
+                            "{:>13} | {:>11.4} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11.1}",
+                            result.strategy,
+                            result.best().score,
+                            result.simulations,
+                            c.improvements,
+                            c.trials_to_best,
+                            c.restarts,
+                            trials_per_sec
+                        );
+                    }
+                    perfs.push(StrategyPerf {
+                        name: result.strategy.clone(),
+                        best_score: result.best().score,
+                        trials: result.history.len() as u64,
+                        simulations: result.simulations as u64,
+                        wall_seconds: wall,
+                        trials_per_sec,
+                        stage_nanos: [
+                            result.timings.propose_nanos,
+                            result.timings.build_nanos,
+                            result.timings.sim_nanos,
+                            result.timings.score_nanos,
+                        ],
+                    });
                 }
-                Err(e) => println!("{:>13} | failed: {e}", strategy.label()),
+                Err(e) => eprintln!("{:>13} | failed: {e}", strategy.label()),
             }
+        }
+        let sweep_wall = sweep_start.elapsed().as_secs_f64();
+        let memo_stats = memo.stats();
+        let total_trials: u64 = perfs.iter().map(|p| p.trials).sum();
+        let summary = PerfSummary {
+            schema: PERF_SCHEMA.into(),
+            provenance: format!(
+                "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {} --json",
+                cfg.arch, args.scale.label(), args.impls, args.test_count, cfg.seed, cfg.n_parallel
+            ),
+            arch: cfg.arch.clone(),
+            seed: cfg.seed,
+            n_trials: n_trials as u64,
+            n_parallel: cfg.n_parallel as u64,
+            strategies: perfs,
+            totals: PerfTotals {
+                trials: total_trials,
+                wall_seconds: sweep_wall,
+                trials_per_sec: total_trials as f64 / sweep_wall.max(1e-9),
+                memo_hits: memo_stats.hits,
+                memo_misses: memo_stats.misses,
+                memo_hit_rate: memo_stats.hit_ratio(),
+            },
+        };
+        if args.json {
+            println!("{}", summary.to_json().expect("serializes"));
+        } else {
+            println!(
+                "sweep: {:.1} trials/sec over {} trials, memo hit rate {:.1} % ({} hits / {} lookups)",
+                summary.totals.trials_per_sec,
+                summary.totals.trials,
+                summary.totals.memo_hit_rate * 100.0,
+                memo_stats.hits,
+                memo_stats.lookups(),
+            );
         }
     }
 }

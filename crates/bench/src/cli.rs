@@ -30,6 +30,10 @@ pub struct Args {
     pub refresh: bool,
     /// Optional output directory for CSV artifacts.
     pub out_dir: Option<String>,
+    /// Emit a machine-readable JSON summary on stdout instead of the
+    /// human tables (supported by the sweep binaries; the perf-smoke CI
+    /// job and local perf runs share this one format).
+    pub json: bool,
 }
 
 impl Default for Args {
@@ -47,6 +51,7 @@ impl Default for Args {
             strategy: None,
             refresh: false,
             out_dir: None,
+            json: false,
         }
     }
 }
@@ -55,7 +60,7 @@ impl Args {
     /// Parses `std::env::args()`-style flags:
     /// `--arch x86 --scale quarter --impls 120 --test 30 --rounds 10
     ///  --parallel 8 --seed 42 --strategy evolutionary --refresh
-    ///  --out results/`.
+    ///  --json --out results/`.
     ///
     /// # Panics
     ///
@@ -104,6 +109,7 @@ impl Args {
                     };
                 }
                 "--refresh" => out.refresh = true,
+                "--json" => out.json = true,
                 "--out" => out.out_dir = Some(need(&mut it, "--out")),
                 other => panic!("unknown flag {other}"),
             }
@@ -135,8 +141,9 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a =
-            parse("--arch riscv --scale smoke --impls 40 --test 10 --rounds 3 --seed 7 --refresh");
+        let a = parse(
+            "--arch riscv --scale smoke --impls 40 --test 10 --rounds 3 --seed 7 --refresh --json",
+        );
         assert_eq!(a.archs, vec!["riscv"]);
         assert_eq!(a.scale, Scale::Smoke);
         assert_eq!(a.impls, 40);
@@ -144,6 +151,8 @@ mod tests {
         assert_eq!(a.rounds, 3);
         assert_eq!(a.seed, 7);
         assert!(a.refresh);
+        assert!(a.json);
+        assert!(!parse("--seed 1").json, "json is opt-in");
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
 use crate::features::WindowKind;
 use crate::memo::SimCache;
-use crate::metrics::ConvergenceStats;
+use crate::metrics::{ConvergenceStats, StageTimings};
+use crate::pool::BatchTicket;
 use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::ScorePredictor;
 use crate::search::{Evaluation, SearchStrategy, StrategySpec};
@@ -20,6 +21,7 @@ use crate::CoreError;
 use simtune_hw::TargetSpec;
 use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Options of one tuning session.
 #[derive(Debug, Clone)]
@@ -91,6 +93,12 @@ pub struct TuneResult {
     /// submissions, not backend executions — see
     /// [`crate::SimCache::stats`] for hit/miss counters.
     pub simulations: usize,
+    /// Producer-side wall time per pipeline stage. `sim_nanos` only
+    /// counts time the loop *blocked* on simulation — with a
+    /// pipeline-safe strategy, simulation overlapped by the build of the
+    /// next batch is invisible here. Wall-clock values: identical
+    /// reruns produce identical history but different timings.
+    pub timings: StageTimings,
 }
 
 impl TuneResult {
@@ -129,7 +137,7 @@ pub fn tune_with_predictor(
         .build()?;
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
-    let (history, sim_runs) = explore(
+    let (history, sim_runs, timings) = explore(
         &generator,
         def,
         predictor,
@@ -137,14 +145,38 @@ pub fn tune_with_predictor(
         opts,
         &session,
     )?;
-    finish(history, strategy.as_ref(), sim_runs)
+    finish(history, strategy.as_ref(), sim_runs, timings)
+}
+
+/// A proposed-and-built batch whose simulation is in flight on the
+/// session's worker pool.
+struct StagedBatch<P> {
+    kept: Vec<P>,
+    failed: Vec<P>,
+    ticket: BatchTicket,
+}
+
+impl<P> StagedBatch<P> {
+    fn trials(&self) -> usize {
+        self.kept.len() + self.failed.len()
+    }
 }
 
 /// The shared exploration loop: the strategy proposes batch-wise, the
 /// loop builds, runs on `session`'s backend, scores with `predictor`,
-/// and feeds the evaluations back. Returns the full evaluation history
-/// and the number of simulations executed (successful builds handed to
-/// the backend, whether or not they ran to completion).
+/// and feeds the evaluations back. Returns the full evaluation history,
+/// the number of simulations submitted (successful builds handed to the
+/// session, whether memoized, failed or completed) and the per-stage
+/// producer timings.
+///
+/// The loop is *pipelined*: batches are submitted asynchronously
+/// ([`SimSession::submit`]), and when the strategy's proposals cannot
+/// depend on scores ([`SearchStrategy::pipeline_safe`]) the next batch
+/// is proposed and built **while the previous one simulates** on the
+/// persistent pool — the Pac-Sim overlap trick, applied to lowering.
+/// Guided strategies keep strict propose → simulate → observe
+/// sequencing, so the visit order is bit-identical to the sequential
+/// loop for every strategy, at every `n_parallel`.
 fn explore(
     generator: &SketchGenerator,
     def: &ComputeDef,
@@ -152,46 +184,87 @@ fn explore(
     strategy: &mut dyn SearchStrategy<SketchParams>,
     opts: &TuneOptions,
     session: &SimSession,
-) -> Result<(Vec<TuneRecord>, usize), CoreError> {
+) -> Result<(Vec<TuneRecord>, usize, StageTimings), CoreError> {
     let builder = KernelBuilder::new(def.clone(), generator.target().clone());
 
     let mut history: Vec<TuneRecord> = Vec::new();
     let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
     let mut sim_runs = 0usize;
+    let mut timings = StageTimings::default();
+    let pipelined = strategy.pipeline_safe();
     // One normalizer for the whole session: the window means evolve over
     // the full candidate stream, not per batch.
     let mut normalizer = crate::features::WindowNormalizer::new(opts.window);
-    while history.len() < opts.n_trials {
-        let want = opts.batch_size.min(opts.n_trials - history.len());
-        let batch = strategy.propose(&evaluations, want);
-        if batch.is_empty() {
-            break; // search space exhausted
-        }
-        // Build; drop failures with a penalty score.
-        let mut exes = Vec::new();
-        let mut kept: Vec<SketchParams> = Vec::new();
-        let mut failed: Vec<SketchParams> = Vec::new();
-        for p in batch {
-            let schedule = generator.schedule(&p);
-            match builder.build(&schedule, &format!("{}t{}", def.name, history.len())) {
-                Ok(e) => {
-                    exes.push(e);
-                    kept.push(p);
+    let mut inflight: Option<StagedBatch<SketchParams>> = None;
+    let mut exhausted = false;
+    loop {
+        // Stage the next batch. With a pipeline-safe strategy this
+        // happens while `inflight` is still simulating; otherwise only
+        // when nothing is in flight (scores must reach `observe` first).
+        let committed = history.len() + inflight.as_ref().map_or(0, StagedBatch::trials);
+        let staged = if !exhausted && committed < opts.n_trials && (pipelined || inflight.is_none())
+        {
+            let want = opts.batch_size.min(opts.n_trials - committed);
+            let t0 = Instant::now();
+            let batch = strategy.propose(&evaluations, want);
+            timings.propose_nanos += t0.elapsed().as_nanos() as u64;
+            if batch.is_empty() {
+                exhausted = true; // search space exhausted
+                None
+            } else {
+                // Build; drop failures with a penalty score.
+                let t0 = Instant::now();
+                let mut exes = Vec::new();
+                let mut kept: Vec<SketchParams> = Vec::new();
+                let mut failed: Vec<SketchParams> = Vec::new();
+                for p in batch {
+                    let schedule = generator.schedule(&p);
+                    match builder.build(&schedule, &format!("{}t{committed}", def.name)) {
+                        Ok(e) => {
+                            exes.push(e);
+                            kept.push(p);
+                        }
+                        Err(_) => failed.push(p),
+                    }
                 }
-                Err(_) => failed.push(p),
+                timings.build_nanos += t0.elapsed().as_nanos() as u64;
+                sim_runs += exes.len();
+                let ticket = session.submit(exes);
+                Some(StagedBatch {
+                    kept,
+                    failed,
+                    ticket,
+                })
             }
-        }
-        sim_runs += exes.len();
-        let stats = session.run_stats(&exes);
+        } else {
+            None
+        };
+
+        let finished = inflight.take();
+        inflight = staged;
+        let Some(done) = finished else {
+            if inflight.is_none() {
+                break;
+            }
+            continue;
+        };
+
+        // Drain, score and observe the finished batch in submission
+        // order — parallelism and pipelining never reorder the stream
+        // the window normalizer and the strategy see.
+        let t0 = Instant::now();
+        let stats = done.ticket.wait();
+        timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
         let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
-        for (p, s) in kept.into_iter().zip(stats) {
+        for (p, s) in done.kept.into_iter().zip(stats) {
             let score = match s {
-                Ok(st) => predictor.score_streaming(&st, &mut normalizer)?,
+                Ok(report) => predictor.score_streaming(&report.stats, &mut normalizer)?,
                 Err(_) => f64::INFINITY,
             };
             batch_evals.push(Evaluation { point: p, score });
         }
-        for p in failed {
+        for p in done.failed {
             batch_evals.push(Evaluation {
                 point: p,
                 score: f64::INFINITY,
@@ -206,8 +279,9 @@ fn explore(
             });
         }
         evaluations.extend(batch_evals);
+        timings.score_nanos += t0.elapsed().as_nanos() as u64;
     }
-    Ok((history, sim_runs))
+    Ok((history, sim_runs, timings))
 }
 
 /// Options of the fidelity-escalation mode: how many finalists graduate
@@ -317,7 +391,7 @@ pub fn tune_with_fidelity_escalation(
         .build()?;
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
-    let (mut history, explore_runs) = explore(
+    let (mut history, explore_runs, mut timings) = explore(
         &generator,
         def,
         predictor,
@@ -339,6 +413,7 @@ pub fn tune_with_fidelity_escalation(
     order.truncate(esc.top_k);
 
     let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let t0 = Instant::now();
     let mut finalist_idx = Vec::with_capacity(order.len());
     let mut finalist_exes = Vec::with_capacity(order.len());
     for &i in &order {
@@ -349,14 +424,17 @@ pub fn tune_with_fidelity_escalation(
             finalist_exes.push(exe);
         }
     }
+    timings.build_nanos += t0.elapsed().as_nanos() as u64;
     let accurate = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
     let final_name = accurate.backend_name().to_string();
-    let reports = accurate.run_stats(&finalist_exes);
     let accurate_runs = finalist_exes.len();
+    let t0 = Instant::now();
+    let reports = accurate.run_stats(&finalist_exes);
+    timings.sim_nanos += t0.elapsed().as_nanos() as u64;
 
     let mut survivors = Vec::new();
     let mut survivor_stats = Vec::new();
@@ -388,6 +466,7 @@ pub fn tune_with_fidelity_escalation(
             strategy: strategy.name().to_string(),
             convergence: strategy.convergence(),
             simulations: explore_runs + accurate_runs,
+            timings,
         },
         explore_backend: explore_name,
         final_backend: final_name,
@@ -417,25 +496,37 @@ pub fn tune_on_hardware(
     let mut history: Vec<TuneRecord> = Vec::new();
     let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
     let mut hw_runs = 0usize;
+    let mut timings = StageTimings::default();
+    // Hardware measurement is inherently sequential (Section IV: the
+    // board benchmarks one binary at a time), so this loop does not
+    // pipeline; the timings still expose where the wall time goes.
     while history.len() < opts.n_trials {
         let want = opts.batch_size.min(opts.n_trials - history.len());
+        let t0 = Instant::now();
         let batch = strategy.propose(&evaluations, want);
+        timings.propose_nanos += t0.elapsed().as_nanos() as u64;
         if batch.is_empty() {
             break;
         }
         let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
         for p in batch {
             let schedule = generator.schedule(&p);
-            let score = builder
-                .build(&schedule, &format!("{}h{}", def.name, history.len()))
+            let t0 = Instant::now();
+            let built = builder.build(&schedule, &format!("{}h{}", def.name, history.len()));
+            timings.build_nanos += t0.elapsed().as_nanos() as u64;
+            let score = built
                 .and_then(|exe| {
                     hw_runs += 1;
-                    hw.run_one(&exe, history.len() + batch_evals.len())
+                    let t0 = Instant::now();
+                    let measured = hw.run_one(&exe, history.len() + batch_evals.len());
+                    timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+                    measured
                 })
                 .map(|m| m.t_ref)
                 .unwrap_or(f64::INFINITY);
             batch_evals.push(Evaluation { point: p, score });
         }
+        let t0 = Instant::now();
         strategy.observe(&batch_evals);
         for e in &batch_evals {
             history.push(TuneRecord {
@@ -445,14 +536,16 @@ pub fn tune_on_hardware(
             });
         }
         evaluations.extend(batch_evals);
+        timings.score_nanos += t0.elapsed().as_nanos() as u64;
     }
-    finish(history, strategy.as_ref(), hw_runs)
+    finish(history, strategy.as_ref(), hw_runs, timings)
 }
 
 fn finish(
     history: Vec<TuneRecord>,
     strategy: &dyn SearchStrategy<SketchParams>,
     simulations: usize,
+    timings: StageTimings,
 ) -> Result<TuneResult, CoreError> {
     if history.is_empty() {
         return Err(CoreError::Pipeline("tuning produced no candidates".into()));
@@ -469,6 +562,7 @@ fn finish(
         strategy: strategy.name().to_string(),
         convergence: strategy.convergence(),
         simulations,
+        timings,
     })
 }
 

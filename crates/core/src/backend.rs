@@ -62,7 +62,9 @@
 //! # }
 //! ```
 
-use crate::memo::{fingerprint, SimCache};
+use crate::memo::SimCache;
+use crate::metrics::WorkerPoolStats;
+use crate::pool::{Batch, BatchCtx, BatchTicket, InflightMap, WorkerPool};
 use crate::runner::SimulatorRunFn;
 use crate::CoreError;
 use simtune_cache::{CacheConfig, CacheStats, HierarchyConfig, HierarchyStats};
@@ -73,8 +75,7 @@ use simtune_isa::{
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Canonical name of the sampled (prefix + extrapolation) flavor.
 pub const SAMPLED: &str = "sampled";
@@ -666,13 +667,27 @@ impl BackendRegistry {
 /// limits and an optional memo cache — what [`crate::SimulatorRunner`]
 /// is built on and what the autotuning loops drive.
 ///
-/// Created through [`SimSession::builder`]. Batches are sharded across
-/// `n_parallel` worker threads (order-preserving). Each executable is
-/// decoded exactly once per batch ([`Executable::decode`]) and handed to
-/// [`SimBackend::run_one_decoded`]; when a [`SimCache`] is attached and
-/// the backend opts into memoization ([`SimBackend::memo_key`]),
-/// previously seen candidates are answered from the cache without any
-/// backend execution.
+/// Created through [`SimSession::builder`]. Building a session spawns a
+/// *persistent* pool of `n_parallel` worker threads
+/// (`crates/core/src/pool.rs`) that lives until the last session clone
+/// (and last outstanding [`BatchTicket`]) is dropped; batches are
+/// enqueued on the pool's chunked deque, so a tuning sweep pays thread
+/// spawn/teardown once per session instead of once per batch. Results
+/// are always returned in submission order.
+///
+/// [`SimSession::run`] is the synchronous entry point;
+/// [`SimSession::submit`] hands back a [`BatchTicket`] immediately so
+/// callers can lower the next batch while this one simulates — the
+/// producer/consumer overlap the pipelined tuning loops are built on.
+///
+/// Each executable is decoded exactly once ([`Executable::decode`]) on
+/// a worker and handed to [`SimBackend::run_one_decoded`]. When a
+/// [`SimCache`] is attached and the backend opts into memoization
+/// ([`SimBackend::memo_key`]), lookups happen at *submission* time on
+/// the submitting thread: previously seen candidates are answered
+/// without any backend execution (or decode), and a candidate whose
+/// fingerprint is already in flight becomes a follower of that
+/// execution instead of a duplicate run.
 ///
 /// # Example
 ///
@@ -703,6 +718,8 @@ pub struct SimSession {
     n_parallel: usize,
     limits: RunLimits,
     memo: Option<Arc<SimCache>>,
+    pool: Arc<WorkerPool>,
+    inflight: Arc<InflightMap>,
 }
 
 impl fmt::Debug for SimSession {
@@ -747,73 +764,38 @@ impl SimSession {
         self.memo.as_ref()
     }
 
-    /// Runs one executable: answer from the memo cache when possible,
-    /// otherwise decode once, execute on the backend and memoize.
-    fn run_single(&self, exe: &Executable) -> Result<SimReport, CoreError> {
-        // Cache first — a hit costs a fingerprint and a hash probe, no
-        // decode, no backend.
-        let memo_slot = match (&self.memo, self.backend.memo_key()) {
-            (Some(cache), Some(config)) => {
-                let key = fingerprint(
-                    exe,
-                    self.backend.name(),
-                    &self.backend.fidelity(),
-                    &config,
-                    &self.limits,
-                );
-                if let Some(hit) = cache.lookup(&key) {
-                    return Ok(hit);
-                }
-                Some((cache, key))
-            }
-            _ => None,
-        };
-        // Decode once per candidate. Backends that drive their own
-        // simulator (default `run_one_decoded` discards the handle) are
-        // not subject to this crate's static control-flow validation:
-        // when decoding rejects the program, fall back to the raw entry
-        // point. The bundled backends decode inside `run_one` too, so
-        // for them the fallback reports the same decode error.
-        let report = match exe.decode() {
-            Ok(decoded) => self.backend.run_one_decoded(exe, &decoded, &self.limits),
-            Err(_) => self.backend.run_one(exe, &self.limits),
-        }
-        .map_err(CoreError::from)?;
-        // Errors are deliberately not memoized: a failed candidate
-        // stays cheap to retry and cannot mask a transient fault.
-        if let Some((cache, key)) = memo_slot {
-            cache.insert(key, report.clone());
-        }
-        Ok(report)
+    /// Lifetime counters of this session's persistent worker pool:
+    /// batches enqueued, trials executed, busy vs. wall time.
+    pub fn pool_stats(&self) -> WorkerPoolStats {
+        self.pool.stats()
     }
 
-    /// Runs every executable, `n_parallel` at a time, preserving order.
-    pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimReport, CoreError>> {
-        if self.n_parallel <= 1 || exes.len() <= 1 {
-            return exes.iter().map(|e| self.run_single(e)).collect();
+    /// Submits a batch to the persistent pool and returns immediately.
+    ///
+    /// Memo lookups (and in-flight deduplication) happen here, on the
+    /// calling thread, so cached candidates resolve without touching
+    /// the pool at all; everything else is executed by the session's
+    /// workers while the caller is free to prepare the next batch.
+    /// [`BatchTicket::wait`] returns results in submission order.
+    pub fn submit(&self, exes: Vec<Executable>) -> BatchTicket {
+        let ctx = BatchCtx {
+            backend: self.backend.clone(),
+            limits: self.limits,
+            memo: self.memo.clone(),
+            inflight: self.inflight.clone(),
+        };
+        let batch = Batch::plan(ctx, exes);
+        if batch.n_tasks() > 0 {
+            self.pool.enqueue(batch.clone());
         }
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<Result<SimReport, CoreError>>>> =
-            Mutex::new((0..exes.len()).map(|_| None).collect());
-        let workers = self.n_parallel.min(exes.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= exes.len() {
-                        break;
-                    }
-                    let r = self.run_single(&exes[i]);
-                    results.lock().expect("poisoned results")[i] = Some(r);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("poisoned results")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+        BatchTicket::new(batch, self.pool.clone())
+    }
+
+    /// Runs every executable on the session's persistent worker pool,
+    /// preserving order — [`SimSession::submit`] + [`BatchTicket::wait`]
+    /// in one call.
+    pub fn run(&self, exes: &[Executable]) -> Vec<Result<SimReport, CoreError>> {
+        self.submit(exes.to_vec()).wait()
     }
 
     /// Like [`SimSession::run`] but strips reports down to bare
@@ -889,8 +871,17 @@ impl SimSessionBuilder {
         }
     }
 
-    /// Sets the number of parallel simulator instances (default 16, the
-    /// paper's Listing 3 default; clamped to at least 1).
+    /// Sets the number of parallel simulator instances — the worker
+    /// threads the session's persistent pool spawns (clamped to at
+    /// least 1).
+    ///
+    /// When unset, the default is the host's
+    /// [`std::thread::available_parallelism`] clamped to at most 16
+    /// (the paper's Listing 3 default). The historical behavior —
+    /// always 16, even on a 4-core host — oversubscribed small
+    /// machines; pass an explicit value to override the clamp in either
+    /// direction (e.g. `n_parallel(32)` on a large host, or
+    /// `n_parallel(1)` for serial debugging).
     pub fn n_parallel(mut self, n: usize) -> Self {
         self.n_parallel = Some(n.max(1));
         self
@@ -933,13 +924,25 @@ impl SimSessionBuilder {
         let backend = self
             .backend
             .ok_or_else(|| CoreError::Pipeline("SimSession needs a backend".into()))?;
+        let n_parallel = self.n_parallel.unwrap_or_else(default_n_parallel);
         Ok(SimSession {
             backend,
-            n_parallel: self.n_parallel.unwrap_or(16),
+            n_parallel,
             limits: self.limits.unwrap_or_default(),
             memo: self.memo,
+            pool: WorkerPool::new(n_parallel),
+            inflight: Arc::new(InflightMap::default()),
         })
     }
+}
+
+/// Default worker count: every available core, capped at the paper's
+/// `n_parallel = 16` — 16 simulators on a 4-core laptop only thrash.
+fn default_n_parallel() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
 }
 
 #[cfg(test)]
@@ -947,6 +950,7 @@ mod tests {
     use super::*;
     use crate::KernelBuilder;
     use simtune_tensor::{matmul, Schedule, TargetIsa};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn exes(n: usize) -> Vec<Executable> {
         let def = matmul(6, 6, 6);

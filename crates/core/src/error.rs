@@ -10,7 +10,12 @@ use std::fmt;
 /// Marked `#[non_exhaustive]`: the pipeline keeps growing (backends,
 /// registries, remote runners), so downstream matches must carry a
 /// wildcard arm.
-#[derive(Debug)]
+///
+/// `Clone` because the simulator is deterministic: when the worker pool
+/// deduplicates identical in-flight candidates, a failed leader's error
+/// is replayed verbatim to its followers — exactly what re-executing
+/// them would have produced.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum CoreError {
     /// A schedule failed validation.

@@ -47,6 +47,7 @@ mod features;
 mod interface;
 mod memo;
 mod metrics;
+mod pool;
 mod runner;
 mod score;
 pub mod search;
@@ -72,8 +73,9 @@ pub use interface::LOCAL_RUNNER_RUN;
 pub use memo::SimCache;
 pub use metrics::{
     e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, ConvergenceStats,
-    MemoCacheStats, PredictionMetrics,
+    MemoCacheStats, PredictionMetrics, StageTimings, WorkerPoolStats,
 };
+pub use pool::BatchTicket;
 pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
 pub use score::{GroupData, ScorePredictor};
 pub use search::{

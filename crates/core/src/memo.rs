@@ -35,6 +35,18 @@
 //! downstream scoring sees exactly what a re-run of the original
 //! simulation reported.
 //!
+//! # Sharding
+//!
+//! The map is split into lock-striped shards (16 by default, selected
+//! by a hash of the fingerprint bytes), so the concurrent workers of a
+//! [`crate::SimSession`]'s persistent pool no longer serialize their
+//! inserts behind one mutex — the "remove synchronization on shared
+//! simulator state" lesson of the GPU-simulator parallelization work in
+//! PAPERS.md. [`SimCache::with_shards`]`(1)` degenerates to the
+//! historical single-lock cache; a property test
+//! (`crates/core/tests/memo_sharding.rs`) asserts the two agree on
+//! every fingerprint and every operation sequence.
+//!
 //! Hit/miss counters are surfaced as
 //! [`MemoCacheStats`](crate::metrics::MemoCacheStats) through
 //! [`SimCache::stats`].
@@ -46,25 +58,29 @@ use simtune_isa::{Executable, RunLimits};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default lock-stripe count: enough that 16 workers rarely collide,
+/// small enough that flushing or sizing the cache stays cheap.
+const DEFAULT_SHARDS: usize = 16;
 
 /// A shareable, thread-safe memo cache of simulation results.
 ///
 /// Attach one to a session with
 /// [`crate::SimSessionBuilder::memo_cache`]; share one `Arc<SimCache>`
 /// across sessions (and across tuning loops) to deduplicate work
-/// globally. Lookups and insertions are guarded by one mutex — the
-/// critical section is a hash-map probe, negligible next to a backend
-/// execution.
+/// globally. Lookups and insertions are guarded per lock-striped shard
+/// — the critical section is a hash-map probe, negligible next to a
+/// backend execution, and concurrent workers only contend when their
+/// fingerprints land on the same stripe.
 ///
-/// Deduplication is a convergence guarantee, not an in-flight one:
-/// when several workers of one parallel batch carry the *same*
-/// fingerprint, they can all miss before the first insert lands and
-/// each execute the backend once. Results are identical either way and
-/// every later batch hits. In practice the strategies' seen-sets keep
-/// duplicates out of a single batch; revisits arrive in later batches,
-/// where the cache is already warm.
+/// Deduplication of *in-flight* work is handled one level up:
+/// [`crate::SimSession`] resolves lookups at submission time and turns
+/// duplicates of an executing fingerprint into followers of that
+/// execution, so within one session a fingerprint simulates at most
+/// once and the hit/miss counters are deterministic at every
+/// `n_parallel` (for unbounded caches; see `crates/core/src/pool.rs`).
 ///
 /// # Capacity and eviction
 ///
@@ -74,8 +90,8 @@ use std::sync::Mutex;
 /// whose eviction contract is *epoch-based*: the cache holds at most
 /// `max_entries` reports at any moment, and when an insert of a **new**
 /// fingerprint arrives while the current generation is full, the whole
-/// map is flushed first and the next generation starts cold
-/// (re-inserting an already-resident fingerprint never flushes).
+/// map (every shard) is flushed first and the next generation starts
+/// cold (re-inserting an already-resident fingerprint never flushes).
 /// Hit/miss counters survive flushes. Epoch eviction is deliberately
 /// crude — O(1) amortized, no recency bookkeeping on the hot path — and
 /// works because autotuning traffic is phase-local: the candidates worth
@@ -112,12 +128,25 @@ use std::sync::Mutex;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Default)]
+/// One lock stripe: fingerprint → memoized report.
+type Shard = Mutex<HashMap<Vec<u8>, SimReport>>;
+
 pub struct SimCache {
-    entries: Mutex<HashMap<Vec<u8>, SimReport>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: usize,
     max_entries: Option<usize>,
+    /// Resident entries across all shards, maintained on insert/flush
+    /// so the bounded-capacity check never locks every stripe.
+    resident: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl fmt::Debug for SimCache {
@@ -125,6 +154,7 @@ impl fmt::Debug for SimCache {
         let s = self.stats();
         f.debug_struct("SimCache")
             .field("entries", &self.len())
+            .field("shards", &self.shards.len())
             .field("hits", &s.hits)
             .field("misses", &s.misses)
             .finish()
@@ -132,9 +162,30 @@ impl fmt::Debug for SimCache {
 }
 
 impl SimCache {
-    /// Creates an empty, unbounded cache.
+    /// Creates an empty, unbounded cache with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty, unbounded cache striped over `shards` locks
+    /// (rounded up to a power of two, at least 1). `with_shards(1)` is
+    /// the historical single-lock cache; higher counts only change
+    /// contention, never observable behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "a cache needs at least one shard");
+        let count = shards.next_power_of_two();
+        SimCache {
+            shards: (0..count).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: count - 1,
+            max_entries: None,
+            resident: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Creates a cache that never holds more than `max_entries` reports,
@@ -183,11 +234,26 @@ impl SimCache {
     ///
     /// Panics when `max_entries` is zero.
     pub fn bounded(max_entries: usize) -> Self {
+        Self::bounded_with_shards(max_entries, DEFAULT_SHARDS)
+    }
+
+    /// [`SimCache::bounded`] with an explicit shard count (see
+    /// [`SimCache::with_shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_entries` or `shards` is zero.
+    pub fn bounded_with_shards(max_entries: usize, shards: usize) -> Self {
         assert!(max_entries > 0, "a zero-capacity memo cache is useless");
         SimCache {
             max_entries: Some(max_entries),
-            ..Self::default()
+            ..Self::with_shards(shards)
         }
+    }
+
+    /// Number of lock stripes (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Hit/miss counters accumulated over the cache's lifetime.
@@ -200,7 +266,10 @@ impl SimCache {
 
     /// Number of memoized reports.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("poisoned memo cache").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("poisoned memo cache").len())
+            .sum()
     }
 
     /// True when nothing is memoized yet.
@@ -210,34 +279,114 @@ impl SimCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("poisoned memo cache").clear();
+        self.flush_all();
+    }
+
+    fn shard(&self, key: &[u8]) -> &Shard {
+        // FNV-1a over the fingerprint bytes; the fingerprint already
+        // contains every distinguishing byte, so any mixing hash
+        // spreads stripes evenly.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) & self.mask]
+    }
+
+    /// Locks every shard in index order (the one consistent order, so
+    /// two concurrent flushes cannot deadlock) and clears them all.
+    fn flush_all(&self) {
+        let mut guards: Vec<MutexGuard<'_, _>> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("poisoned memo cache"))
+            .collect();
+        for guard in &mut guards {
+            guard.clear();
+        }
+        self.resident.store(0, Ordering::Relaxed);
     }
 
     /// Looks a fingerprint up, counting the hit or miss.
-    pub(crate) fn lookup(&self, key: &[u8]) -> Option<SimReport> {
-        let found = self
-            .entries
+    pub fn lookup(&self, key: &[u8]) -> Option<SimReport> {
+        let found = self.peek(key);
+        match &found {
+            Some(_) => self.note_hit(),
+            None => self.note_miss(),
+        }
+        found
+    }
+
+    /// Looks a fingerprint up without touching the hit/miss counters —
+    /// for callers (like the session's batch planner) that account for
+    /// the outcome themselves.
+    pub(crate) fn peek(&self, key: &[u8]) -> Option<SimReport> {
+        self.shard(key)
             .lock()
             .expect("poisoned memo cache")
             .get(key)
-            .cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+            .cloned()
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically claims one resident slot, failing when a bounded
+    /// cache is at capacity. The claim happens while the caller holds a
+    /// shard lock, and `flush_all` holds *every* shard lock while it
+    /// zeroes the counter — so a successful reservation cannot
+    /// interleave with a flush, and concurrent inserters on different
+    /// stripes can never overshoot `max_entries` together.
+    fn try_reserve_slot(&self) -> bool {
+        match self.max_entries {
+            None => {
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(cap) => self
+                .resident
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < cap).then_some(n + 1)
+                })
+                .is_ok(),
+        }
     }
 
     /// Stores a report under a fingerprint, flushing the generation
     /// first when a bounded cache is full.
-    pub(crate) fn insert(&self, key: Vec<u8>, report: SimReport) {
-        let mut entries = self.entries.lock().expect("poisoned memo cache");
-        if let Some(cap) = self.max_entries {
-            if entries.len() >= cap && !entries.contains_key(&key) {
-                entries.clear();
-            }
+    pub fn insert(&self, mut key: Vec<u8>, report: SimReport) {
+        use std::collections::hash_map::Entry;
+        loop {
+            key = {
+                let mut map = self.shard(&key).lock().expect("poisoned memo cache");
+                match map.entry(key) {
+                    Entry::Occupied(mut resident) => {
+                        // Re-inserting a resident fingerprint never
+                        // flushes.
+                        resident.insert(report);
+                        return;
+                    }
+                    Entry::Vacant(slot) => {
+                        if self.try_reserve_slot() {
+                            slot.insert(report);
+                            return;
+                        }
+                        slot.into_key()
+                    }
+                }
+            };
+            // Full generation: release the stripe (flush_all locks
+            // every shard in index order), flush, and retry — the next
+            // iteration re-reserves against the empty generation (or
+            // flushes again in the unlikely event racers refilled it).
+            self.flush_all();
         }
-        entries.insert(key, report);
     }
 }
 
@@ -399,9 +548,48 @@ mod tests {
     }
 
     #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(SimCache::with_shards(1).shard_count(), 1);
+        assert_eq!(SimCache::with_shards(3).shard_count(), 4);
+        assert_eq!(SimCache::new().shard_count(), DEFAULT_SHARDS);
+        assert_eq!(SimCache::bounded_with_shards(10, 5).shard_count(), 8);
+    }
+
+    #[test]
+    fn sharded_and_single_lock_agree_on_a_spread_of_keys() {
+        // The property test in tests/memo_sharding.rs covers arbitrary
+        // interleavings; this is the deterministic smoke version.
+        let single = SimCache::with_shards(1);
+        let sharded = SimCache::with_shards(16);
+        let report = |n: u64| SimReport {
+            stats: SimStats {
+                host_nanos: n,
+                ..SimStats::default()
+            },
+            backend: "accurate".into(),
+            fidelity: Fidelity::Accurate,
+            extrapolated: false,
+        };
+        for i in 0..64u64 {
+            let key = key_of(&exe("e", i as i64, vec![i as f32]));
+            single.insert(key.clone(), report(i));
+            sharded.insert(key.clone(), report(i));
+            assert_eq!(single.lookup(&key), sharded.lookup(&key));
+        }
+        assert_eq!(single.len(), sharded.len());
+        assert_eq!(single.stats(), sharded.stats());
+    }
+
+    #[test]
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_is_rejected() {
         let _ = SimCache::bounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        let _ = SimCache::with_shards(0);
     }
 
     #[test]

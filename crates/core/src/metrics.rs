@@ -1,6 +1,7 @@
 //! Evaluation metrics of the paper (Section IV-B), the parallel-
 //! simulation speedup bound (Equation 4), and operational counters of
-//! the simulation memo cache.
+//! the simulation memo cache, the persistent worker pool and the
+//! pipelined tuning loop.
 //!
 //! The prediction metrics operate on a set of implementations of one
 //! group with measured reference run times `t_ref` and predicted scores;
@@ -32,6 +33,70 @@ impl MemoCacheStats {
         } else {
             self.hits as f64 / self.lookups() as f64
         }
+    }
+}
+
+/// Lifetime execution counters of a [`crate::SimSession`]'s persistent
+/// worker pool, surfaced through [`crate::SimSession::pool_stats`].
+///
+/// `busy_nanos` accumulates wall time workers spent *executing* trials;
+/// `wall_nanos` is the pool's lifetime. Their ratio (normalized by the
+/// worker count) is the pool's utilization — low utilization on a busy
+/// sweep means the producer (propose/build/score) is the bottleneck,
+/// not simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerPoolStats {
+    /// Worker threads the pool spawned (the session's `n_parallel`).
+    pub workers: usize,
+    /// Batches that reached the execution queue (all-hit batches are
+    /// resolved at submission and never enqueue).
+    pub batches: u64,
+    /// Trials executed by workers (memo hits and followers excluded).
+    pub trials: u64,
+    /// Cumulative wall time workers spent executing trials.
+    pub busy_nanos: u64,
+    /// Wall time since the pool was spawned.
+    pub wall_nanos: u64,
+}
+
+impl WorkerPoolStats {
+    /// Fraction of the pool's capacity spent executing trials, in
+    /// `[0, 1]` (0 when nothing ran yet).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_nanos.saturating_mul(self.workers as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            (self.busy_nanos as f64 / capacity as f64).min(1.0)
+        }
+    }
+}
+
+/// Producer-side wall time of one tuning run, split by pipeline stage
+/// and surfaced on [`crate::TuneResult::timings`].
+///
+/// With a pipeline-safe strategy the loop lowers batch *k+1* while
+/// batch *k* simulates, so `sim_nanos` — the time the producer actually
+/// *blocked* on simulation tickets — shrinks as overlap improves; the
+/// simulation cost hidden behind the build stage never appears here.
+/// Compare with [`WorkerPoolStats::busy_nanos`] to see how much
+/// simulation ran in the shadow of other stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Time spent in [`crate::SearchStrategy::propose`].
+    pub propose_nanos: u64,
+    /// Time spent lowering/building candidates into executables.
+    pub build_nanos: u64,
+    /// Time the producer blocked waiting on simulation results.
+    pub sim_nanos: u64,
+    /// Time spent scoring results and feeding strategies back.
+    pub score_nanos: u64,
+}
+
+impl StageTimings {
+    /// Sum over all stages — the producer-side critical path.
+    pub fn total_nanos(&self) -> u64 {
+        self.propose_nanos + self.build_nanos + self.sim_nanos + self.score_nanos
     }
 }
 
@@ -243,6 +308,40 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_inputs_panic() {
         prediction_metrics(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn worker_pool_utilization_bounds() {
+        let idle = WorkerPoolStats::default();
+        assert_eq!(idle.utilization(), 0.0);
+        let half = WorkerPoolStats {
+            workers: 2,
+            batches: 3,
+            trials: 12,
+            busy_nanos: 1_000,
+            wall_nanos: 1_000,
+        };
+        assert!((half.utilization() - 0.5).abs() < 1e-12);
+        // Measurement jitter can push busy past capacity; clamp at 1.
+        let over = WorkerPoolStats {
+            workers: 1,
+            busy_nanos: 2_000,
+            wall_nanos: 1_000,
+            ..half
+        };
+        assert_eq!(over.utilization(), 1.0);
+    }
+
+    #[test]
+    fn stage_timings_total() {
+        let t = StageTimings {
+            propose_nanos: 1,
+            build_nanos: 2,
+            sim_nanos: 3,
+            score_nanos: 4,
+        };
+        assert_eq!(t.total_nanos(), 10);
+        assert_eq!(StageTimings::default().total_nanos(), 0);
     }
 
     #[test]

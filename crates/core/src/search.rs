@@ -323,6 +323,22 @@ pub trait SearchStrategy<P>: Send {
 
     /// Convergence counters accumulated so far.
     fn convergence(&self) -> ConvergenceStats;
+
+    /// True when [`propose`](SearchStrategy::propose) never depends on
+    /// scores — neither on its `history` argument's scores nor on
+    /// anything [`observe`](SearchStrategy::observe) feeds back. The
+    /// pipelined tuning loops then propose and build batch *k+1* while
+    /// batch *k* still simulates, hiding build latency entirely,
+    /// *without changing the visit order*: overlap is only taken where
+    /// it provably cannot alter the search.
+    ///
+    /// Guided strategies (hill climbing, evolutionary, annealing) must
+    /// keep the default `false`: their next batch depends on the last
+    /// batch's scores, so the loop falls back to strict
+    /// propose → simulate → observe sequencing for them.
+    fn pipeline_safe(&self) -> bool {
+        false
+    }
 }
 
 /// Shared bookkeeping for the bundled strategies.
@@ -426,6 +442,12 @@ where
     fn convergence(&self) -> ConvergenceStats {
         self.tracker.stats
     }
+
+    // Sampling depends only on the seed and the seen-set, never on
+    // scores — the proposal stream is fixed at construction.
+    fn pipeline_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Exhaustive enumeration in index order — feasible for template spaces
@@ -490,6 +512,11 @@ where
 
     fn convergence(&self) -> ConvergenceStats {
         self.tracker.stats
+    }
+
+    // Enumeration order is fixed up front; scores never steer it.
+    fn pipeline_safe(&self) -> bool {
+        true
     }
 }
 

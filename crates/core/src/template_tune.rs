@@ -13,12 +13,15 @@
 
 use crate::backend::SimSession;
 use crate::features::WindowNormalizer;
+use crate::metrics::StageTimings;
+use crate::pool::BatchTicket;
 use crate::runner::KernelBuilder;
 use crate::score::ScorePredictor;
 use crate::search::Evaluation;
 use crate::{CoreError, TuneOptions, TuneRecord, TuneResult};
 use simtune_hw::TargetSpec;
 use simtune_tensor::{ComputeDef, ConfigSpace};
+use std::time::Instant;
 
 /// AutoTVM-style tuning loop: template configurations are materialized,
 /// built, run on `n_parallel` simulators and scored by a trained
@@ -53,45 +56,98 @@ pub fn tune_template_space(
     let mut history: Vec<TuneRecord> = Vec::new();
     let mut evaluations: Vec<Evaluation<Vec<usize>>> = Vec::new();
     let mut sim_runs = 0usize;
+    let mut timings = StageTimings::default();
+    let pipelined = strategy.pipeline_safe();
 
-    while history.len() < opts.n_trials {
-        let want = opts.batch_size.min(opts.n_trials - history.len());
-        let batch = strategy.propose(&evaluations, want);
-        if batch.is_empty() {
-            break; // space exhausted
+    /// A materialized batch whose simulation is in flight.
+    struct Staged {
+        kept: Vec<(Vec<usize>, simtune_tensor::Schedule)>,
+        failed: Vec<Vec<usize>>,
+        ticket: BatchTicket,
+    }
+    impl Staged {
+        fn trials(&self) -> usize {
+            self.kept.len() + self.failed.len()
         }
-        // Materialize + build; invalid configs keep a slot with +inf.
-        let mut exes = Vec::new();
-        let mut kept: Vec<(Vec<usize>, simtune_tensor::Schedule)> = Vec::new();
-        let mut failed: Vec<Vec<usize>> = Vec::new();
-        for cfg in batch {
-            match space
-                .schedule(def, &cfg)
-                .map_err(CoreError::from)
-                .and_then(|s| {
-                    builder
-                        .build(&s, &format!("{}c{}", def.name, history.len()))
-                        .map(|e| (s, e))
-                }) {
-                Ok((s, e)) => {
-                    exes.push(e);
-                    kept.push((cfg, s));
+    }
+
+    // Same pipelined shape as the sketch loop (`autotune::explore`):
+    // score-independent strategies (grid, random) materialize and build
+    // batch k+1 while batch k simulates on the session's persistent
+    // pool; guided strategies keep strict sequencing. Visit order is
+    // identical either way.
+    let mut inflight: Option<Staged> = None;
+    let mut exhausted = false;
+    loop {
+        let committed = history.len() + inflight.as_ref().map_or(0, Staged::trials);
+        let staged = if !exhausted && committed < opts.n_trials && (pipelined || inflight.is_none())
+        {
+            let want = opts.batch_size.min(opts.n_trials - committed);
+            let t0 = Instant::now();
+            let batch = strategy.propose(&evaluations, want);
+            timings.propose_nanos += t0.elapsed().as_nanos() as u64;
+            if batch.is_empty() {
+                exhausted = true; // space exhausted
+                None
+            } else {
+                // Materialize + build; invalid configs keep a slot
+                // with +inf.
+                let t0 = Instant::now();
+                let mut exes = Vec::new();
+                let mut kept: Vec<(Vec<usize>, simtune_tensor::Schedule)> = Vec::new();
+                let mut failed: Vec<Vec<usize>> = Vec::new();
+                for cfg in batch {
+                    match space
+                        .schedule(def, &cfg)
+                        .map_err(CoreError::from)
+                        .and_then(|s| {
+                            builder
+                                .build(&s, &format!("{}c{committed}", def.name))
+                                .map(|e| (s, e))
+                        }) {
+                        Ok((s, e)) => {
+                            exes.push(e);
+                            kept.push((cfg, s));
+                        }
+                        Err(_) => failed.push(cfg),
+                    }
                 }
-                Err(_) => failed.push(cfg),
+                timings.build_nanos += t0.elapsed().as_nanos() as u64;
+                sim_runs += exes.len();
+                let ticket = sim.submit(exes);
+                Some(Staged {
+                    kept,
+                    failed,
+                    ticket,
+                })
             }
-        }
-        sim_runs += exes.len();
-        let stats = sim.run_stats(&exes);
+        } else {
+            None
+        };
+
+        let finished = inflight.take();
+        inflight = staged;
+        let Some(done) = finished else {
+            if inflight.is_none() {
+                break;
+            }
+            continue;
+        };
+
+        let t0 = Instant::now();
+        let reports = done.ticket.wait();
+        timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
         let mut scored: Vec<(Option<simtune_tensor::Schedule>, Evaluation<Vec<usize>>)> =
             Vec::new();
-        for ((cfg, schedule), st) in kept.into_iter().zip(stats) {
-            let score = match st {
-                Ok(st) => predictor.score_streaming(&st, &mut normalizer)?,
+        for ((cfg, schedule), r) in done.kept.into_iter().zip(reports) {
+            let score = match r {
+                Ok(report) => predictor.score_streaming(&report.stats, &mut normalizer)?,
                 Err(_) => f64::INFINITY,
             };
             scored.push((Some(schedule), Evaluation { point: cfg, score }));
         }
-        for cfg in failed {
+        for cfg in done.failed {
             scored.push((
                 None,
                 Evaluation {
@@ -111,6 +167,7 @@ pub fn tune_template_space(
             });
         }
         evaluations.extend(batch_evals);
+        timings.score_nanos += t0.elapsed().as_nanos() as u64;
     }
     if history.is_empty() {
         return Err(CoreError::Pipeline("template space yielded nothing".into()));
@@ -127,6 +184,7 @@ pub fn tune_template_space(
         strategy: strategy.name().to_string(),
         convergence: strategy.convergence(),
         simulations: sim_runs,
+        timings,
     })
 }
 

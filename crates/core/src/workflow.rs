@@ -97,29 +97,46 @@ pub fn collect_group_data(
         )));
     }
 
-    // Build.
-    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
-    let mut exes = Vec::new();
-    let mut descriptions = Vec::new();
-    for (i, (desc, schedule)) in schedules.iter().enumerate() {
-        match builder.build(schedule, &format!("{}g{group_id}i{i}", def.name)) {
-            Ok(e) => {
-                exes.push(e);
-                descriptions.push(desc.clone());
-            }
-            Err(_) => continue, // failed builds are dropped, like in TVM
-        }
-    }
-
-    // Simulate in parallel (Contribution I). Training labels must come
-    // from the reference backend: predictors are fit against accurate
-    // cache statistics.
+    // Build and simulate, pipelined: executables are submitted to the
+    // session's persistent pool chunk-wise, so chunk k simulates in
+    // parallel (Contribution I) while chunk k+1 is still being built on
+    // this thread. Training labels must come from the reference
+    // backend: predictors are fit against accurate cache statistics.
     let sim = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
-    let sim_results = sim.run_stats(&exes);
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let chunk_len = (opts.n_parallel.max(1) * 4).max(8);
+    let mut exes = Vec::new();
+    let mut descriptions = Vec::new();
+    let mut tickets = Vec::new();
+    let mut chunk = Vec::new();
+    for (i, (desc, schedule)) in schedules.iter().enumerate() {
+        match builder.build(schedule, &format!("{}g{group_id}i{i}", def.name)) {
+            Ok(e) => {
+                // The hardware runner below needs every executable too,
+                // so the simulator chunks are clones (cheap next to the
+                // build, and next to the simulation they overlap).
+                chunk.push(e.clone());
+                exes.push(e);
+                descriptions.push(desc.clone());
+            }
+            Err(_) => continue, // failed builds are dropped, like in TVM
+        }
+        if chunk.len() >= chunk_len {
+            tickets.push(sim.submit(std::mem::take(&mut chunk)));
+        }
+    }
+    if !chunk.is_empty() {
+        tickets.push(sim.submit(chunk));
+    }
+    let sim_results: Vec<Result<simtune_isa::SimStats, CoreError>> = tickets
+        .into_iter()
+        .flat_map(|t| t.wait())
+        .map(|r| r.map(|report| report.stats))
+        .collect();
 
     // Measure sequentially on the emulated board.
     let hw = HardwareRunner {

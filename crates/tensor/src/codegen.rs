@@ -52,7 +52,7 @@ const V_OP_B: Vr = Vr(2);
 const V_TMP: Vr = Vr(3);
 
 /// Errors raised during code generation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum CodegenError {
     /// The assembled program failed validation (indicates a generator bug).
     Build(BuildProgramError),

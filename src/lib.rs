@@ -92,10 +92,11 @@
 // them to the root so `simtune::SimSession` / `simtune::SearchStrategy`
 // work without spelling out the core crate.
 pub use simtune_core::{
-    tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry,
+    tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry, BatchTicket,
     ConvergenceStats, EscalatedTuneResult, EscalationOptions, Evaluation, FastCountBackend,
     Fidelity, FnBackend, MemoCacheStats, SampledBackend, SearchSpace, SearchStrategy, SimBackend,
-    SimCache, SimReport, SimSession, SimSessionBuilder, SketchSpace, StrategySpec, TemplateSpace,
+    SimCache, SimReport, SimSession, SimSessionBuilder, SketchSpace, StageTimings, StrategySpec,
+    TemplateSpace, WorkerPoolStats,
 };
 
 pub use simtune_cache as cache;
