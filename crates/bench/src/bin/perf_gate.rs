@@ -8,23 +8,40 @@
 //!     --current BENCH_5.json --baseline ci/bench-baseline.json --max-regression 0.25
 //! ```
 //!
+//! `--warm` switches to the warm-start comparison: `--current` is a
+//! resweep over a reloaded cache snapshot, `--baseline` the cold sweep
+//! that wrote it, and the gate demands a near-perfect memo hit rate
+//! plus a throughput win instead of mere non-regression:
+//!
+//! ```text
+//! cargo run --release --bin perf_gate -- \
+//!     --warm --current BENCH_5_WARM.json --baseline BENCH_5.json \
+//!     --min-hit-rate 0.99 --min-speedup 1.05
+//! ```
+//!
 //! Scores are *not* gated here: the fixed-seed sweep is bit-deterministic
 //! and its results are locked down by `crates/core/tests/pool_determinism.rs`;
 //! this gate only watches the harness's speed.
 
-use simtune_bench::{gate, PerfSummary};
+use simtune_bench::{gate, warm_gate, PerfSummary};
 use std::process::ExitCode;
 
 struct GateArgs {
     current: String,
     baseline: String,
     max_regression: f64,
+    warm: bool,
+    min_hit_rate: f64,
+    min_speedup: f64,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> GateArgs {
     let mut current = None;
     let mut baseline = None;
     let mut max_regression = 0.25;
+    let mut warm = false;
+    let mut min_hit_rate = 0.99;
+    let mut min_speedup = 1.05;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut need = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -36,15 +53,29 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> GateArgs {
                     .parse()
                     .expect("--max-regression fraction in (0, 1)");
             }
-            other => {
-                panic!("unknown flag {other} (expected --current/--baseline/--max-regression)")
+            "--warm" => warm = true,
+            "--min-hit-rate" => {
+                min_hit_rate = need("--min-hit-rate")
+                    .parse()
+                    .expect("--min-hit-rate fraction in [0, 1]");
             }
+            "--min-speedup" => {
+                min_speedup = need("--min-speedup")
+                    .parse()
+                    .expect("--min-speedup factor >= 1");
+            }
+            other => panic!(
+                "unknown flag {other} (expected --current/--baseline/--max-regression/--warm/--min-hit-rate/--min-speedup)"
+            ),
         }
     }
     GateArgs {
         current: current.expect("--current <BENCH_5.json> is required"),
         baseline: baseline.expect("--baseline <ci/bench-baseline.json> is required"),
         max_regression,
+        warm,
+        min_hit_rate,
+        min_speedup,
     }
 }
 
@@ -53,11 +84,7 @@ fn load(path: &str) -> Result<PerfSummary, String> {
     PerfSummary::from_json(text.trim()).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn run(args: &GateArgs) -> Result<bool, String> {
-    let current = load(&args.current)?;
-    let baseline = load(&args.baseline)?;
-    let report = gate(&current, &baseline, args.max_regression)?;
-    println!("perf gate: {}", report.verdict());
+fn print_summaries(current: &PerfSummary, baseline: &PerfSummary) {
     println!(
         "  current : {:>8.1} trials/sec, memo hit rate {:>5.1} % ({} trials)",
         current.totals.trials_per_sec,
@@ -79,7 +106,22 @@ fn run(args: &GateArgs) -> Result<bool, String> {
             s.stage_nanos.map(|n| n / 1_000_000)
         );
     }
-    Ok(report.passes())
+}
+
+fn run(args: &GateArgs) -> Result<bool, String> {
+    let current = load(&args.current)?;
+    let baseline = load(&args.baseline)?;
+    let passes = if args.warm {
+        let report = warm_gate(&current, &baseline, args.min_hit_rate, args.min_speedup)?;
+        println!("perf gate: {}", report.verdict());
+        report.passes()
+    } else {
+        let report = gate(&current, &baseline, args.max_regression)?;
+        println!("perf gate: {}", report.verdict());
+        report.passes()
+    };
+    print_summaries(&current, &baseline);
+    Ok(passes)
 }
 
 fn main() -> ExitCode {
@@ -87,11 +129,22 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
-            eprintln!(
-                "perf gate FAILED: throughput regressed more than {:.0} % vs the committed baseline",
-                args.max_regression * 100.0
-            );
-            eprintln!("if the regression is intended, regenerate ci/bench-baseline.json (see that file's provenance line)");
+            if args.warm {
+                eprintln!(
+                    "perf gate FAILED: the warm-start resweep did not replay from the snapshot \
+                     (hit rate < {:.2} or speedup < {:.2}x)",
+                    args.min_hit_rate, args.min_speedup
+                );
+                eprintln!(
+                    "the snapshot, cold and warm JSON documents are uploaded as CI artifacts"
+                );
+            } else {
+                eprintln!(
+                    "perf gate FAILED: throughput regressed more than {:.0} % vs the committed baseline",
+                    args.max_regression * 100.0
+                );
+                eprintln!("if the regression is intended, regenerate ci/bench-baseline.json (see that file's provenance line)");
+            }
             ExitCode::FAILURE
         }
         Err(e) => {

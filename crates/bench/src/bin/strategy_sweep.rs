@@ -19,11 +19,16 @@
 //! [`simtune_bench::PerfSummary`] on stdout (progress still goes to
 //! stderr) — the format the `perf-smoke` CI job archives as
 //! `BENCH_5.json` and gates against `ci/bench-baseline.json`.
+//!
+//! `--save-cache PATH` snapshots the sweep's memo cache afterwards and
+//! `--load-cache PATH` warms it beforehand; CI reloads one sweep's
+//! snapshot into an identical resweep and requires a ~1.0 hit rate plus
+//! a throughput win (`perf_gate --warm`).
 
 use simtune_bench::{Args, ExperimentConfig, PerfSummary, PerfTotals, StrategyPerf, PERF_SCHEMA};
 use simtune_core::{
     collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, SimCache,
-    StrategySpec, TuneOptions,
+    SnapshotLoad, StrategySpec, TuneOptions,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -63,6 +68,22 @@ fn main() {
         // other's candidates, and the hit rate below measures how much
         // of the sweep was answered from memory.
         let memo = Arc::new(SimCache::new());
+        if let Some(path) = &args.load_cache {
+            match memo.load_from(std::path::Path::new(path)) {
+                Ok(SnapshotLoad::Loaded(n)) => {
+                    eprintln!(
+                        "[{}] warmed memo cache with {n} entries from {path}",
+                        cfg.arch
+                    );
+                }
+                Ok(SnapshotLoad::Missing) => {
+                    eprintln!("[{}] no snapshot at {path}; cold start", cfg.arch);
+                }
+                // load_from already logged the rejection reason.
+                Ok(SnapshotLoad::Rejected(_)) => {}
+                Err(e) => eprintln!("[{}] snapshot read failed ({e}); cold start", cfg.arch),
+            }
+        }
         let data = match collect_group_data(
             &def,
             &spec,
@@ -178,6 +199,12 @@ fn main() {
                 memo_hit_rate: memo_stats.hit_ratio(),
             },
         };
+        if let Some(path) = &args.save_cache {
+            match memo.save_to(std::path::Path::new(path)) {
+                Ok(n) => eprintln!("[{}] saved {n} memo entries to {path}", cfg.arch),
+                Err(e) => eprintln!("[{}] snapshot write failed: {e}", cfg.arch),
+            }
+        }
         if args.json {
             println!("{}", summary.to_json().expect("serializes"));
         } else {

@@ -119,7 +119,10 @@ struct PersistedGroup {
     descriptions: Vec<String>,
 }
 
-/// Serializes collected groups to a JSON file.
+/// Serializes collected groups to a JSON file, atomically: the JSON is
+/// written to a temporary file in the destination directory and renamed
+/// into place, so a crash or full disk mid-write leaves either the old
+/// dataset or none — never a truncated file that poisons later runs.
 ///
 /// # Errors
 ///
@@ -136,24 +139,26 @@ pub fn store_groups(path: &Path, groups: &[GroupData]) -> io::Result<()> {
             descriptions: g.descriptions.clone(),
         })
         .collect();
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir)?;
-    }
     let json = serde_json::to_string(&persisted)?;
-    fs::write(path, json)
+    simtune_core::atomic_write(path, json.as_bytes())
 }
 
 /// Loads groups previously written by [`store_groups`]; `Ok(None)` when
-/// the file does not exist.
+/// the file does not exist. The not-found case is detected on the read
+/// itself ([`io::ErrorKind::NotFound`]) rather than with an `exists()`
+/// probe, so there is no check-then-read race.
 ///
 /// # Errors
 ///
-/// Propagates filesystem and deserialization errors.
+/// Propagates filesystem and deserialization errors (a corrupt or
+/// truncated file is an [`io::ErrorKind::InvalidData`] error — callers
+/// that prefer to re-collect can treat it as a cache miss).
 pub fn load_groups(path: &Path) -> io::Result<Option<Vec<GroupData>>> {
-    if !path.exists() {
-        return Ok(None);
-    }
-    let json = fs::read_to_string(path)?;
+    let json = match fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
     let persisted: Vec<PersistedGroup> = serde_json::from_str(&json)?;
     Ok(Some(
         persisted
@@ -228,5 +233,32 @@ mod tests {
     fn missing_file_is_none() {
         let path = std::env::temp_dir().join("simtune_no_such_file.json");
         assert!(load_groups(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_cleanly() {
+        let dir =
+            std::env::temp_dir().join(format!("simtune_cache_io_truncated_{}", std::process::id()));
+        let path = dir.join("g.json");
+        store_groups(&path, &[sample_group()]).unwrap();
+        // Simulate the damage a non-atomic writer could leave behind.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_groups(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_leaves_no_temporary_files_behind() {
+        let dir = std::env::temp_dir().join(format!("simtune_cache_io_tmp_{}", std::process::id()));
+        let path = dir.join("g.json");
+        store_groups(&path, &[sample_group()]).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["g.json".to_string()]);
+        fs::remove_dir_all(&dir).ok();
     }
 }

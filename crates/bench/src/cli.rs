@@ -34,6 +34,12 @@ pub struct Args {
     /// human tables (supported by the sweep binaries; the perf-smoke CI
     /// job and local perf runs share this one format).
     pub json: bool,
+    /// Warm the simulation memo cache from this snapshot before the run
+    /// (missing or corrupt snapshots degrade to a cold start).
+    pub load_cache: Option<String>,
+    /// Save the simulation memo cache to this snapshot after the run
+    /// (written atomically; see `simtune_core::atomic_write`).
+    pub save_cache: Option<String>,
 }
 
 impl Default for Args {
@@ -52,6 +58,8 @@ impl Default for Args {
             refresh: false,
             out_dir: None,
             json: false,
+            load_cache: None,
+            save_cache: None,
         }
     }
 }
@@ -60,7 +68,7 @@ impl Args {
     /// Parses `std::env::args()`-style flags:
     /// `--arch x86 --scale quarter --impls 120 --test 30 --rounds 10
     ///  --parallel 8 --seed 42 --strategy evolutionary --refresh
-    ///  --json --out results/`.
+    ///  --json --out results/ --load-cache snap.json --save-cache snap.json`.
     ///
     /// # Panics
     ///
@@ -111,6 +119,8 @@ impl Args {
                 "--refresh" => out.refresh = true,
                 "--json" => out.json = true,
                 "--out" => out.out_dir = Some(need(&mut it, "--out")),
+                "--load-cache" => out.load_cache = Some(need(&mut it, "--load-cache")),
+                "--save-cache" => out.save_cache = Some(need(&mut it, "--save-cache")),
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -153,6 +163,15 @@ mod tests {
         assert!(a.refresh);
         assert!(a.json);
         assert!(!parse("--seed 1").json, "json is opt-in");
+    }
+
+    #[test]
+    fn cache_snapshot_flags_parse() {
+        let a = parse("--load-cache warm.json --save-cache out.json");
+        assert_eq!(a.load_cache.as_deref(), Some("warm.json"));
+        assert_eq!(a.save_cache.as_deref(), Some("out.json"));
+        let d = parse("--seed 1");
+        assert!(d.load_cache.is_none() && d.save_cache.is_none());
     }
 
     #[test]

@@ -180,6 +180,75 @@ pub fn gate(
     })
 }
 
+/// Verdict of one warm-start comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmReport {
+    /// Memo hit rate of the warm sweep.
+    pub hit_rate: f64,
+    /// Minimum hit rate the comparison demanded.
+    pub min_hit_rate: f64,
+    /// `warm_tps / cold_tps`.
+    pub speedup: f64,
+    /// Minimum speedup the comparison demanded.
+    pub min_speedup: f64,
+}
+
+impl WarmReport {
+    /// True when the warm sweep both hit the cache and got faster.
+    pub fn passes(&self) -> bool {
+        self.hit_rate >= self.min_hit_rate && self.speedup >= self.min_speedup
+    }
+
+    /// One-line human verdict for the CI log.
+    pub fn verdict(&self) -> String {
+        format!(
+            "warm start: hit rate {:.3} (need >= {:.3}), speedup {:.2}x (need >= {:.2}x): {}",
+            self.hit_rate,
+            self.min_hit_rate,
+            self.speedup,
+            self.min_speedup,
+            if self.passes() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares a warm-start sweep (run over a cache snapshot the cold
+/// sweep saved) against its cold counterpart: the warm run must answer
+/// essentially every simulation from the restored memo and convert
+/// that into a throughput win.
+///
+/// # Errors
+///
+/// Returns an error when the two documents describe different sweeps
+/// (the warm rerun must replay the cold one exactly) or the cold
+/// throughput is not positive.
+pub fn warm_gate(
+    warm: &PerfSummary,
+    cold: &PerfSummary,
+    min_hit_rate: f64,
+    min_speedup: f64,
+) -> Result<WarmReport, String> {
+    if warm.arch != cold.arch
+        || warm.seed != cold.seed
+        || warm.n_trials != cold.n_trials
+        || warm.totals.trials != cold.totals.trials
+    {
+        return Err(format!(
+            "incomparable sweeps: warm ({}, seed {}, {} trials) vs cold ({}, seed {}, {} trials)",
+            warm.arch, warm.seed, warm.totals.trials, cold.arch, cold.seed, cold.totals.trials,
+        ));
+    }
+    if !cold.totals.trials_per_sec.is_finite() || cold.totals.trials_per_sec <= 0.0 {
+        return Err("cold throughput must be positive".into());
+    }
+    Ok(WarmReport {
+        hit_rate: warm.totals.memo_hit_rate,
+        min_hit_rate,
+        speedup: warm.totals.trials_per_sec / cold.totals.trials_per_sec,
+        min_speedup,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +316,31 @@ mod tests {
         assert!(fast.passes());
         assert!(fast.regression < 0.0);
         assert!(fast.verdict().contains("PASS"));
+    }
+
+    #[test]
+    fn warm_gate_demands_hits_and_speedup() {
+        let cold = summary(100.0);
+        let mut warm = summary(160.0);
+        warm.totals.memo_hit_rate = 1.0;
+        let ok = warm_gate(&warm, &cold, 0.99, 1.05).unwrap();
+        assert!(ok.passes(), "{}", ok.verdict());
+        assert!((ok.speedup - 1.6).abs() < 1e-9);
+        // A cold-rate cache fails even when throughput improved.
+        let mut missy = summary(160.0);
+        missy.totals.memo_hit_rate = 0.25;
+        let bad = warm_gate(&missy, &cold, 0.99, 1.05).unwrap();
+        assert!(!bad.passes(), "{}", bad.verdict());
+        // A perfectly warm cache that got *slower* fails too.
+        let mut slow = summary(90.0);
+        slow.totals.memo_hit_rate = 1.0;
+        let bad = warm_gate(&slow, &cold, 0.99, 1.05).unwrap();
+        assert!(!bad.passes(), "{}", bad.verdict());
+        assert!(bad.verdict().contains("FAIL"));
+        // Different sweeps are not comparable.
+        let mut other = summary(160.0);
+        other.seed = 9;
+        assert!(warm_gate(&other, &cold, 0.99, 1.05).is_err());
     }
 
     #[test]

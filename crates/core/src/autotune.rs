@@ -127,24 +127,38 @@ pub fn tune_with_predictor(
     predictor: &ScorePredictor,
     opts: &TuneOptions,
 ) -> Result<TuneResult, CoreError> {
-    if !predictor.is_trained() {
-        return Err(CoreError::Pipeline("predictor is not trained".into()));
-    }
     let session = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
         .build()?;
+    tune_with_predictor_on(def, spec, predictor, opts, &session)
+}
+
+/// [`tune_with_predictor`] on a caller-provided session instead of a
+/// freshly built one — the entry point [`crate::SimService`] tenants
+/// use, so N concurrent tuning loops share one worker pool and one memo
+/// cache. `opts.n_parallel` and `opts.memo_cache` are ignored in favor
+/// of the session's own pool and cache.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; individual failed candidates are
+/// penalized, not fatal.
+pub fn tune_with_predictor_on(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    opts: &TuneOptions,
+    session: &SimSession,
+) -> Result<TuneResult, CoreError> {
+    if !predictor.is_trained() {
+        return Err(CoreError::Pipeline("predictor is not trained".into()));
+    }
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
-    let (history, sim_runs, timings) = explore(
-        &generator,
-        def,
-        predictor,
-        strategy.as_mut(),
-        opts,
-        &session,
-    )?;
+    let (history, sim_runs, timings) =
+        explore(&generator, def, predictor, strategy.as_mut(), opts, session)?;
     finish(history, strategy.as_ref(), sim_runs, timings)
 }
 

@@ -720,6 +720,11 @@ pub struct SimSession {
     memo: Option<Arc<SimCache>>,
     pool: Arc<WorkerPool>,
     inflight: Arc<InflightMap>,
+    /// Scheduling lane on the pool (0 for standalone sessions; one
+    /// lane per tenant when the pool is shared by a service).
+    lane: usize,
+    /// Per-tenant counters, when owned by a [`crate::SimService`] tenant.
+    tenant: Option<Arc<crate::pool::TenantCounters>>,
 }
 
 impl fmt::Debug for SimSession {
@@ -783,6 +788,8 @@ impl SimSession {
             limits: self.limits,
             memo: self.memo.clone(),
             inflight: self.inflight.clone(),
+            lane: self.lane,
+            tenant: self.tenant.clone(),
         };
         let batch = Batch::plan(ctx, exes);
         if batch.n_tasks() > 0 {
@@ -815,7 +822,16 @@ pub struct SimSessionBuilder {
     n_parallel: Option<usize>,
     limits: Option<RunLimits>,
     memo: Option<Arc<SimCache>>,
+    shared: Option<SharedPool>,
     error: Option<CoreError>,
+}
+
+/// A pre-existing pool a service session plugs into instead of spawning
+/// its own workers.
+struct SharedPool {
+    pool: Arc<WorkerPool>,
+    lane: usize,
+    tenant: Option<Arc<crate::pool::TenantCounters>>,
 }
 
 impl fmt::Debug for SimSessionBuilder {
@@ -910,6 +926,20 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Plugs the session into an existing worker pool on the given
+    /// scheduling lane instead of spawning its own workers — how
+    /// [`crate::SimService`] multiplexes N tenants onto one pool. The
+    /// session's `n_parallel` becomes the pool's worker count.
+    pub(crate) fn shared_pool(
+        mut self,
+        pool: Arc<WorkerPool>,
+        lane: usize,
+        tenant: Option<Arc<crate::pool::TenantCounters>>,
+    ) -> Self {
+        self.shared = Some(SharedPool { pool, lane, tenant });
+        self
+    }
+
     /// Finishes the session.
     ///
     /// # Errors
@@ -924,14 +954,22 @@ impl SimSessionBuilder {
         let backend = self
             .backend
             .ok_or_else(|| CoreError::Pipeline("SimSession needs a backend".into()))?;
-        let n_parallel = self.n_parallel.unwrap_or_else(default_n_parallel);
+        let (pool, lane, tenant) = match self.shared {
+            Some(shared) => (shared.pool, shared.lane, shared.tenant),
+            None => {
+                let n = self.n_parallel.unwrap_or_else(default_n_parallel);
+                (WorkerPool::new(n), 0, None)
+            }
+        };
         Ok(SimSession {
             backend,
-            n_parallel,
+            n_parallel: pool.workers(),
             limits: self.limits.unwrap_or_default(),
             memo: self.memo,
-            pool: WorkerPool::new(n_parallel),
+            pool,
             inflight: Arc::new(InflightMap::default()),
+            lane,
+            tenant,
         })
     }
 }

@@ -51,12 +51,14 @@ mod pool;
 mod runner;
 mod score;
 pub mod search;
+mod service;
+mod snapshot;
 mod template_tune;
 mod workflow;
 
 pub use autotune::{
-    tune_on_hardware, tune_with_fidelity_escalation, tune_with_predictor, EscalatedTuneResult,
-    EscalationOptions, TuneOptions, TuneRecord, TuneResult,
+    tune_on_hardware, tune_with_fidelity_escalation, tune_with_predictor, tune_with_predictor_on,
+    EscalatedTuneResult, EscalationOptions, TuneOptions, TuneRecord, TuneResult,
 };
 pub use backend::{
     AccurateBackend, BackendError, BackendRegistry, FastCountBackend, Fidelity, FnBackend,
@@ -73,7 +75,7 @@ pub use interface::LOCAL_RUNNER_RUN;
 pub use memo::SimCache;
 pub use metrics::{
     e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, ConvergenceStats,
-    MemoCacheStats, PredictionMetrics, StageTimings, WorkerPoolStats,
+    MemoCacheStats, PredictionMetrics, SnapshotStats, StageTimings, TenantStats, WorkerPoolStats,
 };
 pub use pool::BatchTicket;
 pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
@@ -82,6 +84,8 @@ pub use search::{
     Annealing, CustomStrategyFactory, Evaluation, Evolutionary, GridSearch, HillClimb,
     RandomSearch, SearchSpace, SearchStrategy, SketchSpace, StrategySpec, TemplateSpace,
 };
+pub use service::{SimService, SimServiceBuilder, TenantSession};
+pub use snapshot::{atomic_write, SnapshotLoad, SNAPSHOT_SCHEMA};
 pub use template_tune::tune_template_space;
 pub use workflow::{
     collect_group_data, evaluate_predictor, holdout_group_curves, split_train_test, CollectOptions,

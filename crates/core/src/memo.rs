@@ -52,14 +52,22 @@
 //! [`SimCache::stats`].
 
 use crate::backend::Fidelity;
-use crate::metrics::MemoCacheStats;
+use crate::metrics::{MemoCacheStats, SnapshotStats};
 use crate::SimReport;
 use simtune_isa::{Executable, RunLimits};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{LockResult, Mutex, MutexGuard};
+
+/// Locks a shard even when a previous holder panicked: the guarded map
+/// is plain data whose invariants hold between statements, and a
+/// long-lived service must keep answering other tenants after one
+/// tenant's thread dies mid-operation.
+fn relock<T>(result: LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Default lock-stripe count: enough that 16 workers rarely collide,
 /// small enough that flushing or sizing the cache stays cheap.
@@ -141,6 +149,10 @@ pub struct SimCache {
     resident: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Snapshot persistence counters (see `crate::snapshot`).
+    pub(crate) snap_loaded: AtomicU64,
+    pub(crate) snap_rejected: AtomicU64,
+    pub(crate) snap_saved: AtomicU64,
 }
 
 impl Default for SimCache {
@@ -185,6 +197,9 @@ impl SimCache {
             resident: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            snap_loaded: AtomicU64::new(0),
+            snap_rejected: AtomicU64::new(0),
+            snap_saved: AtomicU64::new(0),
         }
     }
 
@@ -264,12 +279,20 @@ impl SimCache {
         }
     }
 
+    /// Counters for the snapshot persistence path: entries loaded from
+    /// disk, snapshots rejected (corrupt or version-mismatched, each a
+    /// degraded cold start), and snapshots written.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            loaded_entries: self.snap_loaded.load(Ordering::Relaxed),
+            rejected_snapshots: self.snap_rejected.load(Ordering::Relaxed),
+            saved_snapshots: self.snap_saved.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of memoized reports.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("poisoned memo cache").len())
-            .sum()
+        self.shards.iter().map(|s| relock(s.lock()).len()).sum()
     }
 
     /// True when nothing is memoized yet.
@@ -297,15 +320,24 @@ impl SimCache {
     /// Locks every shard in index order (the one consistent order, so
     /// two concurrent flushes cannot deadlock) and clears them all.
     fn flush_all(&self) {
-        let mut guards: Vec<MutexGuard<'_, _>> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("poisoned memo cache"))
-            .collect();
+        let mut guards: Vec<MutexGuard<'_, _>> =
+            self.shards.iter().map(|s| relock(s.lock())).collect();
         for guard in &mut guards {
             guard.clear();
         }
         self.resident.store(0, Ordering::Relaxed);
+    }
+
+    /// Clones every resident entry, shard by shard — the snapshot
+    /// writer's view. Entries inserted concurrently may or may not be
+    /// included; each shard is internally consistent.
+    pub(crate) fn export_entries(&self) -> Vec<(Vec<u8>, SimReport)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = relock(shard.lock());
+            out.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
     }
 
     /// Looks a fingerprint up, counting the hit or miss.
@@ -322,11 +354,7 @@ impl SimCache {
     /// for callers (like the session's batch planner) that account for
     /// the outcome themselves.
     pub(crate) fn peek(&self, key: &[u8]) -> Option<SimReport> {
-        self.shard(key)
-            .lock()
-            .expect("poisoned memo cache")
-            .get(key)
-            .cloned()
+        relock(self.shard(key).lock()).get(key).cloned()
     }
 
     pub(crate) fn note_hit(&self) {
@@ -364,7 +392,7 @@ impl SimCache {
         use std::collections::hash_map::Entry;
         loop {
             key = {
-                let mut map = self.shard(&key).lock().expect("poisoned memo cache");
+                let mut map = relock(self.shard(&key).lock());
                 match map.entry(key) {
                     Entry::Occupied(mut resident) => {
                         // Re-inserting a resident fingerprint never

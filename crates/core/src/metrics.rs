@@ -36,6 +36,42 @@ impl MemoCacheStats {
     }
 }
 
+/// Counters of a [`crate::SimCache`]'s disk-persistence path, surfaced
+/// through [`crate::SimCache::snapshot_stats`]. A rejected snapshot is
+/// not an error: the cache degrades to a cold start and the rejection is
+/// recorded here (and logged), so a corrupt file on disk can never keep
+/// a service from starting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Entries restored from snapshots over the cache's lifetime.
+    pub loaded_entries: u64,
+    /// Snapshots refused (corrupt, truncated or version-mismatched),
+    /// each degrading to a cold start instead of failing the caller.
+    pub rejected_snapshots: u64,
+    /// Snapshots successfully written to disk.
+    pub saved_snapshots: u64,
+}
+
+/// Per-tenant view of a multi-tenant [`crate::SimService`]: one tenant's
+/// share of the shared memo cache and worker pool, surfaced through
+/// [`crate::TenantSession::stats`] and [`crate::SimService::tenant_stats`].
+///
+/// `memo` counts only this tenant's submissions (the shared cache's own
+/// [`MemoCacheStats`] aggregates all tenants), and `pool.trials` /
+/// `pool.busy_nanos` count only worker time spent on this tenant's
+/// batches. `pool.workers` and `pool.wall_nanos` describe the shared
+/// pool, so `pool.utilization()` reads as "fraction of the whole pool's
+/// capacity this tenant consumed".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// The tenant's registered name.
+    pub tenant: String,
+    /// This tenant's memo hits/misses on the shared cache.
+    pub memo: MemoCacheStats,
+    /// This tenant's share of the shared pool's execution counters.
+    pub pool: WorkerPoolStats,
+}
+
 /// Lifetime execution counters of a [`crate::SimSession`]'s persistent
 /// worker pool, surfaced through [`crate::SimSession::pool_stats`].
 ///

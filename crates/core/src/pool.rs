@@ -40,10 +40,10 @@ use crate::memo::{fingerprint, SimCache};
 use crate::metrics::WorkerPoolStats;
 use crate::CoreError;
 use simtune_isa::{Executable, RunLimits};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -51,6 +51,29 @@ use std::time::Instant;
 /// balance uneven trial costs across workers, large enough that the
 /// claim itself (one `fetch_add`) is amortized.
 const CHUNK: usize = 4;
+
+/// Acquires a lock even when a previous holder panicked. Every mutex in
+/// this module guards plain data (result slots, queues, counters) whose
+/// invariants hold between statements, so a poisoned lock is safe to
+/// re-enter — a panicking trial is already converted to a
+/// [`CoreError::Pipeline`] by `run_task`, and one tenant's crash must
+/// not cascade into aborting every other waiter of a shared pool.
+fn relock<T>(result: LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Per-tenant execution counters, shared between a service tenant's
+/// session (which bumps memo hits/misses at plan time) and the pool's
+/// workers (which bump trials/busy as they execute that tenant's
+/// batches). All monotone and lock-free.
+#[derive(Default)]
+pub(crate) struct TenantCounters {
+    pub(crate) memo_hits: AtomicU64,
+    pub(crate) memo_misses: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) trials: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
+}
 
 /// A write-once result slot a duplicate trial (follower) waits on until
 /// its leader finishes executing.
@@ -68,18 +91,18 @@ impl ResultCell {
     }
 
     fn publish(&self, r: Result<SimReport, CoreError>) {
-        let mut slot = self.slot.lock().expect("poisoned result cell");
+        let mut slot = relock(self.slot.lock());
         *slot = Some(r);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<SimReport, CoreError> {
-        let mut slot = self.slot.lock().expect("poisoned result cell");
+        let mut slot = relock(self.slot.lock());
         loop {
             if let Some(r) = slot.as_ref() {
                 return r.clone();
             }
-            slot = self.ready.wait(slot).expect("poisoned result cell");
+            slot = relock(self.ready.wait(slot));
         }
     }
 }
@@ -98,6 +121,12 @@ pub(crate) struct BatchCtx {
     pub(crate) limits: RunLimits,
     pub(crate) memo: Option<Arc<SimCache>>,
     pub(crate) inflight: Arc<InflightMap>,
+    /// Scheduling lane: the pool round-robins across lanes, so each
+    /// service tenant gets its own lane and none starves another.
+    /// Standalone sessions all share lane 0 (plain FIFO).
+    pub(crate) lane: usize,
+    /// Per-tenant counters, when this batch belongs to a service tenant.
+    pub(crate) tenant: Option<Arc<TenantCounters>>,
 }
 
 /// Per-trial execution plan, decided at submission time.
@@ -154,16 +183,21 @@ impl Batch {
                     // leader finishing concurrently is seen in exactly one
                     // of the two places (it inserts into the cache before
                     // deregistering from the in-flight map).
-                    let mut inflight = ctx.inflight.cells.lock().expect("poisoned inflight map");
+                    let mut inflight = relock(ctx.inflight.cells.lock());
                     if let Some(cell) = inflight.get(&key) {
                         cache.note_hit();
+                        ctx.tenant_memo_hit();
                         TrialPlan::Follower { cell: cell.clone() }
                     } else if let Some(hit) = cache.peek(&key) {
                         cache.note_hit();
+                        ctx.tenant_memo_hit();
                         results[i] = Some(Ok(hit));
                         TrialPlan::Resolved
                     } else {
                         cache.note_miss();
+                        if let Some(t) = &ctx.tenant {
+                            t.memo_misses.fetch_add(1, Ordering::Relaxed);
+                        }
                         let cell = Arc::new(ResultCell::new());
                         inflight.insert(key.clone(), cell.clone());
                         TrialPlan::Execute {
@@ -232,19 +266,14 @@ impl Batch {
                 if let Some(cell) = cell {
                     cell.publish(r.clone());
                 }
-                self.ctx
-                    .inflight
-                    .cells
-                    .lock()
-                    .expect("poisoned inflight map")
-                    .remove(key);
+                relock(self.ctx.inflight.cells.lock()).remove(key);
             }
         }
-        self.results.lock().expect("poisoned batch results")[idx] = Some(r);
+        relock(self.results.lock())[idx] = Some(r);
     }
 
     fn complete_tasks(&self, n: usize) {
-        let mut remaining = self.remaining.lock().expect("poisoned batch counter");
+        let mut remaining = relock(self.remaining.lock());
         *remaining -= n;
         if *remaining == 0 {
             self.done.notify_all();
@@ -257,6 +286,12 @@ impl BatchCtx {
         match (&self.memo, self.backend.memo_key()) {
             (Some(cache), Some(config)) => Some((cache.clone(), config)),
             _ => None,
+        }
+    }
+
+    fn tenant_memo_hit(&self) {
+        if let Some(t) = &self.tenant {
+            t.memo_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -302,17 +337,12 @@ impl BatchTicket {
     /// submitted executable, in submission order.
     pub fn wait(self) -> Vec<Result<SimReport, CoreError>> {
         {
-            let mut remaining = self.batch.remaining.lock().expect("poisoned batch counter");
+            let mut remaining = relock(self.batch.remaining.lock());
             while *remaining > 0 {
-                remaining = self
-                    .batch
-                    .done
-                    .wait(remaining)
-                    .expect("poisoned batch counter");
+                remaining = relock(self.batch.done.wait(remaining));
             }
         }
-        let mut results =
-            std::mem::take(&mut *self.batch.results.lock().expect("poisoned batch results"));
+        let mut results = std::mem::take(&mut *relock(self.batch.results.lock()));
         // Followers resolve on the consumer thread: their leader may
         // live in an earlier batch, but leaders are always enqueued no
         // later than their followers, so the cell is (or will be)
@@ -330,8 +360,52 @@ impl BatchTicket {
     }
 }
 
+/// Pending batches, bucketed by lane. Workers pick the next batch
+/// round-robin across lanes (batch granularity), so N tenants sharing
+/// one pool each get every Nth scheduling decision: a tenant that
+/// enqueues a long backlog cannot starve another tenant's single batch.
+/// Within a lane, batches run in FIFO submission order — which is what
+/// keeps a standalone session (everything on lane 0) behaving exactly
+/// like the pre-lane pool.
+#[derive(Default)]
+struct LaneQueues {
+    lanes: BTreeMap<usize, VecDeque<Arc<Batch>>>,
+    /// Lowest lane id the next scheduling decision may pick.
+    cursor: usize,
+}
+
+impl LaneQueues {
+    fn push(&mut self, lane: usize, batch: Arc<Batch>) {
+        self.lanes.entry(lane).or_default().push_back(batch);
+    }
+
+    /// Returns the front batch of the next non-empty lane at or after
+    /// the cursor (wrapping), pruning drained batches and empty lanes.
+    fn next_batch(&mut self) -> Option<Arc<Batch>> {
+        self.lanes.retain(|_, q| {
+            while q.front().is_some_and(|b| b.drained()) {
+                q.pop_front();
+            }
+            !q.is_empty()
+        });
+        let lane = self
+            .lanes
+            .range(self.cursor..)
+            .next()
+            .map(|(&l, _)| l)
+            .or_else(|| self.lanes.keys().next().copied())?;
+        self.cursor = lane + 1;
+        Some(
+            self.lanes[&lane]
+                .front()
+                .expect("lane retained non-empty")
+                .clone(),
+        )
+    }
+}
+
 struct PoolShared {
-    queue: Mutex<VecDeque<Arc<Batch>>>,
+    queue: Mutex<LaneQueues>,
     work: Condvar,
     shutdown: AtomicBool,
     busy_nanos: AtomicU64,
@@ -353,7 +427,7 @@ impl WorkerPool {
     pub(crate) fn new(workers: usize) -> Arc<WorkerPool> {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(LaneQueues::default()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             busy_nanos: AtomicU64::new(0),
@@ -382,10 +456,19 @@ impl WorkerPool {
     pub(crate) fn enqueue(&self, batch: Arc<Batch>) {
         debug_assert!(batch.n_tasks() > 0, "empty batches are resolved at submit");
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
-        let mut queue = self.shared.queue.lock().expect("poisoned pool queue");
-        queue.push_back(batch);
+        if let Some(t) = &batch.ctx.tenant {
+            t.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        let lane = batch.ctx.lane;
+        let mut queue = relock(self.shared.queue.lock());
+        queue.push(lane, batch);
         drop(queue);
         self.shared.work.notify_all();
+    }
+
+    /// Number of worker threads serving this pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Lifetime execution counters of this pool.
@@ -404,12 +487,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work.notify_all();
-        for handle in self
-            .handles
-            .lock()
-            .expect("poisoned pool handles")
-            .drain(..)
-        {
+        for handle in relock(self.handles.lock()).drain(..) {
             let _ = handle.join();
         }
     }
@@ -417,23 +495,23 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        // Find a batch with unclaimed work, pruning drained ones.
+        // Pick the next batch round-robin across lanes.
         let batch = {
-            let mut queue = shared.queue.lock().expect("poisoned pool queue");
+            let mut queue = relock(shared.queue.lock());
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                while queue.front().is_some_and(|b| b.drained()) {
-                    queue.pop_front();
-                }
-                match queue.front() {
-                    Some(batch) => break batch.clone(),
-                    None => queue = shared.work.wait(queue).expect("poisoned pool queue"),
+                match queue.next_batch() {
+                    Some(batch) => break batch,
+                    None => queue = relock(shared.work.wait(queue)),
                 }
             }
         };
-        // Claim chunks lock-free until the batch is drained.
+        // Claim chunks lock-free until the picked batch is drained,
+        // then return to the scheduler. Fairness is batch-granular:
+        // once a batch starts it runs to completion, but the *next*
+        // batch comes from the next lane in round-robin order.
         loop {
             let start = batch.next.fetch_add(CHUNK, Ordering::Relaxed);
             if start >= batch.tasks.len() {
@@ -444,12 +522,15 @@ fn worker_loop(shared: &PoolShared) {
             for &idx in &batch.tasks[start..end] {
                 batch.run_task(idx);
             }
-            shared
-                .busy_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            shared.busy_nanos.fetch_add(elapsed, Ordering::Relaxed);
             shared
                 .trials
                 .fetch_add((end - start) as u64, Ordering::Relaxed);
+            if let Some(t) = &batch.ctx.tenant {
+                t.busy_nanos.fetch_add(elapsed, Ordering::Relaxed);
+                t.trials.fetch_add((end - start) as u64, Ordering::Relaxed);
+            }
             batch.complete_tasks(end - start);
         }
     }
@@ -511,6 +592,8 @@ mod tests {
             limits: RunLimits::default(),
             memo: None,
             inflight: Arc::new(InflightMap::default()),
+            lane: 0,
+            tenant: None,
         }
     }
 
@@ -558,5 +641,118 @@ mod tests {
         BatchTicket::new(batch, pool).wait();
         // Drop happened here; reaching this line without hanging is the
         // assertion.
+    }
+
+    #[test]
+    fn poisoned_result_cell_is_recovered_not_repanicked() {
+        let cell = Arc::new(ResultCell::new());
+        // Poison the cell's mutex: panic while holding the guard.
+        let poisoner = cell.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.slot.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(cell.slot.is_poisoned());
+        // publish/wait still work: the guarded Option is plain data.
+        cell.publish(Err(CoreError::Pipeline("leader died".into())));
+        assert!(matches!(cell.wait(), Err(CoreError::Pipeline(_))));
+    }
+
+    /// A backend that blocks every trial on a shared gate, then records
+    /// execution order — makes the scheduler's lane interleaving
+    /// observable and deterministic.
+    struct GateBackend {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        order: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl SimBackend for GateBackend {
+        fn name(&self) -> &str {
+            "gate"
+        }
+        fn fidelity(&self) -> Fidelity {
+            Fidelity::Custom
+        }
+        fn run_one(
+            &self,
+            exe: &Executable,
+            _limits: &RunLimits,
+        ) -> Result<SimReport, BackendError> {
+            let (open, cv) = &*self.gate;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.order.lock().unwrap().push(exe.name.clone());
+            Ok(SimReport {
+                stats: SimStats::default(),
+                backend: "gate".into(),
+                fidelity: Fidelity::Custom,
+                extrapolated: false,
+            })
+        }
+    }
+
+    #[test]
+    fn lanes_are_scheduled_round_robin() {
+        // One worker; lane 0 queues two batches before lane 1 queues
+        // one. Round-robin must serve lane 1 between lane 0's batches
+        // instead of draining lane 0's backlog first.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let pool = WorkerPool::new(1);
+        let gated_ctx = |lane: usize, tenant: Option<Arc<TenantCounters>>| BatchCtx {
+            backend: Arc::new(GateBackend {
+                gate: gate.clone(),
+                order: order.clone(),
+            }),
+            limits: RunLimits::default(),
+            memo: None,
+            inflight: Arc::new(InflightMap::default()),
+            lane,
+            tenant,
+        };
+        let t0 = Arc::new(TenantCounters::default());
+        let t1 = Arc::new(TenantCounters::default());
+        let a1 = Batch::plan(
+            gated_ctx(0, Some(t0.clone())),
+            (0..4).map(|i| exe(&format!("a{i}"))).collect(),
+        );
+        let a2 = Batch::plan(
+            gated_ctx(0, Some(t0.clone())),
+            (4..8).map(|i| exe(&format!("a{i}"))).collect(),
+        );
+        let b = Batch::plan(
+            gated_ctx(1, Some(t1.clone())),
+            (0..4).map(|i| exe(&format!("b{i}"))).collect(),
+        );
+        pool.enqueue(a1.clone());
+        pool.enqueue(a2.clone());
+        pool.enqueue(b.clone());
+        {
+            let (open, cv) = &*gate;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        BatchTicket::new(a1, pool.clone()).wait();
+        BatchTicket::new(a2, pool.clone()).wait();
+        BatchTicket::new(b, pool.clone()).wait();
+        let order = order.lock().unwrap();
+        let pos = |name: &str| order.iter().position(|n| n == name).unwrap();
+        // Every lane-1 trial ran before lane 0's second batch.
+        for bi in 0..4 {
+            assert!(
+                pos(&format!("b{bi}")) < pos("a4"),
+                "lane 1 was starved: order {order:?}"
+            );
+        }
+        // Per-tenant counters saw exactly their own lane's work.
+        assert_eq!(t0.trials.load(Ordering::Relaxed), 8);
+        assert_eq!(t0.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(t1.trials.load(Ordering::Relaxed), 4);
+        assert_eq!(t1.batches.load(Ordering::Relaxed), 1);
     }
 }
