@@ -20,15 +20,26 @@
 //! stderr) — the format the `perf-smoke` CI job archives as
 //! `BENCH_5.json` and gates against `ci/bench-baseline.json`.
 //!
+//! `--fidelity accurate|topk|predicted` selects how candidates are
+//! simulated: `accurate` (default) runs every trial on the accurate
+//! backend, `topk` explores cheap and re-simulates the static top-k
+//! finalists, and `predicted` drives the learned tier with
+//! uncertainty-driven escalation. The escalated modes fill the
+//! `escalation_rate` (and, for `predicted`, `avoided_simulations` /
+//! `mean_abs_rank_error`) fields of each [`simtune_bench::StrategyPerf`].
+//!
 //! `--save-cache PATH` snapshots the sweep's memo cache afterwards and
 //! `--load-cache PATH` warms it beforehand; CI reloads one sweep's
 //! snapshot into an identical resweep and requires a ~1.0 hit rate plus
 //! a throughput win (`perf_gate --warm`).
 
-use simtune_bench::{Args, ExperimentConfig, PerfSummary, PerfTotals, StrategyPerf, PERF_SCHEMA};
+use simtune_bench::{
+    Args, ExperimentConfig, FidelityMode, PerfSummary, PerfTotals, StrategyPerf, PERF_SCHEMA,
+};
 use simtune_core::{
-    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, SimCache,
-    SnapshotLoad, StrategySpec, TuneOptions,
+    collect_group_data, tune_with_fidelity_escalation, tune_with_predictor, CollectOptions,
+    CoreError, EscalationOptions, EscalationPolicy, ScorePredictor, SimCache, SnapshotLoad,
+    StrategySpec, TuneOptions, TuneResult, UncertaintyPolicy,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -141,8 +152,8 @@ fn main() {
                 ..TuneOptions::default()
             };
             let t0 = Instant::now();
-            match tune_with_predictor(&def, &spec, &predictor, &opts) {
-                Ok(result) => {
+            match run_tune(&args, &def, &spec, &predictor, &opts) {
+                Ok((result, accurate_runs)) => {
                     let wall = t0.elapsed().as_secs_f64();
                     let trials_per_sec = result.history.len() as f64 / wall.max(1e-9);
                     let c = result.convergence;
@@ -157,6 +168,19 @@ fn main() {
                             c.restarts,
                             trials_per_sec
                         );
+                        if let Some(acc) = accurate_runs {
+                            let ps = result.predictor.as_ref();
+                            println!(
+                                "{:>13} | escalated {acc}/{} ({:.0} %){}",
+                                "",
+                                result.history.len(),
+                                acc as f64 / result.history.len().max(1) as f64 * 100.0,
+                                ps.map_or(String::new(), |p| format!(
+                                    ", avoided {} sims, rank err {:.3}",
+                                    p.avoided_simulations, p.mean_abs_rank_error
+                                ))
+                            );
+                        }
                     }
                     perfs.push(StrategyPerf {
                         name: result.strategy.clone(),
@@ -171,6 +195,10 @@ fn main() {
                             result.timings.sim_nanos,
                             result.timings.score_nanos,
                         ],
+                        escalation_rate: accurate_runs
+                            .map(|a| a as f64 / result.history.len().max(1) as f64),
+                        avoided_simulations: result.predictor.map(|p| p.avoided_simulations),
+                        mean_abs_rank_error: result.predictor.map(|p| p.mean_abs_rank_error),
                     });
                 }
                 Err(e) => eprintln!("{:>13} | failed: {e}", strategy.label()),
@@ -182,8 +210,12 @@ fn main() {
         let summary = PerfSummary {
             schema: PERF_SCHEMA.into(),
             provenance: format!(
-                "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {} --json",
-                cfg.arch, args.scale.label(), args.impls, args.test_count, cfg.seed, cfg.n_parallel
+                "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {}{} --json",
+                cfg.arch, args.scale.label(), args.impls, args.test_count, cfg.seed, cfg.n_parallel,
+                match args.fidelity {
+                    FidelityMode::Accurate => String::new(),
+                    mode => format!(" --fidelity {}", mode.label()),
+                }
             ),
             arch: cfg.arch.clone(),
             seed: cfg.seed,
@@ -216,6 +248,45 @@ fn main() {
                 memo_stats.hits,
                 memo_stats.lookups(),
             );
+        }
+    }
+}
+
+/// Runs one strategy's tune in the requested fidelity mode.
+///
+/// Returns the tune result plus the number of accurate simulations the
+/// escalated modes spent (`None` for the accurate-only baseline, where
+/// every simulation is accurate by construction).
+fn run_tune(
+    args: &Args,
+    def: &simtune_tensor::ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    opts: &TuneOptions,
+) -> Result<(TuneResult, Option<usize>), CoreError> {
+    match args.fidelity {
+        FidelityMode::Accurate => Ok((tune_with_predictor(def, spec, predictor, opts)?, None)),
+        FidelityMode::TopK => {
+            let out = tune_with_fidelity_escalation(
+                def,
+                spec,
+                predictor,
+                opts,
+                &EscalationOptions::default(),
+            )?;
+            Ok((out.result, Some(out.accurate_runs)))
+        }
+        FidelityMode::Predicted => {
+            let esc = EscalationOptions {
+                policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                    min_train: 4,
+                    refit_every: 4,
+                    ..UncertaintyPolicy::default()
+                }),
+                ..EscalationOptions::default()
+            };
+            let out = tune_with_fidelity_escalation(def, spec, predictor, opts, &esc)?;
+            Ok((out.result, Some(out.accurate_runs)))
         }
     }
 }

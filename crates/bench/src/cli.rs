@@ -4,6 +4,40 @@
 use crate::Scale;
 use simtune_core::StrategySpec;
 
+/// Fidelity mode of the tuning loop the sweep binaries drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityMode {
+    /// Every candidate runs on the accurate backend (the default).
+    Accurate,
+    /// Cheap exploration, then the static top-k finalists re-simulate
+    /// accurately (`EscalationPolicy::TopK`).
+    TopK,
+    /// The learned tier: uncertainty-driven active-learning escalation
+    /// over a `PredictedBackend` (`EscalationPolicy::Uncertainty`).
+    Predicted,
+}
+
+impl FidelityMode {
+    /// Parses `accurate|topk|predicted` (the `--fidelity` values).
+    pub fn parse(s: &str) -> Option<FidelityMode> {
+        match s {
+            "accurate" => Some(FidelityMode::Accurate),
+            "topk" | "top-k" => Some(FidelityMode::TopK),
+            "predicted" => Some(FidelityMode::Predicted),
+            _ => None,
+        }
+    }
+
+    /// Stable label for logs and provenance lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            FidelityMode::Accurate => "accurate",
+            FidelityMode::TopK => "topk",
+            FidelityMode::Predicted => "predicted",
+        }
+    }
+}
+
 /// Parsed command-line arguments with the defaults used throughout the
 /// experiment suite.
 #[derive(Debug, Clone)]
@@ -40,6 +74,9 @@ pub struct Args {
     /// Save the simulation memo cache to this snapshot after the run
     /// (written atomically; see `simtune_core::atomic_write`).
     pub save_cache: Option<String>,
+    /// Fidelity mode for the tuning sweeps
+    /// (`--fidelity accurate|topk|predicted`).
+    pub fidelity: FidelityMode,
 }
 
 impl Default for Args {
@@ -60,6 +97,7 @@ impl Default for Args {
             json: false,
             load_cache: None,
             save_cache: None,
+            fidelity: FidelityMode::Accurate,
         }
     }
 }
@@ -121,6 +159,12 @@ impl Args {
                 "--out" => out.out_dir = Some(need(&mut it, "--out")),
                 "--load-cache" => out.load_cache = Some(need(&mut it, "--load-cache")),
                 "--save-cache" => out.save_cache = Some(need(&mut it, "--save-cache")),
+                "--fidelity" => {
+                    let v = need(&mut it, "--fidelity");
+                    out.fidelity = FidelityMode::parse(&v).unwrap_or_else(|| {
+                        panic!("unknown fidelity {v} (accurate|topk|predicted)")
+                    });
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -163,6 +207,24 @@ mod tests {
         assert!(a.refresh);
         assert!(a.json);
         assert!(!parse("--seed 1").json, "json is opt-in");
+    }
+
+    #[test]
+    fn fidelity_flag_parses_all_modes() {
+        assert_eq!(parse("--seed 1").fidelity, FidelityMode::Accurate);
+        assert_eq!(parse("--fidelity topk").fidelity, FidelityMode::TopK);
+        assert_eq!(parse("--fidelity top-k").fidelity, FidelityMode::TopK);
+        assert_eq!(
+            parse("--fidelity predicted").fidelity,
+            FidelityMode::Predicted
+        );
+        assert_eq!(FidelityMode::Predicted.label(), "predicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fidelity")]
+    fn bad_fidelity_panics() {
+        parse("--fidelity exact");
     }
 
     #[test]

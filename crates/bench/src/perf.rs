@@ -36,6 +36,19 @@ pub struct StrategyPerf {
     /// time the loop *waited* on the worker pool — simulation hidden
     /// behind the pipelined build never shows up here.
     pub stage_nanos: [u64; 4],
+    /// Fraction of trials escalated to the accurate tier
+    /// (`accurate_runs / trials`). `null` for accurate-only runs, set
+    /// for both escalated fidelity modes (`--fidelity topk|predicted`).
+    pub escalation_rate: Option<f64>,
+    /// Accurate simulations the predicted tier answered from the model
+    /// instead (finite-scored, never accurately verified candidates).
+    /// `null` unless the run used `--fidelity predicted`.
+    pub avoided_simulations: Option<u64>,
+    /// Normalized mean absolute rank displacement between the online
+    /// model's predicted ordering and the accurate ordering of the
+    /// escalated candidates (0 = identical ranking, 1 = full reversal).
+    /// `null` unless the run used `--fidelity predicted`.
+    pub mean_abs_rank_error: Option<f64>,
 }
 
 /// Sweep-wide totals — what the regression gate compares.
@@ -269,6 +282,9 @@ mod tests {
                 wall_seconds: 1.0,
                 trials_per_sec: tps,
                 stage_nanos: [1, 2, 3, 4],
+                escalation_rate: None,
+                avoided_simulations: None,
+                mean_abs_rank_error: None,
             }],
             totals: PerfTotals {
                 trials: 24,
@@ -289,6 +305,22 @@ mod tests {
         assert_eq!(parsed.totals.memo_hits, 6);
         assert_eq!(parsed.strategies[0].stage_nanos, [1, 2, 3, 4]);
         assert!((parsed.totals.trials_per_sec - 120.0).abs() < 1e-9);
+        // Accurate-only rows carry null predictor fields.
+        assert!(parsed.strategies[0].escalation_rate.is_none());
+        assert!(parsed.strategies[0].avoided_simulations.is_none());
+        assert!(parsed.strategies[0].mean_abs_rank_error.is_none());
+    }
+
+    #[test]
+    fn predictor_fields_round_trip_when_set() {
+        let mut s = summary(120.0);
+        s.strategies[0].escalation_rate = Some(0.25);
+        s.strategies[0].avoided_simulations = Some(18);
+        s.strategies[0].mean_abs_rank_error = Some(0.125);
+        let parsed = PerfSummary::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(parsed.strategies[0].escalation_rate, Some(0.25));
+        assert_eq!(parsed.strategies[0].avoided_simulations, Some(18));
+        assert_eq!(parsed.strategies[0].mean_abs_rank_error, Some(0.125));
     }
 
     #[test]

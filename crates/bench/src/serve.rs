@@ -16,7 +16,18 @@
 //! |---|---|---|
 //! | `ping` | — | liveness check |
 //! | `open` | `tenant`, `arch`, `workload`, `dim`, `impls`, `seed` | open a named tenant, collect a training set and fit its score predictor |
-//! | `tune` | `tenant`, `n_trials`, `batch_size`, `seed`, `strategy` | run one predictor-guided tuning loop on the tenant's session |
+//! | `tune` | `tenant`, `n_trials`, `batch_size`, `seed`, `strategy`, `escalation_budget`, `escalation_confidence` | run one predictor-guided tuning loop on the tenant's session |
+//!
+//! # Escalation-policy block
+//!
+//! A `tune` request that sets `escalation_budget` and/or
+//! `escalation_confidence` runs under the learned fidelity tier instead
+//! of all-accurate simulation: candidates are explored on a
+//! `PredictedBackend` and only uncertainty-selected ones escalate to the
+//! accurate simulator (`EscalationPolicy::Uncertainty`; the winner is
+//! always re-verified accurately). The response then echoes the run's
+//! `PredictorStats` through `escalations`, `avoided_simulations` and
+//! `mean_abs_rank_error`; all three are `null` for plain tunes.
 //! | `stats` | `tenant` (optional) | per-tenant counters, or service-wide cache totals |
 //! | `save_cache` | `path` | persist the shared cache snapshot (atomic) |
 //! | `load_cache` | `path` | warm the shared cache (degrades to cold on corrupt files) |
@@ -29,7 +40,8 @@
 
 use serde::{Deserialize, Serialize};
 use simtune_core::{
-    collect_group_data, CollectOptions, ScorePredictor, SimService, TenantSession, TuneOptions,
+    collect_group_data, CollectOptions, EscalationOptions, EscalationPolicy, ScorePredictor,
+    SimService, TenantSession, TuneOptions, UncertaintyPolicy,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -70,6 +82,16 @@ pub struct Request {
     pub strategy: Option<String>,
     /// Snapshot path (`save_cache`/`load_cache`).
     pub path: Option<String>,
+    /// Escalation-policy block, part 1: cap on accurate simulations the
+    /// uncertainty sweep may spend (`tune`; winner verification is
+    /// exempt). Setting this (or `escalation_confidence`) switches the
+    /// tune to the learned fidelity tier.
+    pub escalation_budget: Option<u64>,
+    /// Escalation-policy block, part 2: confidence-band width in
+    /// posterior standard deviations — a candidate escalates when
+    /// `mean - confidence * std` beats the incumbent best (`tune`;
+    /// default 1.0, must be finite and non-negative).
+    pub escalation_confidence: Option<f64>,
 }
 
 /// One response frame. Fields irrelevant to the operation are `null`.
@@ -101,6 +123,16 @@ pub struct Response {
     pub entries: Option<u64>,
     /// Open tenants (`stats` without a tenant).
     pub tenants: Option<u64>,
+    /// Accurate simulations the escalated tune spent (escalated `tune`,
+    /// and tenant `stats` after one; `null` otherwise).
+    pub escalations: Option<u64>,
+    /// Candidates settled from the learned tier without an accurate
+    /// simulation (escalated `tune` / tenant `stats`).
+    pub avoided_simulations: Option<u64>,
+    /// Normalized mean |predicted rank − accurate rank| over the
+    /// escalated pairs, 0 = perfect ordering (escalated `tune` /
+    /// tenant `stats`).
+    pub mean_abs_rank_error: Option<f64>,
 }
 
 impl Response {
@@ -298,15 +330,37 @@ impl Server {
             strategy,
             ..TuneOptions::default()
         };
-        match t.session.tune(&t.def, &t.spec, &t.predictor, &opts) {
+        // Any escalation-policy field switches the tune to the learned
+        // fidelity tier; a plain request keeps the all-accurate loop.
+        let escalated = req.escalation_budget.is_some() || req.escalation_confidence.is_some();
+        let result = if escalated {
+            let esc = EscalationOptions {
+                policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                    confidence: req.escalation_confidence.unwrap_or(1.0),
+                    budget: req.escalation_budget.map(|b| b as usize),
+                    ..UncertaintyPolicy::default()
+                }),
+                ..EscalationOptions::default()
+            };
+            t.session
+                .tune_escalated(&t.def, &t.spec, &t.predictor, &opts, &esc)
+                .map(|out| out.result)
+        } else {
+            t.session.tune(&t.def, &t.spec, &t.predictor, &opts)
+        };
+        match result {
             Ok(result) => {
                 let stats = t.session.stats();
+                let ps = result.predictor;
                 Response {
                     best_score: Some(result.best().score),
                     trials: Some(result.history.len() as u64),
                     simulations: Some(result.simulations as u64),
                     memo_hits: Some(stats.memo.hits),
                     memo_misses: Some(stats.memo.misses),
+                    escalations: ps.map(|p| p.escalations),
+                    avoided_simulations: ps.map(|p| p.avoided_simulations),
+                    mean_abs_rank_error: ps.map(|p| p.mean_abs_rank_error),
                     ..Response::to_req(req)
                 }
             }
@@ -323,6 +377,9 @@ impl Server {
                         memo_hits: Some(s.memo.hits),
                         memo_misses: Some(s.memo.misses),
                         trials: Some(s.pool.trials),
+                        escalations: Some(s.predictor.escalations),
+                        avoided_simulations: Some(s.predictor.avoided_simulations),
+                        mean_abs_rank_error: Some(s.predictor.mean_abs_rank_error),
                         ..Response::to_req(req)
                     }
                 }
@@ -520,6 +577,65 @@ mod tests {
             serde_json::from_str(&read_frame(&mut out).unwrap().unwrap()).unwrap();
         assert!(second.ok);
         assert_eq!(second.op, "ping");
+    }
+
+    #[test]
+    fn escalated_tune_echoes_predictor_stats() {
+        let mut server = Server::new(simtune_core::SimService::builder().n_parallel(2).build());
+        let open = Request {
+            tenant: Some("esc".into()),
+            workload: Some("matmul".into()),
+            dim: Some(6),
+            impls: Some(10),
+            seed: Some(42),
+            ..req("open")
+        };
+        assert!(roundtrip(&mut server, &open).unwrap().ok);
+        let tune = Request {
+            tenant: Some("esc".into()),
+            n_trials: Some(12),
+            batch_size: Some(4),
+            seed: Some(1),
+            strategy: Some("random".into()),
+            escalation_budget: Some(8),
+            escalation_confidence: Some(1.0),
+            ..req("tune")
+        };
+        let resp = roundtrip(&mut server, &tune).unwrap();
+        assert!(resp.ok, "escalated tune failed: {:?}", resp.error);
+        assert!(resp.best_score.unwrap().is_finite());
+        assert_eq!(resp.trials, Some(12));
+        let escalations = resp.escalations.expect("escalated tune echoes stats");
+        assert!(escalations > 0, "some candidates must escalate");
+        assert!(resp.avoided_simulations.is_some());
+        let rank_err = resp.mean_abs_rank_error.unwrap();
+        assert!((0.0..=1.0).contains(&rank_err), "rank error {rank_err}");
+        // Plain tunes keep the predictor fields null...
+        let plain = Request {
+            escalation_budget: None,
+            escalation_confidence: None,
+            ..tune.clone()
+        };
+        let resp2 = roundtrip(&mut server, &plain).unwrap();
+        assert!(resp2.ok);
+        assert!(resp2.escalations.is_none());
+        // ...while tenant stats keep the accumulated counters.
+        let stats = Request {
+            tenant: Some("esc".into()),
+            ..req("stats")
+        };
+        let s = roundtrip(&mut server, &stats).unwrap();
+        assert_eq!(s.escalations, Some(escalations));
+        // A NaN confidence is a handler error, not a crash. (Handled
+        // directly: JSON has no NaN literal, so a framed roundtrip
+        // would turn it into null.)
+        let bad = Request {
+            escalation_confidence: Some(f64::NAN),
+            ..tune
+        };
+        let (resp3, _) = server.handle(&bad);
+        assert!(!resp3.ok);
+        assert!(resp3.error.unwrap().contains("confidence"));
     }
 
     #[test]

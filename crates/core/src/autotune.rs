@@ -12,13 +12,15 @@
 use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
 use crate::features::WindowKind;
 use crate::memo::SimCache;
-use crate::metrics::{ConvergenceStats, StageTimings};
+use crate::metrics::{ConvergenceStats, PredictorStats, StageTimings};
 use crate::pool::BatchTicket;
+use crate::predicted::{shared_predictor, OnlinePredictor, PredictedBackend, Prediction};
 use crate::runner::{HardwareRunner, KernelBuilder};
 use crate::score::ScorePredictor;
 use crate::search::{Evaluation, SearchStrategy, StrategySpec};
 use crate::CoreError;
 use simtune_hw::TargetSpec;
+use simtune_predict::PredictorKind;
 use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,6 +101,10 @@ pub struct TuneResult {
     /// next batch is invisible here. Wall-clock values: identical
     /// reruns produce identical history but different timings.
     pub timings: StageTimings,
+    /// Online-model counters when the run used the learned
+    /// [`EscalationPolicy::Uncertainty`] tier; `None` for every other
+    /// flow.
+    pub predictor: Option<PredictorStats>,
 }
 
 impl TuneResult {
@@ -310,6 +316,13 @@ pub struct EscalationOptions {
     /// instead of the default [`FastCountBackend`] — a middle tier for
     /// workloads whose ranking is cache-sensitive.
     pub sample_fraction: Option<f64>,
+    /// How candidates graduate to the accurate tier. The default
+    /// [`EscalationPolicy::TopK`] keeps the original static-finalist
+    /// behavior (and is the only mode that reads `top_k`);
+    /// [`EscalationPolicy::Uncertainty`] activates the learned
+    /// [`crate::PredictedBackend`] tier with active-learning
+    /// escalation.
+    pub policy: EscalationPolicy,
 }
 
 impl Default for EscalationOptions {
@@ -317,6 +330,65 @@ impl Default for EscalationOptions {
         EscalationOptions {
             top_k: 8,
             sample_fraction: None,
+            policy: EscalationPolicy::TopK,
+        }
+    }
+}
+
+/// Which candidates graduate from the cheap exploration tier to the
+/// accurate tier in [`tune_with_fidelity_escalation`].
+#[derive(Debug, Clone, Default)]
+pub enum EscalationPolicy {
+    /// Static finalists: after exploration, the `top_k` best cheap-tier
+    /// scores are re-simulated accurately — simple, but pays for
+    /// `top_k` accurate runs no matter how confident the ranking is.
+    #[default]
+    TopK,
+    /// Uncertainty-driven active learning: an online model
+    /// ([`crate::OnlinePredictor`]) is trained on escalated candidates
+    /// *during* the sweep, and a candidate graduates only while the
+    /// model is cold or its lower confidence bound still overlaps the
+    /// incumbent best accurate score. The final winner is always
+    /// re-verified on the accurate tier.
+    Uncertainty(UncertaintyPolicy),
+}
+
+/// Tuning knobs of [`EscalationPolicy::Uncertainty`].
+#[derive(Debug, Clone)]
+pub struct UncertaintyPolicy {
+    /// Model family the online predictor trains. The default
+    /// [`PredictorKind::Bayes`] provides a true GP posterior variance;
+    /// the other families report ensemble or residual spreads.
+    pub predictor: PredictorKind,
+    /// Confidence multiplier `β`: a candidate escalates while
+    /// `mean − β·std ≤ incumbent`. Larger values escalate more
+    /// (cautious); `0.0` escalates only candidates predicted to beat
+    /// the incumbent outright.
+    pub confidence: f64,
+    /// Observations required before the first fit. Until the model has
+    /// seen this many accurate scores, candidates escalate outright
+    /// (the cold start that produces the first training set) — so keep
+    /// this comfortably below the sweep's trial count.
+    pub min_train: usize,
+    /// The model refits (on the full observation history) once this
+    /// many new observations accumulated since the last fit.
+    pub refit_every: usize,
+    /// Hard cap on in-sweep accurate simulations (cold start
+    /// included). `None` leaves escalation bounded only by the
+    /// confidence test. The final winner verification always runs and
+    /// is *not* counted against this budget; set the budget at least
+    /// `min_train` high or the model never trains.
+    pub budget: Option<usize>,
+}
+
+impl Default for UncertaintyPolicy {
+    fn default() -> Self {
+        UncertaintyPolicy {
+            predictor: PredictorKind::Bayes,
+            confidence: 1.0,
+            min_train: 6,
+            refit_every: 4,
+            budget: None,
         }
     }
 }
@@ -387,6 +459,14 @@ pub fn tune_with_fidelity_escalation(
 ) -> Result<EscalatedTuneResult, CoreError> {
     if !predictor.is_trained() {
         return Err(CoreError::Pipeline("predictor is not trained".into()));
+    }
+    if let EscalationPolicy::Uncertainty(pol) = &esc.policy {
+        if !pol.confidence.is_finite() || pol.confidence < 0.0 {
+            return Err(CoreError::Pipeline(
+                "uncertainty escalation needs a finite confidence >= 0".into(),
+            ));
+        }
+        return tune_with_uncertainty_escalation(def, spec, predictor, opts, esc, pol);
     }
     if esc.top_k == 0 {
         return Err(CoreError::Pipeline(
@@ -481,12 +561,360 @@ pub fn tune_with_fidelity_escalation(
             convergence: strategy.convergence(),
             simulations: explore_runs + accurate_runs,
             timings,
+            predictor: None,
         },
         explore_backend: explore_name,
         final_backend: final_name,
         explore_runs,
         accurate_runs,
     })
+}
+
+/// The [`EscalationPolicy::Uncertainty`] flow: active-learning
+/// escalation over the [`PredictedBackend`] tier. One batch at a time:
+///
+/// 1. propose, build and run every candidate on the cheap tier (the
+///    [`PredictedBackend`] over counting/sampled statistics);
+/// 2. in submission order, extract each candidate's feature vector,
+///    compute the [`ScorePredictor`]'s cheap-tier *provisional* score
+///    and query the online model, which learns the **residual** between
+///    provisional and accurate scores (multi-fidelity delta learning) —
+///    its corrected prediction is `provisional + residual mean`;
+/// 3. escalate the most promising candidates first (lowest provisional
+///    score during the cold start, lowest corrected mean once the model
+///    answers) whose lower confidence bound `mean − β·std` still
+///    overlaps the incumbent best accurate score, within the budget;
+/// 4. run the escalated candidates' *original* executables accurately
+///    (byte-for-byte what the cheap tier saw), feed the observed
+///    residuals back as training pairs, and refit on the batch boundary.
+///
+/// Non-escalated candidates keep the corrected mean (or, during the
+/// cold start, the provisional score) — so the history mixes accurate
+/// and predicted scores, and the winner is re-verified after the sweep:
+/// while the best-scoring candidate holds a predicted score it is
+/// re-simulated accurately and rescored. The returned winner therefore
+/// always carries an accurate-tier score.
+///
+/// All model training and querying happens here, on the producer
+/// thread, in submission order — `n_parallel` only changes how fast
+/// batches simulate, never what the model sees, which is what the
+/// escalation-determinism suite pins.
+fn tune_with_uncertainty_escalation(
+    def: &ComputeDef,
+    spec: &TargetSpec,
+    predictor: &ScorePredictor,
+    opts: &TuneOptions,
+    esc: &EscalationOptions,
+    pol: &UncertaintyPolicy,
+) -> Result<EscalatedTuneResult, CoreError> {
+    let inner: Arc<dyn SimBackend> = match esc.sample_fraction {
+        Some(fraction) => Arc::new(SampledBackend::new(spec.hierarchy.clone(), fraction)?),
+        None => Arc::new(FastCountBackend::matching(&spec.hierarchy)),
+    };
+    let online = shared_predictor(OnlinePredictor::new(
+        pol.predictor,
+        opts.seed ^ 0x9E37,
+        pol.min_train,
+        pol.refit_every,
+    ));
+    let tier = PredictedBackend::new(inner, Arc::clone(&online));
+    let explore_name = tier.name().to_string();
+    let cheap = SimSession::builder()
+        .backend(Arc::new(tier))
+        .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
+        .build()?;
+    let accurate = SimSession::builder()
+        .accurate(&spec.hierarchy)
+        .n_parallel(opts.n_parallel)
+        .memo_cache_opt(opts.memo_cache.clone())
+        .build()?;
+    let final_name = accurate.backend_name().to_string();
+
+    let generator = SketchGenerator::new(def, spec.isa.clone());
+    let builder = KernelBuilder::new(def.clone(), spec.isa.clone());
+    let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
+    let fc = predictor.feature_config();
+    // Two normalizer streams: the feature stream sees every cheap-tier
+    // sample (model inputs), the accurate stream only escalated
+    // candidates (training labels / final scores). Both are fed in
+    // submission order only.
+    let mut feat_norm = crate::features::WindowNormalizer::new(opts.window);
+    let mut acc_norm = crate::features::WindowNormalizer::new(opts.window);
+
+    let mut history: Vec<TuneRecord> = Vec::new();
+    let mut verified: Vec<bool> = Vec::new();
+    let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
+    let mut pred_pairs: Vec<(f64, f64)> = Vec::new();
+    let mut stats = PredictorStats::default();
+    let mut timings = StageTimings::default();
+    let mut explore_runs = 0usize;
+    let mut accurate_runs = 0usize;
+    let mut incumbent = f64::INFINITY;
+
+    while history.len() < opts.n_trials {
+        let committed = history.len();
+        let want = opts.batch_size.min(opts.n_trials - committed);
+        let t0 = Instant::now();
+        let batch = strategy.propose(&evaluations, want);
+        timings.propose_nanos += t0.elapsed().as_nanos() as u64;
+        if batch.is_empty() {
+            break;
+        }
+        let t0 = Instant::now();
+        let mut kept: Vec<SketchParams> = Vec::new();
+        let mut kept_exes = Vec::new();
+        let mut failed: Vec<SketchParams> = Vec::new();
+        for p in batch {
+            let schedule = generator.schedule(&p);
+            match builder.build(&schedule, &format!("{}t{committed}", def.name)) {
+                Ok(e) => {
+                    kept_exes.push(e);
+                    kept.push(p);
+                }
+                Err(_) => failed.push(p),
+            }
+        }
+        timings.build_nanos += t0.elapsed().as_nanos() as u64;
+        explore_runs += kept_exes.len();
+        let t0 = Instant::now();
+        let reports = cheap.run(&kept_exes);
+        timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+
+        // Decision pass, two phases. Phase 1 — strictly in submission
+        // order (the normalizer streams and the model must see
+        // candidates exactly as submitted): features, the cheap-tier
+        // provisional score, and the model query. The online model
+        // learns the *residual* between the provisional and the
+        // accurate score (multi-fidelity delta learning): with zero
+        // observations the tier already ranks like the offline
+        // predictor, and every escalation refines the correction.
+        let t0 = Instant::now();
+        let mut model = online.lock().expect("predictor lock");
+        let n_kept = kept.len();
+        let mut features_of: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_kept);
+        let mut provisional: Vec<f64> = vec![f64::INFINITY; n_kept];
+        let mut predictions: Vec<Option<Prediction>> = Vec::with_capacity(n_kept);
+        for (i, rep) in reports.iter().enumerate() {
+            let Ok(report) = rep else {
+                features_of.push(None);
+                predictions.push(None);
+                continue;
+            };
+            let raw = crate::features::raw_sample(&report.stats, fc);
+            feat_norm.feed(&raw);
+            let feats = feat_norm.features(&raw, fc);
+            provisional[i] = predictor.score_features(&feats)?;
+            let q = model.predict(&feats).map(|p| Prediction {
+                mean: provisional[i] + p.mean,
+                std: p.std,
+            });
+            if q.is_some() {
+                stats.queries += 1;
+            }
+            features_of.push(Some(feats));
+            predictions.push(q);
+        }
+
+        // Phase 2: pick the escalation set most-promising-first — by
+        // provisional score during the cold start, by corrected mean
+        // once the model answers — so a tight budget is spent on the
+        // candidates most likely to beat the incumbent. The stable
+        // sort keeps ties in submission order, so the selection stays
+        // bit-deterministic at every `n_parallel`.
+        let mut escalate = vec![false; n_kept];
+        let mut eligible: Vec<usize> = (0..n_kept).filter(|&i| features_of[i].is_some()).collect();
+        let promise =
+            |i: usize| -> f64 { predictions[i].as_ref().map_or(provisional[i], |p| p.mean) };
+        eligible.sort_by(|&a, &b| promise(a).total_cmp(&promise(b)));
+        let mut planned = 0usize;
+        for &i in &eligible {
+            if pol.budget.is_some_and(|b| accurate_runs + planned >= b) {
+                break;
+            }
+            let esc_now = match &predictions[i] {
+                // Cold start: simulate until the first training set
+                // exists. `planned` keeps one batch from overshooting
+                // `min_train` before the model ever fits.
+                None => model.observations() + planned < pol.min_train,
+                Some(p) => !incumbent.is_finite() || p.lower(pol.confidence) <= incumbent,
+            };
+            if esc_now {
+                escalate[i] = true;
+                planned += 1;
+            }
+        }
+        let mut scores: Vec<f64> = vec![f64::INFINITY; n_kept];
+        for i in 0..n_kept {
+            if features_of[i].is_some() && !escalate[i] {
+                scores[i] = promise(i);
+            }
+        }
+        timings.score_nanos += t0.elapsed().as_nanos() as u64;
+
+        // Accurate pass over the escalated originals, still in order.
+        let esc_idx: Vec<usize> = (0..n_kept).filter(|&i| escalate[i]).collect();
+        let esc_exes: Vec<_> = esc_idx.iter().map(|&i| kept_exes[i].clone()).collect();
+        accurate_runs += esc_exes.len();
+        stats.escalations += esc_exes.len() as u64;
+        let t0 = Instant::now();
+        let acc_reports = accurate.run_stats(&esc_exes);
+        timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        for (&i, r) in esc_idx.iter().zip(acc_reports) {
+            let Ok(s) = r else {
+                continue; // scores[i] stays the INFINITY penalty
+            };
+            let score = predictor.score_streaming(&s, &mut acc_norm)?;
+            if let Some(p) = &predictions[i] {
+                pred_pairs.push((p.mean, score));
+            }
+            if let Some(f) = &features_of[i] {
+                // Train on the residual; the decision pass adds the
+                // provisional back when querying.
+                model.observe(f, score - provisional[i]);
+            }
+            scores[i] = score;
+            incumbent = incumbent.min(score);
+        }
+        if model.refit() {
+            stats.train_events += 1;
+        }
+        drop(model);
+
+        let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
+        for (i, p) in kept.into_iter().enumerate() {
+            batch_evals.push(Evaluation {
+                point: p,
+                score: scores[i],
+            });
+            verified.push(escalate[i] || !scores[i].is_finite());
+        }
+        for p in failed {
+            batch_evals.push(Evaluation {
+                point: p,
+                score: f64::INFINITY,
+            });
+            verified.push(true);
+        }
+        strategy.observe(&batch_evals);
+        for e in &batch_evals {
+            history.push(TuneRecord {
+                schedule: generator.schedule(&e.point),
+                description: format!("{:?}", e.point),
+                score: e.score,
+            });
+        }
+        evaluations.extend(batch_evals);
+        timings.score_nanos += t0.elapsed().as_nanos() as u64;
+    }
+    if history.is_empty() {
+        return Err(CoreError::Pipeline("tuning produced no candidates".into()));
+    }
+
+    // Winner verification: the returned best always carries an
+    // accurate-tier score. Each round either confirms the current
+    // arg-min or demotes it, so this terminates within `history.len()`
+    // accurate runs (far fewer in practice — the winner usually *was*
+    // escalated).
+    loop {
+        let best = argmin_score(&history);
+        if history[best].score.is_infinite() {
+            return Err(CoreError::Pipeline(
+                "no candidate survived accurate verification".into(),
+            ));
+        }
+        if verified[best] {
+            break;
+        }
+        let t0 = Instant::now();
+        let built = builder.build(&history[best].schedule, &format!("{}v{best}", def.name));
+        timings.build_nanos += t0.elapsed().as_nanos() as u64;
+        let Ok(exe) = built else {
+            history[best].score = f64::INFINITY;
+            verified[best] = true;
+            continue;
+        };
+        accurate_runs += 1;
+        stats.escalations += 1;
+        let t0 = Instant::now();
+        let report = accurate
+            .run_stats(std::slice::from_ref(&exe))
+            .pop()
+            .expect("one report per executable");
+        timings.sim_nanos += t0.elapsed().as_nanos() as u64;
+        history[best].score = match report {
+            Ok(s) => predictor.score_streaming(&s, &mut acc_norm)?,
+            Err(_) => f64::INFINITY,
+        };
+        verified[best] = true;
+    }
+
+    stats.observations = online.lock().expect("predictor lock").observations() as u64;
+    stats.avoided_simulations = history
+        .iter()
+        .zip(&verified)
+        .filter(|(r, v)| r.score.is_finite() && !**v)
+        .count() as u64;
+    if !pred_pairs.is_empty() {
+        stats.mean_abs_error =
+            pred_pairs.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / pred_pairs.len() as f64;
+        stats.mean_abs_rank_error = rank_displacement(&pred_pairs);
+    }
+
+    let best_index = argmin_score(&history);
+    Ok(EscalatedTuneResult {
+        result: TuneResult {
+            history,
+            best_index,
+            strategy: strategy.name().to_string(),
+            convergence: strategy.convergence(),
+            simulations: explore_runs + accurate_runs,
+            timings,
+            predictor: Some(stats),
+        },
+        explore_backend: explore_name,
+        final_backend: final_name,
+        explore_runs,
+        accurate_runs,
+    })
+}
+
+fn argmin_score(history: &[TuneRecord]) -> usize {
+    history
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite or inf"))
+        .map(|(i, _)| i)
+        .expect("non-empty history")
+}
+
+/// Mean |rank(predicted) − rank(accurate)| over `(predicted, accurate)`
+/// score pairs, normalized by the maximum displacement `n − 1`; `0`
+/// with fewer than two pairs.
+fn rank_displacement(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rank = |xs: &[f64]| {
+        let order = simtune_linalg::stats::argsort(xs);
+        let mut r = vec![0usize; xs.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            r[i] = pos;
+        }
+        r
+    };
+    let pred: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let acc: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let rp = rank(&pred);
+    let ra = rank(&acc);
+    let total: f64 = rp
+        .iter()
+        .zip(&ra)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum();
+    total / n as f64 / (n - 1) as f64
 }
 
 /// Baseline flow: candidates are benchmarked on the (emulated) target
@@ -577,6 +1005,7 @@ fn finish(
         convergence: strategy.convergence(),
         simulations,
         timings,
+        predictor: None,
     })
 }
 
@@ -704,6 +1133,124 @@ mod tests {
         .unwrap();
         assert_eq!(result.strategy, "hill_climb");
         assert_eq!(result.history.len(), 6);
+    }
+
+    fn uncertainty_esc(kind: PredictorKind, budget: Option<usize>) -> EscalationOptions {
+        EscalationOptions {
+            policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                predictor: kind,
+                min_train: 4,
+                refit_every: 4,
+                confidence: 1.0,
+                budget,
+            }),
+            ..EscalationOptions::default()
+        }
+    }
+
+    #[test]
+    fn uncertainty_escalation_needs_fewer_accurate_sims() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
+        let opts = TuneOptions {
+            n_trials: 24,
+            batch_size: 8,
+            n_parallel: 4,
+            seed: 9,
+            ..Default::default()
+        };
+        let esc = uncertainty_esc(PredictorKind::LinReg, None);
+        let out = tune_with_fidelity_escalation(&def, &spec, &predictor, &opts, &esc).unwrap();
+        assert_eq!(out.explore_backend, "predicted(fast-count)");
+        assert_eq!(out.final_backend, "accurate");
+        assert_eq!(out.result.history.len(), 24);
+        assert_eq!(
+            out.explore_runs, 24,
+            "every candidate ran on the cheap tier"
+        );
+        assert!(
+            out.accurate_runs < opts.n_trials,
+            "accurate runs {} must undercut accurate-only {}",
+            out.accurate_runs,
+            opts.n_trials
+        );
+        assert!(out.result.best().score.is_finite());
+        let ps = out
+            .result
+            .predictor
+            .expect("uncertainty flow records stats");
+        assert_eq!(ps.escalations as usize, out.accurate_runs);
+        assert!(ps.train_events >= 1, "the model must have fitted");
+        assert!(ps.observations >= 4);
+        assert!(ps.queries > 0, "the trained model must have been queried");
+        assert!(ps.mean_abs_rank_error >= 0.0 && ps.mean_abs_rank_error <= 1.0);
+    }
+
+    #[test]
+    fn uncertainty_budget_caps_in_sweep_escalations() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
+        let opts = TuneOptions {
+            n_trials: 16,
+            batch_size: 8,
+            n_parallel: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        // An enormous confidence band would escalate everything; the
+        // budget has to hold the line (winner verification excepted).
+        let esc = EscalationOptions {
+            policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                predictor: PredictorKind::LinReg,
+                min_train: 4,
+                refit_every: 4,
+                confidence: 1e6,
+                budget: Some(5),
+            }),
+            ..EscalationOptions::default()
+        };
+        let out = tune_with_fidelity_escalation(&def, &spec, &predictor, &opts, &esc).unwrap();
+        let ps = out.result.predictor.expect("stats recorded");
+        assert!(
+            ps.avoided_simulations > 0,
+            "the budget must have left candidates on the predicted tier"
+        );
+        // 5 budgeted runs plus the (bounded) winner-verification loop.
+        assert!(
+            out.accurate_runs < opts.n_trials,
+            "accurate runs {} out of {} trials",
+            out.accurate_runs,
+            opts.n_trials
+        );
+    }
+
+    #[test]
+    fn uncertainty_escalation_rejects_bad_confidence() {
+        let (def, spec) = setup();
+        let predictor = trained_predictor(&def, &spec);
+        let esc = EscalationOptions {
+            policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                confidence: f64::NAN,
+                ..UncertaintyPolicy::default()
+            }),
+            ..EscalationOptions::default()
+        };
+        let err =
+            tune_with_fidelity_escalation(&def, &spec, &predictor, &TuneOptions::default(), &esc);
+        assert!(matches!(err, Err(CoreError::Pipeline(_))));
+    }
+
+    #[test]
+    fn rank_displacement_is_normalized() {
+        assert_eq!(rank_displacement(&[]), 0.0);
+        assert_eq!(rank_displacement(&[(1.0, 5.0)]), 0.0);
+        // Perfect agreement.
+        assert_eq!(
+            rank_displacement(&[(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]),
+            0.0
+        );
+        // Full reversal of n=2 is the maximum displacement 1.
+        assert_eq!(rank_displacement(&[(1.0, 20.0), (2.0, 10.0)]), 1.0);
     }
 
     #[test]

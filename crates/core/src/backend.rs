@@ -96,6 +96,10 @@ pub enum Fidelity {
     },
     /// An external override whose fidelity is unknown to this crate.
     Custom,
+    /// Statistics come from a cheap counting tier but the *score* is
+    /// answered by a learned model trained online on observed reports —
+    /// the tier below all simulating ones ([`crate::PredictedBackend`]).
+    Predicted,
 }
 
 impl fmt::Display for Fidelity {
@@ -105,6 +109,7 @@ impl fmt::Display for Fidelity {
             Fidelity::CountOnly => write!(f, "count-only"),
             Fidelity::Sampled { fraction } => write!(f, "sampled({fraction})"),
             Fidelity::Custom => write!(f, "custom"),
+            Fidelity::Predicted => write!(f, "predicted"),
         }
     }
 }

@@ -449,6 +449,94 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "group means need samples")]
+    fn exact_means_reject_an_empty_group() {
+        GroupMeans::exact(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feed at least one sample")]
+    fn window_features_before_any_feed_panic() {
+        WindowNormalizer::new(WindowKind::Dynamic).features(
+            &RawSample {
+                ratios: vec![0.1],
+                total_insts: 1.0,
+            },
+            &FeatureConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn training_data_rejects_an_empty_group() {
+        group_training_data(&[], &[], &FeatureConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "stats vs labels")]
+    fn training_data_rejects_mismatched_labels() {
+        group_training_data(&[stats(10, 5, 5)], &[1.0, 2.0], &FeatureConfig::default());
+    }
+
+    #[test]
+    fn normalize_guards_tiny_means_and_keeps_eq2_elsewhere() {
+        assert_eq!(normalize(5.0, 0.0), 0.0);
+        assert_eq!(normalize(5.0, 1e-13), 0.0, "below the 1e-12 guard");
+        assert_eq!(normalize(2.0, 2.0), 0.0, "sample at the mean");
+        assert!((normalize(3.0, 2.0) - 0.5).abs() < 1e-12);
+        // Negative means stay Eq. 2: (1 - (-2)) / (-2).
+        assert!((normalize(1.0, -2.0) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_l3_target_keeps_vector_names_and_means_consistent() {
+        let cfg = FeatureConfig::default();
+        let group: Vec<RawSample> = (1..=3)
+            .map(|i| raw_sample(&stats(i * 100, i * 90, i * 10), &cfg))
+            .collect();
+        assert!(group.iter().all(|r| r.ratios.len() == 21));
+        let means = GroupMeans::exact(&group);
+        assert_eq!(means.ratio_means.len(), 21);
+        let f = means.features(&group[0], &cfg);
+        assert_eq!(f.len(), feature_names(false, &cfg).len());
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(feature_names(false, &cfg).iter().all(|n| !n.contains("l3")));
+        assert!(feature_names(true, &cfg)
+            .iter()
+            .any(|n| n.starts_with("l3_")));
+    }
+
+    #[test]
+    fn dynamic_window_keeps_all_zero_columns_finite() {
+        let sample = RawSample {
+            ratios: vec![0.0, 0.5],
+            total_insts: 10.0,
+        };
+        let mut w = WindowNormalizer::new(WindowKind::Dynamic);
+        for _ in 0..3 {
+            w.feed(&sample);
+        }
+        assert_eq!(w.count(), 3);
+        let f = w.features(&sample, &FeatureConfig::default());
+        assert!(f.iter().all(|v| v.is_finite()));
+        // The zero-mean column normalizes to the guard value, not NaN.
+        assert_eq!(f[2], 0.0);
+    }
+
+    #[test]
+    fn zero_width_static_window_freezes_on_the_first_sample() {
+        let mk = |v: f64| RawSample {
+            ratios: vec![v],
+            total_insts: 1.0,
+        };
+        let mut w = WindowNormalizer::new(WindowKind::Static(0));
+        w.feed(&mk(2.0));
+        w.feed(&mk(100.0));
+        assert_eq!(w.means().unwrap().ratio_means[0], 2.0);
+        assert_eq!(w.count(), 1, "frozen windows stop accumulating");
+    }
+
+    #[test]
     fn group_training_data_shapes_and_labels() {
         let group: Vec<SimStats> = (1..=4).map(|i| stats(i * 100, i * 90, i * 10)).collect();
         let t = vec![1.0, 2.0, 3.0, 4.0];

@@ -48,6 +48,7 @@ mod interface;
 mod memo;
 mod metrics;
 mod pool;
+mod predicted;
 mod runner;
 mod score;
 pub mod search;
@@ -58,7 +59,8 @@ mod workflow;
 
 pub use autotune::{
     tune_on_hardware, tune_with_fidelity_escalation, tune_with_predictor, tune_with_predictor_on,
-    EscalatedTuneResult, EscalationOptions, TuneOptions, TuneRecord, TuneResult,
+    EscalatedTuneResult, EscalationOptions, EscalationPolicy, TuneOptions, TuneRecord, TuneResult,
+    UncertaintyPolicy,
 };
 pub use backend::{
     AccurateBackend, BackendError, BackendRegistry, FastCountBackend, Fidelity, FnBackend,
@@ -75,9 +77,13 @@ pub use interface::LOCAL_RUNNER_RUN;
 pub use memo::SimCache;
 pub use metrics::{
     e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, ConvergenceStats,
-    MemoCacheStats, PredictionMetrics, SnapshotStats, StageTimings, TenantStats, WorkerPoolStats,
+    MemoCacheStats, PredictionMetrics, PredictorStats, SnapshotStats, StageTimings, TenantStats,
+    WorkerPoolStats,
 };
 pub use pool::BatchTicket;
+pub use predicted::{
+    shared_predictor, OnlinePredictor, PredictedBackend, Prediction, Predictor, SharedPredictor,
+};
 pub use runner::{HardwareRunner, KernelBuilder, SimulatorRunFn, SimulatorRunner};
 pub use score::{GroupData, ScorePredictor};
 pub use search::{

@@ -37,7 +37,7 @@
 
 use crate::backend::{SimBackend, SimReport};
 use crate::memo::{fingerprint, SimCache};
-use crate::metrics::WorkerPoolStats;
+use crate::metrics::{PredictorStats, WorkerPoolStats};
 use crate::CoreError;
 use simtune_isa::{Executable, RunLimits};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -65,7 +65,10 @@ fn relock<T>(result: LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
 /// Per-tenant execution counters, shared between a service tenant's
 /// session (which bumps memo hits/misses at plan time) and the pool's
 /// workers (which bump trials/busy as they execute that tenant's
-/// batches). All monotone and lock-free.
+/// batches). The atomics are monotone and lock-free; the predictor
+/// accumulator is a mutex because escalated tuning runs merge whole
+/// [`PredictorStats`] records at once, always from the tenant's own
+/// producer thread.
 #[derive(Default)]
 pub(crate) struct TenantCounters {
     pub(crate) memo_hits: AtomicU64,
@@ -73,6 +76,7 @@ pub(crate) struct TenantCounters {
     pub(crate) batches: AtomicU64,
     pub(crate) trials: AtomicU64,
     pub(crate) busy_nanos: AtomicU64,
+    pub(crate) predictor: Mutex<PredictorStats>,
 }
 
 /// A write-once result slot a duplicate trial (follower) waits on until
@@ -485,7 +489,15 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The store must happen under the queue mutex: a worker checks
+        // the flag and blocks on `work` while holding that lock, so a
+        // lock-free store could land between its check and its wait and
+        // the notify below would be lost — leaving the worker asleep
+        // forever and this join deadlocked.
+        {
+            let _queue = relock(self.shared.queue.lock());
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
         self.shared.work.notify_all();
         for handle in relock(self.handles.lock()).drain(..) {
             let _ = handle.join();

@@ -250,7 +250,23 @@ impl ScorePredictor {
         let raw = raw_sample(stats, &self.feature_config);
         normalizer.feed(&raw);
         let features = normalizer.features(&raw, &self.feature_config);
-        let x = Matrix::from_rows(&[features])
+        self.score_features(&features)
+    }
+
+    /// Scores one already-normalized feature row — the low-level half
+    /// of [`ScorePredictor::score_streaming`], for callers that manage
+    /// their own [`WindowNormalizer`] stream and need the model's score
+    /// for a feature vector they extracted themselves (the
+    /// uncertainty-escalation loop shares one fed sample between its
+    /// online model and this provisional score).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Predict`] when the row's width does not
+    /// match the trained model, [`CoreError::Pipeline`] when the row is
+    /// malformed.
+    pub fn score_features(&self, features: &[f64]) -> Result<f64, CoreError> {
+        let x = Matrix::from_rows(&[features.to_vec()])
             .map_err(|e| CoreError::Pipeline(format!("feature row: {e}")))?;
         Ok(self.model.predict(&x)?[0])
     }

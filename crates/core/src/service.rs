@@ -39,7 +39,10 @@
 //! the shared cache, and this tenant's share of the pool's trials and
 //! busy time.
 
-use crate::autotune::{tune_with_predictor_on, TuneOptions, TuneResult};
+use crate::autotune::{
+    tune_with_fidelity_escalation, tune_with_predictor_on, EscalatedTuneResult, EscalationOptions,
+    TuneOptions, TuneResult,
+};
 use crate::backend::{SimBackend, SimSession};
 use crate::memo::SimCache;
 use crate::metrics::{MemoCacheStats, TenantStats, WorkerPoolStats};
@@ -323,6 +326,7 @@ fn tenant_stats(name: &str, c: &TenantCounters, workers: usize, wall_nanos: u64)
             busy_nanos: c.busy_nanos.load(Ordering::Relaxed),
             wall_nanos,
         },
+        predictor: *c.predictor.lock().unwrap_or_else(PoisonError::into_inner),
     }
 }
 
@@ -374,6 +378,45 @@ impl TenantSession {
         opts: &TuneOptions,
     ) -> Result<TuneResult, CoreError> {
         tune_with_predictor_on(def, spec, predictor, opts, &self.session)
+    }
+
+    /// Runs a fidelity-escalation tuning loop for this tenant
+    /// ([`crate::tune_with_fidelity_escalation`]). Escalation needs two
+    /// backends — a cheap exploration tier and the accurate tier — so
+    /// the loop runs on dedicated sessions rather than this tenant's
+    /// single-backend session, but it shares the service's memo cache
+    /// and inherits the service's worker count; `opts.n_parallel` and
+    /// `opts.memo_cache` are overridden accordingly. When the
+    /// uncertainty policy is active, the run's
+    /// [`PredictorStats`](crate::metrics::PredictorStats) are folded
+    /// into this tenant's counters and surface through
+    /// [`TenantSession::stats`] and [`SimService::tenant_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures from the tuning loop.
+    pub fn tune_escalated(
+        &self,
+        def: &ComputeDef,
+        spec: &TargetSpec,
+        predictor: &ScorePredictor,
+        opts: &TuneOptions,
+        esc: &EscalationOptions,
+    ) -> Result<EscalatedTuneResult, CoreError> {
+        let opts = TuneOptions {
+            n_parallel: self.shared.pool.workers(),
+            memo_cache: Some(Arc::clone(&self.shared.cache)),
+            ..opts.clone()
+        };
+        let out = tune_with_fidelity_escalation(def, spec, predictor, &opts, esc)?;
+        if let Some(ps) = &out.result.predictor {
+            self.counters
+                .predictor
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .merge(ps);
+        }
+        Ok(out)
     }
 
     /// This tenant's counters: memo hits/misses and its share of the

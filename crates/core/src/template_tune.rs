@@ -185,6 +185,7 @@ pub fn tune_template_space(
         convergence: strategy.convergence(),
         simulations: sim_runs,
         timings,
+        predictor: None,
     })
 }
 

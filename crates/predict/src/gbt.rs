@@ -1,5 +1,5 @@
 use crate::model::{check_features, check_fit_input};
-use crate::{PredictError, Regressor};
+use crate::{PredictError, Regressor, UncertainRegressor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simtune_linalg::Matrix;
@@ -312,6 +312,50 @@ impl Regressor for GbtRegressor {
     }
 }
 
+impl UncertainRegressor for GbtRegressor {
+    /// Sub-ensemble spread: the trees are split round-robin into up to
+    /// four folds, each fold's rescaled prediction is an independent
+    /// estimate, and the reported uncertainty is the standard deviation
+    /// across folds. The mean stays the full ensemble's prediction.
+    fn predict_with_uncertainty(&self, x: &Matrix) -> Result<(Vec<f64>, Vec<f64>), PredictError> {
+        if self.trees.is_empty() {
+            return Err(PredictError::NotFitted);
+        }
+        check_features(self.n_features, x)?;
+        let n_trees = self.trees.len();
+        let folds = 4.min(n_trees);
+        let means = self.predict(x)?;
+        let stds = (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut fold_sums = vec![0.0f64; folds];
+                let mut fold_counts = vec![0usize; folds];
+                for (t, tree) in self.trees.iter().enumerate() {
+                    fold_sums[t % folds] += tree.predict(row);
+                    fold_counts[t % folds] += 1;
+                }
+                // Each fold rescaled as if it were the full ensemble.
+                let estimates: Vec<f64> = fold_sums
+                    .iter()
+                    .zip(&fold_counts)
+                    .map(|(s, &c)| {
+                        self.base_score
+                            + self.config.learning_rate * s * n_trees as f64 / c.max(1) as f64
+                    })
+                    .collect();
+                let mean = estimates.iter().sum::<f64>() / folds as f64;
+                let var = estimates
+                    .iter()
+                    .map(|e| (e - mean) * (e - mean))
+                    .sum::<f64>()
+                    / folds as f64;
+                var.sqrt()
+            })
+            .collect();
+        Ok((means, stds))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +455,25 @@ mod tests {
         for t in &m.trees {
             assert_eq!(t.nodes.len(), 1, "root must stay a leaf");
         }
+    }
+
+    #[test]
+    fn sub_ensemble_uncertainty_keeps_the_full_mean() {
+        let x = Matrix::from_fn(60, 1, |i, _| i as f64 / 6.0);
+        let y: Vec<f64> = (0..60).map(|i| (i as f64 / 6.0).sin()).collect();
+        let mut m = GbtRegressor::new(quick(7));
+        m.fit(&x, &y).unwrap();
+        let plain = m.predict(&x).unwrap();
+        let (means, stds) = m.predict_with_uncertainty(&x).unwrap();
+        assert_eq!(means, plain);
+        assert!(stds.iter().all(|s| s.is_finite() && *s >= 0.0));
+        // With subsampling on, the folds must actually disagree somewhere.
+        let mut cfg = quick(8);
+        cfg.subsample = 0.5;
+        let mut m2 = GbtRegressor::new(cfg);
+        m2.fit(&x, &y).unwrap();
+        let (_, stds2) = m2.predict_with_uncertainty(&x).unwrap();
+        assert!(stds2.iter().any(|s| *s > 0.0));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::model::{check_features, check_fit_input};
-use crate::{PredictError, Regressor, Standardizer};
+use crate::{PredictError, Regressor, Standardizer, UncertainRegressor};
 use simtune_linalg::{Cholesky, Matrix};
 
 /// The paper's Gaussian-process kernel (its Listing 6):
@@ -177,6 +177,20 @@ impl Regressor for GpRegressor {
 
     fn name(&self) -> &'static str {
         "gp"
+    }
+}
+
+impl UncertainRegressor for GpRegressor {
+    /// Posterior mean and standard deviation (square root of
+    /// [`GpRegressor::predict_variance`]).
+    fn predict_with_uncertainty(&self, x: &Matrix) -> Result<(Vec<f64>, Vec<f64>), PredictError> {
+        let means = self.predict(x)?;
+        let stds = self
+            .predict_variance(x)?
+            .into_iter()
+            .map(f64::sqrt)
+            .collect();
+        Ok((means, stds))
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::model::{check_features, check_fit_input};
-use crate::{PredictError, Regressor};
+use crate::{PredictError, Regressor, UncertainRegressor};
 use simtune_linalg::Matrix;
 
 /// Multiple linear regression fitted by minimizing the residual sum of
@@ -30,6 +30,9 @@ pub struct LinearRegression {
     /// `[intercept, b1, …, bn]` once fitted.
     coefficients: Option<Vec<f64>>,
     ridge: f64,
+    /// Training-residual standard deviation, the model's (constant)
+    /// uncertainty estimate.
+    residual_std: f64,
 }
 
 impl LinearRegression {
@@ -38,6 +41,7 @@ impl LinearRegression {
         LinearRegression {
             coefficients: None,
             ridge: 1e-8,
+            residual_std: 0.0,
         }
     }
 
@@ -46,6 +50,7 @@ impl LinearRegression {
         LinearRegression {
             coefficients: None,
             ridge,
+            residual_std: 0.0,
         }
     }
 
@@ -75,6 +80,17 @@ impl Regressor for LinearRegression {
         let xty = xb.transpose().mat_vec(y);
         let b = gram.solve(&xty)?;
         self.coefficients = Some(b);
+        // Residual spread on the training set: the constant uncertainty
+        // a linear model can honestly report.
+        let pred = self.predict(x)?;
+        let n = y.len() as f64;
+        let mse = y
+            .iter()
+            .zip(&pred)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n;
+        self.residual_std = mse.sqrt();
         Ok(())
     }
 
@@ -95,6 +111,14 @@ impl Regressor for LinearRegression {
 
     fn name(&self) -> &'static str {
         "linreg"
+    }
+}
+
+impl UncertainRegressor for LinearRegression {
+    fn predict_with_uncertainty(&self, x: &Matrix) -> Result<(Vec<f64>, Vec<f64>), PredictError> {
+        let means = self.predict(x)?;
+        let stds = vec![self.residual_std; means.len()];
+        Ok((means, stds))
     }
 }
 
@@ -147,6 +171,23 @@ mod tests {
             lr.predict(&Matrix::zeros(1, 3)),
             Err(PredictError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn uncertainty_tracks_training_residuals() {
+        // Exact linear data → near-zero residual spread; noisy data → larger.
+        let x = Matrix::from_fn(30, 1, |i, _| i as f64);
+        let exact: Vec<f64> = (0..30).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let noisy: Vec<f64> = (0..30)
+            .map(|i| 2.0 * i as f64 + if i % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
+        let spread = |y: &[f64]| {
+            let mut lr = LinearRegression::new();
+            lr.fit(&x, y).unwrap();
+            lr.predict_with_uncertainty(&x).unwrap().1[0]
+        };
+        assert!(spread(&exact) < 1e-6);
+        assert!(spread(&noisy) > 1.0);
     }
 
     #[test]

@@ -93,10 +93,11 @@
 // work without spelling out the core crate.
 pub use simtune_core::{
     tune_with_fidelity_escalation, AccurateBackend, BackendError, BackendRegistry, BatchTicket,
-    ConvergenceStats, EscalatedTuneResult, EscalationOptions, Evaluation, FastCountBackend,
-    Fidelity, FnBackend, MemoCacheStats, SampledBackend, SearchSpace, SearchStrategy, SimBackend,
+    ConvergenceStats, EscalatedTuneResult, EscalationOptions, EscalationPolicy, Evaluation,
+    FastCountBackend, Fidelity, FnBackend, MemoCacheStats, OnlinePredictor, PredictedBackend,
+    Prediction, Predictor, PredictorStats, SampledBackend, SearchSpace, SearchStrategy, SimBackend,
     SimCache, SimReport, SimSession, SimSessionBuilder, SketchSpace, StageTimings, StrategySpec,
-    TemplateSpace, WorkerPoolStats,
+    TemplateSpace, UncertaintyPolicy, WorkerPoolStats,
 };
 
 pub use simtune_cache as cache;

@@ -86,7 +86,7 @@ fn fidelity_escalation_matches_accurate_only_with_fewer_accurate_runs() {
 
     let esc = EscalationOptions {
         top_k: 8,
-        sample_fraction: None,
+        ..EscalationOptions::default()
     };
     let escalated = tune_with_fidelity_escalation(&def, &spec, &predictor, &opts, &esc)
         .expect("escalated tuning runs");
