@@ -28,6 +28,14 @@
 //! `escalation_rate` (and, for `predicted`, `avoided_simulations` /
 //! `mean_abs_rank_error`) fields of each [`simtune_bench::StrategyPerf`].
 //!
+//! `--engine interp|decoded|threaded|batch` selects the replay engine
+//! every simulator session runs on (default `decoded`). Engines are
+//! bit-identical in results — the sweep's scores and history do not
+//! move — but not in speed; the per-strategy `replay_nanos` /
+//! `replay_trials_per_sec` counters (and the sweep-wide total) isolate
+//! pure replay throughput so engine ladders can be compared without
+//! propose/build/score noise.
+//!
 //! `--save-cache PATH` snapshots the sweep's memo cache afterwards and
 //! `--load-cache PATH` warms it beforehand; CI reloads one sweep's
 //! snapshot into an identical resweep and requires a ~1.0 hit rate plus
@@ -128,16 +136,17 @@ fn main() {
                 cfg.seed
             );
             println!(
-                "{:>13} | {:>11} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11}",
+                "{:>13} | {:>11} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11} | {:>11}",
                 "strategy",
                 "best score",
                 "simulations",
                 "improves",
                 "trials-to-best",
                 "restarts",
-                "trials/sec"
+                "trials/sec",
+                "replay/sec"
             );
-            println!("{}", "-".repeat(96));
+            println!("{}", "-".repeat(110));
         }
         let mut perfs: Vec<StrategyPerf> = Vec::new();
         let sweep_start = Instant::now();
@@ -149,6 +158,7 @@ fn main() {
                 seed: cfg.seed,
                 strategy: strategy.clone(),
                 memo_cache: Some(memo.clone()),
+                engine: args.engine,
                 ..TuneOptions::default()
             };
             let t0 = Instant::now();
@@ -156,17 +166,19 @@ fn main() {
                 Ok((result, accurate_runs)) => {
                     let wall = t0.elapsed().as_secs_f64();
                     let trials_per_sec = result.history.len() as f64 / wall.max(1e-9);
+                    let replay_tps = replay_throughput(result.history.len(), result.replay_nanos);
                     let c = result.convergence;
                     if !args.json {
                         println!(
-                            "{:>13} | {:>11.4} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11.1}",
+                            "{:>13} | {:>11.4} | {:>11} | {:>8} | {:>13} | {:>8} | {:>11.1} | {:>11.1}",
                             result.strategy,
                             result.best().score,
                             result.simulations,
                             c.improvements,
                             c.trials_to_best,
                             c.restarts,
-                            trials_per_sec
+                            trials_per_sec,
+                            replay_tps
                         );
                         if let Some(acc) = accurate_runs {
                             let ps = result.predictor.as_ref();
@@ -199,6 +211,8 @@ fn main() {
                             .map(|a| a as f64 / result.history.len().max(1) as f64),
                         avoided_simulations: result.predictor.map(|p| p.avoided_simulations),
                         mean_abs_rank_error: result.predictor.map(|p| p.mean_abs_rank_error),
+                        replay_nanos: result.replay_nanos,
+                        replay_trials_per_sec: replay_tps,
                     });
                 }
                 Err(e) => eprintln!("{:>13} | failed: {e}", strategy.label()),
@@ -207,18 +221,25 @@ fn main() {
         let sweep_wall = sweep_start.elapsed().as_secs_f64();
         let memo_stats = memo.stats();
         let total_trials: u64 = perfs.iter().map(|p| p.trials).sum();
+        let total_replay: u64 = perfs.iter().map(|p| p.replay_nanos).sum();
         let summary = PerfSummary {
             schema: PERF_SCHEMA.into(),
             provenance: format!(
-                "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {}{} --json",
+                "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {}{}{} --json",
                 cfg.arch, args.scale.label(), args.impls, args.test_count, cfg.seed, cfg.n_parallel,
                 match args.fidelity {
                     FidelityMode::Accurate => String::new(),
                     mode => format!(" --fidelity {}", mode.label()),
+                },
+                if args.engine == simtune_core::EngineKind::default() {
+                    String::new()
+                } else {
+                    format!(" --engine {}", args.engine.label())
                 }
             ),
             arch: cfg.arch.clone(),
             seed: cfg.seed,
+            engine: args.engine.label().to_string(),
             n_trials: n_trials as u64,
             n_parallel: cfg.n_parallel as u64,
             strategies: perfs,
@@ -229,6 +250,7 @@ fn main() {
                 memo_hits: memo_stats.hits,
                 memo_misses: memo_stats.misses,
                 memo_hit_rate: memo_stats.hit_ratio(),
+                replay_trials_per_sec: replay_throughput(total_trials as usize, total_replay),
             },
         };
         if let Some(path) = &args.save_cache {
@@ -241,14 +263,26 @@ fn main() {
             println!("{}", summary.to_json().expect("serializes"));
         } else {
             println!(
-                "sweep: {:.1} trials/sec over {} trials, memo hit rate {:.1} % ({} hits / {} lookups)",
+                "sweep[{}]: {:.1} trials/sec ({:.1} replay/sec) over {} trials, memo hit rate {:.1} % ({} hits / {} lookups)",
+                summary.engine,
                 summary.totals.trials_per_sec,
+                summary.totals.replay_trials_per_sec,
                 summary.totals.trials,
                 summary.totals.memo_hit_rate * 100.0,
                 memo_stats.hits,
                 memo_stats.lookups(),
             );
         }
+    }
+}
+
+/// Replay-only throughput: trials per second of pure simulator replay
+/// time; `0` when nothing replayed (fully memoized rerun).
+fn replay_throughput(trials: usize, replay_nanos: u64) -> f64 {
+    if replay_nanos == 0 {
+        0.0
+    } else {
+        trials as f64 / (replay_nanos as f64 / 1e9)
     }
 }
 

@@ -2,7 +2,7 @@
 //! CLI dependency).
 
 use crate::Scale;
-use simtune_core::StrategySpec;
+use simtune_core::{EngineKind, StrategySpec};
 
 /// Fidelity mode of the tuning loop the sweep binaries drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,10 @@ pub struct Args {
     /// Fidelity mode for the tuning sweeps
     /// (`--fidelity accurate|topk|predicted`).
     pub fidelity: FidelityMode,
+    /// Replay engine for the tuning sweeps
+    /// (`--engine interp|decoded|threaded|batch`) — a pure host-speed
+    /// knob, bit-identical results by the equivalence contract.
+    pub engine: EngineKind,
 }
 
 impl Default for Args {
@@ -98,6 +102,7 @@ impl Default for Args {
             load_cache: None,
             save_cache: None,
             fidelity: FidelityMode::Accurate,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -165,6 +170,12 @@ impl Args {
                         panic!("unknown fidelity {v} (accurate|topk|predicted)")
                     });
                 }
+                "--engine" => {
+                    let v = need(&mut it, "--engine");
+                    out.engine = EngineKind::parse(&v).unwrap_or_else(|| {
+                        panic!("unknown engine {v} (interp|decoded|threaded|batch)")
+                    });
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -225,6 +236,21 @@ mod tests {
     #[should_panic(expected = "unknown fidelity")]
     fn bad_fidelity_panics() {
         parse("--fidelity exact");
+    }
+
+    #[test]
+    fn engine_flag_parses_the_whole_ladder() {
+        assert_eq!(parse("--seed 1").engine, EngineKind::Decoded);
+        assert_eq!(parse("--engine interp").engine, EngineKind::Interp);
+        assert_eq!(parse("--engine decoded").engine, EngineKind::Decoded);
+        assert_eq!(parse("--engine threaded").engine, EngineKind::Threaded);
+        assert_eq!(parse("--engine batch").engine, EngineKind::Batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn bad_engine_panics() {
+        parse("--engine jit");
     }
 
     #[test]

@@ -12,7 +12,12 @@ use serde::{Deserialize, Serialize};
 
 /// Format marker so the gate can reject files from other tools or
 /// incompatible revisions instead of mis-parsing them.
-pub const PERF_SCHEMA: &str = "simtune-perf-smoke-v1";
+///
+/// v2: documents carry the replay-engine identity plus per-engine
+/// replay-throughput counters (`replay_nanos`, `replay_trials_per_sec`);
+/// v1 baselines predate the engine ladder and are rejected rather than
+/// compared against a sweep whose engine is unknown.
+pub const PERF_SCHEMA: &str = "simtune-perf-smoke-v2";
 
 /// Per-strategy measurement of one sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,6 +54,14 @@ pub struct StrategyPerf {
     /// escalated candidates (0 = identical ranking, 1 = full reversal).
     /// `null` unless the run used `--fidelity predicted`.
     pub mean_abs_rank_error: Option<f64>,
+    /// Host nanoseconds the backends reported spending inside simulator
+    /// replay for this strategy's scored trials
+    /// (`TuneResult::replay_nanos`) — pure replay time, excluding
+    /// propose/build/score and pool scheduling.
+    pub replay_nanos: u64,
+    /// `trials / (replay_nanos / 1e9)` — replay-only throughput, the
+    /// number the engine ladder moves; `0` when nothing replayed.
+    pub replay_trials_per_sec: f64,
 }
 
 /// Sweep-wide totals — what the regression gate compares.
@@ -69,6 +82,10 @@ pub struct PerfTotals {
     pub memo_misses: u64,
     /// `hits / (hits + misses)`, 0 when the cache was never consulted.
     pub memo_hit_rate: f64,
+    /// Sweep-wide replay-only throughput: total trials divided by the
+    /// summed [`StrategyPerf::replay_nanos`] in seconds; `0` when the
+    /// sweep never replayed (e.g. a fully memoized warm rerun).
+    pub replay_trials_per_sec: f64,
 }
 
 /// The `BENCH_5.json` document: one fixed-seed sweep, summarized.
@@ -83,6 +100,11 @@ pub struct PerfSummary {
     pub arch: String,
     /// Base seed; the sweep is bit-deterministic under it.
     pub seed: u64,
+    /// Replay-engine label the sweep ran on
+    /// (`interp|decoded|threaded|batch`). Engines are bit-identical in
+    /// results but not in speed, so the gate refuses to compare sweeps
+    /// across engines.
+    pub engine: String,
     /// Trials per strategy.
     pub n_trials: u64,
     /// Parallel simulator instances (pool workers).
@@ -174,11 +196,12 @@ pub fn gate(
     if current.arch != baseline.arch
         || current.seed != baseline.seed
         || current.n_trials != baseline.n_trials
+        || current.engine != baseline.engine
     {
         return Err(format!(
-            "incomparable sweeps: current ({}, seed {}, {} trials) vs baseline ({}, seed {}, {} trials)",
-            current.arch, current.seed, current.n_trials,
-            baseline.arch, baseline.seed, baseline.n_trials,
+            "incomparable sweeps: current ({}, seed {}, {} trials, {} engine) vs baseline ({}, seed {}, {} trials, {} engine)",
+            current.arch, current.seed, current.n_trials, current.engine,
+            baseline.arch, baseline.seed, baseline.n_trials, baseline.engine,
         ));
     }
     if !baseline.totals.trials_per_sec.is_finite() || baseline.totals.trials_per_sec <= 0.0 {
@@ -245,6 +268,7 @@ pub fn warm_gate(
         || warm.seed != cold.seed
         || warm.n_trials != cold.n_trials
         || warm.totals.trials != cold.totals.trials
+        || warm.engine != cold.engine
     {
         return Err(format!(
             "incomparable sweeps: warm ({}, seed {}, {} trials) vs cold ({}, seed {}, {} trials)",
@@ -272,6 +296,7 @@ mod tests {
             provenance: "strategy_sweep --json (test fixture)".into(),
             arch: "riscv".into(),
             seed: 42,
+            engine: "decoded".into(),
             n_trials: 24,
             n_parallel: 4,
             strategies: vec![StrategyPerf {
@@ -285,6 +310,8 @@ mod tests {
                 escalation_rate: None,
                 avoided_simulations: None,
                 mean_abs_rank_error: None,
+                replay_nanos: 500_000_000,
+                replay_trials_per_sec: 48.0,
             }],
             totals: PerfTotals {
                 trials: 24,
@@ -293,6 +320,7 @@ mod tests {
                 memo_hits: 6,
                 memo_misses: 18,
                 memo_hit_rate: 0.25,
+                replay_trials_per_sec: 48.0,
             },
         }
     }
@@ -302,8 +330,11 @@ mod tests {
         let s = summary(120.0);
         let parsed = PerfSummary::from_json(&s.to_json().unwrap()).unwrap();
         assert_eq!(parsed.arch, "riscv");
+        assert_eq!(parsed.engine, "decoded");
         assert_eq!(parsed.totals.memo_hits, 6);
         assert_eq!(parsed.strategies[0].stage_nanos, [1, 2, 3, 4]);
+        assert_eq!(parsed.strategies[0].replay_nanos, 500_000_000);
+        assert!((parsed.totals.replay_trials_per_sec - 48.0).abs() < 1e-9);
         assert!((parsed.totals.trials_per_sec - 120.0).abs() < 1e-9);
         // Accurate-only rows carry null predictor fields.
         assert!(parsed.strategies[0].escalation_rate.is_none());
@@ -384,5 +415,18 @@ mod tests {
         let mut zero = summary(100.0);
         zero.totals.trials_per_sec = 0.0;
         assert!(gate(&summary(90.0), &zero, 0.25).is_err());
+    }
+
+    #[test]
+    fn gates_refuse_cross_engine_comparisons() {
+        // Engines are bit-identical in results but not in speed: a
+        // threaded sweep gated against a decoded baseline would hide
+        // (or fake) regressions, so both gates demand matching engines.
+        let baseline = summary(100.0);
+        let mut threaded = summary(100.0);
+        threaded.engine = "threaded".into();
+        let err = gate(&threaded, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("engine"), "{err}");
+        assert!(warm_gate(&threaded, &baseline, 0.99, 1.05).is_err());
     }
 }

@@ -20,6 +20,7 @@ use crate::score::ScorePredictor;
 use crate::search::{Evaluation, SearchStrategy, StrategySpec};
 use crate::CoreError;
 use simtune_hw::TargetSpec;
+use simtune_isa::EngineKind;
 use simtune_predict::PredictorKind;
 use simtune_tensor::{ComputeDef, Schedule, SketchGenerator, SketchParams};
 use std::sync::Arc;
@@ -50,6 +51,12 @@ pub struct TuneOptions {
     /// anywhere in the workflow skip the backend entirely. `None`
     /// disables memoization.
     pub memo_cache: Option<Arc<SimCache>>,
+    /// Replay engine used by every simulator session this run creates —
+    /// a pure host-speed knob, pinned bit-identical across engines by
+    /// the equivalence suite. [`EngineKind::Batch`] additionally lets
+    /// backends that support it replay same-program trials of one
+    /// submission as a single SoA batch.
+    pub engine: EngineKind,
 }
 
 impl Default for TuneOptions {
@@ -62,6 +69,7 @@ impl Default for TuneOptions {
             seed: 0,
             strategy: StrategySpec::default(),
             memo_cache: None,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -105,6 +113,13 @@ pub struct TuneResult {
     /// [`EscalationPolicy::Uncertainty`] tier; `None` for every other
     /// flow.
     pub predictor: Option<PredictorStats>,
+    /// Host nanoseconds the backends reported spending inside simulator
+    /// replay for this run's scored candidates (Σ
+    /// [`simtune_isa::SimStats::host_nanos`] over successful reports;
+    /// memo hits contribute the stored value). The denominator for the
+    /// per-engine replay-throughput counters in the perf harness; `0`
+    /// for [`tune_on_hardware`], which never replays.
+    pub replay_nanos: u64,
 }
 
 impl TuneResult {
@@ -137,6 +152,7 @@ pub fn tune_with_predictor(
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     tune_with_predictor_on(def, spec, predictor, opts, &session)
 }
@@ -163,9 +179,9 @@ pub fn tune_with_predictor_on(
     }
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
-    let (history, sim_runs, timings) =
+    let (history, sim_runs, timings, replay_nanos) =
         explore(&generator, def, predictor, strategy.as_mut(), opts, session)?;
-    finish(history, strategy.as_ref(), sim_runs, timings)
+    finish(history, strategy.as_ref(), sim_runs, timings, replay_nanos)
 }
 
 /// A proposed-and-built batch whose simulation is in flight on the
@@ -186,8 +202,8 @@ impl<P> StagedBatch<P> {
 /// loop builds, runs on `session`'s backend, scores with `predictor`,
 /// and feeds the evaluations back. Returns the full evaluation history,
 /// the number of simulations submitted (successful builds handed to the
-/// session, whether memoized, failed or completed) and the per-stage
-/// producer timings.
+/// session, whether memoized, failed or completed), the per-stage
+/// producer timings and the summed replay host-nanoseconds.
 ///
 /// The loop is *pipelined*: batches are submitted asynchronously
 /// ([`SimSession::submit`]), and when the strategy's proposals cannot
@@ -204,13 +220,14 @@ fn explore(
     strategy: &mut dyn SearchStrategy<SketchParams>,
     opts: &TuneOptions,
     session: &SimSession,
-) -> Result<(Vec<TuneRecord>, usize, StageTimings), CoreError> {
+) -> Result<(Vec<TuneRecord>, usize, StageTimings, u64), CoreError> {
     let builder = KernelBuilder::new(def.clone(), generator.target().clone());
 
     let mut history: Vec<TuneRecord> = Vec::new();
     let mut evaluations: Vec<Evaluation<SketchParams>> = Vec::new();
     let mut sim_runs = 0usize;
     let mut timings = StageTimings::default();
+    let mut replay_nanos = 0u64;
     let pipelined = strategy.pipeline_safe();
     // One normalizer for the whole session: the window means evolve over
     // the full candidate stream, not per batch.
@@ -279,7 +296,10 @@ fn explore(
         let mut batch_evals: Vec<Evaluation<SketchParams>> = Vec::new();
         for (p, s) in done.kept.into_iter().zip(stats) {
             let score = match s {
-                Ok(report) => predictor.score_streaming(&report.stats, &mut normalizer)?,
+                Ok(report) => {
+                    replay_nanos += report.stats.host_nanos;
+                    predictor.score_streaming(&report.stats, &mut normalizer)?
+                }
                 Err(_) => f64::INFINITY,
             };
             batch_evals.push(Evaluation { point: p, score });
@@ -301,7 +321,7 @@ fn explore(
         evaluations.extend(batch_evals);
         timings.score_nanos += t0.elapsed().as_nanos() as u64;
     }
-    Ok((history, sim_runs, timings))
+    Ok((history, sim_runs, timings, replay_nanos))
 }
 
 /// Options of the fidelity-escalation mode: how many finalists graduate
@@ -482,10 +502,11 @@ pub fn tune_with_fidelity_escalation(
         .backend(explore_backend)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     let generator = SketchGenerator::new(def, spec.isa.clone());
     let mut strategy = opts.strategy.build_sketch(generator.clone(), opts.seed);
-    let (mut history, explore_runs, mut timings) = explore(
+    let (mut history, explore_runs, mut timings, mut replay_nanos) = explore(
         &generator,
         def,
         predictor,
@@ -523,6 +544,7 @@ pub fn tune_with_fidelity_escalation(
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     let final_name = accurate.backend_name().to_string();
     let accurate_runs = finalist_exes.len();
@@ -534,6 +556,7 @@ pub fn tune_with_fidelity_escalation(
     let mut survivor_stats = Vec::new();
     for (i, r) in finalist_idx.iter().zip(reports) {
         if let Ok(stats) = r {
+            replay_nanos += stats.host_nanos;
             survivors.push(*i);
             survivor_stats.push(stats);
         }
@@ -562,6 +585,7 @@ pub fn tune_with_fidelity_escalation(
             simulations: explore_runs + accurate_runs,
             timings,
             predictor: None,
+            replay_nanos,
         },
         explore_backend: explore_name,
         final_backend: final_name,
@@ -623,11 +647,13 @@ fn tune_with_uncertainty_escalation(
         .backend(Arc::new(tier))
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     let accurate = SimSession::builder()
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     let final_name = accurate.backend_name().to_string();
 
@@ -650,6 +676,7 @@ fn tune_with_uncertainty_escalation(
     let mut timings = StageTimings::default();
     let mut explore_runs = 0usize;
     let mut accurate_runs = 0usize;
+    let mut replay_nanos = 0u64;
     let mut incumbent = f64::INFINITY;
 
     while history.len() < opts.n_trials {
@@ -701,6 +728,7 @@ fn tune_with_uncertainty_escalation(
                 predictions.push(None);
                 continue;
             };
+            replay_nanos += report.stats.host_nanos;
             let raw = crate::features::raw_sample(&report.stats, fc);
             feat_norm.feed(&raw);
             let feats = feat_norm.features(&raw, fc);
@@ -765,6 +793,7 @@ fn tune_with_uncertainty_escalation(
             let Ok(s) = r else {
                 continue; // scores[i] stays the INFINITY penalty
             };
+            replay_nanos += s.host_nanos;
             let score = predictor.score_streaming(&s, &mut acc_norm)?;
             if let Some(p) = &predictions[i] {
                 pred_pairs.push((p.mean, score));
@@ -844,7 +873,10 @@ fn tune_with_uncertainty_escalation(
             .expect("one report per executable");
         timings.sim_nanos += t0.elapsed().as_nanos() as u64;
         history[best].score = match report {
-            Ok(s) => predictor.score_streaming(&s, &mut acc_norm)?,
+            Ok(s) => {
+                replay_nanos += s.host_nanos;
+                predictor.score_streaming(&s, &mut acc_norm)?
+            }
             Err(_) => f64::INFINITY,
         };
         verified[best] = true;
@@ -872,6 +904,7 @@ fn tune_with_uncertainty_escalation(
             simulations: explore_runs + accurate_runs,
             timings,
             predictor: Some(stats),
+            replay_nanos,
         },
         explore_backend: explore_name,
         final_backend: final_name,
@@ -980,7 +1013,8 @@ pub fn tune_on_hardware(
         evaluations.extend(batch_evals);
         timings.score_nanos += t0.elapsed().as_nanos() as u64;
     }
-    finish(history, strategy.as_ref(), hw_runs, timings)
+    // Hardware measurement replays nothing on a simulator.
+    finish(history, strategy.as_ref(), hw_runs, timings, 0)
 }
 
 fn finish(
@@ -988,6 +1022,7 @@ fn finish(
     strategy: &dyn SearchStrategy<SketchParams>,
     simulations: usize,
     timings: StageTimings,
+    replay_nanos: u64,
 ) -> Result<TuneResult, CoreError> {
     if history.is_empty() {
         return Err(CoreError::Pipeline("tuning produced no candidates".into()));
@@ -1006,6 +1041,7 @@ fn finish(
         simulations,
         timings,
         predictor: None,
+        replay_nanos,
     })
 }
 

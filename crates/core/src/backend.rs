@@ -69,8 +69,10 @@ use crate::runner::SimulatorRunFn;
 use crate::CoreError;
 use simtune_cache::{CacheConfig, CacheStats, HierarchyConfig, HierarchyStats};
 use simtune_isa::{
-    simulate_counting_decoded, simulate_decoded, simulate_prefix_decoded, DecodedProgram,
-    Executable, InstMix, RunLimits, SimError, SimStats, ACCURATE, FAST_COUNT,
+    simulate_batch_decoded, simulate_counting_batch_decoded, simulate_counting_decoded,
+    simulate_counting_decoded_on, simulate_decoded, simulate_decoded_on,
+    simulate_prefix_decoded_on, DecodedProgram, EngineKind, Executable, InstMix, RunLimits,
+    SimError, SimStats, ACCURATE, FAST_COUNT,
 };
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -225,6 +227,56 @@ pub trait SimBackend: Send + Sync {
         self.run_one(exe, limits)
     }
 
+    /// [`SimBackend::run_one_decoded`] with an explicit replay
+    /// [`EngineKind`]. Sessions route every trial through this so the
+    /// configured engine (`SimSessionBuilder::engine`) reaches the
+    /// simulator. The default ignores the engine and delegates to
+    /// [`SimBackend::run_one_decoded`] — correct for external backends
+    /// that drive their own simulator and have no notion of the bundled
+    /// replay ladder. All bundled engines are bit-identical, so honoring
+    /// the engine changes host speed only, never statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimBackend::run_one`].
+    fn run_one_decoded_on(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<SimReport, BackendError> {
+        let _ = engine;
+        self.run_one_decoded(exe, decoded, limits)
+    }
+
+    /// True when [`SimBackend::run_soa_batch`] is cheaper than N calls
+    /// to [`SimBackend::run_one_decoded`] — i.e. the backend has a real
+    /// lane-parallel (structure-of-arrays) replay path. Sessions
+    /// configured with [`EngineKind::Batch`] group same-program trials
+    /// into one SoA batch only when this returns true; the default is
+    /// `false`, so external backends keep per-trial execution.
+    fn supports_soa_batch(&self) -> bool {
+        false
+    }
+
+    /// Replays `exes` — trials of the *same* decoded program differing
+    /// only in their data segments — as lanes of one batched run,
+    /// returning one report per trial in input order. Only called when
+    /// [`SimBackend::supports_soa_batch`] is true; the default falls
+    /// back to sequential per-trial execution so overriding the
+    /// capability probe alone cannot produce wrong results.
+    fn run_soa_batch(
+        &self,
+        exes: &[&Executable],
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Vec<Result<SimReport, BackendError>> {
+        exes.iter()
+            .map(|exe| self.run_one_decoded(exe, decoded, limits))
+            .collect()
+    }
+
     /// Configuration digest for the memoization layer, or `None` to opt
     /// out of memoization (the default). A backend that returns
     /// `Some(digest)` asserts its reports are a pure function of
@@ -313,6 +365,36 @@ impl SimBackend for AccurateBackend {
         Ok(SimReport::full(out.stats, ACCURATE, Fidelity::Accurate))
     }
 
+    fn run_one_decoded_on(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<SimReport, BackendError> {
+        let out = simulate_decoded_on(exe, decoded, &self.hierarchy, *limits, engine)?;
+        Ok(SimReport::full(out.stats, ACCURATE, Fidelity::Accurate))
+    }
+
+    fn supports_soa_batch(&self) -> bool {
+        true
+    }
+
+    fn run_soa_batch(
+        &self,
+        exes: &[&Executable],
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Vec<Result<SimReport, BackendError>> {
+        simulate_batch_decoded(exes, decoded, &self.hierarchy, *limits)
+            .into_iter()
+            .map(|r| {
+                let out = r?;
+                Ok(SimReport::full(out.stats, ACCURATE, Fidelity::Accurate))
+            })
+            .collect()
+    }
+
     fn memo_key(&self) -> Option<String> {
         Some(hierarchy_digest(&self.hierarchy))
     }
@@ -373,6 +455,36 @@ impl SimBackend for FastCountBackend {
     ) -> Result<SimReport, BackendError> {
         let out = simulate_counting_decoded(exe, decoded, self.line_bytes, *limits)?;
         Ok(SimReport::full(out.stats, FAST_COUNT, Fidelity::CountOnly))
+    }
+
+    fn run_one_decoded_on(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<SimReport, BackendError> {
+        let out = simulate_counting_decoded_on(exe, decoded, self.line_bytes, *limits, engine)?;
+        Ok(SimReport::full(out.stats, FAST_COUNT, Fidelity::CountOnly))
+    }
+
+    fn supports_soa_batch(&self) -> bool {
+        true
+    }
+
+    fn run_soa_batch(
+        &self,
+        exes: &[&Executable],
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Vec<Result<SimReport, BackendError>> {
+        simulate_counting_batch_decoded(exes, decoded, self.line_bytes, *limits)
+            .into_iter()
+            .map(|r| {
+                let out = r?;
+                Ok(SimReport::full(out.stats, FAST_COUNT, Fidelity::CountOnly))
+            })
+            .collect()
     }
 
     fn memo_key(&self) -> Option<String> {
@@ -457,14 +569,32 @@ impl SimBackend for SampledBackend {
         decoded: &DecodedProgram,
         limits: &RunLimits,
     ) -> Result<SimReport, BackendError> {
+        self.run_one_decoded_on(exe, decoded, limits, EngineKind::Decoded)
+    }
+
+    // Engine selection applies to both passes: the sizing count and the
+    // accurately simulated prefix replay on the same engine.
+    fn run_one_decoded_on(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<SimReport, BackendError> {
         // Counting pass: total work, at a fraction of the accurate cost.
-        let count = simulate_counting_decoded(exe, decoded, self.hierarchy.line_bytes(), *limits)?;
+        let count = simulate_counting_decoded_on(
+            exe,
+            decoded,
+            self.hierarchy.line_bytes(),
+            *limits,
+            engine,
+        )?;
         let total = count.stats.inst_mix.total();
         let budget = ((total as f64 * self.fraction).ceil() as u64)
             .max(self.min_insts)
             .max(1);
         let (out, completed) =
-            simulate_prefix_decoded(exe, decoded, &self.hierarchy, *limits, budget)?;
+            simulate_prefix_decoded_on(exe, decoded, &self.hierarchy, *limits, budget, engine)?;
         let fidelity = Fidelity::Sampled {
             fraction: self.fraction,
         };
@@ -722,6 +852,7 @@ pub struct SimSession {
     backend: Arc<dyn SimBackend>,
     n_parallel: usize,
     limits: RunLimits,
+    engine: EngineKind,
     memo: Option<Arc<SimCache>>,
     pool: Arc<WorkerPool>,
     inflight: Arc<InflightMap>,
@@ -769,6 +900,12 @@ impl SimSession {
         self.limits
     }
 
+    /// Replay engine every trial runs on (see
+    /// [`SimSessionBuilder::engine`]).
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
     /// The attached memo cache, if any.
     pub fn memo_cache(&self) -> Option<&Arc<SimCache>> {
         self.memo.as_ref()
@@ -791,6 +928,7 @@ impl SimSession {
         let ctx = BatchCtx {
             backend: self.backend.clone(),
             limits: self.limits,
+            engine: self.engine,
             memo: self.memo.clone(),
             inflight: self.inflight.clone(),
             lane: self.lane,
@@ -826,6 +964,7 @@ pub struct SimSessionBuilder {
     backend: Option<Arc<dyn SimBackend>>,
     n_parallel: Option<usize>,
     limits: Option<RunLimits>,
+    engine: Option<EngineKind>,
     memo: Option<Arc<SimCache>>,
     shared: Option<SharedPool>,
     error: Option<CoreError>,
@@ -914,6 +1053,20 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Selects the replay engine for every trial (default
+    /// [`EngineKind::Decoded`]). Bundled engines are bit-identical, so
+    /// this is purely a host-speed knob: [`EngineKind::Threaded`] lowers
+    /// each decoded program once more into threaded code,
+    /// [`EngineKind::Batch`] additionally lets the session group
+    /// same-program trials of one submission into a lane-parallel SoA
+    /// replay when the backend supports it
+    /// ([`SimBackend::supports_soa_batch`]). Backends that do not
+    /// understand the bundled ladder ignore the selection.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Attaches a [`SimCache`] so revisited candidates are answered from
     /// memory instead of re-simulated. Share one `Arc<SimCache>` across
     /// sessions to deduplicate simulations across tuning loops; only
@@ -970,6 +1123,7 @@ impl SimSessionBuilder {
             backend,
             n_parallel: pool.workers(),
             limits: self.limits.unwrap_or_default(),
+            engine: self.engine.unwrap_or_default(),
             memo: self.memo,
             pool,
             inflight: Arc::new(InflightMap::default()),
@@ -1297,6 +1451,7 @@ mod tests {
             &backend.fidelity(),
             &backend.memo_key().unwrap(),
             &session.limits(),
+            session.engine(),
         );
         let planted = SimReport::full(SimStats::default(), ACCURATE, Fidelity::Accurate);
         cache.insert(key, planted.clone());

@@ -91,6 +91,10 @@ pub use search::{
     RandomSearch, SearchSpace, SearchStrategy, SketchSpace, StrategySpec, TemplateSpace,
 };
 pub use service::{SimService, SimServiceBuilder, TenantSession};
+// Replay-engine selection is part of the session/tuning surface, so the
+// kind enum is re-exported for callers configuring `TuneOptions` or
+// `SimSessionBuilder` without a direct `simtune_isa` dependency.
+pub use simtune_isa::EngineKind;
 pub use snapshot::{atomic_write, SnapshotLoad, SNAPSHOT_SCHEMA};
 pub use template_tune::tune_template_space;
 pub use workflow::{

@@ -22,6 +22,9 @@
 //! * the prepared data segments (bit-exact `f32` contents),
 //! * the backend name, fidelity and configuration digest
 //!   ([`crate::SimBackend::memo_key`]),
+//! * the replay [`EngineKind`] — engines are bit-identical by contract,
+//!   but the fingerprint still separates them so an equivalence bug can
+//!   never let one engine's report masquerade as another's,
 //! * the [`RunLimits`].
 //!
 //! The executable's *name* is deliberately excluded: tuning loops stamp
@@ -54,7 +57,7 @@
 use crate::backend::Fidelity;
 use crate::metrics::{MemoCacheStats, SnapshotStats};
 use crate::SimReport;
-use simtune_isa::{Executable, RunLimits};
+use simtune_isa::{EngineKind, Executable, RunLimits};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -428,6 +431,7 @@ pub(crate) fn fingerprint(
     fidelity: &Fidelity,
     config_digest: &str,
     limits: &RunLimits,
+    engine: EngineKind,
 ) -> Vec<u8> {
     let mut text = String::new();
     // Target ISA: everything that changes execution or fetch layout.
@@ -441,6 +445,7 @@ pub(crate) fn fingerprint(
         text,
         "backend={backend_name} fidelity={fidelity} config=[{config_digest}]"
     );
+    let _ = writeln!(text, "engine={}", engine.label());
     let _ = writeln!(text, "max_insts={}", limits.max_insts);
     // Program bytes: the disassembly listing is complete (every operand
     // and resolved branch target is printed) and canonical.
@@ -480,6 +485,7 @@ mod tests {
             &Fidelity::Accurate,
             "cfg",
             &RunLimits::default(),
+            EngineKind::Decoded,
         )
     }
 
@@ -505,6 +511,7 @@ mod tests {
             &Fidelity::CountOnly,
             "cfg",
             &RunLimits::default(),
+            EngineKind::Decoded,
         );
         assert_ne!(key_of(&a), other_backend, "backend must matter");
 
@@ -514,6 +521,7 @@ mod tests {
             &Fidelity::Accurate,
             "other-cfg",
             &RunLimits::default(),
+            EngineKind::Decoded,
         );
         assert_ne!(key_of(&a), other_config, "backend config must matter");
 
@@ -523,8 +531,21 @@ mod tests {
             &Fidelity::Accurate,
             "cfg",
             &RunLimits { max_insts: 5 },
+            EngineKind::Decoded,
         );
         assert_ne!(key_of(&a), other_limits, "limits must matter");
+
+        for engine in [EngineKind::Interp, EngineKind::Threaded, EngineKind::Batch] {
+            let other_engine = fingerprint(
+                &a,
+                "accurate",
+                &Fidelity::Accurate,
+                "cfg",
+                &RunLimits::default(),
+                engine,
+            );
+            assert_ne!(key_of(&a), other_engine, "engine must matter ({engine})");
+        }
     }
 
     #[test]

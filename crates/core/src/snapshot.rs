@@ -12,7 +12,7 @@
 //!
 //! # Format and versioning
 //!
-//! A snapshot is one JSON object (`{"schema": "simtune-simcache-v1",
+//! A snapshot is one JSON object (`{"schema": "simtune-simcache-v2",
 //! "entries": [...]}`). Each entry stores the canonical fingerprint
 //! (hex-encoded — fingerprints embed raw little-endian `f32` data bytes
 //! and are not UTF-8) plus the memoized [`SimReport`] flattened into the
@@ -56,8 +56,10 @@ use std::path::Path;
 use std::sync::atomic::Ordering;
 
 /// Version tag accepted by this reader; anything else is rejected (and
-/// degrades to a cold start).
-pub const SNAPSHOT_SCHEMA: &str = "simtune-simcache-v1";
+/// degrades to a cold start). v2: fingerprints gained the replay-engine
+/// identity, so v1 snapshots (keyed without an `engine=` line) are
+/// refused rather than replayed under ambiguous keys.
+pub const SNAPSHOT_SCHEMA: &str = "simtune-simcache-v2";
 
 /// Outcome of [`SimCache::load_from`]. Every variant leaves the cache
 /// usable; only I/O errors surface as `Err`.

@@ -50,6 +50,7 @@ pub fn tune_template_space(
         .accurate(&spec.hierarchy)
         .n_parallel(opts.n_parallel)
         .memo_cache_opt(opts.memo_cache.clone())
+        .engine(opts.engine)
         .build()?;
     let mut strategy = opts.strategy.build_template(space.clone(), opts.seed)?;
     let mut normalizer = WindowNormalizer::new(opts.window);
@@ -57,6 +58,7 @@ pub fn tune_template_space(
     let mut evaluations: Vec<Evaluation<Vec<usize>>> = Vec::new();
     let mut sim_runs = 0usize;
     let mut timings = StageTimings::default();
+    let mut replay_nanos = 0u64;
     let pipelined = strategy.pipeline_safe();
 
     /// A materialized batch whose simulation is in flight.
@@ -142,7 +144,10 @@ pub fn tune_template_space(
             Vec::new();
         for ((cfg, schedule), r) in done.kept.into_iter().zip(reports) {
             let score = match r {
-                Ok(report) => predictor.score_streaming(&report.stats, &mut normalizer)?,
+                Ok(report) => {
+                    replay_nanos += report.stats.host_nanos;
+                    predictor.score_streaming(&report.stats, &mut normalizer)?
+                }
                 Err(_) => f64::INFINITY,
             };
             scored.push((Some(schedule), Evaluation { point: cfg, score }));
@@ -186,6 +191,7 @@ pub fn tune_template_space(
         simulations: sim_runs,
         timings,
         predictor: None,
+        replay_nanos,
     })
 }
 

@@ -11,8 +11,8 @@
 //! accounting, these tests catch it.
 
 use simtune_core::{
-    collect_group_data, tune_with_predictor, CollectOptions, ScorePredictor, SimCache, SimSession,
-    StrategySpec, TuneOptions, TuneResult,
+    collect_group_data, tune_with_predictor, CollectOptions, EngineKind, ScorePredictor, SimCache,
+    SimSession, StrategySpec, TuneOptions, TuneResult,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -94,6 +94,46 @@ fn memoized_sweep_is_bit_identical_at_every_parallelism() {
     let (digest, hits, misses) = reference.unwrap();
     assert_eq!(digest.0.len(), 24);
     assert_eq!(hits + misses, 24, "every trial consults the cache once");
+}
+
+#[test]
+fn soa_batched_sweep_is_bit_identical_to_decoded_at_every_parallelism() {
+    // The SoA replay path regroups a batch's trials and finishes
+    // diverged lanes scalar — none of which may leak into results: a
+    // sweep on `EngineKind::Batch` must reproduce the decoded-engine
+    // sweep bit-for-bit at every parallelism.
+    let (def, spec, predictor) = workload();
+    let mut reference = None;
+    for engine in [EngineKind::Decoded, EngineKind::Batch] {
+        for n_parallel in [1, 2, 4] {
+            let result = tune_with_predictor(
+                &def,
+                &spec,
+                &predictor,
+                &TuneOptions {
+                    n_trials: 24,
+                    batch_size: 6,
+                    n_parallel,
+                    seed: 17,
+                    engine,
+                    ..TuneOptions::default()
+                },
+            )
+            .expect("tunes");
+            assert!(
+                result.replay_nanos > 0,
+                "scored trials must accumulate replay time"
+            );
+            let d = digest(&result);
+            match &reference {
+                None => reference = Some(d),
+                Some(first) => assert_eq!(
+                    first, &d,
+                    "{engine} at n_parallel = {n_parallel} diverged from the decoded serial run"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,644 @@
+//! Batched structure-of-arrays replay: N trials of the *same* decoded
+//! program over N independent data sets, driven by one dispatch stream.
+//!
+//! Autotuning sweeps replay one candidate program over many inputs
+//! (and a worker-pool batch often carries many same-program trials that
+//! differ only in their data segments). Running them one at a time pays
+//! the full per-retirement dispatch cost N times; running them as lanes
+//! of one loop loads each µop once and applies it to every live lane —
+//! the batching trick GPU-simulator parallelization applies to
+//! independent workloads. Generated kernels branch on loop counters,
+//! not data, so lanes almost always stay converged until `Halt`; when
+//! they do diverge (data-dependent branch, early halt, per-lane fault)
+//! each remaining lane is finished by a scalar loop identical to
+//! [`crate::DecodedEngine`]'s.
+//!
+//! Lanes share no architectural state — each owns its CPU, memory and
+//! cache hierarchy — so the per-lane event sequence is exactly the one
+//! [`crate::DecodedEngine`] would produce, and every lane's statistics,
+//! registers and memory are bit-identical to a solo run by construction.
+
+use crate::cpu::Step;
+use crate::decode::{DecodedProgram, MicroOp};
+use crate::{AtomicCpu, ExecHook, Inst, InstMix, Memory, RunLimits, SimError, SimStats};
+use simtune_cache::CacheHierarchy;
+
+/// One lane of a batch: the full architectural state of one trial.
+/// Mutable borrows keep the engine agnostic to how callers allocate
+/// per-trial state.
+pub struct BatchLane<'a, H: ExecHook> {
+    /// The lane's CPU (register files).
+    pub cpu: &'a mut AtomicCpu,
+    /// The lane's memory image (data segments already materialized).
+    pub mem: &'a mut Memory,
+    /// The lane's cache hierarchy.
+    pub hier: &'a mut CacheHierarchy,
+    /// The lane's event hook.
+    pub hook: &'a mut H,
+}
+
+/// Per-lane bookkeeping the lockstep loop threads through the run.
+struct LaneState {
+    mix: InstMix,
+    // Equals `mix.total()`: each retirement bumps exactly one counter
+    // the total sums (see `ThreadedEngine` for the same invariant).
+    retired: u64,
+    line_bytes: u64,
+    // The pc this lane executes next; valid while the lane is live.
+    next: usize,
+}
+
+/// Replays a [`DecodedProgram`] across many lanes at once.
+///
+/// This is deliberately *not* an [`crate::ExecEngine`] — its unit of
+/// work is a whole batch, not a single CPU. Single-trial callers should
+/// use [`crate::DecodedEngine`]; a batch of one produces bit-identical
+/// results but pays a little lane bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEngine<'p> {
+    prog: &'p DecodedProgram,
+}
+
+impl<'p> BatchEngine<'p> {
+    /// Engine over a pre-decoded program.
+    pub fn new(prog: &'p DecodedProgram) -> Self {
+        BatchEngine { prog }
+    }
+
+    /// Runs every lane to completion (or its own error) and returns one
+    /// outcome per lane, in lane order. Lanes halting early, faulting,
+    /// or exhausting `limits` resolve independently; the rest keep
+    /// running.
+    pub fn run_lanes<H: ExecHook>(
+        &self,
+        lanes: &mut [BatchLane<'_, H>],
+        limits: RunLimits,
+    ) -> Vec<Result<SimStats, SimError>> {
+        let ops = self.prog.ops();
+        let n = lanes.len();
+        let mut outcomes: Vec<Option<Result<SimStats, SimError>>> = (0..n).map(|_| None).collect();
+        let mut states: Vec<LaneState> = lanes
+            .iter()
+            .map(|l| LaneState {
+                mix: InstMix::default(),
+                retired: 0,
+                line_bytes: l.hier.line_bytes(),
+                next: 0,
+            })
+            .collect();
+        let ends = block_ends(ops);
+        let mut pc = 0usize;
+
+        // Full-width lockstep over straight-line *blocks*: every lane
+        // live and converged at `pc`. This is where a same-program batch
+        // earns its keep, so each lane runs a whole fall-through block
+        // (everything up to the next branch/halt) in one tight scalar
+        // burst — its instruction mix in a local the compiler can keep
+        // in registers, no per-µop limit check (the block fits the
+        // remaining budget by construction), and one convergence compare
+        // per block instead of per µop. Lanes retire identical counts
+        // while converged, so the shared budget bookkeeping trips every
+        // lane exactly when its solo run would.
+        let mut uneven = n == 0;
+        while !uneven {
+            if states[0].retired >= limits.max_insts {
+                // Lanes retire in lockstep here, so the budget trips all
+                // of them at once — exactly when each solo run would.
+                return (0..n)
+                    .map(|_| {
+                        Err(SimError::InstLimitExceeded {
+                            limit: limits.max_insts,
+                        })
+                    })
+                    .collect();
+            }
+            let end = ends[pc] as usize;
+            let blen = (end - pc + 1) as u64;
+            let mut common: Option<usize> = None;
+            if blen <= limits.max_insts - states[0].retired {
+                for (l, (lane, st)) in lanes.iter_mut().zip(states.iter_mut()).enumerate() {
+                    let line_bytes = st.line_bytes;
+                    let mut mix = st.mix;
+                    let mut i = pc;
+                    let res = if H::IS_NOOP && lane.hier.is_counting_only() {
+                        // Nobody observes per-fetch events and the fetch
+                        // stream is a pure tally: run the block without
+                        // per-µop hierarchy calls and credit one fetch
+                        // per attempted µop afterwards — bit-identical
+                        // to the eventful path below.
+                        let r = loop {
+                            let op = &ops[i];
+                            match lane.cpu.exec_inst(
+                                &op.inst, i, lane.mem, lane.hier, lane.hook, line_bytes, &mut mix,
+                            ) {
+                                Err(e) => break Err(e),
+                                Ok(step) => {
+                                    if i == end {
+                                        break Ok(step);
+                                    }
+                                    // Only the terminator can redirect
+                                    // or stop control flow.
+                                    debug_assert!(matches!(step, Step::Next));
+                                    i += 1;
+                                }
+                            }
+                        };
+                        // µops pc..i retired plus the one at `i` that
+                        // errored or terminated: each was fetched.
+                        lane.hier.bulk_fetches((i - pc + 1) as u64);
+                        r
+                    } else {
+                        loop {
+                            let op = &ops[i];
+                            lane.hook.on_fetch(i, lane.hier.fetch(op.fetch_addr));
+                            match lane.cpu.exec_inst(
+                                &op.inst, i, lane.mem, lane.hier, lane.hook, line_bytes, &mut mix,
+                            ) {
+                                Err(e) => break Err(e),
+                                Ok(step) => {
+                                    lane.hook.on_retire(&op.inst);
+                                    if i == end {
+                                        break Ok(step);
+                                    }
+                                    // Only the terminator can redirect
+                                    // or stop control flow.
+                                    debug_assert!(matches!(step, Step::Next));
+                                    i += 1;
+                                }
+                            }
+                        }
+                    };
+                    st.mix = mix;
+                    match res {
+                        Err(e) => {
+                            st.retired += (i - pc) as u64;
+                            outcomes[l] = Some(Err(e));
+                            uneven = true;
+                        }
+                        Ok(Step::Stop) => {
+                            st.retired += blen;
+                            outcomes[l] = Some(Ok(SimStats {
+                                inst_mix: st.mix,
+                                cache: lane.hier.stats(),
+                                host_nanos: 0,
+                            }));
+                            uneven = true;
+                        }
+                        Ok(step) => {
+                            st.retired += blen;
+                            let np = match step {
+                                Step::Jump(target) => target,
+                                _ => end + 1,
+                            };
+                            st.next = np;
+                            match common {
+                                Some(c) => uneven |= c != np,
+                                None => common = Some(np),
+                            }
+                        }
+                    }
+                }
+            } else {
+                // The budget expires inside this block: step one µop at
+                // a time so the loop-head check trips at exactly the
+                // retirement a solo run would trip at.
+                let op = &ops[pc];
+                let inst = op.inst;
+                for (l, (lane, st)) in lanes.iter_mut().zip(states.iter_mut()).enumerate() {
+                    lane.hook.on_fetch(pc, lane.hier.fetch(op.fetch_addr));
+                    match lane.cpu.exec_inst(
+                        &inst,
+                        pc,
+                        lane.mem,
+                        lane.hier,
+                        lane.hook,
+                        st.line_bytes,
+                        &mut st.mix,
+                    ) {
+                        Err(e) => {
+                            outcomes[l] = Some(Err(e));
+                            uneven = true;
+                        }
+                        Ok(step) => {
+                            lane.hook.on_retire(&inst);
+                            st.retired += 1;
+                            match step {
+                                Step::Stop => {
+                                    outcomes[l] = Some(Ok(SimStats {
+                                        inst_mix: st.mix,
+                                        cache: lane.hier.stats(),
+                                        host_nanos: 0,
+                                    }));
+                                    uneven = true;
+                                }
+                                step => {
+                                    let np = match step {
+                                        Step::Jump(target) => target,
+                                        _ => pc + 1,
+                                    };
+                                    st.next = np;
+                                    match common {
+                                        Some(c) => uneven |= c != np,
+                                        None => common = Some(np),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !uneven {
+                pc = common.expect("all lanes survived, so the first did");
+            }
+        }
+
+        // A lane resolved (halt, error) or control flow split: fall back
+        // to the indexed loop over whoever is still live.
+        let active: Vec<usize> = (0..n).filter(|&l| outcomes[l].is_none()).collect();
+        if let Some((&first, rest)) = active.split_first() {
+            let first_pc = states[first].next;
+            if rest.iter().all(|&l| states[l].next == first_pc) {
+                lockstep_tail(
+                    ops,
+                    lanes,
+                    &mut states,
+                    &mut outcomes,
+                    active,
+                    first_pc,
+                    limits,
+                );
+            } else {
+                // Divergent control flow: finish each lane with the
+                // scalar loop. Lanes share no state, so any scheduling
+                // from here is observationally identical.
+                for &l in &active {
+                    let np = states[l].next;
+                    outcomes[l] = Some(finish_scalar(
+                        ops,
+                        &mut lanes[l],
+                        &mut states[l],
+                        np,
+                        limits,
+                    ));
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every lane resolves"))
+            .collect()
+    }
+}
+
+/// For every µop index, the index of its straight-line block's
+/// terminator: the first µop at or after it that can redirect or stop
+/// control flow (branch, jump, ecall, halt). The fall-through run up to
+/// a terminator is the unit the lockstep fast path hands each lane,
+/// letting the lane's bookkeeping live in registers for the whole run.
+/// One reverse scan per batch; the lanes amortize it.
+fn block_ends(ops: &[MicroOp]) -> Vec<u32> {
+    let mut ends = vec![0u32; ops.len()];
+    let mut end = ops.len().saturating_sub(1) as u32;
+    for (i, op) in ops.iter().enumerate().rev() {
+        if matches!(
+            op.inst,
+            Inst::Blt { .. }
+                | Inst::Bge { .. }
+                | Inst::Bne { .. }
+                | Inst::Jmp { .. }
+                | Inst::Ecall { .. }
+                | Inst::Halt
+        ) {
+            end = i as u32;
+        }
+        ends[i] = end;
+    }
+    ends
+}
+
+/// The general lockstep loop for a partially-resolved batch: `active`
+/// lanes (converged at `pc`, possibly with unequal retired counts once
+/// errors have been charged) run in lockstep until they halt or their
+/// control flow splits, at which point each survivor is finished by the
+/// scalar loop.
+#[allow(clippy::too_many_arguments)] // internal driver, mirrors run_lanes' locals
+fn lockstep_tail<H: ExecHook>(
+    ops: &[MicroOp],
+    lanes: &mut [BatchLane<'_, H>],
+    states: &mut [LaneState],
+    outcomes: &mut [Option<Result<SimStats, SimError>>],
+    mut active: Vec<usize>,
+    mut pc: usize,
+    limits: RunLimits,
+) {
+    // (lane, next pc) of every lane that survives the current µop. The
+    // vector is reused across iterations — allocating it per µop would
+    // cost a malloc per retired instruction, dwarfing the dispatch win.
+    let mut survivors: Vec<(usize, usize)> = Vec::with_capacity(active.len());
+    while !active.is_empty() {
+        let op = &ops[pc];
+        let inst = op.inst;
+        survivors.clear();
+        for &l in &active {
+            let st = &mut states[l];
+            if st.retired >= limits.max_insts {
+                outcomes[l] = Some(Err(SimError::InstLimitExceeded {
+                    limit: limits.max_insts,
+                }));
+                continue;
+            }
+            let lane = &mut lanes[l];
+            lane.hook.on_fetch(pc, lane.hier.fetch(op.fetch_addr));
+            match lane.cpu.exec_inst(
+                &inst,
+                pc,
+                lane.mem,
+                lane.hier,
+                lane.hook,
+                st.line_bytes,
+                &mut st.mix,
+            ) {
+                Err(e) => outcomes[l] = Some(Err(e)),
+                Ok(step) => {
+                    lane.hook.on_retire(&inst);
+                    st.retired += 1;
+                    match step {
+                        Step::Stop => {
+                            outcomes[l] = Some(Ok(SimStats {
+                                inst_mix: st.mix,
+                                cache: lane.hier.stats(),
+                                host_nanos: 0,
+                            }));
+                        }
+                        Step::Next => survivors.push((l, pc + 1)),
+                        Step::Jump(target) => survivors.push((l, target)),
+                    }
+                }
+            }
+        }
+        match survivors.as_slice() {
+            [] => break,
+            [(_, first), rest @ ..] if rest.iter().all(|(_, np)| np == first) => {
+                // Still converged: continue in lockstep. The common
+                // case — nobody finished — keeps `active` untouched.
+                pc = *first;
+                if survivors.len() != active.len() {
+                    active.clear();
+                    active.extend(survivors.iter().map(|(l, _)| *l));
+                }
+            }
+            _ => {
+                // Divergent control flow: finish each lane with the
+                // scalar loop. Lanes share no state, so any scheduling
+                // from here is observationally identical.
+                for &(l, np) in &survivors {
+                    outcomes[l] = Some(finish_scalar(
+                        ops,
+                        &mut lanes[l],
+                        &mut states[l],
+                        np,
+                        limits,
+                    ));
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The tail of one diverged lane: the [`crate::DecodedEngine`] loop
+/// resumed from `start_pc` with the lane's accumulated statistics.
+fn finish_scalar<H: ExecHook>(
+    ops: &[MicroOp],
+    lane: &mut BatchLane<'_, H>,
+    st: &mut LaneState,
+    start_pc: usize,
+    limits: RunLimits,
+) -> Result<SimStats, SimError> {
+    let mut pc = start_pc;
+    loop {
+        if st.retired >= limits.max_insts {
+            return Err(SimError::InstLimitExceeded {
+                limit: limits.max_insts,
+            });
+        }
+        let op = &ops[pc];
+        let inst = op.inst;
+        lane.hook.on_fetch(pc, lane.hier.fetch(op.fetch_addr));
+        let step = lane.cpu.exec_inst(
+            &inst,
+            pc,
+            lane.mem,
+            lane.hier,
+            lane.hook,
+            st.line_bytes,
+            &mut st.mix,
+        )?;
+        lane.hook.on_retire(&inst);
+        st.retired += 1;
+        match step {
+            Step::Next => pc += 1,
+            Step::Jump(target) => pc = target,
+            Step::Stop => break,
+        }
+    }
+    Ok(SimStats {
+        inst_mix: st.mix,
+        cache: lane.hier.stats(),
+        host_nanos: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        DecodedEngine, ExecEngine, Gpr, Inst, NoopHook, Program, ProgramBuilder, DATA_BASE,
+    };
+    use simtune_cache::HierarchyConfig;
+
+    /// Loop whose bound is *loaded from memory*: lanes with different
+    /// data retire different instruction counts (and can fault).
+    ///
+    /// `r2 = mem[DATA_BASE]` (an i64 read of two raw f32 slots), then a
+    /// counted loop to `r2`.
+    fn data_bound_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: DATA_BASE as i64,
+        });
+        b.push(Inst::Ld {
+            rd: Gpr(2),
+            rs: Gpr(1),
+            imm: 0,
+        });
+        b.push(Inst::Li { rd: Gpr(3), imm: 0 });
+        let top = b.bind_new_label();
+        b.push(Inst::Addi {
+            rd: Gpr(3),
+            rs: Gpr(3),
+            imm: 1,
+        });
+        b.branch_lt(Gpr(3), Gpr(2), top);
+        b.push(Inst::Halt);
+        b.build().unwrap()
+    }
+
+    /// Data segment whose first i64 reads back as `value` (two f32
+    /// slots carrying the raw low/high bit halves).
+    fn i64_segment(value: u64) -> Vec<f32> {
+        vec![
+            f32::from_bits(value as u32),
+            f32::from_bits((value >> 32) as u32),
+        ]
+    }
+
+    struct LaneBox {
+        cpu: AtomicCpu,
+        mem: Memory,
+        hier: CacheHierarchy,
+        hook: NoopHook,
+    }
+
+    fn lane_box(data: &[f32]) -> LaneBox {
+        let mut mem = Memory::new();
+        mem.write_f32_slice(DATA_BASE, data).unwrap();
+        LaneBox {
+            cpu: AtomicCpu::new(&crate::TargetIsa::riscv_u74()),
+            mem,
+            hier: CacheHierarchy::new(HierarchyConfig::tiny_for_tests()),
+            hook: NoopHook,
+        }
+    }
+
+    fn run_batch(
+        prog: &Program,
+        data: &[Vec<f32>],
+        limits: RunLimits,
+    ) -> (Vec<Result<SimStats, SimError>>, Vec<LaneBox>) {
+        let target = crate::TargetIsa::riscv_u74();
+        let decoded = DecodedProgram::decode(prog, &target).unwrap();
+        let mut boxes: Vec<LaneBox> = data.iter().map(|d| lane_box(d)).collect();
+        let mut lanes: Vec<BatchLane<'_, NoopHook>> = boxes
+            .iter_mut()
+            .map(|b| BatchLane {
+                cpu: &mut b.cpu,
+                mem: &mut b.mem,
+                hier: &mut b.hier,
+                hook: &mut b.hook,
+            })
+            .collect();
+        let outcomes = BatchEngine::new(&decoded).run_lanes(&mut lanes, limits);
+        drop(lanes);
+        (outcomes, boxes)
+    }
+
+    fn run_solo(prog: &Program, data: &[f32], limits: RunLimits) -> Result<SimStats, SimError> {
+        let target = crate::TargetIsa::riscv_u74();
+        let decoded = DecodedProgram::decode(prog, &target).unwrap();
+        let mut b = lane_box(data);
+        DecodedEngine::new(&decoded).run_with_hook(
+            &mut b.cpu,
+            &mut b.mem,
+            &mut b.hier,
+            limits,
+            &mut b.hook,
+        )
+    }
+
+    #[test]
+    fn lanes_halt_at_different_micro_ops() {
+        let prog = data_bound_loop();
+        let data = [i64_segment(3), i64_segment(7), i64_segment(1)];
+        let (outcomes, _) = run_batch(&prog, &data, RunLimits::default());
+        let totals: Vec<u64> = outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().inst_mix.total())
+            .collect();
+        assert!(totals[1] > totals[0] && totals[0] > totals[2], "{totals:?}");
+        // Every lane matches a solo decoded run of the same trial.
+        for (o, d) in outcomes.iter().zip(&data) {
+            assert_eq!(
+                o.as_ref().unwrap(),
+                &run_solo(&prog, d, RunLimits::default()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn per_lane_errors_surface_independently() {
+        let prog = data_bound_loop();
+        // Lane 0 finishes; lane 1 exhausts the instruction budget; lane
+        // 2 finishes with a different count.
+        let data = [i64_segment(2), i64_segment(1 << 40), i64_segment(4)];
+        let limits = RunLimits { max_insts: 200 };
+        let (outcomes, _) = run_batch(&prog, &data, limits);
+        assert!(outcomes[0].is_ok());
+        assert_eq!(outcomes[1], Err(SimError::InstLimitExceeded { limit: 200 }));
+        assert!(outcomes[2].is_ok());
+        // Solo runs agree on both the successes and the failure.
+        for (o, d) in outcomes.iter().zip(&data) {
+            assert_eq!(o, &run_solo(&prog, d, limits));
+        }
+    }
+
+    #[test]
+    fn per_lane_memory_faults_surface_independently() {
+        // `r2 = mem[DATA_BASE]` then `Ld r4, [r2]`: the loaded value is
+        // the address of the second load, so lane data selects between
+        // a valid pointer and one beyond the 4 GiB address space.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li {
+            rd: Gpr(1),
+            imm: DATA_BASE as i64,
+        });
+        b.push(Inst::Ld {
+            rd: Gpr(2),
+            rs: Gpr(1),
+            imm: 0,
+        });
+        b.push(Inst::Ld {
+            rd: Gpr(4),
+            rs: Gpr(2),
+            imm: 0,
+        });
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let bad_addr = 1u64 << 40;
+        let data = [i64_segment(DATA_BASE), i64_segment(bad_addr)];
+        let (outcomes, _) = run_batch(&prog, &data, RunLimits::default());
+        assert!(outcomes[0].is_ok());
+        assert_eq!(outcomes[1], Err(SimError::MemoryFault { addr: bad_addr }));
+    }
+
+    #[test]
+    fn batch_of_one_matches_decoded_engine() {
+        let prog = data_bound_loop();
+        let data = [i64_segment(5)];
+        let (outcomes, boxes) = run_batch(&prog, &data, RunLimits::default());
+        let solo = run_solo(&prog, &data[0], RunLimits::default()).unwrap();
+        assert_eq!(outcomes[0].as_ref().unwrap(), &solo);
+        // Architectural state matches too.
+        let target = crate::TargetIsa::riscv_u74();
+        let decoded = DecodedProgram::decode(&prog, &target).unwrap();
+        let mut solo_box = lane_box(&data[0]);
+        DecodedEngine::new(&decoded)
+            .run_with_hook(
+                &mut solo_box.cpu,
+                &mut solo_box.mem,
+                &mut solo_box.hier,
+                RunLimits::default(),
+                &mut solo_box.hook,
+            )
+            .unwrap();
+        assert_eq!(boxes[0].cpu.gpr(Gpr(3)), solo_box.cpu.gpr(Gpr(3)));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let prog = data_bound_loop();
+        let (outcomes, _) = run_batch(&prog, &[], RunLimits::default());
+        assert!(outcomes.is_empty());
+    }
+}

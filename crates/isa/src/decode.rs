@@ -34,11 +34,19 @@
 //!   amortize.
 //! * [`DecodedEngine`] — replays a [`DecodedProgram`]; per-retirement
 //!   work is a single indexed load of the µop.
+//! * [`crate::ThreadedEngine`] — replays a [`DecodedProgram`] lowered
+//!   once more into threaded-code form ([`crate::ThreadedProgram`]):
+//!   per-retirement work is one indirect call through a pre-bound,
+//!   per-kind-specialized handler plus a successor read from the thunk.
+//! * [`crate::BatchEngine`] — not an [`ExecEngine`] (its unit of work is
+//!   a whole batch): replays one decoded program across many data lanes
+//!   in lockstep, falling back to the scalar loop on divergence.
 //!
-//! Both engines share the single-instruction semantic core
+//! All engines share the single-instruction semantic core
 //! (`AtomicCpu::exec_inst`), so their architectural results and
 //! [`SimStats`] are bit-identical by construction — a property pinned
-//! down by the differential property suite in `tests/`.
+//! down by the differential property suite in `tests/`. [`crate::EngineKind`]
+//! names the ladder for configuration plumbing.
 //!
 //! # Example
 //!

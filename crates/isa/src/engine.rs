@@ -1,0 +1,85 @@
+//! Replay-engine selection: which [`crate::ExecEngine`] drives a run.
+//!
+//! The ladder, from most general to fastest on repeated replay:
+//!
+//! 1. [`crate::InterpEngine`] — re-inspects the raw program each step;
+//! 2. [`crate::DecodedEngine`] — replays the pre-decoded µop array;
+//! 3. [`crate::ThreadedEngine`] — threaded-code dispatch over pre-bound
+//!    handler pointers with pre-resolved successors;
+//! 4. [`crate::BatchEngine`] — batched structure-of-arrays replay of the
+//!    same program over many data sets at once.
+//!
+//! All four are observationally identical (same statistics, registers
+//! and memory, bit for bit); the choice only moves host time.
+
+use std::fmt;
+
+/// Names one rung of the replay-engine ladder. Carried by tuning
+/// sessions so every simulation — and every memoization fingerprint —
+/// knows which engine produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Re-decoding interpreter ([`crate::InterpEngine`]): the reference
+    /// loop, right for one-shot runs where decoding would not amortize.
+    Interp,
+    /// Pre-decoded µop replay ([`crate::DecodedEngine`]): the default.
+    #[default]
+    Decoded,
+    /// Threaded-code dispatch ([`crate::ThreadedEngine`]): lowers the
+    /// µop array once into pre-bound handler pointers.
+    Threaded,
+    /// Batched SoA replay ([`crate::BatchEngine`]) for groups of trials
+    /// sharing one program; single trials fall back to the decoded loop.
+    Batch,
+}
+
+impl EngineKind {
+    /// Every engine, in ladder order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Interp,
+        EngineKind::Decoded,
+        EngineKind::Threaded,
+        EngineKind::Batch,
+    ];
+
+    /// Stable lowercase name, used in CLI flags, perf summaries and
+    /// memo fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::Decoded => "decoded",
+            EngineKind::Threaded => "threaded",
+            EngineKind::Batch => "batch",
+        }
+    }
+
+    /// Parses a [`EngineKind::label`] back into the engine.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|e| e.label() == s)
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(e.label()), Some(e));
+            assert_eq!(format!("{e}"), e.label());
+        }
+        assert_eq!(EngineKind::parse("jit"), None);
+    }
+
+    #[test]
+    fn default_is_decoded() {
+        assert_eq!(EngineKind::default(), EngineKind::Decoded);
+    }
+}

@@ -1,6 +1,7 @@
 use crate::{
-    AtomicCpu, DecodedEngine, DecodedProgram, ExecEngine, Memory, NoopHook, Program, RunLimits,
-    SimError, SimStats, TargetIsa,
+    AtomicCpu, BatchEngine, BatchLane, DecodedEngine, DecodedProgram, EngineKind, ExecEngine,
+    InterpEngine, Memory, NoopHook, Program, RunLimits, SimError, SimStats, TargetIsa,
+    ThreadedEngine, ThreadedProgram,
 };
 use simtune_cache::{CacheHierarchy, HierarchyConfig};
 use std::time::Instant;
@@ -106,6 +107,24 @@ pub fn simulate_decoded(
     hierarchy: &HierarchyConfig,
     limits: RunLimits,
 ) -> Result<SimOutcome, SimError> {
+    simulate_decoded_on(exe, decoded, hierarchy, limits, EngineKind::Decoded)
+}
+
+/// [`simulate_decoded`] on an explicit replay engine. All engines are
+/// observationally identical (see the differential suite); the choice
+/// only moves host time. [`EngineKind::Batch`] is a batch-level
+/// concept, so a single trial runs on the decoded loop.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_decoded_on(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+    engine: EngineKind,
+) -> Result<SimOutcome, SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -113,12 +132,14 @@ pub fn simulate_decoded(
     let mut hier = CacheHierarchy::new(hierarchy.clone());
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let mut stats = DecodedEngine::new(decoded).run_with_hook(
+    let mut stats = run_full(
+        &exe.program,
+        decoded,
+        engine,
         &mut cpu,
         &mut mem,
         &mut hier,
         limits,
-        &mut NoopHook,
     )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok(SimOutcome {
@@ -126,6 +147,67 @@ pub fn simulate_decoded(
         memory: mem,
         backend: ACCURATE.into(),
     })
+}
+
+/// Dispatches one full run to the selected engine.
+fn run_full(
+    prog: &Program,
+    decoded: &DecodedProgram,
+    engine: EngineKind,
+    cpu: &mut AtomicCpu,
+    mem: &mut Memory,
+    hier: &mut CacheHierarchy,
+    limits: RunLimits,
+) -> Result<SimStats, SimError> {
+    match engine {
+        EngineKind::Interp => {
+            InterpEngine::new(prog).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
+        }
+        EngineKind::Decoded | EngineKind::Batch => {
+            DecodedEngine::new(decoded).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
+        }
+        EngineKind::Threaded => {
+            let threaded = ThreadedProgram::lower(decoded);
+            ThreadedEngine::new(&threaded).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
+        }
+    }
+}
+
+/// Dispatches one prefix run to the selected engine.
+#[allow(clippy::too_many_arguments)] // mirrors the run entry points
+fn run_prefix(
+    prog: &Program,
+    decoded: &DecodedProgram,
+    engine: EngineKind,
+    cpu: &mut AtomicCpu,
+    mem: &mut Memory,
+    hier: &mut CacheHierarchy,
+    limits: RunLimits,
+    budget: u64,
+) -> Result<(SimStats, bool), SimError> {
+    match engine {
+        EngineKind::Interp => InterpEngine::new(prog).run_prefix_with_hook(
+            cpu,
+            mem,
+            hier,
+            limits,
+            budget,
+            &mut NoopHook,
+        ),
+        EngineKind::Decoded | EngineKind::Batch => DecodedEngine::new(decoded)
+            .run_prefix_with_hook(cpu, mem, hier, limits, budget, &mut NoopHook),
+        EngineKind::Threaded => {
+            let threaded = ThreadedProgram::lower(decoded);
+            ThreadedEngine::new(&threaded).run_prefix_with_hook(
+                cpu,
+                mem,
+                hier,
+                limits,
+                budget,
+                &mut NoopHook,
+            )
+        }
+    }
 }
 
 /// Canonical name of the full instruction-accurate simulator flavor.
@@ -167,6 +249,22 @@ pub fn simulate_counting_decoded(
     line_bytes: u64,
     limits: RunLimits,
 ) -> Result<SimOutcome, SimError> {
+    simulate_counting_decoded_on(exe, decoded, line_bytes, limits, EngineKind::Decoded)
+}
+
+/// [`simulate_counting_decoded`] on an explicit replay engine; see
+/// [`simulate_decoded_on`] for the engine contract.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_counting_decoded_on(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    line_bytes: u64,
+    limits: RunLimits,
+    engine: EngineKind,
+) -> Result<SimOutcome, SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -174,12 +272,14 @@ pub fn simulate_counting_decoded(
     let mut hier = CacheHierarchy::counting_only(line_bytes);
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let mut stats = DecodedEngine::new(decoded).run_with_hook(
+    let mut stats = run_full(
+        &exe.program,
+        decoded,
+        engine,
         &mut cpu,
         &mut mem,
         &mut hier,
         limits,
-        &mut NoopHook,
     )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok(SimOutcome {
@@ -220,6 +320,23 @@ pub fn simulate_prefix_decoded(
     limits: RunLimits,
     budget: u64,
 ) -> Result<(SimOutcome, bool), SimError> {
+    simulate_prefix_decoded_on(exe, decoded, hierarchy, limits, budget, EngineKind::Decoded)
+}
+
+/// [`simulate_prefix_decoded`] on an explicit replay engine; see
+/// [`simulate_decoded_on`] for the engine contract.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_prefix_decoded_on(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+    budget: u64,
+    engine: EngineKind,
+) -> Result<(SimOutcome, bool), SimError> {
     let mut mem = Memory::new();
     for (base, values) in &exe.data_segments {
         mem.write_f32_slice(*base, values)?;
@@ -227,13 +344,15 @@ pub fn simulate_prefix_decoded(
     let mut hier = CacheHierarchy::new(hierarchy.clone());
     let mut cpu = AtomicCpu::new(&exe.target);
     let start = Instant::now();
-    let (mut stats, completed) = DecodedEngine::new(decoded).run_prefix_with_hook(
+    let (mut stats, completed) = run_prefix(
+        &exe.program,
+        decoded,
+        engine,
         &mut cpu,
         &mut mem,
         &mut hier,
         limits,
         budget,
-        &mut NoopHook,
     )?;
     stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
     Ok((
@@ -244,6 +363,113 @@ pub fn simulate_prefix_decoded(
         },
         completed,
     ))
+}
+
+/// Replays N same-program trials as lanes of one [`BatchEngine`] pass
+/// on the full cache model: every `exes[i]` must share `decoded`'s
+/// program and target, differing only in name and data segments.
+/// Returns one outcome per trial, in input order; lanes fail
+/// independently (a bad data segment or a mid-run [`SimError`] resolves
+/// that lane only).
+///
+/// Host time is measured once for the whole batch and attributed
+/// evenly across its lanes.
+pub fn simulate_batch_decoded(
+    exes: &[&Executable],
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+) -> Vec<Result<SimOutcome, SimError>> {
+    simulate_batch_inner(
+        exes,
+        decoded,
+        limits,
+        || CacheHierarchy::new(hierarchy.clone()),
+        ACCURATE,
+    )
+}
+
+/// [`simulate_batch_decoded`] on the counting-only hierarchy (the
+/// fast-count flavor); see [`simulate_counting`] for the `line_bytes`
+/// contract.
+pub fn simulate_counting_batch_decoded(
+    exes: &[&Executable],
+    decoded: &DecodedProgram,
+    line_bytes: u64,
+    limits: RunLimits,
+) -> Vec<Result<SimOutcome, SimError>> {
+    simulate_batch_inner(
+        exes,
+        decoded,
+        limits,
+        || CacheHierarchy::counting_only(line_bytes),
+        FAST_COUNT,
+    )
+}
+
+struct LaneSlot {
+    cpu: AtomicCpu,
+    mem: Memory,
+    hier: CacheHierarchy,
+    hook: NoopHook,
+}
+
+fn simulate_batch_inner(
+    exes: &[&Executable],
+    decoded: &DecodedProgram,
+    limits: RunLimits,
+    mk_hier: impl Fn() -> CacheHierarchy,
+    backend: &str,
+) -> Vec<Result<SimOutcome, SimError>> {
+    // Materialize every lane up front; a lane whose segments do not
+    // load resolves to its error without joining the batch.
+    let mut slots: Vec<Result<LaneSlot, SimError>> = exes
+        .iter()
+        .map(|exe| {
+            let mut mem = Memory::new();
+            for (base, values) in &exe.data_segments {
+                mem.write_f32_slice(*base, values)?;
+            }
+            Ok(LaneSlot {
+                cpu: AtomicCpu::new(&exe.target),
+                mem,
+                hier: mk_hier(),
+                hook: NoopHook,
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    let mut lanes: Vec<BatchLane<'_, NoopHook>> = slots
+        .iter_mut()
+        .filter_map(|s| s.as_mut().ok())
+        .map(|s| BatchLane {
+            cpu: &mut s.cpu,
+            mem: &mut s.mem,
+            hier: &mut s.hier,
+            hook: &mut s.hook,
+        })
+        .collect();
+    let n_lanes = lanes.len();
+    let outcomes = BatchEngine::new(decoded).run_lanes(&mut lanes, limits);
+    drop(lanes);
+    let per_lane_nanos = (start.elapsed().as_nanos() as u64 / n_lanes.max(1) as u64).max(1);
+    let mut outcome_iter = outcomes.into_iter();
+    slots
+        .iter_mut()
+        .map(|slot| {
+            // Take the memory in place instead of moving the whole slot:
+            // the register files alone are ~1.4 KiB per lane and nothing
+            // past this point reads them.
+            let lane = slot.as_mut().map_err(|e| e.clone())?;
+            let mut stats = outcome_iter.next().expect("one outcome per lane")?;
+            stats.host_nanos = per_lane_nanos;
+            Ok(SimOutcome {
+                stats,
+                memory: std::mem::take(&mut lane.mem),
+                backend: backend.into(),
+            })
+        })
+        .collect()
 }
 
 impl Executable {

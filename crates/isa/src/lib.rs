@@ -19,10 +19,16 @@
 //! addresses, per-instruction [`MixClass`], basic-block index), and the
 //! [`ExecEngine`] implementations drive the CPU over either form —
 //! [`InterpEngine`] re-inspects the raw program each step,
-//! [`DecodedEngine`] replays the µop array. `simulate`,
-//! `simulate_counting` and `simulate_prefix` decode internally; their
-//! `*_decoded` variants accept a pre-decoded handle so batch drivers pay
-//! for decoding exactly once per executable.
+//! [`DecodedEngine`] replays the µop array, [`ThreadedEngine`] replays a
+//! further-lowered threaded-code form ([`ThreadedProgram`]) with
+//! pre-bound handlers, and [`BatchEngine`] replays one decoded program
+//! across many data lanes at once. All engines share one semantic core,
+//! so their observable results are bit-identical; [`EngineKind`] names
+//! them for configuration. `simulate`, `simulate_counting` and
+//! `simulate_prefix` decode internally; their `*_decoded` variants
+//! accept a pre-decoded handle so batch drivers pay for decoding exactly
+//! once per executable, and the `*_decoded_on` variants additionally
+//! select the replay engine.
 //!
 //! The ISA itself is a register RISC machine with scalar integer/float
 //! operations, fused multiply-add, and fixed-width vector operations whose
@@ -59,9 +65,11 @@
 //! ```
 
 mod asm;
+mod batch;
 mod cpu;
 mod decode;
 mod disasm;
+mod engine;
 mod error;
 mod exec;
 mod inst;
@@ -69,20 +77,28 @@ mod memory;
 mod program;
 mod stats;
 mod target;
+mod threaded;
+mod torture;
 
 pub use asm::{parse_inst, parse_program, AsmError};
+pub use batch::{BatchEngine, BatchLane};
 pub use cpu::{AtomicCpu, ExecHook, NoopHook, RunLimits};
 pub use decode::{DecodedEngine, DecodedProgram, ExecEngine, InterpEngine, MicroOp, MixClass};
+pub use engine::EngineKind;
 pub use error::{BuildProgramError, SimError};
 pub use exec::{
-    simulate, simulate_counting, simulate_counting_decoded, simulate_decoded, simulate_prefix,
-    simulate_prefix_decoded, Executable, SimOutcome, ACCURATE, FAST_COUNT,
+    simulate, simulate_batch_decoded, simulate_counting, simulate_counting_batch_decoded,
+    simulate_counting_decoded, simulate_counting_decoded_on, simulate_decoded, simulate_decoded_on,
+    simulate_prefix, simulate_prefix_decoded, simulate_prefix_decoded_on, Executable, SimOutcome,
+    ACCURATE, FAST_COUNT,
 };
 pub use inst::{Fpr, Gpr, Inst, Label, Vr, MAX_LANES};
 pub use memory::Memory;
 pub use program::{Program, ProgramBuilder};
 pub use stats::{InstMix, SimStats};
 pub use target::TargetIsa;
+pub use threaded::{ThreadedEngine, ThreadedProgram};
+pub use torture::{torture_program, TORTURE_WINDOW};
 
 /// Base address at which program code is mapped.
 pub const CODE_BASE: u64 = 0x1_0000;

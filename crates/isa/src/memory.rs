@@ -1,9 +1,21 @@
 use crate::SimError;
 
 const PAGE_BITS: u32 = 16;
+#[cfg(test)]
 const PAGE_BYTES: usize = 1 << PAGE_BITS; // 64 KiB
 /// Simulatable address space: 4 GiB (65536 pages), allocated lazily.
 const MAX_PAGES: usize = 1 << 16;
+
+/// Host allocation unit inside a page: 4 KiB. Pages track which of
+/// their sub-blocks are materialized, so a trial that touches a few
+/// hundred bytes of a page zeroes one sub-block, not 64 KiB — the
+/// dominant setup cost when a batch materializes many lanes at once.
+const SUB_BITS: u32 = 12;
+const SUB_BYTES: usize = 1 << SUB_BITS;
+const SUBS_PER_PAGE: usize = 1 << (PAGE_BITS - SUB_BITS);
+
+/// Lazily materialized host storage for one 64 KiB guest page.
+type Region = [Option<Box<[u8]>>; SUBS_PER_PAGE];
 
 /// Sparse, page-granular byte-addressable memory.
 ///
@@ -27,16 +39,16 @@ const MAX_PAGES: usize = 1 << 16;
 /// ```
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Box<Region>>>,
 }
 
 impl Memory {
     /// Creates an empty memory with no pages allocated.
     pub fn new() -> Self {
-        Memory { pages: Vec::new() }
+        Memory::default()
     }
 
-    /// Number of 64 KiB pages currently materialized.
+    /// Number of 64 KiB pages currently materialized (any sub-block).
     pub fn resident_pages(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count()
     }
@@ -50,17 +62,24 @@ impl Memory {
         }
     }
 
-    fn page_mut(&mut self, idx: usize) -> &mut [u8] {
+    /// The materialized 4 KiB sub-block containing `addr`, if any.
+    /// `addr` must already be range-checked via [`Memory::page_index`].
+    fn sub(&self, addr: u64) -> Option<&[u8]> {
+        let idx = (addr >> PAGE_BITS) as usize;
+        let sub = ((addr as usize) >> SUB_BITS) & (SUBS_PER_PAGE - 1);
+        self.pages.get(idx)?.as_ref()?[sub].as_deref()
+    }
+
+    /// The (zero-materialized-on-first-touch) 4 KiB sub-block containing
+    /// `addr`. `addr` must already be range-checked.
+    fn sub_mut(&mut self, addr: u64) -> &mut [u8] {
+        let idx = (addr >> PAGE_BITS) as usize;
         if idx >= self.pages.len() {
             self.pages.resize_with(idx + 1, || None);
         }
-        self.pages[idx]
-            .get_or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice())
-            .as_mut()
-    }
-
-    fn page(&self, idx: usize) -> Option<&[u8]> {
-        self.pages.get(idx).and_then(|p| p.as_deref())
+        let region = self.pages[idx].get_or_insert_with(|| Box::new(std::array::from_fn(|_| None)));
+        let sub = ((addr as usize) >> SUB_BITS) & (SUBS_PER_PAGE - 1);
+        region[sub].get_or_insert_with(|| vec![0u8; SUB_BYTES].into_boxed_slice())
     }
 
     /// Reads one byte.
@@ -69,10 +88,10 @@ impl Memory {
     ///
     /// Returns [`SimError::MemoryFault`] beyond the address space.
     pub fn read_u8(&self, addr: u64) -> Result<u8, SimError> {
-        let idx = Self::page_index(addr)?;
+        Self::page_index(addr)?;
         Ok(self
-            .page(idx)
-            .map(|p| p[(addr as usize) & (PAGE_BYTES - 1)])
+            .sub(addr)
+            .map(|p| p[(addr as usize) & (SUB_BYTES - 1)])
             .unwrap_or(0))
     }
 
@@ -82,8 +101,8 @@ impl Memory {
     ///
     /// Returns [`SimError::MemoryFault`] beyond the address space.
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), SimError> {
-        let idx = Self::page_index(addr)?;
-        self.page_mut(idx)[(addr as usize) & (PAGE_BYTES - 1)] = value;
+        Self::page_index(addr)?;
+        self.sub_mut(addr)[(addr as usize) & (SUB_BYTES - 1)] = value;
         Ok(())
     }
 
@@ -133,19 +152,32 @@ impl Memory {
     ///
     /// Returns [`SimError::MemoryFault`] beyond the address space.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), SimError> {
-        // Fast path: within one page.
-        let off = (addr as usize) & (PAGE_BYTES - 1);
-        if off + buf.len() <= PAGE_BYTES {
-            let idx = Self::page_index(addr)?;
+        // Fast path: within one sub-block.
+        let off = (addr as usize) & (SUB_BYTES - 1);
+        if off + buf.len() <= SUB_BYTES {
+            Self::page_index(addr)?;
             Self::page_index(addr + buf.len().max(1) as u64 - 1)?;
-            match self.page(idx) {
+            match self.sub(addr) {
                 Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
                 None => buf.fill(0),
             }
             return Ok(());
         }
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64)?;
+        // Boundary-crossing: copy one sub-block's worth at a time.
+        Self::page_index(addr)?;
+        Self::page_index(addr + buf.len() as u64 - 1)?;
+        let mut addr = addr;
+        let mut rest = &mut buf[..];
+        while !rest.is_empty() {
+            let off = (addr as usize) & (SUB_BYTES - 1);
+            let n = rest.len().min(SUB_BYTES - off);
+            let (head, tail) = rest.split_at_mut(n);
+            match self.sub(addr) {
+                Some(p) => head.copy_from_slice(&p[off..off + n]),
+                None => head.fill(0),
+            }
+            addr += n as u64;
+            rest = tail;
         }
         Ok(())
     }
@@ -156,15 +188,25 @@ impl Memory {
     ///
     /// Returns [`SimError::MemoryFault`] beyond the address space.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
-        let off = (addr as usize) & (PAGE_BYTES - 1);
-        if off + bytes.len() <= PAGE_BYTES {
-            let idx = Self::page_index(addr)?;
+        // Fast path: within one sub-block.
+        let off = (addr as usize) & (SUB_BYTES - 1);
+        if off + bytes.len() <= SUB_BYTES {
+            Self::page_index(addr)?;
             Self::page_index(addr + bytes.len().max(1) as u64 - 1)?;
-            self.page_mut(idx)[off..off + bytes.len()].copy_from_slice(bytes);
+            self.sub_mut(addr)[off..off + bytes.len()].copy_from_slice(bytes);
             return Ok(());
         }
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b)?;
+        // Boundary-crossing: copy one sub-block's worth at a time.
+        Self::page_index(addr)?;
+        Self::page_index(addr + bytes.len() as u64 - 1)?;
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (SUB_BYTES - 1);
+            let n = rest.len().min(SUB_BYTES - off);
+            self.sub_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
         }
         Ok(())
     }
@@ -186,8 +228,16 @@ impl Memory {
     ///
     /// Returns [`SimError::MemoryFault`] beyond the address space.
     pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) -> Result<(), SimError> {
-        for (i, v) in values.iter().enumerate() {
-            self.write_f32(addr + 4 * i as u64, *v)?;
+        // Stage little-endian bytes on the stack and write whole chunks:
+        // loading a trial's tensor segments is on every simulation's
+        // setup path, and one `write_bytes` per chunk beats one
+        // range-checked 4-byte write per element.
+        let mut buf = [0u8; 512];
+        for (ci, chunk) in values.chunks(buf.len() / 4).enumerate() {
+            for (i, v) in chunk.iter().enumerate() {
+                buf[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(addr + (ci * buf.len()) as u64, &buf[..4 * chunk.len()])?;
         }
         Ok(())
     }

@@ -1,22 +1,42 @@
-//! Differential property suite: the pre-decoded execution engine must be
+//! Differential property suite: every replay engine must be
 //! observationally identical to the re-decoding interpreter.
 //!
 //! Randomized programs (arithmetic, float, vector, memory and control
-//! instructions inside a counted loop) run on both engines from identical
-//! cold state; every architectural output — `SimStats`, register files,
-//! memory image — must match bit-for-bit, and prefix runs must stop at
-//! the same instruction. Floats are compared through their bit patterns
-//! so NaN-producing programs (e.g. `fdiv 0/0`) still compare exactly.
+//! instructions inside a counted loop) run on every rung of the replay
+//! ladder — [`InterpEngine`], [`DecodedEngine`], [`ThreadedEngine`] and
+//! the SoA [`BatchEngine`] — from identical cold state; every
+//! architectural output — `SimStats`, register files, memory image —
+//! must match bit-for-bit, and prefix runs must stop at the same
+//! instruction. Floats are compared through their bit patterns so
+//! NaN-producing programs (e.g. `fdiv 0/0`) still compare exactly. The
+//! seeded mini-torture generator ([`torture_program`]) adds nested
+//! loops and irregular forward branches on top of the flat loop the
+//! local generator emits.
+//!
+//! `PROPTEST_CASES` scales every property's case count (the vendored
+//! proptest has no env support of its own) — CI's engine-equivalence
+//! step raises it well above the local default.
 
 use proptest::prelude::*;
 use simtune::cache::{CacheHierarchy, HierarchyConfig};
 use simtune::isa::{
-    AtomicCpu, DecodedEngine, DecodedProgram, ExecEngine, Fpr, Gpr, Inst, InterpEngine, Memory,
-    NoopHook, Program, ProgramBuilder, RunLimits, TargetIsa, Vr, DATA_BASE,
+    torture_program, AtomicCpu, BatchEngine, BatchLane, DecodedEngine, DecodedProgram, ExecEngine,
+    Fpr, Gpr, Inst, InterpEngine, Memory, NoopHook, Program, ProgramBuilder, RunLimits, TargetIsa,
+    ThreadedEngine, ThreadedProgram, Vr, DATA_BASE,
 };
 
 /// Bytes of the data window the generated programs read and write.
 const DATA_WINDOW: u64 = 2048;
+
+/// Case count for one property: the `PROPTEST_CASES` environment
+/// variable when set (CI's equivalence step raises it), `default`
+/// otherwise.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Builds a terminating random program from raw entropy words: a fixed
 /// preamble (r1 = DATA_BASE, loop bounds), one generated instruction per
@@ -236,9 +256,56 @@ struct RunOutput {
     mem_bits: Vec<u32>,
 }
 
-fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>) -> RunOutput {
+/// Deterministically fills the data window from `seed` so lanes (and
+/// their solo reference runs) start from distinct, reproducible images.
+/// `seed == 0` leaves the window cold (all zeroes), matching the legacy
+/// properties.
+fn seed_memory(mem: &mut Memory, seed: u64) {
+    if seed == 0 {
+        return;
+    }
+    let words: Vec<f32> = (0..DATA_WINDOW / 4)
+        .map(|i| {
+            let x = (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((x >> 40) as i64 - (1 << 23)) as f32 / 256.0
+        })
+        .collect();
+    mem.write_f32_slice(DATA_BASE, &words)
+        .expect("window writable");
+}
+
+fn capture(
+    stats: simtune::isa::SimStats,
+    completed: bool,
+    cpu: &AtomicCpu,
+    mem: &Memory,
+) -> RunOutput {
+    RunOutput {
+        stats,
+        completed,
+        gprs: (0..32).map(|r| cpu.gpr(Gpr(r))).collect(),
+        fpr_bits: (0..32).map(|r| cpu.fpr(Fpr(r)).to_bits()).collect(),
+        vr_bits: (0..32)
+            .map(|r| cpu.vr(Vr(r)).iter().map(|x| x.to_bits()).collect())
+            .collect(),
+        mem_bits: mem
+            .read_f32_slice(DATA_BASE, (DATA_WINDOW / 4) as usize)
+            .expect("window readable")
+            .into_iter()
+            .map(f32::to_bits)
+            .collect(),
+    }
+}
+
+fn run_engine_seeded<E: ExecEngine>(
+    engine: &E,
+    target: &TargetIsa,
+    budget: Option<u64>,
+    seed: u64,
+) -> RunOutput {
     let mut cpu = AtomicCpu::new(target);
     let mut mem = Memory::new();
+    seed_memory(&mut mem, seed);
     let mut hier = CacheHierarchy::new(HierarchyConfig::tiny_for_tests());
     let (stats, completed) = match budget {
         Some(n) => engine
@@ -264,21 +331,50 @@ fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>
             true,
         ),
     };
-    RunOutput {
-        stats,
-        completed,
-        gprs: (0..32).map(|r| cpu.gpr(Gpr(r))).collect(),
-        fpr_bits: (0..32).map(|r| cpu.fpr(Fpr(r)).to_bits()).collect(),
-        vr_bits: (0..32)
-            .map(|r| cpu.vr(Vr(r)).iter().map(|x| x.to_bits()).collect())
-            .collect(),
-        mem_bits: mem
-            .read_f32_slice(DATA_BASE, (DATA_WINDOW / 4) as usize)
-            .expect("window readable")
-            .into_iter()
-            .map(f32::to_bits)
-            .collect(),
-    }
+    capture(stats, completed, &cpu, &mem)
+}
+
+fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>) -> RunOutput {
+    run_engine_seeded(engine, target, budget, 0)
+}
+
+/// Runs `decoded` as one SoA batch: lane `l` starts from the window
+/// seeded with `seeds[l]`. Every lane must complete (the generated
+/// programs terminate under default limits).
+fn run_batch(decoded: &DecodedProgram, target: &TargetIsa, seeds: &[u64]) -> Vec<RunOutput> {
+    let n = seeds.len();
+    let mut cpus: Vec<AtomicCpu> = (0..n).map(|_| AtomicCpu::new(target)).collect();
+    let mut mems: Vec<Memory> = seeds
+        .iter()
+        .map(|&s| {
+            let mut m = Memory::new();
+            seed_memory(&mut m, s);
+            m
+        })
+        .collect();
+    let mut hiers: Vec<CacheHierarchy> = (0..n)
+        .map(|_| CacheHierarchy::new(HierarchyConfig::tiny_for_tests()))
+        .collect();
+    let mut hooks: Vec<NoopHook> = (0..n).map(|_| NoopHook).collect();
+    let mut lanes: Vec<BatchLane<'_, NoopHook>> = cpus
+        .iter_mut()
+        .zip(mems.iter_mut())
+        .zip(hiers.iter_mut())
+        .zip(hooks.iter_mut())
+        .map(|(((cpu, mem), hier), hook)| BatchLane {
+            cpu,
+            mem,
+            hier,
+            hook,
+        })
+        .collect();
+    let outcomes = BatchEngine::new(decoded).run_lanes(&mut lanes, RunLimits::default());
+    drop(lanes);
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(l, r)| capture(r.expect("lane completes"), true, &cpus[l], &mems[l]))
+        .collect()
 }
 
 fn assert_outputs_identical(a: &RunOutput, b: &RunOutput) {
@@ -291,7 +387,7 @@ fn assert_outputs_identical(a: &RunOutput, b: &RunOutput) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
 
     /// Full runs: both engines from cold state, every observable equal.
     #[test]
@@ -330,5 +426,92 @@ proptest! {
         let fast = run_engine(&DecodedEngine::new(&decoded), target, Some(budget));
         assert_outputs_identical(&interp, &fast);
         prop_assert_eq!(interp.completed, budget_percent >= 100);
+    }
+
+    /// Threaded-code dispatch: pre-bound handlers with pre-resolved
+    /// successors must replay exactly what the interpreter executes.
+    #[test]
+    fn threaded_engine_is_observationally_identical(
+        words in prop::collection::vec(0u64..u64::MAX, 4..40),
+        iters in 1i64..8,
+        target_sel in 0usize..3,
+    ) {
+        let target = &TargetIsa::paper_targets()[target_sel];
+        let prog = build_program(&words, iters);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+        let threaded = ThreadedProgram::lower(&decoded);
+        prop_assert_eq!(threaded.len(), prog.len());
+
+        let interp = run_engine(&InterpEngine::new(&prog), target, None);
+        let fast = run_engine(&ThreadedEngine::new(&threaded), target, None);
+        assert_outputs_identical(&interp, &fast);
+    }
+
+    /// Threaded prefix runs stop at the same retirement as the
+    /// interpreter, with identical partial state.
+    #[test]
+    fn threaded_prefix_runs_match_interpreter(
+        words in prop::collection::vec(0u64..u64::MAX, 4..24),
+        iters in 2i64..6,
+        budget_percent in 5u64..150,
+    ) {
+        let target = &TargetIsa::arm_cortex_a72();
+        let prog = build_program(&words, iters);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+        let threaded = ThreadedProgram::lower(&decoded);
+
+        let full = run_engine(&InterpEngine::new(&prog), target, None);
+        let total = full.stats.inst_mix.total();
+        let budget = (total * budget_percent / 100).max(1);
+
+        let interp = run_engine(&InterpEngine::new(&prog), target, Some(budget));
+        let fast = run_engine(&ThreadedEngine::new(&threaded), target, Some(budget));
+        assert_outputs_identical(&interp, &fast);
+        prop_assert_eq!(interp.completed, budget_percent >= 100);
+    }
+
+    /// SoA batch replay: each lane starts from its own seeded data
+    /// image (so data-dependent loads and branches diverge the lanes)
+    /// and must end bit-identical to a solo interpreter run from the
+    /// same image.
+    #[test]
+    fn batched_lanes_match_solo_interpreter_runs(
+        words in prop::collection::vec(0u64..u64::MAX, 4..32),
+        iters in 1i64..6,
+        target_sel in 0usize..3,
+        seeds in prop::collection::vec(1u64..u64::MAX, 1..5),
+    ) {
+        let target = &TargetIsa::paper_targets()[target_sel];
+        let prog = build_program(&words, iters);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+
+        let lanes = run_batch(&decoded, target, &seeds);
+        for (lane, &seed) in lanes.iter().zip(&seeds) {
+            let solo = run_engine_seeded(&InterpEngine::new(&prog), target, None, seed);
+            assert_outputs_identical(&solo, lane);
+        }
+    }
+
+    /// Mini-torture programs (nested loops, irregular forward branches)
+    /// agree across the whole replay ladder: interp vs decoded vs
+    /// threaded solo runs, and a divergent 3-lane SoA batch vs solo
+    /// reference runs.
+    #[test]
+    fn torture_programs_agree_across_all_engines(seed in any::<u64>()) {
+        let target = &TargetIsa::paper_targets()[(seed % 3) as usize];
+        let prog = torture_program(seed);
+        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+        let threaded = ThreadedProgram::lower(&decoded);
+
+        let interp = run_engine(&InterpEngine::new(&prog), target, None);
+        assert_outputs_identical(&interp, &run_engine(&DecodedEngine::new(&decoded), target, None));
+        assert_outputs_identical(&interp, &run_engine(&ThreadedEngine::new(&threaded), target, None));
+
+        let seeds = [seed | 1, seed ^ 0xABCD_EF01, seed.rotate_left(17) | 1];
+        let lanes = run_batch(&decoded, target, &seeds);
+        for (lane, &s) in lanes.iter().zip(&seeds) {
+            let solo = run_engine_seeded(&InterpEngine::new(&prog), target, None, s);
+            assert_outputs_identical(&solo, lane);
+        }
     }
 }
