@@ -622,8 +622,10 @@ impl SimBackend for SampledBackend {
 
 /// Linearly scales every counter of a prefix run by `total / retired`.
 /// Host wall time is kept as measured: the whole point of sampling is
-/// that the *host* paid only for the prefix.
-fn extrapolate(prefix: &SimStats, total: u64, retired: u64) -> SimStats {
+/// that the *host* paid only for the prefix. `pub(crate)` so the
+/// differential harness can recompute the sampled tier's expected
+/// output from an accurate prefix and compare bit-exactly.
+pub(crate) fn extrapolate(prefix: &SimStats, total: u64, retired: u64) -> SimStats {
     let scale = |v: u64| ((v as u128 * total as u128) / retired as u128) as u64;
     let scale_cache = |c: &CacheStats| CacheStats {
         read_hits: scale(c.read_hits),

@@ -42,6 +42,7 @@
 
 mod autotune;
 mod backend;
+pub mod diffharness;
 mod error;
 mod features;
 mod interface;
@@ -74,7 +75,7 @@ pub use features::{
 #[allow(deprecated)]
 pub use interface::FunctionRegistry;
 pub use interface::LOCAL_RUNNER_RUN;
-pub use memo::SimCache;
+pub use memo::{fingerprint as memo_fingerprint, SimCache};
 pub use metrics::{
     e_top1, parallel_speedup_k, prediction_metrics, quality_score, r_top1, ConvergenceStats,
     MemoCacheStats, PredictionMetrics, PredictorStats, SnapshotStats, StageTimings, TenantStats,

@@ -424,8 +424,11 @@ impl SimCache {
 /// Builds the canonical fingerprint of one simulation request.
 ///
 /// The full key (not a digest) is stored, so distinct simulations can
-/// never collide.
-pub(crate) fn fingerprint(
+/// never collide. Public (re-exported as `memo_fingerprint`) so the
+/// differential and property suites can assert the collision contract —
+/// equal (program, data, target, backend, limits, engine) collide,
+/// any differing component misses — directly against the real key.
+pub fn fingerprint(
     exe: &Executable,
     backend_name: &str,
     fidelity: &Fidelity,

@@ -29,6 +29,15 @@ pub enum BuildProgramError {
     MissingTerminator,
     /// The program is empty.
     Empty,
+    /// A pre-resolved branch target points outside the program
+    /// (only reachable through [`crate::Program::from_insts`], whose
+    /// instructions carry raw indices instead of labels).
+    BranchTargetOutOfRange {
+        /// Index of the branch instruction.
+        at: usize,
+        /// The out-of-range target index.
+        target: usize,
+    },
 }
 
 impl fmt::Display for BuildProgramError {
@@ -53,6 +62,12 @@ impl fmt::Display for BuildProgramError {
                 write!(f, "program has no halt or exit ecall")
             }
             BuildProgramError::Empty => write!(f, "program is empty"),
+            BuildProgramError::BranchTargetOutOfRange { at, target } => {
+                write!(
+                    f,
+                    "branch at instruction {at} targets index {target}, outside the program"
+                )
+            }
         }
     }
 }

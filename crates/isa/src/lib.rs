@@ -75,6 +75,7 @@ mod exec;
 mod inst;
 mod memory;
 mod program;
+mod shrink;
 mod stats;
 mod target;
 mod threaded;
@@ -95,10 +96,14 @@ pub use exec::{
 pub use inst::{Fpr, Gpr, Inst, Label, Vr, MAX_LANES};
 pub use memory::Memory;
 pub use program::{Program, ProgramBuilder};
+pub use shrink::shrink_program;
 pub use stats::{InstMix, SimStats};
 pub use target::TargetIsa;
 pub use threaded::{ThreadedEngine, ThreadedProgram};
-pub use torture::{torture_program, TORTURE_WINDOW};
+pub use torture::{
+    torture_program, torture_program_with, MemoryPattern, TortureConfig, TORTURE_FAULT_CODE,
+    TORTURE_WINDOW,
+};
 
 /// Base address at which program code is mapped.
 pub const CODE_BASE: u64 = 0x1_0000;

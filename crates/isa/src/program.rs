@@ -41,6 +41,42 @@ impl Program {
     pub fn code_bytes(&self, inst_bytes: u64) -> u64 {
         self.insts.len() as u64 * inst_bytes
     }
+
+    /// Builds a program directly from instructions whose branch targets
+    /// are already resolved indices — the entry point for tools that
+    /// transform existing programs (the delta-debugging shrinker,
+    /// journal replay) rather than assemble new ones through labels.
+    ///
+    /// Validation matches [`ProgramBuilder::build`]: non-empty, every
+    /// register inside the hard file bounds, a terminator present —
+    /// plus an in-range check on every pre-resolved branch target
+    /// (builder programs get that for free from label resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProgramError`] on any violation above.
+    pub fn from_insts(insts: Vec<Inst>) -> Result<Program, BuildProgramError> {
+        if insts.is_empty() {
+            return Err(BuildProgramError::Empty);
+        }
+        if !insts.iter().any(|i| i.is_terminator()) {
+            return Err(BuildProgramError::MissingTerminator);
+        }
+        let len = insts.len();
+        for (at, inst) in insts.iter().enumerate() {
+            validate_registers(inst, at)?;
+            if let Inst::Blt { target, .. }
+            | Inst::Bge { target, .. }
+            | Inst::Bne { target, .. }
+            | Inst::Jmp { target } = *inst
+            {
+                if target >= len {
+                    return Err(BuildProgramError::BranchTargetOutOfRange { at, target });
+                }
+            }
+        }
+        Ok(Program { insts })
+    }
 }
 
 /// Incremental program assembler with labels and validation.
@@ -345,6 +381,42 @@ mod tests {
         let l = b.new_label();
         b.bind(l);
         b.bind(l);
+    }
+
+    #[test]
+    fn from_insts_validates_targets_registers_and_terminator() {
+        // Round trip: a built program's instructions rebuild verbatim.
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_new_label();
+        b.push(Inst::Li { rd: Gpr(1), imm: 1 });
+        b.branch_lt(Gpr(1), Gpr(2), top);
+        b.push(Inst::Halt);
+        let p = b.build().unwrap();
+        let rebuilt = Program::from_insts(p.insts().to_vec()).unwrap();
+        assert_eq!(rebuilt, p);
+
+        assert!(matches!(
+            Program::from_insts(vec![]),
+            Err(BuildProgramError::Empty)
+        ));
+        assert!(matches!(
+            Program::from_insts(vec![Inst::Li { rd: Gpr(1), imm: 0 }]),
+            Err(BuildProgramError::MissingTerminator)
+        ));
+        assert!(matches!(
+            Program::from_insts(vec![Inst::Jmp { target: 2 }, Inst::Halt]),
+            Err(BuildProgramError::BranchTargetOutOfRange { at: 0, target: 2 })
+        ));
+        assert!(matches!(
+            Program::from_insts(vec![
+                Inst::Li {
+                    rd: Gpr(40),
+                    imm: 0
+                },
+                Inst::Halt
+            ]),
+            Err(BuildProgramError::RegisterOutOfRange { file: "gpr", .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Delta-debugging shrinker for failing torture programs.
+//!
+//! A fuzz divergence on a 300-instruction loop nest is unactionable;
+//! the same divergence on 8 instructions usually names the bug. This
+//! module reduces a failing [`Program`] to a (locally) minimal
+//! instruction sequence with classic ddmin: repeatedly try to delete
+//! chunks of instructions, keep any deletion under which the caller's
+//! predicate still reports a failure, and halve the chunk size until
+//! no single-instruction deletion survives.
+//!
+//! Deleting instructions from a program with resolved branch indices
+//! would normally tear the control-flow graph, so every candidate is
+//! rebuilt with retargeted branches: a branch to index `t` is redirected
+//! to the first *kept* instruction at or after `t`. Candidates that
+//! still end up structurally invalid (branch past the end, terminator
+//! deleted, empty) are rejected through [`Program::from_insts`]
+//! validation rather than patched up — the predicate never sees an
+//! ill-formed program.
+//!
+//! The shrinker is fully deterministic: same program + same predicate
+//! behavior ⇒ same minimal repro. It never returns a program for which
+//! the predicate reported success; if the input itself does not satisfy
+//! the predicate it is returned unchanged.
+
+use crate::{Inst, Program};
+
+/// Rebuilds a candidate program from the instructions whose indices are
+/// flagged `true` in `keep`, retargeting branches to the first kept
+/// instruction at or after their original target. Returns `None` when
+/// the candidate is structurally invalid (empty, no terminator, or a
+/// branch that escapes past the end after retargeting).
+fn rebuild(insts: &[Inst], keep: &[bool]) -> Option<Program> {
+    // new_index[i] = how many kept instructions precede i == the index
+    // that old target i maps to (the first kept instruction at or after
+    // i, or the new length when none remains — caught by validation).
+    let mut new_index = vec![0usize; insts.len() + 1];
+    let mut kept = 0usize;
+    for i in 0..insts.len() {
+        new_index[i] = kept;
+        if keep[i] {
+            kept += 1;
+        }
+    }
+    new_index[insts.len()] = kept;
+    let retarget = |t: usize| new_index[t.min(insts.len())];
+    let candidate: Vec<Inst> = insts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(_, inst)| match *inst {
+            Inst::Blt { rs1, rs2, target } => Inst::Blt {
+                rs1,
+                rs2,
+                target: retarget(target),
+            },
+            Inst::Bge { rs1, rs2, target } => Inst::Bge {
+                rs1,
+                rs2,
+                target: retarget(target),
+            },
+            Inst::Bne { rs1, rs2, target } => Inst::Bne {
+                rs1,
+                rs2,
+                target: retarget(target),
+            },
+            Inst::Jmp { target } => Inst::Jmp {
+                target: retarget(target),
+            },
+            other => other,
+        })
+        .collect();
+    Program::from_insts(candidate).ok()
+}
+
+/// Reduces `program` to a locally minimal program on which
+/// `still_failing` still returns `true`, by delta-debugging chunk
+/// deletion (see the module docs). The predicate receives only
+/// structurally valid programs. If `still_failing(program)` is `false`
+/// the input is returned as-is — the shrinker refuses to "shrink" a
+/// non-failure.
+pub fn shrink_program<F>(program: &Program, mut still_failing: F) -> Program
+where
+    F: FnMut(&Program) -> bool,
+{
+    if !still_failing(program) {
+        return program.clone();
+    }
+    let mut insts: Vec<Inst> = program.insts().to_vec();
+    let mut chunk = insts.len().div_ceil(2).max(1);
+    loop {
+        let mut shrank = false;
+        let mut start = 0;
+        while start < insts.len() && insts.len() > 1 {
+            let end = (start + chunk).min(insts.len());
+            let keep: Vec<bool> = (0..insts.len()).map(|i| i < start || i >= end).collect();
+            let reduced = rebuild(&insts, &keep).filter(|p| still_failing(p));
+            if let Some(p) = reduced {
+                insts = p.insts().to_vec();
+                shrank = true;
+                // Deleted [start, end): the next untried chunk begins
+                // at `start` again in the shorter program.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !shrank {
+                break;
+            }
+            // A pass at granularity 1 removed something; run one more
+            // pass in case that unlocked further single deletions.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    Program::from_insts(insts).expect("kept candidates are validated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{torture_program, Gpr, Inst, ProgramBuilder};
+
+    fn has_mul(p: &Program) -> bool {
+        p.insts().iter().any(|i| matches!(i, Inst::Mul { .. }))
+    }
+
+    #[test]
+    fn shrinks_to_minimal_witness() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..20 {
+            b.push(Inst::Li {
+                rd: Gpr(2 + (i % 6)),
+                imm: i as i64,
+            });
+        }
+        b.push(Inst::Mul {
+            rd: Gpr(2),
+            rs1: Gpr(3),
+            rs2: Gpr(4),
+        });
+        for i in 0..20 {
+            b.push(Inst::Addi {
+                rd: Gpr(2 + (i % 6)),
+                rs: Gpr(2),
+                imm: 1,
+            });
+        }
+        b.push(Inst::Halt);
+        let prog = b.build().unwrap();
+        let small = shrink_program(&prog, has_mul);
+        // Minimal failing program: the Mul plus the mandatory terminator.
+        assert_eq!(small.len(), 2);
+        assert!(has_mul(&small));
+    }
+
+    #[test]
+    fn shrinking_a_torture_program_keeps_it_valid() {
+        // Predicate keyed on a structural property so shrinking has to
+        // fight the branch retargeting: "contains a backward branch".
+        let backward = |p: &Program| {
+            p.insts().iter().enumerate().any(|(i, inst)| match inst {
+                Inst::Blt { target, .. }
+                | Inst::Bge { target, .. }
+                | Inst::Bne { target, .. }
+                | Inst::Jmp { target } => *target <= i,
+                _ => false,
+            })
+        };
+        for seed in 0..16 {
+            let prog = torture_program(seed);
+            let small = shrink_program(&prog, backward);
+            assert!(backward(&small), "seed {seed}");
+            assert!(small.len() <= prog.len(), "seed {seed}");
+            // Every kept candidate went through from_insts validation.
+            assert!(Program::from_insts(small.insts().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let prog = torture_program(7);
+        let same = shrink_program(&prog, |_| false);
+        assert_eq!(same, prog);
+    }
+
+    #[test]
+    fn predicate_never_sees_invalid_programs() {
+        let prog = torture_program(11);
+        let mut checked = 0u32;
+        let small = shrink_program(&prog, |p| {
+            checked += 1;
+            assert!(Program::from_insts(p.insts().to_vec()).is_ok());
+            !p.is_empty()
+        });
+        // Any 1-instruction terminator-only program still "fails" here.
+        assert_eq!(small.len(), 1);
+        assert!(checked > 1);
+    }
+}

@@ -1,17 +1,19 @@
 //! Differential property suite: every replay engine must be
 //! observationally identical to the re-decoding interpreter.
 //!
-//! Randomized programs (arithmetic, float, vector, memory and control
-//! instructions inside a counted loop) run on every rung of the replay
-//! ladder — [`InterpEngine`], [`DecodedEngine`], [`ThreadedEngine`] and
-//! the SoA [`BatchEngine`] — from identical cold state; every
-//! architectural output — `SimStats`, register files, memory image —
-//! must match bit-for-bit, and prefix runs must stop at the same
-//! instruction. Floats are compared through their bit patterns so
-//! NaN-producing programs (e.g. `fdiv 0/0`) still compare exactly. The
-//! seeded mini-torture generator ([`torture_program`]) adds nested
-//! loops and irregular forward branches on top of the flat loop the
-//! local generator emits.
+//! Full-run equivalence is asserted through the shared differential
+//! harness ([`simtune::core::diffharness::DiffHarness`]) so the
+//! observable-state comparison (stats, register files, memory image,
+//! error identity) lives in exactly one place — the same matrix the
+//! `torture_fuzz` gate runs. Random flat-loop programs from the local
+//! generator and seeded mini-torture programs ([`torture_program_with`])
+//! both go through the whole engine × fidelity × `n_parallel` matrix.
+//!
+//! Prefix-budget equivalence (engines stopping at the same retirement
+//! with identical partial state) is not a harness dimension, so those
+//! properties keep their local run/capture machinery. Floats are
+//! compared through their bit patterns so NaN-producing programs
+//! (e.g. `fdiv 0/0`) still compare exactly.
 //!
 //! `PROPTEST_CASES` scales every property's case count (the vendored
 //! proptest has no env support of its own) — CI's engine-equivalence
@@ -19,23 +21,89 @@
 
 use proptest::prelude::*;
 use simtune::cache::{CacheHierarchy, HierarchyConfig};
+use simtune::core::diffharness::DiffHarness;
 use simtune::isa::{
-    torture_program, AtomicCpu, BatchEngine, BatchLane, DecodedEngine, DecodedProgram, ExecEngine,
-    Fpr, Gpr, Inst, InterpEngine, Memory, NoopHook, Program, ProgramBuilder, RunLimits, TargetIsa,
-    ThreadedEngine, ThreadedProgram, Vr, DATA_BASE,
+    AtomicCpu, DecodedEngine, DecodedProgram, ExecEngine, Executable, Fpr, Gpr, Inst, InterpEngine,
+    Memory, NoopHook, Program, ProgramBuilder, RunLimits, TargetIsa, ThreadedEngine,
+    ThreadedProgram, TortureConfig, Vr, DATA_BASE,
 };
+use std::sync::OnceLock;
 
 /// Bytes of the data window the generated programs read and write.
 const DATA_WINDOW: u64 = 2048;
+
+/// Pure core of [`cases`]: resolves a property's case count from an
+/// (optional) environment override, falling back to `default` when the
+/// override is absent or not a number.
+fn cases_from(env: Option<&str>, default: u32) -> u32 {
+    env.and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 /// Case count for one property: the `PROPTEST_CASES` environment
 /// variable when set (CI's equivalence step raises it), `default`
 /// otherwise.
 fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    cases_from(std::env::var("PROPTEST_CASES").ok().as_deref(), default)
+}
+
+#[test]
+fn cases_env_override_parses_numbers_and_ignores_garbage() {
+    assert_eq!(cases_from(None, 48), 48);
+    assert_eq!(cases_from(Some("1024"), 48), 1024);
+    assert_eq!(cases_from(Some("0x40"), 48), 48, "hex is not accepted");
+    assert_eq!(cases_from(Some(""), 48), 48);
+    assert_eq!(cases_from(Some("lots"), 48), 48);
+    assert_eq!(cases_from(Some("-3"), 48), 48, "case counts are unsigned");
+    assert_eq!(cases_from(Some(" 12"), 48), 48, "no whitespace trimming");
+}
+
+#[test]
+fn cases_reads_the_process_environment() {
+    // A valid numeric override must round-trip through the real env
+    // plumbing. The sentinel is a plausible case count so a property
+    // racing this test at worst runs fewer cases, never breaks.
+    std::env::set_var("PROPTEST_CASES", "3");
+    assert_eq!(cases(48), 3);
+    std::env::remove_var("PROPTEST_CASES");
+    assert_eq!(cases(48), 48);
+}
+
+/// One harness for the whole suite; its pooled worker sessions are the
+/// expensive part and every property reuses them.
+fn harness() -> &'static DiffHarness {
+    static H: OnceLock<DiffHarness> = OnceLock::new();
+    H.get_or_init(DiffHarness::tiny)
+}
+
+/// Runs `exe` through the shared differential matrix and fails with the
+/// full mismatch report on any divergence.
+fn assert_matrix_agrees(exe: &Executable) {
+    let (combos, _faulted, divs) = harness().diff_executable(exe);
+    assert!(
+        divs.is_empty(),
+        "{} diverged:\n{}",
+        exe.name,
+        divs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(combos > 30, "{}: differential matrix shrank", exe.name);
+}
+
+/// The deterministic data image backing seed `seed`: distinct,
+/// reproducible f32 words filling the window (`seed == 0` = cold zeroes,
+/// matching the legacy properties).
+fn window_words(seed: u64) -> Vec<f32> {
+    (0..DATA_WINDOW / 4)
+        .map(|i| {
+            if seed == 0 {
+                return 0.0;
+            }
+            let x = (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((x >> 40) as i64 - (1 << 23)) as f32 / 256.0
+        })
+        .collect()
 }
 
 /// Builds a terminating random program from raw entropy words: a fixed
@@ -256,24 +324,6 @@ struct RunOutput {
     mem_bits: Vec<u32>,
 }
 
-/// Deterministically fills the data window from `seed` so lanes (and
-/// their solo reference runs) start from distinct, reproducible images.
-/// `seed == 0` leaves the window cold (all zeroes), matching the legacy
-/// properties.
-fn seed_memory(mem: &mut Memory, seed: u64) {
-    if seed == 0 {
-        return;
-    }
-    let words: Vec<f32> = (0..DATA_WINDOW / 4)
-        .map(|i| {
-            let x = (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            ((x >> 40) as i64 - (1 << 23)) as f32 / 256.0
-        })
-        .collect();
-    mem.write_f32_slice(DATA_BASE, &words)
-        .expect("window writable");
-}
-
 fn capture(
     stats: simtune::isa::SimStats,
     completed: bool,
@@ -297,15 +347,11 @@ fn capture(
     }
 }
 
-fn run_engine_seeded<E: ExecEngine>(
-    engine: &E,
-    target: &TargetIsa,
-    budget: Option<u64>,
-    seed: u64,
-) -> RunOutput {
+/// Runs one engine over a cold data window with an optional prefix
+/// budget (the dimension the shared harness does not cover).
+fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>) -> RunOutput {
     let mut cpu = AtomicCpu::new(target);
     let mut mem = Memory::new();
-    seed_memory(&mut mem, seed);
     let mut hier = CacheHierarchy::new(HierarchyConfig::tiny_for_tests());
     let (stats, completed) = match budget {
         Some(n) => engine
@@ -334,49 +380,6 @@ fn run_engine_seeded<E: ExecEngine>(
     capture(stats, completed, &cpu, &mem)
 }
 
-fn run_engine<E: ExecEngine>(engine: &E, target: &TargetIsa, budget: Option<u64>) -> RunOutput {
-    run_engine_seeded(engine, target, budget, 0)
-}
-
-/// Runs `decoded` as one SoA batch: lane `l` starts from the window
-/// seeded with `seeds[l]`. Every lane must complete (the generated
-/// programs terminate under default limits).
-fn run_batch(decoded: &DecodedProgram, target: &TargetIsa, seeds: &[u64]) -> Vec<RunOutput> {
-    let n = seeds.len();
-    let mut cpus: Vec<AtomicCpu> = (0..n).map(|_| AtomicCpu::new(target)).collect();
-    let mut mems: Vec<Memory> = seeds
-        .iter()
-        .map(|&s| {
-            let mut m = Memory::new();
-            seed_memory(&mut m, s);
-            m
-        })
-        .collect();
-    let mut hiers: Vec<CacheHierarchy> = (0..n)
-        .map(|_| CacheHierarchy::new(HierarchyConfig::tiny_for_tests()))
-        .collect();
-    let mut hooks: Vec<NoopHook> = (0..n).map(|_| NoopHook).collect();
-    let mut lanes: Vec<BatchLane<'_, NoopHook>> = cpus
-        .iter_mut()
-        .zip(mems.iter_mut())
-        .zip(hiers.iter_mut())
-        .zip(hooks.iter_mut())
-        .map(|(((cpu, mem), hier), hook)| BatchLane {
-            cpu,
-            mem,
-            hier,
-            hook,
-        })
-        .collect();
-    let outcomes = BatchEngine::new(decoded).run_lanes(&mut lanes, RunLimits::default());
-    drop(lanes);
-    outcomes
-        .into_iter()
-        .enumerate()
-        .map(|(l, r)| capture(r.expect("lane completes"), true, &cpus[l], &mems[l]))
-        .collect()
-}
-
 fn assert_outputs_identical(a: &RunOutput, b: &RunOutput) {
     assert_eq!(a.stats, b.stats, "SimStats must be byte-identical");
     assert_eq!(a.completed, b.completed);
@@ -389,25 +392,44 @@ fn assert_outputs_identical(a: &RunOutput, b: &RunOutput) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(48)))]
 
-    /// Full runs: both engines from cold state, every observable equal.
+    /// Random flat-loop programs through the shared differential matrix:
+    /// every engine's full observable state vs the interpreter, every
+    /// fidelity tier's contract vs accurate, and pooled multi-worker
+    /// sessions (whose 3-trial batches run divergent per-lane data
+    /// images) vs direct single-threaded runs.
     #[test]
-    fn decoded_engine_is_observationally_identical(
+    fn random_programs_agree_across_the_full_matrix(
         words in prop::collection::vec(0u64..u64::MAX, 4..40),
         iters in 1i64..8,
         target_sel in 0usize..3,
+        data_seed in any::<u64>(),
     ) {
-        let target = &TargetIsa::paper_targets()[target_sel];
+        let target = TargetIsa::paper_targets()[target_sel].clone();
         let prog = build_program(&words, iters);
-        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
+        let decoded = DecodedProgram::decode(&prog, &target).expect("decodes");
         prop_assert_eq!(decoded.len(), prog.len());
-
-        let interp = run_engine(&InterpEngine::new(&prog), target, None);
-        let fast = run_engine(&DecodedEngine::new(&decoded), target, None);
-        assert_outputs_identical(&interp, &fast);
+        let exe = Executable::new("prop-random", prog, target)
+            .with_segment(DATA_BASE, window_words(data_seed));
+        assert_matrix_agrees(&exe);
     }
 
-    /// Prefix runs: both engines stop at the same retirement with the
-    /// same partial state, for budgets below and above the full length.
+    /// Mini-torture programs (nested loops, irregular forward branches,
+    /// guarded fault sites) through the same matrix — the proptest twin
+    /// of the `torture_fuzz` gate.
+    #[test]
+    fn torture_programs_agree_across_the_full_matrix(seed in any::<u64>()) {
+        let exe = DiffHarness::make_executable(
+            "prop",
+            &TortureConfig::baseline(),
+            seed,
+            seed ^ 0x5EED_DA7A,
+        );
+        assert_matrix_agrees(&exe);
+    }
+
+    /// Prefix runs: decoded replay stops at the same retirement as the
+    /// interpreter with the same partial state, for budgets below and
+    /// above the full length.
     #[test]
     fn decoded_prefix_runs_match_interpreter(
         words in prop::collection::vec(0u64..u64::MAX, 4..24),
@@ -426,25 +448,6 @@ proptest! {
         let fast = run_engine(&DecodedEngine::new(&decoded), target, Some(budget));
         assert_outputs_identical(&interp, &fast);
         prop_assert_eq!(interp.completed, budget_percent >= 100);
-    }
-
-    /// Threaded-code dispatch: pre-bound handlers with pre-resolved
-    /// successors must replay exactly what the interpreter executes.
-    #[test]
-    fn threaded_engine_is_observationally_identical(
-        words in prop::collection::vec(0u64..u64::MAX, 4..40),
-        iters in 1i64..8,
-        target_sel in 0usize..3,
-    ) {
-        let target = &TargetIsa::paper_targets()[target_sel];
-        let prog = build_program(&words, iters);
-        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
-        let threaded = ThreadedProgram::lower(&decoded);
-        prop_assert_eq!(threaded.len(), prog.len());
-
-        let interp = run_engine(&InterpEngine::new(&prog), target, None);
-        let fast = run_engine(&ThreadedEngine::new(&threaded), target, None);
-        assert_outputs_identical(&interp, &fast);
     }
 
     /// Threaded prefix runs stop at the same retirement as the
@@ -468,50 +471,5 @@ proptest! {
         let fast = run_engine(&ThreadedEngine::new(&threaded), target, Some(budget));
         assert_outputs_identical(&interp, &fast);
         prop_assert_eq!(interp.completed, budget_percent >= 100);
-    }
-
-    /// SoA batch replay: each lane starts from its own seeded data
-    /// image (so data-dependent loads and branches diverge the lanes)
-    /// and must end bit-identical to a solo interpreter run from the
-    /// same image.
-    #[test]
-    fn batched_lanes_match_solo_interpreter_runs(
-        words in prop::collection::vec(0u64..u64::MAX, 4..32),
-        iters in 1i64..6,
-        target_sel in 0usize..3,
-        seeds in prop::collection::vec(1u64..u64::MAX, 1..5),
-    ) {
-        let target = &TargetIsa::paper_targets()[target_sel];
-        let prog = build_program(&words, iters);
-        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
-
-        let lanes = run_batch(&decoded, target, &seeds);
-        for (lane, &seed) in lanes.iter().zip(&seeds) {
-            let solo = run_engine_seeded(&InterpEngine::new(&prog), target, None, seed);
-            assert_outputs_identical(&solo, lane);
-        }
-    }
-
-    /// Mini-torture programs (nested loops, irregular forward branches)
-    /// agree across the whole replay ladder: interp vs decoded vs
-    /// threaded solo runs, and a divergent 3-lane SoA batch vs solo
-    /// reference runs.
-    #[test]
-    fn torture_programs_agree_across_all_engines(seed in any::<u64>()) {
-        let target = &TargetIsa::paper_targets()[(seed % 3) as usize];
-        let prog = torture_program(seed);
-        let decoded = DecodedProgram::decode(&prog, target).expect("decodes");
-        let threaded = ThreadedProgram::lower(&decoded);
-
-        let interp = run_engine(&InterpEngine::new(&prog), target, None);
-        assert_outputs_identical(&interp, &run_engine(&DecodedEngine::new(&decoded), target, None));
-        assert_outputs_identical(&interp, &run_engine(&ThreadedEngine::new(&threaded), target, None));
-
-        let seeds = [seed | 1, seed ^ 0xABCD_EF01, seed.rotate_left(17) | 1];
-        let lanes = run_batch(&decoded, target, &seeds);
-        for (lane, &s) in lanes.iter().zip(&seeds) {
-            let solo = run_engine_seeded(&InterpEngine::new(&prog), target, None, s);
-            assert_outputs_identical(&solo, lane);
-        }
     }
 }
