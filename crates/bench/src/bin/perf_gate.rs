@@ -8,6 +8,12 @@
 //!     --current BENCH_5.json --baseline ci/bench-baseline.json --max-regression 0.25
 //! ```
 //!
+//! The baseline file holds one JSON document per line — one entry per
+//! gated fidelity (`accurate`, `pipelined:btb=512,ras=8`, ...). The
+//! gate picks the line whose `fidelity` matches the current sweep and
+//! errors when no entry covers it, so adding a fidelity to the CI
+//! sweep without regenerating the baseline fails loudly.
+//!
 //! `--warm` switches to the warm-start comparison: `--current` is a
 //! resweep over a reloaded cache snapshot, `--baseline` the cold sweep
 //! that wrote it, and the gate demands a near-perfect memo hit rate
@@ -84,6 +90,28 @@ fn load(path: &str) -> Result<PerfSummary, String> {
     PerfSummary::from_json(text.trim()).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// Loads the baseline entry matching the current sweep's fidelity. The
+/// baseline is JSONL — one `PerfSummary` per gated fidelity.
+fn load_baseline(path: &str, current: &PerfSummary) -> Result<PerfSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut entries = Vec::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        entries.push(PerfSummary::from_json(line).map_err(|e| format!("parsing {path}: {e}"))?);
+    }
+    let n = entries.len();
+    entries
+        .into_iter()
+        .find(|b| b.fidelity == current.fidelity)
+        .ok_or_else(|| {
+            format!(
+                "no baseline entry for fidelity {:?} in {path} ({n} entries); \
+                 regenerate it with the provenance command of an existing entry \
+                 plus the new --fidelity value",
+                current.fidelity
+            )
+        })
+}
+
 fn print_summaries(current: &PerfSummary, baseline: &PerfSummary) {
     println!(
         "  current : {:>8.1} trials/sec, memo hit rate {:>5.1} % ({} trials)",
@@ -110,7 +138,7 @@ fn print_summaries(current: &PerfSummary, baseline: &PerfSummary) {
 
 fn run(args: &GateArgs) -> Result<bool, String> {
     let current = load(&args.current)?;
-    let baseline = load(&args.baseline)?;
+    let baseline = load_baseline(&args.baseline, &current)?;
     let passes = if args.warm {
         let report = warm_gate(&current, &baseline, args.min_hit_rate, args.min_speedup)?;
         println!("perf gate: {}", report.verdict());

@@ -20,13 +20,16 @@
 //! stderr) — the format the `perf-smoke` CI job archives as
 //! `BENCH_5.json` and gates against `ci/bench-baseline.json`.
 //!
-//! `--fidelity accurate|topk|predicted` selects how candidates are
-//! simulated: `accurate` (default) runs every trial on the accurate
-//! backend, `topk` explores cheap and re-simulates the static top-k
-//! finalists, and `predicted` drives the learned tier with
-//! uncertainty-driven escalation. The escalated modes fill the
-//! `escalation_rate` (and, for `predicted`, `avoided_simulations` /
-//! `mean_abs_rank_error`) fields of each [`simtune_bench::StrategyPerf`].
+//! `--fidelity <spec>` selects how candidates are simulated:
+//! `accurate` (default) runs every trial on the accurate backend; any
+//! other [`simtune_core::FidelitySpec`] tier (`fast-count`,
+//! `sampled:fraction=F`, `pipelined[:btb=N,ras=N]`) explores there and
+//! re-simulates the static top-k finalists accurately; `topk` is the
+//! same policy on its default cheap tier; and `predicted` drives the
+//! learned tier with uncertainty-driven escalation. The escalated
+//! modes fill the `escalation_rate` (and, for `predicted`,
+//! `avoided_simulations` / `mean_abs_rank_error`) fields of each
+//! [`simtune_bench::StrategyPerf`].
 //!
 //! `--engine interp|decoded|threaded|batch` selects the replay engine
 //! every simulator session runs on (default `decoded`). Engines are
@@ -227,9 +230,10 @@ fn main() {
             provenance: format!(
                 "cargo run --release --bin strategy_sweep -- --arch {} --scale {} --impls {} --test {} --seed {} --parallel {}{}{} --json",
                 cfg.arch, args.scale.label(), args.impls, args.test_count, cfg.seed, cfg.n_parallel,
-                match args.fidelity {
-                    FidelityMode::Accurate => String::new(),
-                    mode => format!(" --fidelity {}", mode.label()),
+                if args.fidelity == FidelityMode::default() {
+                    String::new()
+                } else {
+                    format!(" --fidelity {}", args.fidelity.label())
                 },
                 if args.engine == simtune_core::EngineKind::default() {
                     String::new()
@@ -240,6 +244,7 @@ fn main() {
             arch: cfg.arch.clone(),
             seed: cfg.seed,
             engine: args.engine.label().to_string(),
+            fidelity: args.fidelity.label(),
             n_trials: n_trials as u64,
             n_parallel: cfg.n_parallel as u64,
             strategies: perfs,
@@ -298,8 +303,21 @@ fn run_tune(
     predictor: &ScorePredictor,
     opts: &TuneOptions,
 ) -> Result<(TuneResult, Option<usize>), CoreError> {
-    match args.fidelity {
-        FidelityMode::Accurate => Ok((tune_with_predictor(def, spec, predictor, opts)?, None)),
+    match &args.fidelity {
+        FidelityMode::Tier(simtune_core::FidelitySpec::Accurate) => {
+            Ok((tune_with_predictor(def, spec, predictor, opts)?, None))
+        }
+        FidelityMode::Tier(explore) => {
+            // Pinned non-accurate tier: explore there, re-simulate the
+            // static top-k finalists accurately so the sweep's scores
+            // stay comparable across tiers.
+            let esc = EscalationOptions {
+                explore: Some(explore.clone()),
+                ..EscalationOptions::default()
+            };
+            let out = tune_with_fidelity_escalation(def, spec, predictor, opts, &esc)?;
+            Ok((out.result, Some(out.accurate_runs)))
+        }
         FidelityMode::TopK => {
             let out = tune_with_fidelity_escalation(
                 def,

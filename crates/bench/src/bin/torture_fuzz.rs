@@ -7,16 +7,22 @@
 //! backend fidelity × `n_parallel` combination
 //! (`simtune_core::diffharness`). Divergent cases are delta-debugged to
 //! a minimal repro and written as `.s` artifacts; stdout is one JSON
-//! summary (schema `simtune-torture-fuzz-v1`) with throughput and
+//! summary (schema `simtune-torture-fuzz-v2`) with throughput and
 //! per-scenario coverage. Exit status is nonzero iff any case diverged
 //! (or the session itself failed), so CI can gate on it directly.
 //!
 //! ```text
 //! torture_fuzz [--seconds N] [--start-seed N] [--scenario NAME]
-//!              [--journal PATH] [--repro-dir PATH]
+//!              [--fidelity SPEC] [--journal PATH] [--repro-dir PATH]
 //! torture_fuzz --replay SCENARIO:SEED
 //! torture_fuzz --list-scenarios
 //! ```
+//!
+//! `--fidelity <spec>` (any `simtune_core::FidelitySpec` string, e.g.
+//! `pipelined` or `pipelined:btb=64,ras=4`) adds a focus lane: every
+//! case is also replayed on that tier across all engines and must
+//! report bit-identically, cycles included — the nightly long-fuzz
+//! matrix runs one lane per tier this way.
 //!
 //! `--replay` re-runs one journaled case verbosely (the workflow for a
 //! failure found by the long-fuzz lane: copy the `scenario:seed` from
@@ -38,7 +44,8 @@ fn parse_seed(s: &str) -> Option<u64> {
 fn usage() -> ! {
     eprintln!(
         "usage: torture_fuzz [--seconds N] [--start-seed N] [--scenario NAME] \
-         [--journal PATH] [--repro-dir PATH] | --replay SCENARIO:SEED | --list-scenarios"
+         [--fidelity SPEC] [--journal PATH] [--repro-dir PATH] \
+         | --replay SCENARIO:SEED | --list-scenarios"
     );
     exit(2);
 }
@@ -70,6 +77,13 @@ fn main() {
                 });
             }
             "--scenario" => opts.scenario = Some(value("--scenario")),
+            "--fidelity" => {
+                let v = value("--fidelity");
+                opts.fidelity = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("--fidelity: {e}");
+                    exit(2);
+                }));
+            }
             "--journal" => opts.journal = Some(value("--journal").into()),
             "--repro-dir" => opts.repro_dir = Some(value("--repro-dir").into()),
             "--replay" => {
@@ -112,10 +126,13 @@ fn main() {
     }
 
     eprintln!(
-        "[fuzz] session: {:.0}s budget, start seed {:#x}, scenario {}",
+        "[fuzz] session: {:.0}s budget, start seed {:#x}, scenario {}, focus tier {}",
         opts.budget.as_secs_f64(),
         opts.start_seed,
-        opts.scenario.as_deref().unwrap_or("<whole corpus>")
+        opts.scenario.as_deref().unwrap_or("<whole corpus>"),
+        opts.fidelity
+            .as_ref()
+            .map_or("<none>".into(), |f| f.digest()),
     );
     let summary = run_fuzz(&opts).unwrap_or_else(|e| {
         eprintln!("[fuzz] session failed: {e}");

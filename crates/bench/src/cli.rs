@@ -2,13 +2,22 @@
 //! CLI dependency).
 
 use crate::Scale;
-use simtune_core::{EngineKind, StrategySpec};
+use simtune_core::{EngineKind, FidelitySpec, StrategySpec};
 
 /// Fidelity mode of the tuning loop the sweep binaries drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The sweep either pins every trial to one [`FidelitySpec`] tier
+/// (`Tier`) or runs one of the two escalation policies (`TopK`,
+/// `Predicted`) that mix a cheap exploration tier with accurate
+/// re-simulation. `--fidelity` therefore accepts the policy names
+/// *plus* the whole spec grammar: `--fidelity pipelined:btb=64,ras=4`
+/// sweeps with top-k escalation exploring on the pipelined tier.
+#[derive(Debug, Clone, PartialEq)]
 pub enum FidelityMode {
-    /// Every candidate runs on the accurate backend (the default).
-    Accurate,
+    /// Candidates explore on the named [`FidelitySpec`] tier; any tier
+    /// other than `accurate` re-simulates the static top-k finalists
+    /// accurately. `Tier(FidelitySpec::Accurate)` is the default.
+    Tier(FidelitySpec),
     /// Cheap exploration, then the static top-k finalists re-simulate
     /// accurately (`EscalationPolicy::TopK`).
     TopK,
@@ -18,23 +27,32 @@ pub enum FidelityMode {
 }
 
 impl FidelityMode {
-    /// Parses `accurate|topk|predicted` (the `--fidelity` values).
+    /// Parses the `--fidelity` values: the escalation-policy names
+    /// `topk|top-k|predicted`, or any [`FidelitySpec`] string
+    /// (`accurate`, `fast-count`, `sampled:fraction=0.3`,
+    /// `pipelined:btb=512,ras=8`, ...).
     pub fn parse(s: &str) -> Option<FidelityMode> {
         match s {
-            "accurate" => Some(FidelityMode::Accurate),
             "topk" | "top-k" => Some(FidelityMode::TopK),
             "predicted" => Some(FidelityMode::Predicted),
-            _ => None,
+            spec => spec.parse::<FidelitySpec>().ok().map(FidelityMode::Tier),
         }
     }
 
-    /// Stable label for logs and provenance lines.
-    pub fn label(self) -> &'static str {
+    /// Stable label for logs and provenance lines (the spec digest for
+    /// `Tier` modes).
+    pub fn label(&self) -> String {
         match self {
-            FidelityMode::Accurate => "accurate",
-            FidelityMode::TopK => "topk",
-            FidelityMode::Predicted => "predicted",
+            FidelityMode::Tier(spec) => spec.digest(),
+            FidelityMode::TopK => "topk".into(),
+            FidelityMode::Predicted => "predicted".into(),
         }
+    }
+}
+
+impl Default for FidelityMode {
+    fn default() -> Self {
+        FidelityMode::Tier(FidelitySpec::Accurate)
     }
 }
 
@@ -74,8 +92,9 @@ pub struct Args {
     /// Save the simulation memo cache to this snapshot after the run
     /// (written atomically; see `simtune_core::atomic_write`).
     pub save_cache: Option<String>,
-    /// Fidelity mode for the tuning sweeps
-    /// (`--fidelity accurate|topk|predicted`).
+    /// Fidelity mode for the tuning sweeps (`--fidelity <spec>` with
+    /// any [`FidelitySpec`] string, or `topk|predicted` for the
+    /// escalation policies).
     pub fidelity: FidelityMode,
     /// Replay engine for the tuning sweeps
     /// (`--engine interp|decoded|threaded|batch`) — a pure host-speed
@@ -101,7 +120,7 @@ impl Default for Args {
             json: false,
             load_cache: None,
             save_cache: None,
-            fidelity: FidelityMode::Accurate,
+            fidelity: FidelityMode::default(),
             engine: EngineKind::default(),
         }
     }
@@ -167,7 +186,10 @@ impl Args {
                 "--fidelity" => {
                     let v = need(&mut it, "--fidelity");
                     out.fidelity = FidelityMode::parse(&v).unwrap_or_else(|| {
-                        panic!("unknown fidelity {v} (accurate|topk|predicted)")
+                        panic!(
+                            "unknown fidelity {v} (topk | predicted | accurate | fast-count | \
+                             sampled[:fraction=F] | pipelined[:btb=N,ras=N])"
+                        )
                     });
                 }
                 "--engine" => {
@@ -222,7 +244,10 @@ mod tests {
 
     #[test]
     fn fidelity_flag_parses_all_modes() {
-        assert_eq!(parse("--seed 1").fidelity, FidelityMode::Accurate);
+        assert_eq!(
+            parse("--seed 1").fidelity,
+            FidelityMode::Tier(FidelitySpec::Accurate)
+        );
         assert_eq!(parse("--fidelity topk").fidelity, FidelityMode::TopK);
         assert_eq!(parse("--fidelity top-k").fidelity, FidelityMode::TopK);
         assert_eq!(
@@ -230,6 +255,28 @@ mod tests {
             FidelityMode::Predicted
         );
         assert_eq!(FidelityMode::Predicted.label(), "predicted");
+    }
+
+    #[test]
+    fn fidelity_flag_accepts_the_full_spec_grammar() {
+        assert_eq!(
+            parse("--fidelity accurate").fidelity,
+            FidelityMode::Tier(FidelitySpec::Accurate)
+        );
+        assert_eq!(
+            parse("--fidelity fast-count").fidelity,
+            FidelityMode::Tier(FidelitySpec::FastCount)
+        );
+        let a = parse("--fidelity pipelined:btb=64,ras=4");
+        assert_eq!(
+            a.fidelity,
+            FidelityMode::Tier(FidelitySpec::Pipelined { btb: 64, ras: 4 })
+        );
+        assert_eq!(a.fidelity.label(), "pipelined:btb=64,ras=4");
+        assert_eq!(
+            parse("--fidelity sampled:fraction=0.25").fidelity.label(),
+            "sampled:fraction=0.25"
+        );
     }
 
     #[test]

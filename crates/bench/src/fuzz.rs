@@ -14,16 +14,26 @@
 //! written as assembly repro files; the session summary is one JSON
 //! document ([`FUZZ_SCHEMA`]) with throughput and per-scenario
 //! coverage — the artifact CI uploads and gates on.
+//!
+//! `--fidelity <spec>` adds a focus lane: each case is additionally
+//! replayed on the named [`FidelitySpec`] tier across every engine and
+//! must report bit-identically (cycles included) — the lane the
+//! nightly matrix points at the pipelined timing tier.
 
 use serde::{Deserialize, Serialize};
 use simtune_core::diffharness::DiffHarness;
-use simtune_isa::TortureConfig;
+use simtune_core::{FidelitySpec, SimBackend};
+use simtune_isa::{EngineKind, RunLimits, TortureConfig};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Schema tag of the JSON summary `torture_fuzz` emits.
-pub const FUZZ_SCHEMA: &str = "simtune-torture-fuzz-v1";
+///
+/// v2: summaries record the optional `--fidelity` focus tier whose
+/// per-case engine-invariance check rode along with the matrix.
+pub const FUZZ_SCHEMA: &str = "simtune-torture-fuzz-v2";
 
 /// Options of one fuzz session.
 #[derive(Debug, Clone)]
@@ -39,6 +49,11 @@ pub struct FuzzOptions {
     pub journal: Option<PathBuf>,
     /// Write shrunken `.s` repro files for divergent cases here.
     pub repro_dir: Option<PathBuf>,
+    /// Focus tier: additionally replay every case on this
+    /// [`FidelitySpec`]'s backend across all engines and require
+    /// bit-identical reports — cycles included — against the interp
+    /// run (e.g. `pipelined:btb=512,ras=8` in the nightly matrix).
+    pub fidelity: Option<FidelitySpec>,
 }
 
 impl Default for FuzzOptions {
@@ -49,6 +64,7 @@ impl Default for FuzzOptions {
             scenario: None,
             journal: None,
             repro_dir: None,
+            fidelity: None,
         }
     }
 }
@@ -106,6 +122,9 @@ pub struct ScenarioCoverage {
 pub struct FuzzSummary {
     /// Schema tag ([`FUZZ_SCHEMA`]).
     pub schema: String,
+    /// Digest of the `--fidelity` focus tier whose engine-invariance
+    /// check rode along, `null` for plain matrix sessions.
+    pub fidelity: Option<String>,
     /// Configured wall-clock budget in seconds.
     pub budget_seconds: f64,
     /// Actual wall-clock time spent.
@@ -153,6 +172,14 @@ pub fn run_fuzz(opts: &FuzzOptions) -> Result<FuzzSummary, String> {
     }
 
     let harness = DiffHarness::tiny();
+    let focus: Option<(String, Arc<dyn SimBackend>)> = match &opts.fidelity {
+        None => None,
+        Some(spec) => Some((
+            spec.digest(),
+            spec.build(harness.hierarchy())
+                .map_err(|e| format!("--fidelity: {e}"))?,
+        )),
+    };
     let mut coverage: Vec<ScenarioCoverage> = corpus
         .iter()
         .map(|(name, _)| ScenarioCoverage {
@@ -201,11 +228,35 @@ pub fn run_fuzz(opts: &FuzzOptions) -> Result<FuzzSummary, String> {
                 opts,
             )?);
         }
+        if let Some((digest, backend)) = &focus {
+            // Same (program, data) identity run_case used, replayed on
+            // the focus tier across every engine.
+            let exe = DiffHarness::make_executable(scenario, config, seed, seed ^ 0x5EED_DA7A);
+            let mismatches = engine_invariance(digest, backend.as_ref(), &exe);
+            combos += (EngineKind::ALL.len() - 1) as u64;
+            if !mismatches.is_empty() {
+                coverage[idx].divergent += 1;
+                eprintln!(
+                    "[fuzz] FIDELITY DIVERGENCE scenario={scenario} seed={seed:#x} \
+                     ({} mismatches on {digest})",
+                    mismatches.len()
+                );
+                failures.push(FailureReport {
+                    scenario: scenario.to_string(),
+                    seed,
+                    divergences: mismatches,
+                    original_len: exe.program.len(),
+                    shrunk_len: exe.program.len(),
+                    repro_path: None,
+                });
+            }
+        }
     }
 
     let elapsed = start.elapsed().as_secs_f64();
     Ok(FuzzSummary {
         schema: FUZZ_SCHEMA.into(),
+        fidelity: focus.as_ref().map(|(digest, _)| digest.clone()),
         budget_seconds: opts.budget.as_secs_f64(),
         elapsed_seconds: elapsed,
         start_seed: opts.start_seed,
@@ -231,6 +282,56 @@ pub fn replay_case(
     let config =
         TortureConfig::by_name(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
     Ok(DiffHarness::tiny().run_case(scenario, &config, seed))
+}
+
+/// Replays `exe` on the focus backend across every engine and returns
+/// human-readable mismatch lines against its own interp run: the
+/// tier's reports — cycles included — must not depend on the engine.
+fn engine_invariance(
+    digest: &str,
+    backend: &dyn SimBackend,
+    exe: &simtune_isa::Executable,
+) -> Vec<String> {
+    let limits = RunLimits::default();
+    let Ok(decoded) = exe.decode() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let reference = backend.run_one_decoded_on(exe, &decoded, &limits, EngineKind::Interp);
+    for engine in EngineKind::ALL {
+        if engine == EngineKind::Interp {
+            continue;
+        }
+        let got = backend.run_one_decoded_on(exe, &decoded, &limits, engine);
+        let combo = format!("fidelity:{digest}×engine:{}", engine.label());
+        match (&reference, &got) {
+            (Ok(w), Ok(g)) => {
+                if w.stats.inst_mix != g.stats.inst_mix {
+                    out.push(format!(
+                        "{combo}/inst_mix: {:?} vs {:?}",
+                        w.stats.inst_mix, g.stats.inst_mix
+                    ));
+                }
+                if w.stats.cache != g.stats.cache {
+                    out.push(format!(
+                        "{combo}/cache: {:?} vs {:?}",
+                        w.stats.cache, g.stats.cache
+                    ));
+                }
+                if w.cycles != g.cycles {
+                    out.push(format!("{combo}/cycles: {:?} vs {:?}", w.cycles, g.cycles));
+                }
+            }
+            (Err(w), Err(g)) => {
+                if w != g {
+                    out.push(format!("{combo}/error: {w:?} vs {g:?}"));
+                }
+            }
+            (Err(w), Ok(_)) => out.push(format!("{combo}/error: {w:?} vs completed")),
+            (Ok(_), Err(g)) => out.push(format!("{combo}/error: completed vs {g:?}")),
+        }
+    }
+    out
 }
 
 /// Shrinks a divergent case and writes its repro artifact.
@@ -362,6 +463,25 @@ mod tests {
             ..FuzzOptions::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn fidelity_focus_lane_rides_along_and_stays_invariant() {
+        let summary = run_fuzz(&FuzzOptions {
+            budget: Duration::from_millis(800),
+            start_seed: 55,
+            fidelity: Some("pipelined:btb=64,ras=4".parse().unwrap()),
+            ..FuzzOptions::default()
+        })
+        .expect("session runs");
+        assert!(
+            summary.pass,
+            "pipelined tier diverged across engines: {:#?}",
+            summary.failures
+        );
+        assert_eq!(summary.fidelity.as_deref(), Some("pipelined:btb=64,ras=4"));
+        // Three extra engine comparisons per case rode along.
+        assert!(summary.combos >= summary.cases * 3);
     }
 
     #[test]

@@ -13,11 +13,16 @@ use serde::{Deserialize, Serialize};
 /// Format marker so the gate can reject files from other tools or
 /// incompatible revisions instead of mis-parsing them.
 ///
+/// v3: documents carry the sweep's fidelity-mode label (a
+/// `FidelitySpec` digest or an escalation-policy name), and the gates
+/// refuse cross-fidelity comparisons; v2 baselines predate the
+/// pipelined timing tier and the unified spec and are rejected rather
+/// than compared against a sweep whose fidelity is unknown.
+///
 /// v2: documents carry the replay-engine identity plus per-engine
 /// replay-throughput counters (`replay_nanos`, `replay_trials_per_sec`);
-/// v1 baselines predate the engine ladder and are rejected rather than
-/// compared against a sweep whose engine is unknown.
-pub const PERF_SCHEMA: &str = "simtune-perf-smoke-v2";
+/// v1 baselines predate the engine ladder.
+pub const PERF_SCHEMA: &str = "simtune-perf-smoke-v3";
 
 /// Per-strategy measurement of one sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,6 +110,12 @@ pub struct PerfSummary {
     /// results but not in speed, so the gate refuses to compare sweeps
     /// across engines.
     pub engine: String,
+    /// Fidelity-mode label the sweep ran under: a
+    /// `simtune_core::FidelitySpec` digest (`accurate`,
+    /// `pipelined:btb=512,ras=8`, ...) or an escalation-policy name
+    /// (`topk`, `predicted`). Tiers trade timing detail for speed, so
+    /// the gate refuses to compare sweeps across fidelities.
+    pub fidelity: String,
     /// Trials per strategy.
     pub n_trials: u64,
     /// Parallel simulator instances (pool workers).
@@ -197,11 +208,12 @@ pub fn gate(
         || current.seed != baseline.seed
         || current.n_trials != baseline.n_trials
         || current.engine != baseline.engine
+        || current.fidelity != baseline.fidelity
     {
         return Err(format!(
-            "incomparable sweeps: current ({}, seed {}, {} trials, {} engine) vs baseline ({}, seed {}, {} trials, {} engine)",
-            current.arch, current.seed, current.n_trials, current.engine,
-            baseline.arch, baseline.seed, baseline.n_trials, baseline.engine,
+            "incomparable sweeps: current ({}, seed {}, {} trials, {} engine, {} fidelity) vs baseline ({}, seed {}, {} trials, {} engine, {} fidelity)",
+            current.arch, current.seed, current.n_trials, current.engine, current.fidelity,
+            baseline.arch, baseline.seed, baseline.n_trials, baseline.engine, baseline.fidelity,
         ));
     }
     if !baseline.totals.trials_per_sec.is_finite() || baseline.totals.trials_per_sec <= 0.0 {
@@ -269,6 +281,7 @@ pub fn warm_gate(
         || warm.n_trials != cold.n_trials
         || warm.totals.trials != cold.totals.trials
         || warm.engine != cold.engine
+        || warm.fidelity != cold.fidelity
     {
         return Err(format!(
             "incomparable sweeps: warm ({}, seed {}, {} trials) vs cold ({}, seed {}, {} trials)",
@@ -297,6 +310,7 @@ mod tests {
             arch: "riscv".into(),
             seed: 42,
             engine: "decoded".into(),
+            fidelity: "accurate".into(),
             n_trials: 24,
             n_parallel: 4,
             strategies: vec![StrategyPerf {
@@ -331,6 +345,7 @@ mod tests {
         let parsed = PerfSummary::from_json(&s.to_json().unwrap()).unwrap();
         assert_eq!(parsed.arch, "riscv");
         assert_eq!(parsed.engine, "decoded");
+        assert_eq!(parsed.fidelity, "accurate");
         assert_eq!(parsed.totals.memo_hits, 6);
         assert_eq!(parsed.strategies[0].stage_nanos, [1, 2, 3, 4]);
         assert_eq!(parsed.strategies[0].replay_nanos, 500_000_000);
@@ -428,5 +443,18 @@ mod tests {
         let err = gate(&threaded, &baseline, 0.25).unwrap_err();
         assert!(err.contains("engine"), "{err}");
         assert!(warm_gate(&threaded, &baseline, 0.99, 1.05).is_err());
+    }
+
+    #[test]
+    fn gates_refuse_cross_fidelity_comparisons() {
+        // A pipelined sweep pays cycle accounting the accurate baseline
+        // never did; comparing their throughput would gate apples
+        // against oranges.
+        let baseline = summary(100.0);
+        let mut pipelined = summary(100.0);
+        pipelined.fidelity = "pipelined:btb=512,ras=8".into();
+        let err = gate(&pipelined, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("fidelity"), "{err}");
+        assert!(warm_gate(&pipelined, &baseline, 0.99, 1.05).is_err());
     }
 }

@@ -15,8 +15,17 @@
 //! | `op` | uses | effect |
 //! |---|---|---|
 //! | `ping` | — | liveness check |
-//! | `open` | `tenant`, `arch`, `workload`, `dim`, `impls`, `seed` | open a named tenant, collect a training set and fit its score predictor |
-//! | `tune` | `tenant`, `n_trials`, `batch_size`, `seed`, `strategy`, `escalation_budget`, `escalation_confidence` | run one predictor-guided tuning loop on the tenant's session |
+//! | `open` | `tenant`, `arch`, `workload`, `dim`, `impls`, `seed`, `fidelity` | open a named tenant, collect a training set and fit its score predictor |
+//! | `tune` | `tenant`, `n_trials`, `batch_size`, `seed`, `strategy`, `fidelity`, `escalation_budget`, `escalation_confidence` | run one predictor-guided tuning loop on the tenant's session |
+//!
+//! # Fidelity selection
+//!
+//! `open` and `tune` take one optional `fidelity` string in the
+//! [`FidelitySpec`] grammar (`accurate`, `fast-count`,
+//! `sampled:fraction=F`, `pipelined:btb=N,ras=N`). On `open` it names
+//! the tier the tenant's session simulates at (default `accurate`); on
+//! `tune` it names the exploration tier of a fidelity-escalated run —
+//! cheap-tier exploration, top-k accurate finalists.
 //!
 //! # Escalation-policy block
 //!
@@ -28,6 +37,10 @@
 //! always re-verified accurately). The response then echoes the run's
 //! `PredictorStats` through `escalations`, `avoided_simulations` and
 //! `mean_abs_rank_error`; all three are `null` for plain tunes.
+//! Selecting an escalated tune through these per-field knobs alone
+//! (without the unified `fidelity` spec) is the deprecated pre-spec
+//! form; it still parses, and the `ok: true` response carries a
+//! deprecation note in `message`.
 //! | `stats` | `tenant` (optional) | per-tenant counters, or service-wide cache totals |
 //! | `save_cache` | `path` | persist the shared cache snapshot (atomic) |
 //! | `load_cache` | `path` | warm the shared cache (degrades to cold on corrupt files) |
@@ -40,8 +53,8 @@
 
 use serde::{Deserialize, Serialize};
 use simtune_core::{
-    collect_group_data, CollectOptions, EscalationOptions, EscalationPolicy, ScorePredictor,
-    SimService, TenantSession, TuneOptions, UncertaintyPolicy,
+    collect_group_data, CollectOptions, EscalationOptions, EscalationPolicy, FidelitySpec,
+    ScorePredictor, SimService, TenantSession, TuneOptions, UncertaintyPolicy,
 };
 use simtune_hw::TargetSpec;
 use simtune_predict::PredictorKind;
@@ -55,7 +68,10 @@ use std::path::Path;
 pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 
 /// One request frame. Unused fields are `null` on the wire.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// `Deserialize` is hand-written (below) so that `fidelity` — added
+/// after the v1 protocol shipped — may be absent from old clients'
+/// frames; every other member is required.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct Request {
     /// Caller-chosen correlation id, echoed on the response.
     pub id: u64,
@@ -82,6 +98,11 @@ pub struct Request {
     pub strategy: Option<String>,
     /// Snapshot path (`save_cache`/`load_cache`).
     pub path: Option<String>,
+    /// Fidelity tier in the unified [`FidelitySpec`] grammar, e.g.
+    /// `"pipelined:btb=512,ras=8"`. On `open`, the tenant session's
+    /// backend (default `accurate`); on `tune`, the exploration tier of
+    /// a fidelity-escalated run.
+    pub fidelity: Option<String>,
     /// Escalation-policy block, part 1: cap on accurate simulations the
     /// uncertainty sweep may spend (`tune`; winner verification is
     /// exempt). Setting this (or `escalation_confidence`) switches the
@@ -92,6 +113,32 @@ pub struct Request {
     /// `mean - confidence * std` beats the incumbent best (`tune`;
     /// default 1.0, must be finite and non-negative).
     pub escalation_confidence: Option<f64>,
+}
+
+impl serde::Deserialize for Request {
+    fn deserialize(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {
+        let mut obj = serde::de::ObjectReader::parse(p)?;
+        let value = Request {
+            id: obj.field("id")?,
+            op: obj.field("op")?,
+            tenant: obj.field("tenant")?,
+            arch: obj.field("arch")?,
+            workload: obj.field("workload")?,
+            dim: obj.field("dim")?,
+            impls: obj.field("impls")?,
+            n_trials: obj.field("n_trials")?,
+            batch_size: obj.field("batch_size")?,
+            seed: obj.field("seed")?,
+            strategy: obj.field("strategy")?,
+            path: obj.field("path")?,
+            // Pre-spec clients omit the member entirely.
+            fidelity: obj.field_or_default("fidelity")?,
+            escalation_budget: obj.field("escalation_budget")?,
+            escalation_confidence: obj.field("escalation_confidence")?,
+        };
+        obj.end()?;
+        Ok(value)
+    }
 }
 
 /// One response frame. Fields irrelevant to the operation are `null`.
@@ -198,6 +245,20 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
+/// Parses a request's optional `fidelity` field; a malformed spec is a
+/// handler error whose message carries the grammar. The error side is
+/// boxed: a `Response` is an order of magnitude larger than the `Ok`
+/// payload, and the happy path shouldn't carry it by value.
+fn parse_fidelity(req: &Request) -> Result<Option<FidelitySpec>, Box<Response>> {
+    match req.fidelity.as_deref() {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<FidelitySpec>()
+            .map(Some)
+            .map_err(|e| Box::new(Response::fail(req, e.to_string()))),
+    }
+}
+
 /// One open tenant: its service session plus the workload definition
 /// and trained predictor its `tune` requests run against.
 struct TenantState {
@@ -269,7 +330,11 @@ impl Server {
         };
         let seed = req.seed.unwrap_or(42);
         let impls = req.impls.unwrap_or(16).clamp(8, 200) as usize;
-        let session = match self.service.open_accurate(name, &spec.hierarchy) {
+        let fidelity = match parse_fidelity(req) {
+            Ok(f) => f.unwrap_or_default(),
+            Err(resp) => return *resp,
+        };
+        let session = match self.service.open_fidelity(name, &fidelity, &spec.hierarchy) {
             Ok(s) => s,
             Err(e) => return Response::fail(req, e.to_string()),
         };
@@ -306,7 +371,9 @@ impl Server {
             },
         );
         Response {
-            message: Some(format!("tenant {name:?} open on {arch}/{workload}")),
+            message: Some(format!(
+                "tenant {name:?} open on {arch}/{workload} at {fidelity}"
+            )),
             tenants: Some(self.tenants.len() as u64),
             ..Response::to_req(req)
         }
@@ -330,16 +397,33 @@ impl Server {
             strategy,
             ..TuneOptions::default()
         };
-        // Any escalation-policy field switches the tune to the learned
-        // fidelity tier; a plain request keeps the all-accurate loop.
-        let escalated = req.escalation_budget.is_some() || req.escalation_confidence.is_some();
-        let result = if escalated {
+        // The unified `fidelity` spec names the exploration tier of an
+        // escalated tune; the per-field escalation knobs switch on the
+        // learned (uncertainty) tier and are the deprecated pre-spec
+        // way to request escalation on their own. A plain request keeps
+        // the all-accurate loop.
+        let explore = match parse_fidelity(req) {
+            Ok(f) => f,
+            Err(resp) => return *resp,
+        };
+        let uncertainty = req.escalation_budget.is_some() || req.escalation_confidence.is_some();
+        let deprecation = (uncertainty && explore.is_none()).then(|| {
+            "note: selecting escalation through per-field knobs alone is deprecated; \
+             prefer the unified `fidelity` spec string"
+                .to_string()
+        });
+        let result = if uncertainty || explore.is_some() {
             let esc = EscalationOptions {
-                policy: EscalationPolicy::Uncertainty(UncertaintyPolicy {
-                    confidence: req.escalation_confidence.unwrap_or(1.0),
-                    budget: req.escalation_budget.map(|b| b as usize),
-                    ..UncertaintyPolicy::default()
-                }),
+                explore,
+                policy: if uncertainty {
+                    EscalationPolicy::Uncertainty(UncertaintyPolicy {
+                        confidence: req.escalation_confidence.unwrap_or(1.0),
+                        budget: req.escalation_budget.map(|b| b as usize),
+                        ..UncertaintyPolicy::default()
+                    })
+                } else {
+                    EscalationPolicy::TopK
+                },
                 ..EscalationOptions::default()
             };
             t.session
@@ -361,6 +445,7 @@ impl Server {
                     escalations: ps.map(|p| p.escalations),
                     avoided_simulations: ps.map(|p| p.avoided_simulations),
                     mean_abs_rank_error: ps.map(|p| p.mean_abs_rank_error),
+                    message: deprecation,
                     ..Response::to_req(req)
                 }
             }

@@ -1,0 +1,145 @@
+//! End-to-end coverage of the serve protocol's unified `fidelity`
+//! field: opening tenants at a named tier, escalated tunes with a
+//! spec-named exploration tier, the deprecated per-field escalation
+//! form (still accepted, answered with a note), and grammar errors as
+//! handler failures.
+
+use simtune_bench::serve::{roundtrip, Request, Server};
+use simtune_core::SimService;
+
+fn req(op: &str) -> Request {
+    Request {
+        id: 11,
+        op: op.into(),
+        ..Request::default()
+    }
+}
+
+fn server() -> Server {
+    Server::new(SimService::builder().n_parallel(2).build())
+}
+
+fn open_req(tenant: &str, fidelity: Option<&str>) -> Request {
+    Request {
+        tenant: Some(tenant.into()),
+        workload: Some("matmul".into()),
+        dim: Some(6),
+        impls: Some(10),
+        seed: Some(42),
+        fidelity: fidelity.map(Into::into),
+        ..req("open")
+    }
+}
+
+#[test]
+fn open_accepts_a_fidelity_spec_and_echoes_the_tier() {
+    let mut server = server();
+    let resp = roundtrip(
+        &mut server,
+        &open_req("pipe", Some("pipelined:btb=64,ras=4")),
+    )
+    .unwrap();
+    assert!(resp.ok, "open failed: {:?}", resp.error);
+    let msg = resp.message.unwrap();
+    assert!(msg.contains("pipelined:btb=64,ras=4"), "{msg}");
+
+    // Omitting the field keeps the historical accurate default.
+    let resp = roundtrip(&mut server, &open_req("plain", None)).unwrap();
+    assert!(resp.ok);
+    assert!(resp.message.unwrap().contains("at accurate"));
+}
+
+#[test]
+fn malformed_fidelity_is_a_handler_error_with_the_grammar() {
+    let mut server = server();
+    let resp = roundtrip(&mut server, &open_req("bad", Some("warp-speed"))).unwrap();
+    assert!(!resp.ok);
+    let err = resp.error.unwrap();
+    assert!(err.contains("expected"), "{err}");
+    // The name was never claimed, so a corrected open succeeds.
+    assert!(
+        roundtrip(&mut server, &open_req("bad", Some("accurate")))
+            .unwrap()
+            .ok
+    );
+}
+
+#[test]
+fn tune_with_fidelity_runs_spec_tier_escalation_without_a_note() {
+    let mut server = server();
+    assert!(roundtrip(&mut server, &open_req("t", None)).unwrap().ok);
+    let tune = Request {
+        tenant: Some("t".into()),
+        n_trials: Some(8),
+        batch_size: Some(4),
+        seed: Some(1),
+        strategy: Some("random".into()),
+        fidelity: Some("pipelined".into()),
+        ..req("tune")
+    };
+    let resp = roundtrip(&mut server, &tune).unwrap();
+    assert!(resp.ok, "tune failed: {:?}", resp.error);
+    assert!(resp.best_score.unwrap().is_finite());
+    assert_eq!(resp.trials, Some(8));
+    // Spec-named top-k escalation is not the learned tier: no predictor
+    // counters, and no deprecation note — this IS the preferred form.
+    assert!(resp.escalations.is_none());
+    assert!(resp.message.is_none(), "{:?}", resp.message);
+
+    // Same seed on the fast-count tier also completes.
+    let fast = Request {
+        fidelity: Some("fast-count".into()),
+        ..tune
+    };
+    let resp = roundtrip(&mut server, &fast).unwrap();
+    assert!(resp.ok, "fast-count tune failed: {:?}", resp.error);
+}
+
+#[test]
+fn per_field_escalation_still_works_but_carries_a_deprecation_note() {
+    let mut server = server();
+    assert!(roundtrip(&mut server, &open_req("old", None)).unwrap().ok);
+    let tune = Request {
+        tenant: Some("old".into()),
+        n_trials: Some(8),
+        batch_size: Some(4),
+        seed: Some(1),
+        strategy: Some("random".into()),
+        escalation_budget: Some(6),
+        escalation_confidence: Some(1.0),
+        ..req("tune")
+    };
+    let resp = roundtrip(&mut server, &tune).unwrap();
+    assert!(resp.ok, "legacy escalated tune failed: {:?}", resp.error);
+    assert!(resp.escalations.is_some(), "uncertainty tier still runs");
+    let msg = resp.message.expect("ok:true response carries the note");
+    assert!(msg.contains("deprecated"), "{msg}");
+    assert!(msg.contains("fidelity"), "{msg}");
+
+    // Adding the spec alongside the knobs silences the note: the
+    // request is then fully in the new form.
+    let both = Request {
+        fidelity: Some("fast-count".into()),
+        ..tune
+    };
+    let resp = roundtrip(&mut server, &both).unwrap();
+    assert!(resp.ok, "{:?}", resp.error);
+    assert!(resp.message.is_none());
+    assert!(resp.escalations.is_some());
+}
+
+#[test]
+fn old_wire_frames_without_the_fidelity_member_still_parse() {
+    // A pre-spec client omits the `fidelity` member entirely; the
+    // vendored serde normally rejects missing members, so the field
+    // must be explicitly defaulted for wire compatibility.
+    let mut server = server();
+    let json = r#"{"id":5,"op":"ping","tenant":null,"arch":null,"workload":null,
+        "dim":null,"impls":null,"n_trials":null,"batch_size":null,"seed":null,
+        "strategy":null,"path":null,"escalation_budget":null,"escalation_confidence":null}"#;
+    let req: Request = serde_json::from_str(json).expect("pre-spec frame parses");
+    assert!(req.fidelity.is_none());
+    let (resp, done) = server.handle(&req);
+    assert!(resp.ok);
+    assert!(!done);
+}

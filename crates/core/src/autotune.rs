@@ -9,8 +9,9 @@
 //! [`RandomSearch`](crate::RandomSearch) reproduces the historical
 //! random-sampling tuner bit-for-bit.
 
-use crate::backend::{FastCountBackend, SampledBackend, SimBackend, SimSession};
+use crate::backend::{SimBackend, SimSession};
 use crate::features::WindowKind;
+use crate::fidelity::FidelitySpec;
 use crate::memo::SimCache;
 use crate::metrics::{ConvergenceStats, PredictorStats, StageTimings};
 use crate::pool::BatchTicket;
@@ -332,9 +333,17 @@ pub struct EscalationOptions {
     /// trade: exploration breadth at low fidelity, final ranking at full
     /// fidelity).
     pub top_k: usize,
-    /// When set, exploration uses a [`SampledBackend`] at this fraction
-    /// instead of the default [`FastCountBackend`] — a middle tier for
-    /// workloads whose ranking is cache-sensitive.
+    /// Exploration tier, named uniformly as a [`FidelitySpec`] — e.g.
+    /// `FidelitySpec::Pipelined { .. }` for cycle-aware exploration.
+    /// When unset, falls back to `sample_fraction` and then to the
+    /// default [`FidelitySpec::FastCount`].
+    pub explore: Option<FidelitySpec>,
+    /// When set (and [`EscalationOptions::explore`] is not), exploration
+    /// uses a [`crate::SampledBackend`] at this fraction instead of the
+    /// default [`crate::FastCountBackend`] — a middle tier for workloads whose ranking
+    /// is cache-sensitive. Prefer `explore:
+    /// Some(FidelitySpec::Sampled { fraction })`, which this field
+    /// predates.
     pub sample_fraction: Option<f64>,
     /// How candidates graduate to the accurate tier. The default
     /// [`EscalationPolicy::TopK`] keeps the original static-finalist
@@ -349,10 +358,24 @@ impl Default for EscalationOptions {
     fn default() -> Self {
         EscalationOptions {
             top_k: 8,
+            explore: None,
             sample_fraction: None,
             policy: EscalationPolicy::TopK,
         }
     }
+}
+
+/// The exploration tier an [`EscalationOptions`] names: `explore` wins,
+/// the legacy `sample_fraction` shim comes second, and the historical
+/// fast-count default closes the chain.
+fn explore_spec(esc: &EscalationOptions) -> FidelitySpec {
+    esc.explore
+        .clone()
+        .or_else(|| {
+            esc.sample_fraction
+                .map(|fraction| FidelitySpec::Sampled { fraction })
+        })
+        .unwrap_or(FidelitySpec::FastCount)
 }
 
 /// Which candidates graduate from the cheap exploration tier to the
@@ -432,11 +455,12 @@ pub struct EscalatedTuneResult {
 }
 
 /// Fidelity-escalation tuning (the trade the paper's Fig. 1 spans): a
-/// cheap backend ([`FastCountBackend`] by default, [`SampledBackend`]
-/// with [`EscalationOptions::sample_fraction`]) scores every exploration
-/// candidate, then only the `top_k` finalists are re-simulated on the
-/// instruction-accurate backend and the best finalist wins. The host
-/// pays for `top_k` accurate simulations instead of `n_trials`.
+/// cheap exploration tier (any [`FidelitySpec`] via
+/// [`EscalationOptions::explore`]; fast-count by default) scores every
+/// exploration candidate, then only the `top_k` finalists are
+/// re-simulated on the instruction-accurate backend and the best
+/// finalist wins. The host pays for `top_k` accurate simulations
+/// instead of `n_trials`.
 ///
 /// # Example
 ///
@@ -493,10 +517,7 @@ pub fn tune_with_fidelity_escalation(
             "fidelity escalation needs top_k >= 1".into(),
         ));
     }
-    let explore_backend: Arc<dyn SimBackend> = match esc.sample_fraction {
-        Some(fraction) => Arc::new(SampledBackend::new(spec.hierarchy.clone(), fraction)?),
-        None => Arc::new(FastCountBackend::matching(&spec.hierarchy)),
-    };
+    let explore_backend: Arc<dyn SimBackend> = explore_spec(esc).build(&spec.hierarchy)?;
     let explore_name = explore_backend.name().to_string();
     let session = SimSession::builder()
         .backend(explore_backend)
@@ -631,10 +652,7 @@ fn tune_with_uncertainty_escalation(
     esc: &EscalationOptions,
     pol: &UncertaintyPolicy,
 ) -> Result<EscalatedTuneResult, CoreError> {
-    let inner: Arc<dyn SimBackend> = match esc.sample_fraction {
-        Some(fraction) => Arc::new(SampledBackend::new(spec.hierarchy.clone(), fraction)?),
-        None => Arc::new(FastCountBackend::matching(&spec.hierarchy)),
-    };
+    let inner: Arc<dyn SimBackend> = explore_spec(esc).build(&spec.hierarchy)?;
     let online = shared_predictor(OnlinePredictor::new(
         pol.predictor,
         opts.seed ^ 0x9E37,

@@ -29,6 +29,12 @@
 //! | [`AccurateBackend`] | cache-accurate ([`Fidelity::Accurate`]) | 1× | final ranking, training-data collection — the gem5-style reference |
 //! | [`FastCountBackend`] | counts only ([`Fidelity::CountOnly`]) | ≪1× | early exploration rounds where instruction/access totals are enough to discard bad candidates (QEMU-plugin instrumentation style) |
 //! | [`SampledBackend`] | extrapolated ([`Fidelity::Sampled`]) | count + fraction·accurate | middle ground: cache behavior matters but a prefix of the run is representative (Pac-Sim-style sampling) |
+//! | [`crate::PipelinedBackend`] | cycle-level timing ([`Fidelity::Pipelined`]) | >1× | candidates whose ranking depends on hazards, branch behavior or prefetch, not just counts — reports a per-trial [`simtune_hw::CycleBreakdown`] |
+//!
+//! Tiers are *named* uniformly by [`crate::FidelitySpec`]: parse a spec
+//! string (`"pipelined:btb=512,ras=8"`), hand it to
+//! [`SimSessionBuilder::fidelity`], and the same digest keys the memo
+//! cache and the service protocol.
 //!
 //! `SampledBackend` sizes each candidate with a counting pass before
 //! simulating the prefix, so its cost is the fast-count cost *plus* the
@@ -68,6 +74,7 @@ use crate::pool::{Batch, BatchCtx, BatchTicket, InflightMap, WorkerPool};
 use crate::runner::SimulatorRunFn;
 use crate::CoreError;
 use simtune_cache::{CacheConfig, CacheStats, HierarchyConfig, HierarchyStats};
+use simtune_hw::CycleBreakdown;
 use simtune_isa::{
     simulate_batch_decoded, simulate_counting_batch_decoded, simulate_counting_decoded,
     simulate_counting_decoded_on, simulate_decoded, simulate_decoded_on,
@@ -96,6 +103,11 @@ pub enum Fidelity {
         /// Target fraction of retired instructions simulated accurately.
         fraction: f64,
     },
+    /// Full instruction-accurate simulation driving a 5-stage in-order
+    /// pipeline timing model: architectural statistics are bit-identical
+    /// to [`Fidelity::Accurate`] and the report additionally carries a
+    /// deterministic cycle breakdown ([`SimReport::cycles`]).
+    Pipelined,
     /// An external override whose fidelity is unknown to this crate.
     Custom,
     /// Statistics come from a cheap counting tier but the *score* is
@@ -110,6 +122,7 @@ impl fmt::Display for Fidelity {
             Fidelity::Accurate => write!(f, "accurate"),
             Fidelity::CountOnly => write!(f, "count-only"),
             Fidelity::Sampled { fraction } => write!(f, "sampled({fraction})"),
+            Fidelity::Pipelined => write!(f, "pipelined"),
             Fidelity::Custom => write!(f, "custom"),
             Fidelity::Predicted => write!(f, "predicted"),
         }
@@ -169,6 +182,11 @@ pub struct SimReport {
     /// True when `stats` was scaled up from a partial run rather than
     /// measured over the whole program.
     pub extrapolated: bool,
+    /// Cycle accounting of the timing layer, present only for tiers
+    /// that model one ([`Fidelity::Pipelined`]). Deterministic: the
+    /// same candidate yields byte-identical breakdowns at every
+    /// parallelism degree and replay engine.
+    pub cycles: Option<CycleBreakdown>,
 }
 
 impl SimReport {
@@ -178,6 +196,7 @@ impl SimReport {
             backend: backend.to_string(),
             fidelity,
             extrapolated: false,
+            cycles: None,
         }
     }
 }
@@ -288,6 +307,18 @@ pub trait SimBackend: Send + Sync {
         None
     }
 
+    /// Canonical fidelity digest for the memoization layer: one string
+    /// naming the tier *and* every configuration knob that changes
+    /// results — the cache-fingerprint form of [`crate::FidelitySpec`].
+    /// `None` (when [`SimBackend::memo_key`] is `None`) opts out of
+    /// memoization. The default composes name, fidelity and memo key;
+    /// bundled backends override it with their spec-grammar digest
+    /// (e.g. `"pipelined:btb=512,ras=8 @ l1d=..."`).
+    fn fidelity_digest(&self) -> Option<String> {
+        self.memo_key()
+            .map(|k| format!("{} {} [{k}]", self.name(), self.fidelity()))
+    }
+
     /// Runs a batch sequentially, preserving order. Backends with a
     /// cheaper batch path (shared warm-up, vectorized dispatch) may
     /// override this for direct callers; [`SimSession`] itself always
@@ -311,7 +342,7 @@ fn cache_digest(c: &CacheConfig) -> String {
     )
 }
 
-fn hierarchy_digest(h: &HierarchyConfig) -> String {
+pub(crate) fn hierarchy_digest(h: &HierarchyConfig) -> String {
     let l3 = h.l3.as_ref().map_or("none".into(), cache_digest);
     format!(
         "l1d={} l1i={} l2={} l3={}",
@@ -397,6 +428,10 @@ impl SimBackend for AccurateBackend {
 
     fn memo_key(&self) -> Option<String> {
         Some(hierarchy_digest(&self.hierarchy))
+    }
+
+    fn fidelity_digest(&self) -> Option<String> {
+        Some(format!("accurate @ {}", hierarchy_digest(&self.hierarchy)))
     }
 }
 
@@ -489,6 +524,10 @@ impl SimBackend for FastCountBackend {
 
     fn memo_key(&self) -> Option<String> {
         Some(format!("line_bytes={}", self.line_bytes))
+    }
+
+    fn fidelity_digest(&self) -> Option<String> {
+        Some(format!("fast-count @ line_bytes={}", self.line_bytes))
     }
 }
 
@@ -607,6 +646,7 @@ impl SimBackend for SampledBackend {
             backend: SAMPLED.into(),
             fidelity,
             extrapolated: true,
+            cycles: None,
         })
     }
 
@@ -615,6 +655,15 @@ impl SimBackend for SampledBackend {
             "{} fraction={} min_insts={}",
             hierarchy_digest(&self.hierarchy),
             self.fraction,
+            self.min_insts
+        ))
+    }
+
+    fn fidelity_digest(&self) -> Option<String> {
+        Some(format!(
+            "sampled:fraction={} @ {} min_insts={}",
+            self.fraction,
+            hierarchy_digest(&self.hierarchy),
             self.min_insts
         ))
     }
@@ -999,18 +1048,46 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Uses the backend named by a [`crate::FidelitySpec`] — the
+    /// canonical way to pick a tier. Every bundled tier is reachable:
+    /// `"accurate"`, `"fast-count"`, `"sampled:fraction=0.5"`,
+    /// `"pipelined:btb=512,ras=8"`. A spec the tier rejects (e.g. an
+    /// out-of-range fraction) surfaces from
+    /// [`SimSessionBuilder::build`].
+    pub fn fidelity(mut self, spec: &crate::FidelitySpec, hierarchy: &HierarchyConfig) -> Self {
+        match spec.build(hierarchy) {
+            Ok(b) => self.backend(b),
+            Err(e) => {
+                self.error = Some(e);
+                self
+            }
+        }
+    }
+
     /// Uses the instruction-accurate reference backend for `hierarchy`.
+    ///
+    /// Prefer [`SimSessionBuilder::fidelity`] with
+    /// [`crate::FidelitySpec::Accurate`]; this shim remains for
+    /// source compatibility.
     pub fn accurate(self, hierarchy: &HierarchyConfig) -> Self {
         self.backend(Arc::new(AccurateBackend::new(hierarchy.clone())))
     }
 
     /// Uses the counting-only backend matched to `hierarchy`'s line size.
+    ///
+    /// Prefer [`SimSessionBuilder::fidelity`] with
+    /// [`crate::FidelitySpec::FastCount`]; this shim remains for
+    /// source compatibility.
     pub fn fast_count(self, hierarchy: &HierarchyConfig) -> Self {
         self.backend(Arc::new(FastCountBackend::matching(hierarchy)))
     }
 
     /// Uses the sampling backend at `fraction`; an invalid fraction
     /// surfaces from [`SimSessionBuilder::build`].
+    ///
+    /// Prefer [`SimSessionBuilder::fidelity`] with
+    /// [`crate::FidelitySpec::Sampled`]; this shim remains for source
+    /// compatibility.
     pub fn sampled(mut self, hierarchy: &HierarchyConfig, fraction: f64) -> Self {
         match SampledBackend::new(hierarchy.clone(), fraction) {
             Ok(b) => self.backend(Arc::new(b)),
@@ -1449,9 +1526,7 @@ mod tests {
         let backend = session.backend().clone();
         let key = crate::memo::fingerprint(
             &exe,
-            backend.name(),
-            &backend.fidelity(),
-            &backend.memo_key().unwrap(),
+            &backend.fidelity_digest().unwrap(),
             &session.limits(),
             session.engine(),
         );

@@ -25,11 +25,16 @@
 //!    architectural state is deliberately *not* compared (it is
 //!    unspecified).
 //! 2. **Backend ladder × engine** — [`AccurateBackend`],
-//!    [`FastCountBackend`] and [`crate::SampledBackend`] (full and
-//!    partial fraction) run on every engine; each report is checked
-//!    against the accurate reference under its tier's contract, with
-//!    the sampled tier's expectation *recomputed* from an accurate
-//!    prefix plus the same linear extrapolation rather than trusted.
+//!    [`FastCountBackend`], [`crate::SampledBackend`] (full and
+//!    partial fraction) and [`crate::PipelinedBackend`] run on every
+//!    engine; each report is checked against the accurate reference
+//!    under its tier's contract, with the sampled tier's expectation
+//!    *recomputed* from an accurate prefix plus the same linear
+//!    extrapolation rather than trusted. The pipelined tier must
+//!    reproduce the accurate instruction mix exactly (its prefetcher
+//!    legitimately changes cache statistics), report a cycle breakdown
+//!    of at least one cycle per retired instruction, and reproduce that
+//!    breakdown bit-identically on a re-run.
 //! 3. **Session sweep** — persistent [`SimSession`]s at `n_parallel ∈
 //!    {1, 2, 4}` on both the per-trial and the SoA-batch
 //!    ([`EngineKind::Batch`]) paths run a multi-trial batch (same
@@ -44,7 +49,11 @@
 //! the ordinary test suite.
 
 use crate::backend::{extrapolate, AccurateBackend, FastCountBackend, SampledBackend};
-use crate::{BackendError, CoreError, SimBackend, SimReport, SimSession};
+use crate::pipelined::PipelinedBackend;
+use crate::{
+    BackendError, CoreError, SimBackend, SimReport, SimSession, DEFAULT_BTB_ENTRIES,
+    DEFAULT_RAS_DEPTH,
+};
 use simtune_cache::{CacheHierarchy, HierarchyConfig};
 use simtune_isa::{
     simulate_counting_decoded_on, simulate_prefix_decoded_on, torture_program_with, AtomicCpu,
@@ -249,6 +258,11 @@ impl DiffHarness {
         let sampled_part = SampledBackend::new(self.hierarchy.clone(), PARTIAL_FRACTION)
             .expect("valid fraction")
             .with_min_insts(1);
+        let pipelined = PipelinedBackend::new(
+            self.hierarchy.clone(),
+            DEFAULT_BTB_ENTRIES,
+            DEFAULT_RAS_DEPTH,
+        );
         let ref_report =
             accurate.run_one_decoded_on(exe, &decoded, &self.limits, EngineKind::Interp);
         for engine in EngineKind::ALL {
@@ -257,6 +271,7 @@ impl DiffHarness {
                 ("fast-count", &fast),
                 ("sampled-full", &sampled_full),
                 ("sampled-partial", &sampled_part),
+                ("pipelined", &pipelined),
             ] {
                 combos += 1;
                 let combo = format!("backend:{tier}×engine:{}", engine.label());
@@ -271,6 +286,9 @@ impl DiffHarness {
                             diff_eq(&combo, "extrapolated", &false, &o.extrapolated, &mut divs);
                         }
                         "fast-count" => self.check_fast_count(&combo, r, o, &mut divs),
+                        "pipelined" => self.check_pipelined(
+                            &combo, engine, exe, &decoded, &pipelined, r, o, &mut divs,
+                        ),
                         _ => {
                             self.check_sampled_partial(&combo, engine, exe, &decoded, o, &mut divs)
                         }
@@ -409,6 +427,54 @@ impl DiffHarness {
         diff_eq(combo, "l1d.reads", &reads(&a.l1d), &reads(&f.l1d), divs);
         diff_eq(combo, "l1d.writes", &writes(&a.l1d), &writes(&f.l1d), divs);
         diff_eq(combo, "extrapolated", &false, &fast.extrapolated, divs);
+    }
+
+    /// Pipelined contract: architectural results are the accurate
+    /// tier's exactly (same replay, instruction mix included); cache
+    /// statistics are *not* compared — the tier's prefetcher issues
+    /// extra fills into the same hierarchy by design. The timing signal
+    /// itself must exist, cost at least one cycle per retired
+    /// instruction (an in-order pipeline retires at most one per
+    /// cycle), and be bit-identical on an immediate re-run.
+    #[allow(clippy::too_many_arguments)]
+    fn check_pipelined(
+        &self,
+        combo: &str,
+        engine: EngineKind,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        backend: &PipelinedBackend,
+        acc: &SimReport,
+        got: &SimReport,
+        divs: &mut Vec<Divergence>,
+    ) {
+        diff_eq(
+            combo,
+            "stats.inst_mix",
+            &acc.stats.inst_mix,
+            &got.stats.inst_mix,
+            divs,
+        );
+        diff_eq(combo, "extrapolated", &false, &got.extrapolated, divs);
+        match &got.cycles {
+            None => push(divs, combo, "cycles", &"present", &"absent"),
+            Some(c) => {
+                let insts = got.stats.inst_mix.total() as f64;
+                if c.total() < insts {
+                    push(
+                        divs,
+                        combo,
+                        "cycles.total",
+                        &format!(">= {insts}"),
+                        &c.total(),
+                    );
+                }
+                match backend.run_one_decoded_on(exe, decoded, &self.limits, engine) {
+                    Ok(again) => diff_eq(combo, "cycles.rerun", &got.cycles, &again.cycles, divs),
+                    Err(e) => push(divs, combo, "cycles.rerun", &"completes", &e),
+                }
+            }
+        }
     }
 
     /// Sampled contract, recomputed rather than trusted: rebuild the
@@ -677,7 +743,7 @@ mod tests {
         for seed in 0..4 {
             let out = harness.run_case("baseline", &TortureConfig::baseline(), seed);
             assert!(out.passed(), "seed {seed}: {:#?}", out.divergences);
-            assert!(out.combos > 30, "matrix should be broad: {}", out.combos);
+            assert!(out.combos > 40, "matrix should be broad: {}", out.combos);
             assert!(!out.faulted);
         }
     }

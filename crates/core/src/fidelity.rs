@@ -1,0 +1,304 @@
+//! One name for a fidelity tier: [`FidelitySpec`].
+//!
+//! Before this module, every layer named tiers its own way — the
+//! session builder had one method per tier, the escalation options
+//! carried a bare `sample_fraction`, the service protocol shipped
+//! loose per-field knobs and the memo cache fingerprinted an ad-hoc
+//! `(backend name, fidelity, memo key)` triple. `FidelitySpec` is the
+//! single spelling all of them consume:
+//!
+//! * **grammar** — `tier[:key=value,...]`, e.g. `accurate`,
+//!   `fast-count`, `sampled:fraction=0.25`, `pipelined:btb=512,ras=8`;
+//!   parsed by [`FromStr`](std::str::FromStr), printed by
+//!   [`Display`](std::fmt::Display) in the same canonical form;
+//! * **digest** — [`FidelitySpec::digest`] is the canonical string,
+//!   covering the tier *and* every parameter, which is what
+//!   [`SimBackend::fidelity_digest`](crate::SimBackend::fidelity_digest)
+//!   feeds into cache fingerprints;
+//! * **construction** — [`FidelitySpec::build`] turns the spec plus a
+//!   cache geometry into the matching [`SimBackend`].
+//!
+//! The shape mirrors [`crate::StrategySpec`], which plays the same role
+//! for search strategies.
+
+use crate::backend::{AccurateBackend, FastCountBackend, SampledBackend, SimBackend};
+use crate::pipelined::PipelinedBackend;
+use crate::CoreError;
+use simtune_cache::HierarchyConfig;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default BTB capacity of the pipelined tier's branch predictor.
+pub const DEFAULT_BTB_ENTRIES: usize = 512;
+/// Default return-address-stack depth of the pipelined tier.
+pub const DEFAULT_RAS_DEPTH: usize = 8;
+/// Default sample fraction when `sampled` is named without one.
+pub const DEFAULT_SAMPLE_FRACTION: f64 = 0.5;
+
+/// A parsed, canonical name for one simulation fidelity tier.
+///
+/// The single currency for tier selection: the session builder
+/// ([`crate::SimSessionBuilder::fidelity`]), escalated tuning
+/// ([`crate::EscalationOptions::explore`]), the service
+/// ([`crate::SimService::open_fidelity`] and the serve protocol's
+/// `fidelity` field) and the CLI all take one of these, and its
+/// [`digest`](FidelitySpec::digest) keys the memo cache.
+#[derive(Clone, Debug, PartialEq, Default)]
+#[non_exhaustive]
+pub enum FidelitySpec {
+    /// Instruction-accurate reference simulation with the full cache
+    /// model ([`AccurateBackend`]).
+    #[default]
+    Accurate,
+    /// Counting-only tier, no cache model ([`FastCountBackend`]).
+    FastCount,
+    /// Prefix sampling with linear extrapolation ([`SampledBackend`]).
+    Sampled {
+        /// Fraction of retired instructions simulated accurately.
+        fraction: f64,
+    },
+    /// 5-stage in-order pipeline timing tier
+    /// ([`crate::PipelinedBackend`]).
+    Pipelined {
+        /// Branch-target-buffer entries of the timing model's predictor.
+        btb: usize,
+        /// Return-address-stack depth of the timing model's predictor.
+        ras: usize,
+    },
+}
+
+impl FidelitySpec {
+    /// Every bundled tier at its default parameters, cheapest-first
+    /// below the reference — the fidelity ladder in sweep order.
+    pub fn all() -> [FidelitySpec; 4] {
+        [
+            FidelitySpec::FastCount,
+            FidelitySpec::Sampled {
+                fraction: DEFAULT_SAMPLE_FRACTION,
+            },
+            FidelitySpec::Pipelined {
+                btb: DEFAULT_BTB_ENTRIES,
+                ras: DEFAULT_RAS_DEPTH,
+            },
+            FidelitySpec::Accurate,
+        ]
+    }
+
+    /// Short tier label without parameters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FidelitySpec::Accurate => "accurate",
+            FidelitySpec::FastCount => "fast-count",
+            FidelitySpec::Sampled { .. } => "sampled",
+            FidelitySpec::Pipelined { .. } => "pipelined",
+        }
+    }
+
+    /// Canonical spec string, parseable back via
+    /// [`FromStr`](std::str::FromStr): tier name plus every parameter.
+    /// Two specs with equal digests select identical backends.
+    pub fn digest(&self) -> String {
+        match self {
+            FidelitySpec::Accurate => "accurate".into(),
+            FidelitySpec::FastCount => "fast-count".into(),
+            FidelitySpec::Sampled { fraction } => format!("sampled:fraction={fraction}"),
+            FidelitySpec::Pipelined { btb, ras } => format!("pipelined:btb={btb},ras={ras}"),
+        }
+    }
+
+    /// Instantiates the backend this spec names against `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the tier's own configuration error (e.g. an out-of-range
+    /// sample fraction) as [`CoreError`].
+    pub fn build(&self, hierarchy: &HierarchyConfig) -> Result<Arc<dyn SimBackend>, CoreError> {
+        Ok(match self {
+            FidelitySpec::Accurate => Arc::new(AccurateBackend::new(hierarchy.clone())),
+            FidelitySpec::FastCount => Arc::new(FastCountBackend::matching(hierarchy)),
+            FidelitySpec::Sampled { fraction } => {
+                Arc::new(SampledBackend::new(hierarchy.clone(), *fraction)?)
+            }
+            FidelitySpec::Pipelined { btb, ras } => {
+                Arc::new(PipelinedBackend::new(hierarchy.clone(), *btb, *ras))
+            }
+        })
+    }
+}
+
+impl fmt::Display for FidelitySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.digest())
+    }
+}
+
+/// Grammar summary appended to every parse error.
+const GRAMMAR: &str = "accurate | fast-count | sampled[:fraction=F] | pipelined[:btb=N,ras=N]";
+
+fn bad_spec(msg: String) -> CoreError {
+    CoreError::Pipeline(format!("{msg} (expected {GRAMMAR})"))
+}
+
+/// Splits `args` (`"k1=v1,k2=v2"`) into key/value pairs.
+fn key_values(args: &str) -> Result<Vec<(&str, &str)>, CoreError> {
+    args.split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            part.split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| bad_spec(format!("malformed parameter {part:?}")))
+        })
+        .collect()
+}
+
+impl std::str::FromStr for FidelitySpec {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.trim().to_ascii_lowercase();
+        let (tier, args) = match lowered.split_once(':') {
+            Some((tier, args)) => (tier.trim(), args),
+            None => (lowered.as_str(), ""),
+        };
+        match tier {
+            "accurate" | "acc" => {
+                if !args.is_empty() {
+                    return Err(bad_spec(format!(
+                        "tier \"accurate\" takes no parameters, got {args:?}"
+                    )));
+                }
+                Ok(FidelitySpec::Accurate)
+            }
+            "fast-count" | "fastcount" | "fast" | "count" => {
+                if !args.is_empty() {
+                    return Err(bad_spec(format!(
+                        "tier \"fast-count\" takes no parameters, got {args:?}"
+                    )));
+                }
+                Ok(FidelitySpec::FastCount)
+            }
+            "sampled" | "sample" => {
+                let mut fraction = DEFAULT_SAMPLE_FRACTION;
+                for (k, v) in key_values(args)? {
+                    match k {
+                        "fraction" => {
+                            fraction = v.parse().map_err(|_| {
+                                bad_spec(format!("fraction must be a number, got {v:?}"))
+                            })?;
+                        }
+                        other => {
+                            return Err(bad_spec(format!("unknown sampled parameter {other:?}")))
+                        }
+                    }
+                }
+                Ok(FidelitySpec::Sampled { fraction })
+            }
+            "pipelined" | "pipeline" => {
+                let mut btb = DEFAULT_BTB_ENTRIES;
+                let mut ras = DEFAULT_RAS_DEPTH;
+                for (k, v) in key_values(args)? {
+                    let parsed = v
+                        .parse()
+                        .map_err(|_| bad_spec(format!("{k} must be an integer, got {v:?}")))?;
+                    match k {
+                        "btb" => btb = parsed,
+                        "ras" => ras = parsed,
+                        other => {
+                            return Err(bad_spec(format!("unknown pipelined parameter {other:?}")))
+                        }
+                    }
+                }
+                Ok(FidelitySpec::Pipelined { btb, ras })
+            }
+            other => Err(bad_spec(format!("unknown fidelity tier {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_round_trips_through_parse() {
+        let specs = [
+            FidelitySpec::Accurate,
+            FidelitySpec::FastCount,
+            FidelitySpec::Sampled { fraction: 0.25 },
+            FidelitySpec::Pipelined { btb: 64, ras: 2 },
+        ];
+        for spec in specs {
+            let parsed: FidelitySpec = spec.digest().parse().unwrap();
+            assert_eq!(parsed, spec, "digest {:?}", spec.digest());
+            assert_eq!(spec.to_string(), spec.digest());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_defaults_and_case() {
+        assert_eq!(
+            "ACCURATE".parse::<FidelitySpec>().unwrap(),
+            FidelitySpec::Accurate
+        );
+        assert_eq!(
+            "fastcount".parse::<FidelitySpec>().unwrap(),
+            FidelitySpec::FastCount
+        );
+        assert_eq!(
+            "sampled".parse::<FidelitySpec>().unwrap(),
+            FidelitySpec::Sampled {
+                fraction: DEFAULT_SAMPLE_FRACTION
+            }
+        );
+        assert_eq!(
+            "pipelined".parse::<FidelitySpec>().unwrap(),
+            FidelitySpec::Pipelined {
+                btb: DEFAULT_BTB_ENTRIES,
+                ras: DEFAULT_RAS_DEPTH
+            }
+        );
+        assert_eq!(
+            "pipelined:ras=4".parse::<FidelitySpec>().unwrap(),
+            FidelitySpec::Pipelined {
+                btb: DEFAULT_BTB_ENTRIES,
+                ras: 4
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "warp-speed",
+            "sampled:fraction=lots",
+            "sampled:frac=0.5",
+            "pipelined:btb",
+            "pipelined:lanes=2",
+            "accurate:x=1",
+            "fast-count:y=2",
+        ] {
+            let err = bad.parse::<FidelitySpec>().unwrap_err();
+            assert!(
+                matches!(err, CoreError::Pipeline(ref m) if m.contains("expected")),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_instantiates_the_named_backend() {
+        let hier = HierarchyConfig::tiny_for_tests();
+        for spec in FidelitySpec::all() {
+            let backend = spec.build(&hier).unwrap();
+            assert_eq!(backend.name(), spec.label());
+        }
+        assert!(FidelitySpec::Sampled { fraction: 2.0 }
+            .build(&hier)
+            .is_err());
+    }
+
+    #[test]
+    fn default_is_the_reference_tier() {
+        assert_eq!(FidelitySpec::default(), FidelitySpec::Accurate);
+    }
+}

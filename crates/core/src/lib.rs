@@ -10,7 +10,7 @@
 //! | "any simulator can be plugged in" (Section II-C) | [`SimBackend`], [`BackendRegistry`], [`SimSession`] |
 //! | repeated performance queries made cheap (the paper's throughput argument) | [`SimCache`] memoization + pre-decoded execution ([`simtune_isa::DecodedProgram`]) |
 //! | `SimulatorRunner` / `local_run` override (Listings 3–4, Fig. 1-I) | [`SimulatorRunner`], [`FunctionRegistry`] |
-//! | fidelity/speed trade-off across simulators (Fig. 1) | [`AccurateBackend`], [`FastCountBackend`], [`SampledBackend`], [`tune_with_fidelity_escalation`] |
+//! | fidelity/speed trade-off across simulators (Fig. 1) | [`FidelitySpec`], [`AccurateBackend`], [`PipelinedBackend`], [`FastCountBackend`], [`SampledBackend`], [`tune_with_fidelity_escalation`] |
 //! | simulator statistics → predictor inputs (Eqs. 1–2) | [`raw_sample`], [`GroupMeans`] |
 //! | static/dynamic window mean approximation (Section III-E) | [`WindowNormalizer`] |
 //! | predictor training / execution workflow (Fig. 4) | [`ScorePredictor`], [`collect_group_data`] |
@@ -45,9 +45,12 @@ mod backend;
 pub mod diffharness;
 mod error;
 mod features;
+mod fidelity;
 mod interface;
+pub mod log;
 mod memo;
 mod metrics;
+mod pipelined;
 mod pool;
 mod predicted;
 mod runner;
@@ -72,6 +75,7 @@ pub use features::{
     feature_names, group_training_data, raw_sample, FeatureConfig, GroupMeans, RawSample,
     WindowKind, WindowNormalizer,
 };
+pub use fidelity::{FidelitySpec, DEFAULT_BTB_ENTRIES, DEFAULT_RAS_DEPTH, DEFAULT_SAMPLE_FRACTION};
 #[allow(deprecated)]
 pub use interface::FunctionRegistry;
 pub use interface::LOCAL_RUNNER_RUN;
@@ -81,6 +85,7 @@ pub use metrics::{
     MemoCacheStats, PredictionMetrics, PredictorStats, SnapshotStats, StageTimings, TenantStats,
     WorkerPoolStats,
 };
+pub use pipelined::{PipelinedBackend, PIPELINED};
 pub use pool::BatchTicket;
 pub use predicted::{
     shared_predictor, OnlinePredictor, PredictedBackend, Prediction, Predictor, SharedPredictor,
@@ -92,6 +97,10 @@ pub use search::{
     RandomSearch, SearchSpace, SearchStrategy, SketchSpace, StrategySpec, TemplateSpace,
 };
 pub use service::{SimService, SimServiceBuilder, TenantSession};
+// The pipelined tier's cycle accounting is part of `SimReport`, so the
+// breakdown struct is re-exported for callers inspecting reports
+// without a direct `simtune_hw` dependency.
+pub use simtune_hw::CycleBreakdown;
 // Replay-engine selection is part of the session/tuning surface, so the
 // kind enum is re-exported for callers configuring `TuneOptions` or
 // `SimSessionBuilder` without a direct `simtune_isa` dependency.

@@ -1,0 +1,71 @@
+//! Minimal diagnostics shim: warnings go to stderr in production and
+//! into a thread-local buffer under [`capture`], so tests (and the
+//! serve loop's tests in particular) can assert on degraded-mode
+//! messages — e.g. a refused cache snapshot logging a cold start —
+//! without scraping the process's stderr.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+/// Emits a warning: `simtune: {msg}` on stderr, or into the active
+/// [`capture`] buffer when one is installed on this thread.
+pub fn warn(msg: impl Into<String>) {
+    let msg = msg.into();
+    let captured = CAPTURE.with(|c| match c.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.push(msg.clone());
+            true
+        }
+        None => false,
+    });
+    if !captured {
+        eprintln!("simtune: {msg}");
+    }
+}
+
+/// Runs `f` with warnings captured on this thread, returning its result
+/// together with every message [`warn`] emitted during the call.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    struct Restore(Option<Vec<String>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CAPTURE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CAPTURE.with(|c| c.borrow_mut().replace(Vec::new()));
+    let guard = Restore(previous);
+    let r = f();
+    let logs = CAPTURE.with(|c| c.borrow_mut().replace(Vec::new()).unwrap_or_default());
+    drop(guard);
+    (r, logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_warnings_and_restores_passthrough() {
+        let ((), logs) = capture(|| {
+            warn("first");
+            warn(format!("second {}", 2));
+        });
+        assert_eq!(logs, ["first", "second 2"]);
+        // After capture ends, warn must not panic (stderr path).
+        warn("uncaptured");
+    }
+
+    #[test]
+    fn nested_captures_do_not_leak_into_each_other() {
+        let ((), outer) = capture(|| {
+            warn("outer-1");
+            let ((), inner) = capture(|| warn("inner"));
+            assert_eq!(inner, ["inner"]);
+            warn("outer-2");
+        });
+        assert_eq!(outer, ["outer-1", "outer-2"]);
+    }
+}

@@ -20,8 +20,9 @@
 //! * the program bytes (disassembly listing — complete and canonical,
 //!   including resolved branch targets) and the target ISA,
 //! * the prepared data segments (bit-exact `f32` contents),
-//! * the backend name, fidelity and configuration digest
-//!   ([`crate::SimBackend::memo_key`]),
+//! * the fidelity digest ([`crate::SimBackend::fidelity_digest`]) — one
+//!   canonical string naming the tier and every configuration knob, in
+//!   [`crate::FidelitySpec`] grammar for the bundled backends,
 //! * the replay [`EngineKind`] — engines are bit-identical by contract,
 //!   but the fingerprint still separates them so an equivalence bug can
 //!   never let one engine's report masquerade as another's,
@@ -32,7 +33,7 @@
 //! named builds of the same schedule are the same simulation.
 //!
 //! Backends whose results are not a pure function of the above opt out
-//! by returning `None` from [`crate::SimBackend::memo_key`] (the default
+//! by returning `None` from [`crate::SimBackend::fidelity_digest`] (the default
 //! — only the bundled deterministic tiers opt in), and cache hits are
 //! byte-identical replays: even `host_nanos` is the stored value, so
 //! downstream scoring sees exactly what a re-run of the original
@@ -54,7 +55,6 @@
 //! [`MemoCacheStats`](crate::metrics::MemoCacheStats) through
 //! [`SimCache::stats`].
 
-use crate::backend::Fidelity;
 use crate::metrics::{MemoCacheStats, SnapshotStats};
 use crate::SimReport;
 use simtune_isa::{EngineKind, Executable, RunLimits};
@@ -426,13 +426,14 @@ impl SimCache {
 /// The full key (not a digest) is stored, so distinct simulations can
 /// never collide. Public (re-exported as `memo_fingerprint`) so the
 /// differential and property suites can assert the collision contract —
-/// equal (program, data, target, backend, limits, engine) collide,
-/// any differing component misses — directly against the real key.
+/// equal (program, data, target, fidelity digest, limits, engine)
+/// collide, any differing component misses — directly against the real
+/// key. `fidelity_digest` is the backend's
+/// [`crate::SimBackend::fidelity_digest`]: one canonical string naming
+/// the tier and every configuration knob.
 pub fn fingerprint(
     exe: &Executable,
-    backend_name: &str,
-    fidelity: &Fidelity,
-    config_digest: &str,
+    fidelity_digest: &str,
     limits: &RunLimits,
     engine: EngineKind,
 ) -> Vec<u8> {
@@ -444,10 +445,7 @@ pub fn fingerprint(
         "target={} lanes={} inst_bytes={}",
         t.name, t.vector_lanes, t.inst_bytes
     );
-    let _ = writeln!(
-        text,
-        "backend={backend_name} fidelity={fidelity} config=[{config_digest}]"
-    );
+    let _ = writeln!(text, "fidelity=[{fidelity_digest}]");
     let _ = writeln!(text, "engine={}", engine.label());
     let _ = writeln!(text, "max_insts={}", limits.max_insts);
     // Program bytes: the disassembly listing is complete (every operand
@@ -470,6 +468,7 @@ pub fn fingerprint(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Fidelity;
     use crate::SimBackend;
     use simtune_isa::{Gpr, Inst, ProgramBuilder, SimStats, TargetIsa};
 
@@ -484,9 +483,7 @@ mod tests {
     fn key_of(e: &Executable) -> Vec<u8> {
         fingerprint(
             e,
-            "accurate",
-            &Fidelity::Accurate,
-            "cfg",
+            "accurate @ cfg",
             &RunLimits::default(),
             EngineKind::Decoded,
         )
@@ -508,45 +505,28 @@ mod tests {
         other_target.target = TargetIsa::x86_ryzen_5800x();
         assert_ne!(key_of(&a), key_of(&other_target), "target must matter");
 
-        let other_backend = fingerprint(
-            &a,
-            "fast-count",
-            &Fidelity::CountOnly,
-            "cfg",
-            &RunLimits::default(),
-            EngineKind::Decoded,
-        );
-        assert_ne!(key_of(&a), other_backend, "backend must matter");
-
-        let other_config = fingerprint(
-            &a,
-            "accurate",
-            &Fidelity::Accurate,
-            "other-cfg",
-            &RunLimits::default(),
-            EngineKind::Decoded,
-        );
-        assert_ne!(key_of(&a), other_config, "backend config must matter");
+        // Any change to the fidelity digest — tier, parameters or the
+        // embedded hierarchy — must re-key the simulation.
+        for digest in [
+            "fast-count @ line_bytes=64",
+            "accurate @ other-cfg",
+            "pipelined:btb=512,ras=8 @ cfg",
+            "pipelined:btb=256,ras=8 @ cfg",
+        ] {
+            let other = fingerprint(&a, digest, &RunLimits::default(), EngineKind::Decoded);
+            assert_ne!(key_of(&a), other, "fidelity digest must matter ({digest})");
+        }
 
         let other_limits = fingerprint(
             &a,
-            "accurate",
-            &Fidelity::Accurate,
-            "cfg",
+            "accurate @ cfg",
             &RunLimits { max_insts: 5 },
             EngineKind::Decoded,
         );
         assert_ne!(key_of(&a), other_limits, "limits must matter");
 
         for engine in [EngineKind::Interp, EngineKind::Threaded, EngineKind::Batch] {
-            let other_engine = fingerprint(
-                &a,
-                "accurate",
-                &Fidelity::Accurate,
-                "cfg",
-                &RunLimits::default(),
-                engine,
-            );
+            let other_engine = fingerprint(&a, "accurate @ cfg", &RunLimits::default(), engine);
             assert_ne!(key_of(&a), other_engine, "engine must matter ({engine})");
         }
     }
@@ -562,6 +542,7 @@ mod tests {
             backend: "accurate".into(),
             fidelity: Fidelity::Accurate,
             extrapolated: false,
+            cycles: None,
         };
         cache.insert(key.clone(), report.clone());
         assert_eq!(cache.lookup(&key).as_ref(), Some(&report));
@@ -582,6 +563,7 @@ mod tests {
             backend: "accurate".into(),
             fidelity: Fidelity::Accurate,
             extrapolated: false,
+            cycles: None,
         };
         let keys: Vec<Vec<u8>> = (0..3u8)
             .map(|i| key_of(&exe("e", i as i64, vec![])))
@@ -621,6 +603,7 @@ mod tests {
             backend: "accurate".into(),
             fidelity: Fidelity::Accurate,
             extrapolated: false,
+            cycles: None,
         };
         for i in 0..64u64 {
             let key = key_of(&exe("e", i as i64, vec![i as f32]));

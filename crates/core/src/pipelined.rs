@@ -1,0 +1,290 @@
+//! Pipelined in-order timing tier: instruction-accurate semantics plus
+//! a cycle-level [`PipelineModel`].
+//!
+//! [`PipelinedBackend`] sits between [`crate::SampledBackend`] and
+//! [`crate::AccurateBackend`] on the fidelity ladder: it runs the same
+//! functional replay as the reference (architectural statistics are
+//! bit-identical by construction), but hooks a 5-stage in-order timing
+//! model into the µop stream via
+//! [`simtune_isa::TimingBridge`] — RAW/load-use stalls, branch
+//! misprediction flushes against a BTB+RAS predictor, and a stride
+//! prefetcher filling the shared cache hierarchy. The extra signal
+//! lands in [`SimReport::cycles`] as a [`CycleBreakdown`].
+//!
+//! # Determinism contract
+//!
+//! A fresh [`PipelineModel`] is created per trial and all of its
+//! accounting is integral, so cycle counts are byte-identical at every
+//! `n_parallel` and on every replay [`EngineKind`] — the property the
+//! differential harness ([`crate::diffharness`]) locks in. Because the
+//! prefetcher mutates the trial's cache hierarchy, *cache* statistics
+//! legitimately differ from the accurate tier's; instruction mix and
+//! architectural state do not.
+
+use crate::backend::{hierarchy_digest, BackendError, Fidelity, SimBackend, SimReport};
+use simtune_cache::HierarchyConfig;
+use simtune_hw::{CycleBreakdown, PipelineModel, TargetSpec};
+use simtune_isa::{
+    simulate_decoded_hooked_on, DecodedProgram, EngineKind, Executable, RunLimits, TimingBridge,
+};
+
+/// Canonical name of the pipelined timing flavor.
+pub const PIPELINED: &str = "pipelined";
+
+/// The cycle-level fidelity tier: accurate functional simulation with a
+/// per-trial in-order pipeline timing model.
+#[derive(Debug, Clone)]
+pub struct PipelinedBackend {
+    hierarchy: HierarchyConfig,
+    btb_entries: usize,
+    ras_depth: usize,
+}
+
+impl PipelinedBackend {
+    /// Pipelined backend over `hierarchy` with a branch predictor BTB of
+    /// `btb_entries` slots and a RAS of `ras_depth` slots.
+    pub fn new(hierarchy: HierarchyConfig, btb_entries: usize, ras_depth: usize) -> Self {
+        PipelinedBackend {
+            hierarchy,
+            btb_entries,
+            ras_depth,
+        }
+    }
+
+    /// The cache geometry each trial simulates.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
+    }
+
+    /// Configured BTB capacity.
+    pub fn btb_entries(&self) -> usize {
+        self.btb_entries
+    }
+
+    /// Configured RAS depth.
+    pub fn ras_depth(&self) -> usize {
+        self.ras_depth
+    }
+
+    /// Timing parameters for `exe`: the target spec matching the
+    /// executable's ISA label (falling back to the U74 preset for
+    /// custom ISAs), with the cache geometry overridden by this
+    /// backend's configured hierarchy so timing and simulation agree.
+    fn timing_spec(&self, exe: &Executable) -> TargetSpec {
+        let mut spec = TargetSpec::by_name(exe.target.name).unwrap_or_else(TargetSpec::riscv_u74);
+        spec.hierarchy = self.hierarchy.clone();
+        spec
+    }
+
+    fn run(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<(simtune_isa::SimStats, CycleBreakdown), BackendError> {
+        let spec = self.timing_spec(exe);
+        let mut model = PipelineModel::new(&spec, self.btb_entries, self.ras_depth);
+        let mut bridge = TimingBridge::new(&mut model);
+        let out = simulate_decoded_hooked_on(
+            exe,
+            decoded,
+            &self.hierarchy,
+            *limits,
+            engine,
+            &mut bridge,
+        )?;
+        Ok((out.stats, model.breakdown()))
+    }
+
+    fn report(stats: simtune_isa::SimStats, cycles: CycleBreakdown) -> SimReport {
+        SimReport {
+            stats,
+            backend: PIPELINED.into(),
+            fidelity: Fidelity::Pipelined,
+            extrapolated: false,
+            cycles: Some(cycles),
+        }
+    }
+}
+
+impl SimBackend for PipelinedBackend {
+    fn name(&self) -> &str {
+        PIPELINED
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Pipelined
+    }
+
+    fn run_one(&self, exe: &Executable, limits: &RunLimits) -> Result<SimReport, BackendError> {
+        let decoded = exe.decode()?;
+        self.run_one_decoded(exe, &decoded, limits)
+    }
+
+    fn run_one_decoded(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+    ) -> Result<SimReport, BackendError> {
+        self.run_one_decoded_on(exe, decoded, limits, EngineKind::Decoded)
+    }
+
+    fn run_one_decoded_on(
+        &self,
+        exe: &Executable,
+        decoded: &DecodedProgram,
+        limits: &RunLimits,
+        engine: EngineKind,
+    ) -> Result<SimReport, BackendError> {
+        let (stats, cycles) = self.run(exe, decoded, limits, engine)?;
+        Ok(Self::report(stats, cycles))
+    }
+
+    // No SoA path: each lane owns a timing model, so grouped replay
+    // would buy nothing — supports_soa_batch stays false (the default)
+    // and Batch sessions fall back to per-trial execution.
+
+    fn memo_key(&self) -> Option<String> {
+        Some(format!(
+            "{} btb={} ras={}",
+            hierarchy_digest(&self.hierarchy),
+            self.btb_entries,
+            self.ras_depth
+        ))
+    }
+
+    fn fidelity_digest(&self) -> Option<String> {
+        Some(format!(
+            "pipelined:btb={},ras={} @ {}",
+            self.btb_entries,
+            self.ras_depth,
+            hierarchy_digest(&self.hierarchy)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AccurateBackend;
+    use simtune_isa::{Fpr, Gpr, Inst, ProgramBuilder, TargetIsa};
+
+    fn hier() -> HierarchyConfig {
+        HierarchyConfig::tiny_for_tests()
+    }
+
+    /// Loop whose inner branch direction depends on the iteration
+    /// count — hostile to the bimodal predictor.
+    fn branchy(n: i64) -> Executable {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Li { rd: Gpr(1), imm: 0 });
+        b.push(Inst::Li { rd: Gpr(2), imm: n });
+        let top = b.bind_new_label();
+        b.push(Inst::Slli {
+            rd: Gpr(4),
+            rs: Gpr(1),
+            shamt: 63,
+        });
+        let skip = b.new_label();
+        b.branch_ne(Gpr(4), Gpr(5), skip);
+        b.push(Inst::Addi {
+            rd: Gpr(3),
+            rs: Gpr(3),
+            imm: 1,
+        });
+        b.bind(skip);
+        b.push(Inst::Addi {
+            rd: Gpr(1),
+            rs: Gpr(1),
+            imm: 1,
+        });
+        b.branch_lt(Gpr(1), Gpr(2), top);
+        b.push(Inst::Halt);
+        Executable::new("branchy", b.build().unwrap(), TargetIsa::riscv_u74())
+    }
+
+    /// Branch-free FP chain of comparable length.
+    fn straightline(n: usize) -> Executable {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Fli {
+            fd: Fpr(1),
+            imm: 1.0,
+        });
+        for _ in 0..n {
+            b.push(Inst::Fadd {
+                fd: Fpr(1),
+                fs1: Fpr(1),
+                fs2: Fpr(1),
+            });
+        }
+        b.push(Inst::Halt);
+        Executable::new("straight", b.build().unwrap(), TargetIsa::riscv_u74())
+    }
+
+    #[test]
+    fn cycles_present_and_dominate_instruction_count() {
+        let backend = PipelinedBackend::new(hier(), 512, 8);
+        let r = backend
+            .run_one(&branchy(200), &RunLimits::default())
+            .unwrap();
+        assert_eq!(r.backend, "pipelined");
+        assert_eq!(r.fidelity, Fidelity::Pipelined);
+        let cycles = r.cycles.expect("pipelined tier reports a breakdown");
+        assert!(cycles.total() >= r.stats.inst_mix.total() as f64);
+    }
+
+    #[test]
+    fn arch_state_matches_the_accurate_tier() {
+        let backend = PipelinedBackend::new(hier(), 512, 8);
+        let acc = AccurateBackend::new(hier());
+        let exe = branchy(100);
+        let p = backend.run_one(&exe, &RunLimits::default()).unwrap();
+        let a = acc.run_one(&exe, &RunLimits::default()).unwrap();
+        assert_eq!(p.stats.inst_mix, a.stats.inst_mix);
+    }
+
+    #[test]
+    fn cycles_are_deterministic_across_engines() {
+        let backend = PipelinedBackend::new(hier(), 512, 8);
+        let exe = branchy(150);
+        let decoded = exe.decode().unwrap();
+        let reference = backend
+            .run_one_decoded(&exe, &decoded, &RunLimits::default())
+            .unwrap();
+        for engine in EngineKind::ALL {
+            let r = backend
+                .run_one_decoded_on(&exe, &decoded, &RunLimits::default(), engine)
+                .unwrap();
+            assert_eq!(r.cycles, reference.cycles, "engine {engine:?}");
+            assert_eq!(r.stats.inst_mix, reference.stats.inst_mix);
+        }
+    }
+
+    #[test]
+    fn branch_hostile_code_pays_control_cycles_branch_free_does_not() {
+        let backend = PipelinedBackend::new(hier(), 512, 8);
+        let hostile = backend
+            .run_one(&branchy(300), &RunLimits::default())
+            .unwrap();
+        let straight = backend
+            .run_one(&straightline(300), &RunLimits::default())
+            .unwrap();
+        assert!(hostile.cycles.unwrap().control > 0.0);
+        assert_eq!(straight.cycles.unwrap().control, 0.0);
+    }
+
+    #[test]
+    fn digest_covers_every_knob() {
+        let a = PipelinedBackend::new(hier(), 512, 8);
+        let b = PipelinedBackend::new(hier(), 256, 8);
+        let c = PipelinedBackend::new(hier(), 512, 4);
+        assert_ne!(a.fidelity_digest(), b.fidelity_digest());
+        assert_ne!(a.fidelity_digest(), c.fidelity_digest());
+        assert!(a
+            .fidelity_digest()
+            .unwrap()
+            .starts_with("pipelined:btb=512,ras=8 @ "));
+    }
+}

@@ -207,15 +207,8 @@ impl Batch {
         let memo_cfg = ctx.ctx_memo();
         for (i, exe) in exes.iter().enumerate() {
             let plan = match &memo_cfg {
-                Some((cache, config)) => {
-                    let key = fingerprint(
-                        exe,
-                        ctx.backend.name(),
-                        &ctx.backend.fidelity(),
-                        config,
-                        &ctx.limits,
-                        ctx.engine,
-                    );
+                Some((cache, digest)) => {
+                    let key = fingerprint(exe, digest, &ctx.limits, ctx.engine);
                     // Hold the in-flight lock across the cache probe so a
                     // leader finishing concurrently is seen in exactly one
                     // of the two places (it inserts into the cache before
@@ -394,8 +387,8 @@ impl Batch {
 
 impl BatchCtx {
     fn ctx_memo(&self) -> Option<(Arc<SimCache>, String)> {
-        match (&self.memo, self.backend.memo_key()) {
-            (Some(cache), Some(config)) => Some((cache.clone(), config)),
+        match (&self.memo, self.backend.fidelity_digest()) {
+            (Some(cache), Some(digest)) => Some((cache.clone(), digest)),
             _ => None,
         }
     }
@@ -745,6 +738,7 @@ mod tests {
                 backend: "marker".into(),
                 fidelity: Fidelity::Custom,
                 extrapolated: false,
+                cycles: None,
             })
         }
     }
@@ -860,6 +854,7 @@ mod tests {
                 backend: "soa-marker".into(),
                 fidelity: Fidelity::Custom,
                 extrapolated: false,
+                cycles: None,
             })
         }
         fn supports_soa_batch(&self) -> bool {
@@ -961,6 +956,7 @@ mod tests {
                 backend: "gate".into(),
                 fidelity: Fidelity::Custom,
                 extrapolated: false,
+                cycles: None,
             })
         }
     }

@@ -245,10 +245,24 @@ impl SimService {
         name: &str,
         hierarchy: &HierarchyConfig,
     ) -> Result<TenantSession, CoreError> {
-        self.open_tenant(
-            name,
-            Arc::new(crate::backend::AccurateBackend::new(hierarchy.clone())),
-        )
+        self.open_fidelity(name, &crate::FidelitySpec::Accurate, hierarchy)
+    }
+
+    /// [`SimService::open_tenant`] on the tier a
+    /// [`FidelitySpec`](crate::FidelitySpec) names — the uniform entry
+    /// point the serve protocol's `fidelity` field routes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Pipeline`] when the name is already open or
+    /// the spec's parameters are rejected by the tier.
+    pub fn open_fidelity(
+        &self,
+        name: &str,
+        spec: &crate::FidelitySpec,
+        hierarchy: &HierarchyConfig,
+    ) -> Result<TenantSession, CoreError> {
+        self.open_tenant(name, spec.build(hierarchy)?)
     }
 
     /// Number of currently open tenants.

@@ -12,7 +12,7 @@
 //!
 //! # Format and versioning
 //!
-//! A snapshot is one JSON object (`{"schema": "simtune-simcache-v2",
+//! A snapshot is one JSON object (`{"schema": "simtune-simcache-v3",
 //! "entries": [...]}`). Each entry stores the canonical fingerprint
 //! (hex-encoded — fingerprints embed raw little-endian `f32` data bytes
 //! and are not UTF-8) plus the memoized [`SimReport`] flattened into the
@@ -49,6 +49,7 @@ use crate::backend::{Fidelity, SimReport};
 use crate::memo::SimCache;
 use serde::{Deserialize, Serialize};
 use simtune_cache::{CacheStats, HierarchyStats};
+use simtune_hw::CycleBreakdown;
 use simtune_isa::{InstMix, SimStats};
 use std::fs;
 use std::io;
@@ -58,8 +59,12 @@ use std::sync::atomic::Ordering;
 /// Version tag accepted by this reader; anything else is rejected (and
 /// degrades to a cold start). v2: fingerprints gained the replay-engine
 /// identity, so v1 snapshots (keyed without an `engine=` line) are
-/// refused rather than replayed under ambiguous keys.
-pub const SNAPSHOT_SCHEMA: &str = "simtune-simcache-v2";
+/// refused rather than replayed under ambiguous keys. v3: fingerprints
+/// are re-keyed on [fidelity digests](crate::SimBackend::fidelity_digest)
+/// instead of the old `(backend, fidelity, memo key)` triple, and
+/// reports gained an optional [`CycleBreakdown`] — v2 snapshots are
+/// refused (logged cold start) rather than replayed under stale keys.
+pub const SNAPSHOT_SCHEMA: &str = "simtune-simcache-v3";
 
 /// Outcome of [`SimCache::load_from`]. Every variant leaves the cache
 /// usable; only I/O errors surface as `Err`.
@@ -208,12 +213,16 @@ struct PersistedEntry {
     /// Hex-encoded canonical fingerprint (raw bytes, not UTF-8).
     key: String,
     backend: String,
-    /// `"accurate" | "count-only" | "sampled" | "custom"`.
+    /// `"accurate" | "count-only" | "sampled" | "pipelined" | "custom"`.
     fidelity: String,
     /// Sampling fraction; present exactly when `fidelity == "sampled"`.
     fraction: Option<f64>,
     extrapolated: bool,
     stats: PersistedStats,
+    /// Bit patterns (`f64::to_bits`) of the cycle breakdown's
+    /// `[pipeline, memory, control]` components, so the replay is
+    /// bit-identical; `null` for tiers without a timing model.
+    cycles: Option<[u64; 3]>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -227,6 +236,7 @@ fn encode_fidelity(f: &Fidelity) -> (String, Option<f64>) {
         Fidelity::Accurate => ("accurate".into(), None),
         Fidelity::CountOnly => ("count-only".into(), None),
         Fidelity::Sampled { fraction } => ("sampled".into(), Some(*fraction)),
+        Fidelity::Pipelined => ("pipelined".into(), None),
         // `Fidelity` is non-exhaustive; future variants fall back to
         // `Custom`, which never collides with memoized tiers because
         // custom backends opt out of memoization by default.
@@ -239,6 +249,7 @@ fn decode_fidelity(kind: &str, fraction: Option<f64>) -> Result<Fidelity, String
         ("accurate", None) => Ok(Fidelity::Accurate),
         ("count-only", None) => Ok(Fidelity::CountOnly),
         ("sampled", Some(fraction)) => Ok(Fidelity::Sampled { fraction }),
+        ("pipelined", None) => Ok(Fidelity::Pipelined),
         ("custom", None) => Ok(Fidelity::Custom),
         _ => Err(format!("unknown fidelity {kind:?} (fraction {fraction:?})")),
     }
@@ -285,6 +296,11 @@ fn decode_snapshot(json: &str) -> Result<Vec<(Vec<u8>, SimReport)>, String> {
                 backend: e.backend,
                 fidelity,
                 extrapolated: e.extrapolated,
+                cycles: e.cycles.map(|[p, m, c]| CycleBreakdown {
+                    pipeline: f64::from_bits(p),
+                    memory: f64::from_bits(m),
+                    control: f64::from_bits(c),
+                }),
             };
             Ok((key, report))
         })
@@ -316,6 +332,13 @@ impl SimCache {
                         fraction,
                         extrapolated: report.extrapolated,
                         stats: (&report.stats).into(),
+                        cycles: report.cycles.as_ref().map(|c| {
+                            [
+                                c.pipeline.to_bits(),
+                                c.memory.to_bits(),
+                                c.control.to_bits(),
+                            ]
+                        }),
                     }
                 })
                 .collect(),
@@ -359,10 +382,10 @@ impl SimCache {
             }
             Err(reason) => {
                 self.snap_rejected.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "simtune: ignoring cache snapshot {}: {reason} (cold start)",
+                crate::log::warn(format!(
+                    "ignoring cache snapshot {}: {reason} (cold start)",
                     path.display()
-                );
+                ));
                 Ok(SnapshotLoad::Rejected(reason))
             }
         }
@@ -395,6 +418,14 @@ mod tests {
             backend: "accurate".into(),
             fidelity,
             extrapolated: matches!(fidelity, Fidelity::Sampled { .. }),
+            // Pipelined entries carry a breakdown with a fractional
+            // component, so the round-trip exercises the bit-exact
+            // f64 encoding.
+            cycles: matches!(fidelity, Fidelity::Pipelined).then(|| CycleBreakdown {
+                pipeline: n as f64 + 0.5,
+                memory: n as f64 * 3.0,
+                control: n as f64,
+            }),
         }
     }
 
@@ -412,6 +443,7 @@ mod tests {
             Fidelity::Accurate,
             Fidelity::CountOnly,
             Fidelity::Sampled { fraction: 0.25 },
+            Fidelity::Pipelined,
             Fidelity::Custom,
         ];
         for (i, f) in fids.iter().enumerate() {
@@ -472,10 +504,28 @@ mod tests {
     }
 
     #[test]
+    fn v2_snapshot_is_refused_with_a_captured_warning() {
+        // Pre-v3 snapshots were keyed before the fidelity-digest re-key
+        // and carry no `cycles` member; replaying them would resurrect
+        // entries under stale fingerprints, so the reader refuses them.
+        let path = tmp("v2.json");
+        atomic_write(&path, br#"{"schema":"simtune-simcache-v2","entries":[]}"#).unwrap();
+        let cache = SimCache::new();
+        let (outcome, logs) = crate::log::capture(|| cache.load_from(&path).unwrap());
+        match outcome {
+            SnapshotLoad::Rejected(reason) => assert!(reason.contains("v2"), "{reason}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(logs.len(), 1, "{logs:?}");
+        assert!(logs[0].contains("cold start"), "{logs:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn unknown_fidelity_rejects_the_snapshot() {
         let path = tmp("fidelity.json");
         let json = format!(
-            r#"{{"schema":"{SNAPSHOT_SCHEMA}","entries":[{{"key":"00","backend":"b","fidelity":"quantum","fraction":null,"extrapolated":false,"stats":{{"mix":[0,0,0,0,0,0,0,0],"l1d":{{"counters":[0,0,0,0,0,0]}},"l1i":{{"counters":[0,0,0,0,0,0]}},"l2":{{"counters":[0,0,0,0,0,0]}},"l3":null,"dram":[0,0],"host_nanos":0}}}}]}}"#
+            r#"{{"schema":"{SNAPSHOT_SCHEMA}","entries":[{{"key":"00","backend":"b","fidelity":"quantum","fraction":null,"extrapolated":false,"stats":{{"mix":[0,0,0,0,0,0,0,0],"l1d":{{"counters":[0,0,0,0,0,0]}},"l1i":{{"counters":[0,0,0,0,0,0]}},"l2":{{"counters":[0,0,0,0,0,0]}},"l3":null,"dram":[0,0],"host_nanos":0}},"cycles":null}}]}}"#
         );
         atomic_write(&path, json.as_bytes()).unwrap();
         let cache = SimCache::new();

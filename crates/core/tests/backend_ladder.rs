@@ -14,10 +14,17 @@
 //!   linear extrapolation is reproducible bit-for-bit from that
 //!   prefix, and `extrapolated` is flagged precisely when the prefix
 //!   did not cover the run.
+//! * [`PipelinedBackend`]: architectural statistics identical to the
+//!   interp reference on every corpus scenario, and the extra
+//!   [`simtune_core::CycleBreakdown`] byte-identical across replay
+//!   engines and `n_parallel` 1/2/4.
 
 use simtune_cache::HierarchyConfig;
 use simtune_core::diffharness::DiffHarness;
-use simtune_core::{AccurateBackend, FastCountBackend, SampledBackend, SimBackend};
+use simtune_core::{
+    AccurateBackend, FastCountBackend, FidelitySpec, PipelinedBackend, SampledBackend, SimBackend,
+    SimSession, DEFAULT_BTB_ENTRIES, DEFAULT_RAS_DEPTH,
+};
 use simtune_isa::{EngineKind, RunLimits, TortureConfig};
 
 fn hier() -> HierarchyConfig {
@@ -160,6 +167,76 @@ fn sampled_partial_prefix_matches_accurate_prefix_and_flags_extrapolation() {
 }
 
 #[test]
+fn pipelined_matches_interp_architectural_statistics_on_the_corpus() {
+    // The timing tier replays the same functional semantics as the
+    // interp reference; only the cache statistics may move (the
+    // prefetcher shares the trial's hierarchy) and cycles appear.
+    let accurate = AccurateBackend::new(hier());
+    let pipelined = PipelinedBackend::new(hier(), DEFAULT_BTB_ENTRIES, DEFAULT_RAS_DEPTH);
+    let limits = RunLimits::default();
+    for (ctx, exe, decoded) in corpus_cases() {
+        let a = accurate
+            .run_one_decoded_on(&exe, &decoded, &limits, EngineKind::Interp)
+            .unwrap();
+        let p = pipelined.run_one_decoded(&exe, &decoded, &limits).unwrap();
+        assert_eq!(a.stats.inst_mix, p.stats.inst_mix, "{ctx}: inst mix");
+        assert!(!p.extrapolated, "{ctx}");
+        let cycles = p.cycles.expect("pipelined tier reports a breakdown");
+        assert!(
+            cycles.total() >= p.stats.inst_mix.total() as f64,
+            "{ctx}: an in-order pipeline retires at most one inst/cycle"
+        );
+    }
+}
+
+#[test]
+fn pipelined_cycles_are_byte_identical_across_parallelism_and_engines() {
+    // Every (engine, n_parallel) session over the same corpus slice
+    // must report bit-equal cycle breakdowns — the determinism contract
+    // that makes the timing tier usable under memoization.
+    let cases = corpus_cases();
+    let exes: Vec<simtune_isa::Executable> = cases
+        .iter()
+        .step_by(5)
+        .map(|(_, exe, _)| exe.clone())
+        .collect();
+    let spec = FidelitySpec::Pipelined {
+        btb: DEFAULT_BTB_ENTRIES,
+        ras: DEFAULT_RAS_DEPTH,
+    };
+    let mut reference: Option<Vec<[u64; 3]>> = None;
+    for engine in EngineKind::ALL {
+        for n_parallel in [1, 2, 4] {
+            let session = SimSession::builder()
+                .fidelity(&spec, &hier())
+                .n_parallel(n_parallel)
+                .engine(engine)
+                .build()
+                .unwrap();
+            let bits: Vec<[u64; 3]> = session
+                .run(&exes)
+                .into_iter()
+                .map(|r| {
+                    let c = r.unwrap().cycles.expect("pipelined session reports cycles");
+                    [
+                        c.pipeline.to_bits(),
+                        c.memory.to_bits(),
+                        c.control.to_bits(),
+                    ]
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(first) => assert_eq!(
+                    first, &bits,
+                    "{engine} at n_parallel = {n_parallel} moved the cycle counts"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn every_tier_honors_engine_selection_identically() {
     // The same report must come back whatever replay engine a tier is
     // pinned to — the property that lets sessions treat the engine as a
@@ -168,6 +245,11 @@ fn every_tier_honors_engine_selection_identically() {
         Box::new(AccurateBackend::new(hier())),
         Box::new(FastCountBackend::matching(&hier())),
         Box::new(SampledBackend::new(hier(), 0.5).unwrap().with_min_insts(1)),
+        Box::new(PipelinedBackend::new(
+            hier(),
+            DEFAULT_BTB_ENTRIES,
+            DEFAULT_RAS_DEPTH,
+        )),
     ];
     let limits = RunLimits::default();
     for (ctx, exe, decoded) in corpus_cases().into_iter().step_by(7) {

@@ -1,14 +1,14 @@
 //! Property suite for the [`SimCache`] fingerprint on torture programs
-//! — the collision contract behind the v2 snapshot schema.
+//! — the collision contract behind the v3 snapshot schema.
 //!
 //! The memo layer replays stored reports whenever two requests share a
 //! fingerprint, so the fingerprint function carries the entire
 //! correctness burden: two requests may collide **iff** they are the
 //! same simulation — same program (by disassembly), same data bits,
-//! same target, same backend/fidelity/config, same limits, same
-//! engine. Torture programs make good probes because near-identical
-//! variants (one instruction changed, one data bit flipped) are easy to
-//! derive from a seed.
+//! same target, same fidelity digest, same limits, same engine.
+//! Torture programs make good probes because near-identical variants
+//! (one instruction changed, one data bit flipped) are easy to derive
+//! from a seed.
 
 use proptest::prelude::*;
 use simtune_core::{memo_fingerprint, Fidelity, SimCache, SimReport};
@@ -30,22 +30,8 @@ fn torture_exe(seed: u64, name: &str, data: Vec<f32>) -> Executable {
     Executable::new(name, program, target).with_segment(DATA_BASE, data)
 }
 
-fn key(
-    exe: &Executable,
-    backend: &str,
-    fidelity: &Fidelity,
-    cfg: &str,
-    max_insts: u64,
-    engine: EngineKind,
-) -> Vec<u8> {
-    memo_fingerprint(
-        exe,
-        backend,
-        fidelity,
-        cfg,
-        &RunLimits { max_insts },
-        engine,
-    )
+fn key(exe: &Executable, digest: &str, max_insts: u64, engine: EngineKind) -> Vec<u8> {
+    memo_fingerprint(exe, digest, &RunLimits { max_insts }, engine)
 }
 
 proptest! {
@@ -58,17 +44,18 @@ proptest! {
         let data = vec![f32::from_bits(data_word), 2.0, -0.0];
         let a = torture_exe(seed, "trial-1", data.clone());
         let b = torture_exe(seed, "trial-2", data);
-        let ka = key(&a, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded);
-        let kb = key(&b, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded);
+        let ka = key(&a, "accurate @ cfg", 1_000, EngineKind::Decoded);
+        let kb = key(&b, "accurate @ cfg", 1_000, EngineKind::Decoded);
         prop_assert_eq!(ka, kb);
     }
 
     /// Any differing component misses: program, data bits, engine,
-    /// backend identity/config, limits, target.
+    /// fidelity digest (tier, parameters or configuration), limits,
+    /// target.
     #[test]
     fn any_differing_component_misses(seed in any::<u64>()) {
         let base = torture_exe(seed, "t", vec![1.0, 2.0]);
-        let k0 = key(&base, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded);
+        let k0 = key(&base, "accurate @ cfg", 1_000, EngineKind::Decoded);
 
         // Different program (next seed -- generator decorrelation is
         // pinned by the isa contract suite).
@@ -76,36 +63,44 @@ proptest! {
         prop_assume!(other_prog.program != base.program);
         prop_assert_ne!(
             &k0,
-            &key(&other_prog, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded)
+            &key(&other_prog, "accurate @ cfg", 1_000, EngineKind::Decoded)
         );
 
         // One data bit flipped (0.0 vs -0.0 differ only in sign bit).
         let bitflip = torture_exe(seed, "t", vec![1.0, 2.0 + 1e-6]);
         prop_assert_ne!(
             &k0,
-            &key(&bitflip, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded)
+            &key(&bitflip, "accurate @ cfg", 1_000, EngineKind::Decoded)
         );
 
-        // Engine, backend name, fidelity, config digest, limits.
+        // Engine, fidelity tier, tier parameters, configuration, limits.
         prop_assert_ne!(
             &k0,
-            &key(&base, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Batch)
+            &key(&base, "accurate @ cfg", 1_000, EngineKind::Batch)
         );
         prop_assert_ne!(
             &k0,
-            &key(&base, "fast-count", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded)
+            &key(&base, "fast-count @ cfg", 1_000, EngineKind::Decoded)
         );
         prop_assert_ne!(
             &k0,
-            &key(&base, "accurate", &Fidelity::Sampled { fraction: 0.5 }, "cfg", 1_000, EngineKind::Decoded)
+            &key(&base, "sampled:fraction=0.5 @ cfg", 1_000, EngineKind::Decoded)
         );
         prop_assert_ne!(
             &k0,
-            &key(&base, "accurate", &Fidelity::Accurate, "cfg2", 1_000, EngineKind::Decoded)
+            &key(&base, "pipelined:btb=512,ras=8 @ cfg", 1_000, EngineKind::Decoded)
+        );
+        prop_assert_ne!(
+            &key(&base, "pipelined:btb=512,ras=8 @ cfg", 1_000, EngineKind::Decoded),
+            &key(&base, "pipelined:btb=256,ras=8 @ cfg", 1_000, EngineKind::Decoded)
         );
         prop_assert_ne!(
             &k0,
-            &key(&base, "accurate", &Fidelity::Accurate, "cfg", 2_000, EngineKind::Decoded)
+            &key(&base, "accurate @ cfg2", 1_000, EngineKind::Decoded)
+        );
+        prop_assert_ne!(
+            &k0,
+            &key(&base, "accurate @ cfg", 2_000, EngineKind::Decoded)
         );
 
         // Different target ISA.
@@ -117,7 +112,7 @@ proptest! {
         };
         prop_assert_ne!(
             &k0,
-            &key(&retargeted, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded)
+            &key(&retargeted, "accurate @ cfg", 1_000, EngineKind::Decoded)
         );
     }
 
@@ -127,16 +122,17 @@ proptest! {
     fn cache_replays_collisions_only(seed in any::<u64>()) {
         let cache = SimCache::new();
         let exe = torture_exe(seed, "plant", vec![3.0]);
-        let k = key(&exe, "accurate", &Fidelity::Accurate, "cfg", 1_000, EngineKind::Decoded);
+        let k = key(&exe, "accurate @ cfg", 1_000, EngineKind::Decoded);
         let planted = SimReport {
             stats: SimStats::default(),
             backend: "accurate".into(),
             fidelity: Fidelity::Accurate,
             extrapolated: false,
+            cycles: None,
         };
         cache.insert(k.clone(), planted.clone());
         prop_assert_eq!(cache.lookup(&k), Some(planted));
-        let miss = key(&exe, "accurate", &Fidelity::Accurate, "cfg", 999, EngineKind::Decoded);
+        let miss = key(&exe, "accurate @ cfg", 999, EngineKind::Decoded);
         prop_assert_eq!(cache.lookup(&miss), None);
     }
 }

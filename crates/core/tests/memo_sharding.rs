@@ -25,6 +25,7 @@ fn report(marker: u64) -> SimReport {
         backend: "accurate".into(),
         fidelity: Fidelity::Accurate,
         extrapolated: false,
+        cycles: None,
     }
 }
 

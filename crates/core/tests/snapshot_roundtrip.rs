@@ -6,7 +6,7 @@
 //! by content.
 
 use proptest::prelude::*;
-use simtune_core::{Fidelity, SimCache, SimReport, SnapshotLoad};
+use simtune_core::{CycleBreakdown, Fidelity, SimCache, SimReport, SnapshotLoad};
 use simtune_isa::SimStats;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,12 +21,13 @@ fn key(idx: u8) -> Vec<u8> {
 }
 
 fn fidelity(selector: u8, marker: u64) -> Fidelity {
-    match selector % 4 {
+    match selector % 5 {
         0 => Fidelity::Accurate,
         1 => Fidelity::CountOnly,
         2 => Fidelity::Sampled {
             fraction: (marker % 1000) as f64 / 1000.0,
         },
+        3 => Fidelity::Pipelined,
         _ => Fidelity::Custom,
     }
 }
@@ -41,6 +42,13 @@ fn report(marker: u64, selector: u8) -> SimReport {
         backend: format!("backend-{}", selector % 3),
         fidelity: fid,
         extrapolated: matches!(fid, Fidelity::Sampled { .. }),
+        // Fractional components so the round trip covers the bit-exact
+        // f64 encoding, not just integral values.
+        cycles: matches!(fid, Fidelity::Pipelined).then(|| CycleBreakdown {
+            pipeline: marker as f64 + 0.25,
+            memory: (marker % 97) as f64 / 3.0,
+            control: (marker % 13) as f64,
+        }),
     }
 }
 

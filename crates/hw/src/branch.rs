@@ -1,33 +1,72 @@
-/// A table of 2-bit saturating counters indexed by branch PC — the
-/// classic bimodal direction predictor used by the timing models.
+/// A branch predictor built from a table of 2-bit saturating direction
+/// counters indexed by branch PC — the classic bimodal predictor —
+/// optionally extended with a branch target buffer (BTB) and a return
+/// address stack (RAS) for the pipelined timing tier.
 ///
 /// Loop back-edges predict "taken" after one iteration and mispredict
 /// once at loop exit, so deeply nested short loops pay proportionally
 /// more mispredict cycles — a real effect the schedule's loop structure
 /// controls and the instruction-accurate statistics only partially
 /// expose (through the branch-instruction ratio).
+///
+/// The BTB models the *target* side of prediction: a taken branch whose
+/// target the fetch stage could not produce redirects the front end
+/// exactly like a direction mispredict. The RAS predicts return targets
+/// for call/return pairs; the bundled virtual ISA has no call/return
+/// instructions yet, so the pipelined tier allocates the stack but never
+/// exercises it — the push/pop interface is kept (and unit-tested) for
+/// ISA extensions.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
     counters: Vec<u8>,
+    btb: Vec<BtbEntry>,
+    ras: Vec<usize>,
+    ras_depth: usize,
     mispredicts: u64,
     predictions: u64,
+    btb_misses: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    pc: usize,
+    target: usize,
 }
 
 impl BranchPredictor {
-    /// Creates a predictor with `entries` counters (rounded up to a power
-    /// of two), initialized to weakly-not-taken.
+    /// Creates a direction-only predictor with `entries` counters
+    /// (rounded up to a power of two), initialized to weakly-not-taken.
+    /// No BTB or RAS is modeled — [`BranchPredictor::observe`] judges
+    /// direction alone.
     pub fn new(entries: usize) -> Self {
+        Self::with_tables(entries, 0, 0)
+    }
+
+    /// Creates a predictor with `entries` direction counters, a BTB of
+    /// `btb_entries` target slots (rounded up to a power of two; `0`
+    /// disables target prediction) and a RAS of `ras_depth` slots.
+    pub fn with_tables(entries: usize, btb_entries: usize, ras_depth: usize) -> Self {
         let n = entries.next_power_of_two().max(16);
+        let btb_n = if btb_entries == 0 {
+            0
+        } else {
+            btb_entries.next_power_of_two().max(16)
+        };
         BranchPredictor {
             counters: vec![1; n], // weakly not-taken
+            btb: vec![BtbEntry::default(); btb_n],
+            ras: Vec::with_capacity(ras_depth),
+            ras_depth,
             mispredicts: 0,
             predictions: 0,
+            btb_misses: 0,
         }
     }
 
-    /// Records the outcome of a branch at `pc`; returns true when the
-    /// prediction was wrong.
-    pub fn observe(&mut self, pc: usize, taken: bool) -> bool {
+    /// Updates the direction counter for `pc` and returns the direction
+    /// that was predicted *before* the update.
+    fn direction(&mut self, pc: usize, taken: bool) -> bool {
         let idx = pc & (self.counters.len() - 1);
         let c = &mut self.counters[idx];
         let predicted_taken = *c >= 2;
@@ -37,14 +76,75 @@ impl BranchPredictor {
             *c = c.saturating_sub(1);
         }
         self.predictions += 1;
-        let wrong = predicted_taken != taken;
+        predicted_taken
+    }
+
+    /// Records the outcome of a branch at `pc`; returns true when the
+    /// direction prediction was wrong. Does not consult the BTB.
+    pub fn observe(&mut self, pc: usize, taken: bool) -> bool {
+        let wrong = self.direction(pc, taken) != taken;
         if wrong {
             self.mispredicts += 1;
         }
         wrong
     }
 
-    /// Total mispredictions so far.
+    /// Records the outcome *and resolved target* of a branch at `pc`;
+    /// returns true when the front end must be redirected — the
+    /// direction was wrong, or the branch was correctly predicted taken
+    /// but the BTB held no (or a stale) target for it. Taken branches
+    /// always train the BTB.
+    pub fn observe_with_target(&mut self, pc: usize, target: usize, taken: bool) -> bool {
+        let predicted_taken = self.direction(pc, taken);
+        let mut wrong = predicted_taken != taken;
+        if !self.btb.is_empty() && taken {
+            let idx = pc & (self.btb.len() - 1);
+            let e = &mut self.btb[idx];
+            let hit = e.valid && e.pc == pc && e.target == target;
+            if predicted_taken && !hit {
+                self.btb_misses += 1;
+                wrong = true;
+            }
+            *e = BtbEntry {
+                valid: true,
+                pc,
+                target,
+            };
+        }
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// Pushes a predicted return address (call side). A full stack
+    /// drops its oldest entry, like a hardware circular RAS.
+    pub fn ras_push(&mut self, return_pc: usize) {
+        if self.ras_depth == 0 {
+            return;
+        }
+        if self.ras.len() == self.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    /// Pops the predicted return address and compares it with the
+    /// resolved one; returns true when the prediction was wrong (stale
+    /// entry or empty stack).
+    pub fn ras_pop(&mut self, actual_pc: usize) -> bool {
+        match self.ras.pop() {
+            Some(predicted) => predicted != actual_pc,
+            None => true,
+        }
+    }
+
+    /// Current RAS occupancy.
+    pub fn ras_len(&self) -> usize {
+        self.ras.len()
+    }
+
+    /// Total mispredictions so far (direction and BTB-redirect).
     pub fn mispredicts(&self) -> u64 {
         self.mispredicts
     }
@@ -52,6 +152,11 @@ impl BranchPredictor {
     /// Total predictions so far.
     pub fn predictions(&self) -> u64 {
         self.predictions
+    }
+
+    /// Taken branches whose target the BTB could not produce.
+    pub fn btb_misses(&self) -> u64 {
+        self.btb_misses
     }
 
     /// Mispredicts / predictions (0 when nothing predicted).
@@ -106,5 +211,71 @@ mod tests {
         // Both stabilize: very few mispredicts after warm-up.
         assert!(p.mispredicts() <= 4);
         assert_eq!(p.predictions(), 100);
+    }
+
+    #[test]
+    fn cold_btb_redirects_the_first_predicted_taken_branch() {
+        let mut p = BranchPredictor::with_tables(64, 16, 0);
+        // Warm the direction counter to "taken": first two observations
+        // are direction mispredicts, no BTB penalty (not predicted taken).
+        assert!(p.observe_with_target(9, 42, true));
+        assert_eq!(p.btb_misses(), 0, "not-taken prediction skips the BTB");
+        p.observe_with_target(9, 42, true);
+        // Direction now predicts taken and the BTB was trained by the
+        // earlier taken outcomes: a steady stream is fully predicted.
+        for _ in 0..20 {
+            assert!(!p.observe_with_target(9, 42, true));
+        }
+        assert_eq!(p.btb_misses(), 0);
+    }
+
+    #[test]
+    fn btb_target_change_counts_as_a_redirect() {
+        let mut p = BranchPredictor::with_tables(64, 16, 0);
+        for _ in 0..4 {
+            p.observe_with_target(5, 100, true);
+        }
+        let before = p.mispredicts();
+        // Same pc, correctly predicted taken, but a different resolved
+        // target: the stale BTB entry cannot steer the fetch stage.
+        assert!(p.observe_with_target(5, 200, true));
+        assert_eq!(p.btb_misses(), 1);
+        assert_eq!(p.mispredicts(), before + 1);
+        // The BTB retrained on the new target.
+        assert!(!p.observe_with_target(5, 200, true));
+    }
+
+    #[test]
+    fn without_a_btb_observe_with_target_is_direction_only() {
+        let mut a = BranchPredictor::new(64);
+        let mut b = BranchPredictor::new(64);
+        for i in 0..50 {
+            let taken = i % 3 != 0;
+            assert_eq!(
+                a.observe(11, taken),
+                b.observe_with_target(11, 7, taken),
+                "iteration {i}"
+            );
+        }
+        assert_eq!(a.mispredicts(), b.mispredicts());
+        assert_eq!(b.btb_misses(), 0);
+    }
+
+    #[test]
+    fn ras_matches_calls_to_returns_and_overflows_oldest_first() {
+        let mut p = BranchPredictor::with_tables(16, 0, 2);
+        assert!(p.ras_pop(10), "empty stack cannot predict");
+        p.ras_push(10);
+        p.ras_push(20);
+        assert!(!p.ras_pop(20));
+        assert!(!p.ras_pop(10));
+        // Depth 2: the third push evicts the oldest.
+        p.ras_push(1);
+        p.ras_push(2);
+        p.ras_push(3);
+        assert_eq!(p.ras_len(), 2);
+        assert!(!p.ras_pop(3));
+        assert!(!p.ras_pop(2));
+        assert!(p.ras_pop(1), "evicted entry is gone");
     }
 }

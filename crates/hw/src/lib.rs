@@ -41,6 +41,7 @@
 mod branch;
 mod measure;
 mod noise;
+mod pipeline;
 mod prefetch;
 mod targets;
 mod timing;
@@ -50,6 +51,7 @@ pub use measure::{
     measure, measure_base_seconds, native_benchmark_seconds, MeasureConfig, Measurement,
 };
 pub use noise::{NoiseModel, NoiseParams, ThermalState};
+pub use pipeline::PipelineModel;
 pub use prefetch::StridePrefetcher;
 pub use targets::{TargetSpec, TimingParams};
 pub use timing::{CycleBreakdown, TimingModel};

@@ -1,6 +1,6 @@
 use crate::{
     AtomicCpu, BatchEngine, BatchLane, DecodedEngine, DecodedProgram, EngineKind, ExecEngine,
-    InterpEngine, Memory, NoopHook, Program, RunLimits, SimError, SimStats, TargetIsa,
+    ExecHook, InterpEngine, Memory, NoopHook, Program, RunLimits, SimError, SimStats, TargetIsa,
     ThreadedEngine, ThreadedProgram,
 };
 use simtune_cache::{CacheHierarchy, HierarchyConfig};
@@ -159,18 +159,79 @@ fn run_full(
     hier: &mut CacheHierarchy,
     limits: RunLimits,
 ) -> Result<SimStats, SimError> {
+    run_full_hooked(prog, decoded, engine, cpu, mem, hier, limits, &mut NoopHook)
+}
+
+/// Dispatches one full run to the selected engine with an explicit
+/// event hook. [`EngineKind::Batch`] is a batch-level concept, so a
+/// single hooked trial runs on the decoded loop — which keeps the
+/// per-retirement event sequence identical across all engine kinds.
+#[allow(clippy::too_many_arguments)] // mirrors the run entry points
+fn run_full_hooked<H: ExecHook>(
+    prog: &Program,
+    decoded: &DecodedProgram,
+    engine: EngineKind,
+    cpu: &mut AtomicCpu,
+    mem: &mut Memory,
+    hier: &mut CacheHierarchy,
+    limits: RunLimits,
+    hook: &mut H,
+) -> Result<SimStats, SimError> {
     match engine {
-        EngineKind::Interp => {
-            InterpEngine::new(prog).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
-        }
+        EngineKind::Interp => InterpEngine::new(prog).run_with_hook(cpu, mem, hier, limits, hook),
         EngineKind::Decoded | EngineKind::Batch => {
-            DecodedEngine::new(decoded).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
+            DecodedEngine::new(decoded).run_with_hook(cpu, mem, hier, limits, hook)
         }
         EngineKind::Threaded => {
             let threaded = ThreadedProgram::lower(decoded);
-            ThreadedEngine::new(&threaded).run_with_hook(cpu, mem, hier, limits, &mut NoopHook)
+            ThreadedEngine::new(&threaded).run_with_hook(cpu, mem, hier, limits, hook)
         }
     }
+}
+
+/// [`simulate_decoded_on`] with an explicit [`ExecHook`] observing the
+/// run — the entry point timing tiers use to price every fetch, data
+/// access, branch resolution and retirement while the functional
+/// semantics stay byte-for-byte those of the accurate backend.
+///
+/// The hook's event order per retirement is fixed and identical across
+/// engines: `on_fetch`, then any `on_data_access`/`on_branch` raised by
+/// the instruction, then `on_retire`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_decoded_hooked_on<H: ExecHook>(
+    exe: &Executable,
+    decoded: &DecodedProgram,
+    hierarchy: &HierarchyConfig,
+    limits: RunLimits,
+    engine: EngineKind,
+    hook: &mut H,
+) -> Result<SimOutcome, SimError> {
+    let mut mem = Memory::new();
+    for (base, values) in &exe.data_segments {
+        mem.write_f32_slice(*base, values)?;
+    }
+    let mut hier = CacheHierarchy::new(hierarchy.clone());
+    let mut cpu = AtomicCpu::new(&exe.target);
+    let start = Instant::now();
+    let mut stats = run_full_hooked(
+        &exe.program,
+        decoded,
+        engine,
+        &mut cpu,
+        &mut mem,
+        &mut hier,
+        limits,
+        hook,
+    )?;
+    stats.host_nanos = start.elapsed().as_nanos().max(1) as u64;
+    Ok(SimOutcome {
+        stats,
+        memory: mem,
+        backend: ACCURATE.into(),
+    })
 }
 
 /// Dispatches one prefix run to the selected engine.

@@ -79,6 +79,7 @@ mod shrink;
 mod stats;
 mod target;
 mod threaded;
+mod timing;
 mod torture;
 
 pub use asm::{parse_inst, parse_program, AsmError};
@@ -89,9 +90,9 @@ pub use engine::EngineKind;
 pub use error::{BuildProgramError, SimError};
 pub use exec::{
     simulate, simulate_batch_decoded, simulate_counting, simulate_counting_batch_decoded,
-    simulate_counting_decoded, simulate_counting_decoded_on, simulate_decoded, simulate_decoded_on,
-    simulate_prefix, simulate_prefix_decoded, simulate_prefix_decoded_on, Executable, SimOutcome,
-    ACCURATE, FAST_COUNT,
+    simulate_counting_decoded, simulate_counting_decoded_on, simulate_decoded,
+    simulate_decoded_hooked_on, simulate_decoded_on, simulate_prefix, simulate_prefix_decoded,
+    simulate_prefix_decoded_on, Executable, SimOutcome, ACCURATE, FAST_COUNT,
 };
 pub use inst::{Fpr, Gpr, Inst, Label, Vr, MAX_LANES};
 pub use memory::Memory;
@@ -100,6 +101,7 @@ pub use shrink::shrink_program;
 pub use stats::{InstMix, SimStats};
 pub use target::TargetIsa;
 pub use threaded::{ThreadedEngine, ThreadedProgram};
+pub use timing::{uop_event, Reg, TimingBridge, TimingHook, UopEvent, TIMING_REGS};
 pub use torture::{
     torture_program, torture_program_with, MemoryPattern, TortureConfig, TORTURE_FAULT_CODE,
     TORTURE_WINDOW,

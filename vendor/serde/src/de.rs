@@ -388,6 +388,25 @@ impl ObjectReader {
         Ok(v)
     }
 
+    /// Extracts and deserializes the member named `name`, or returns
+    /// `T::default()` when the object has no such member — for fields
+    /// added to a wire format after old writers shipped. A present but
+    /// malformed member is still an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the member is present but malformed.
+    pub fn field_or_default<T: crate::Deserialize + Default>(
+        &mut self,
+        name: &str,
+    ) -> Result<T, Error> {
+        if self.fields.iter().any(|(k, _)| k == name) {
+            self.field(name)
+        } else {
+            Ok(T::default())
+        }
+    }
+
     /// Requires that every member has been consumed.
     ///
     /// # Errors
